@@ -1,0 +1,82 @@
+// Figure 6 reproduction: LR input / MFN prediction / HR ground-truth
+// triptych.
+//
+// Trains MeshfreeFlowNet (gamma = gamma*), super-resolves a validation
+// frame and dumps all three versions of each physical channel to CSV
+// (bench_cache/fig6_<channel>_{lr,pred,hr}.csv), along with per-channel
+// reconstruction errors against ground truth — the quantitative version
+// of the paper's qualitative figure.
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "bench_common.h"
+#include "core/baselines.h"
+#include "tensor/tensor_ops.h"
+
+namespace {
+
+void dump_csv(const std::string& path, const mfn::Tensor& field) {
+  std::ofstream os(path);
+  for (std::int64_t z = 0; z < field.dim(0); ++z) {
+    for (std::int64_t x = 0; x < field.dim(1); ++x) {
+      if (x) os << ',';
+      os << field.at({z, x});
+    }
+    os << '\n';
+  }
+}
+
+double frame_rel_error(const mfn::Tensor& pred, const mfn::Tensor& truth) {
+  double num = 0.0, den = 1e-30;
+  for (std::int64_t i = 0; i < pred.numel(); ++i) {
+    const double d = pred.data()[i] - truth.data()[i];
+    num += d * d;
+    den += static_cast<double>(truth.data()[i]) * truth.data()[i];
+  }
+  return std::sqrt(num / den);
+}
+
+}  // namespace
+
+int main() {
+  using namespace mfn;
+  std::printf("=== Figure 6: LR input / MFN prediction / HR ground truth "
+              "===\n");
+  const double Ra = 1e6, Pr = 1.0;
+  data::SRPair train_pair = bench::cached_pair(Ra, 1, "rb_ra1e6_seed1");
+  data::SRPair val_pair = bench::cached_pair(Ra, 2, "rb_ra1e6_seed2");
+  data::PatchSampler sampler(train_pair, bench::bench_patch_config());
+  core::EquationLossConfig eq = bench::equation_config(sampler, Ra, Pr);
+
+  auto model = bench::train_model({&sampler}, eq, /*gamma=*/0.0125, 7);
+  data::Grid4D pred = core::super_resolve(*model, val_pair);
+  data::Grid4D tri = core::baseline_trilinear(val_pair);
+
+  const std::int64_t t_hr = val_pair.hr.nt() / 2;
+  const std::int64_t t_lr = t_hr / bench::BenchDataset::kTimeFactor;
+  std::filesystem::create_directories("bench_cache");
+
+  std::printf("frame t=%lld (HR index), relative L2 error vs ground "
+              "truth:\n",
+              static_cast<long long>(t_hr));
+  std::printf("%4s %14s %14s\n", "fld", "MFN", "trilinear");
+  for (int c = 0; c < data::kNumChannels; ++c) {
+    const char* name = data::kChannelNames[static_cast<std::size_t>(c)];
+    Tensor lr_f = val_pair.lr.frame(c, t_lr);
+    Tensor hr_f = val_pair.hr.frame(c, t_hr);
+    Tensor pd_f = pred.frame(c, t_hr);
+    Tensor tri_f = tri.frame(c, t_hr);
+    dump_csv(std::string("bench_cache/fig6_") + name + "_lr.csv", lr_f);
+    dump_csv(std::string("bench_cache/fig6_") + name + "_hr.csv", hr_f);
+    dump_csv(std::string("bench_cache/fig6_") + name + "_pred.csv", pd_f);
+    std::printf("%4s %14.4f %14.4f\n", name, frame_rel_error(pd_f, hr_f),
+                frame_rel_error(tri_f, hr_f));
+  }
+  std::printf("CSV dumps in bench_cache/fig6_*.csv (plot side by side for "
+              "the paper's triptych)\n");
+  std::printf("(paper shape: MFN restores fine plume structure the LR "
+              "input lacks; error well below trilinear)\n");
+  return 0;
+}

@@ -1,0 +1,168 @@
+// Supporting microbenchmarks (google-benchmark): throughput of the
+// kernels every experiment rests on — matmul, conv3d, FFT, DNS step,
+// latent-grid encode, continuous decode, ring all-reduce — plus ablation
+// sweeps over decoder width and latent channels (the design knobs called
+// out in DESIGN.md Sec. 5).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/decoder.h"
+#include "core/meshfree_flownet.h"
+#include "distributed/allreduce.h"
+#include "fft/fft.h"
+#include "solver/rb_solver.h"
+#include "tensor/nn_kernels.h"
+#include "tensor/tensor_ops.h"
+
+#include <thread>
+
+namespace {
+
+using namespace mfn;
+
+void BM_MatmulSquare(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::randn(Shape{n, n}, rng);
+  Tensor b = Tensor::randn(Shape{n, n}, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(matmul(a, b));
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatmulSquare)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Conv3dSame(benchmark::State& state) {
+  const auto c = state.range(0);
+  Rng rng(2);
+  Tensor x = Tensor::randn(Shape{1, c, 4, 16, 16}, rng);
+  Tensor w = Tensor::randn(Shape{c, c, 3, 3, 3}, rng, 0.2f);
+  Tensor b = Tensor::zeros(Shape{c});
+  Conv3dSpec spec;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(conv3d_forward(x, w, b, spec));
+}
+BENCHMARK(BM_Conv3dSame)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_Fft(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(3);
+  std::vector<fft::cplx> a(static_cast<std::size_t>(n));
+  for (auto& v : a) v = fft::cplx(rng.normal(), rng.normal());
+  for (auto _ : state) {
+    auto copy = a;
+    fft::fft_inplace(copy, false);
+    benchmark::DoNotOptimize(copy);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Fft)->Arg(128)->Arg(1024)->Arg(8192);
+
+void BM_SolverStep(benchmark::State& state) {
+  const auto nx = state.range(0);
+  solver::RBConfig cfg;
+  cfg.nx = static_cast<int>(nx);
+  cfg.nz = static_cast<int>(nx) / 4 + 1;
+  cfg.Ra = 1e6;
+  solver::RBSolver s(cfg);
+  s.advance_to(2.0);  // develop some flow first
+  for (auto _ : state) benchmark::DoNotOptimize(s.step());
+}
+BENCHMARK(BM_SolverStep)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_UNetEncode(benchmark::State& state) {
+  Rng rng(4);
+  core::MFNConfig cfg = core::MFNConfig::small_default();
+  core::MeshfreeFlowNet model(cfg, rng);
+  model.set_training(false);
+  Tensor lr = Tensor::randn(Shape{1, 4, 4, 8, 8}, rng, 0.5f);
+  ad::NoGradGuard guard;
+  for (auto _ : state) benchmark::DoNotOptimize(model.encode(lr));
+}
+BENCHMARK(BM_UNetEncode);
+
+// Ablation: decoder query throughput vs MLP width.
+void BM_DecoderQuery_Width(benchmark::State& state) {
+  const auto width = state.range(0);
+  Rng rng(5);
+  core::DecoderConfig dcfg;
+  dcfg.latent_channels = 16;
+  dcfg.hidden = {width, width};
+  core::ContinuousDecoder dec(dcfg, rng);
+  ad::Var latent(Tensor::randn(Shape{1, 16, 4, 8, 8}, rng, 0.5f), false);
+  Tensor coords(Shape{512, 3});
+  for (std::int64_t b = 0; b < 512; ++b) {
+    coords.at({b, 0}) = static_cast<float>(rng.uniform(0.0, 3.0));
+    coords.at({b, 1}) = static_cast<float>(rng.uniform(0.0, 7.0));
+    coords.at({b, 2}) = static_cast<float>(rng.uniform(0.0, 7.0));
+  }
+  ad::NoGradGuard guard;
+  for (auto _ : state) benchmark::DoNotOptimize(dec.decode(latent, coords));
+  state.SetItemsProcessed(state.iterations() * 512);
+}
+BENCHMARK(BM_DecoderQuery_Width)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+// Ablation: derivative-bundle overhead (equation loss) vs plain decode.
+void BM_DecoderQuery_WithDerivatives(benchmark::State& state) {
+  Rng rng(6);
+  core::DecoderConfig dcfg;
+  dcfg.latent_channels = 16;
+  dcfg.hidden = {32, 32};
+  core::ContinuousDecoder dec(dcfg, rng);
+  ad::Var latent(Tensor::randn(Shape{1, 16, 4, 8, 8}, rng, 0.5f), false);
+  Tensor coords(Shape{256, 3});
+  for (std::int64_t b = 0; b < 256; ++b) {
+    coords.at({b, 0}) = static_cast<float>(rng.uniform(0.0, 3.0));
+    coords.at({b, 1}) = static_cast<float>(rng.uniform(0.0, 7.0));
+    coords.at({b, 2}) = static_cast<float>(rng.uniform(0.0, 7.0));
+  }
+  ad::NoGradGuard guard;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(dec.decode_with_derivatives(latent, coords));
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_DecoderQuery_WithDerivatives);
+
+// Ablation: latent channel count.
+void BM_DecoderQuery_LatentChannels(benchmark::State& state) {
+  const auto nc = state.range(0);
+  Rng rng(7);
+  core::DecoderConfig dcfg;
+  dcfg.latent_channels = nc;
+  dcfg.hidden = {32, 32};
+  core::ContinuousDecoder dec(dcfg, rng);
+  ad::Var latent(Tensor::randn(Shape{1, nc, 4, 8, 8}, rng, 0.5f), false);
+  Tensor coords(Shape{256, 3});
+  for (std::int64_t b = 0; b < 256; ++b) {
+    coords.at({b, 0}) = static_cast<float>(rng.uniform(0.0, 3.0));
+    coords.at({b, 1}) = static_cast<float>(rng.uniform(0.0, 7.0));
+    coords.at({b, 2}) = static_cast<float>(rng.uniform(0.0, 7.0));
+  }
+  ad::NoGradGuard guard;
+  for (auto _ : state) benchmark::DoNotOptimize(dec.decode(latent, coords));
+}
+BENCHMARK(BM_DecoderQuery_LatentChannels)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_RingAllReduce(benchmark::State& state) {
+  const int W = static_cast<int>(state.range(0));
+  const std::int64_t n = 1 << 16;
+  for (auto _ : state) {
+    dist::RingAllReducer reducer(W);
+    std::vector<std::vector<float>> bufs(
+        static_cast<std::size_t>(W),
+        std::vector<float>(static_cast<std::size_t>(n), 1.0f));
+    std::vector<std::thread> ts;
+    for (int r = 0; r < W; ++r)
+      ts.emplace_back([&, r] {
+        reducer.allreduce_average(
+            r, bufs[static_cast<std::size_t>(r)].data(), n);
+      });
+    for (auto& t : ts) t.join();
+    benchmark::DoNotOptimize(bufs);
+  }
+  state.SetBytesProcessed(state.iterations() * W * n *
+                          static_cast<std::int64_t>(sizeof(float)));
+}
+BENCHMARK(BM_RingAllReduce)->Arg(2)->Arg(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

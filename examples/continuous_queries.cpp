@@ -1,0 +1,119 @@
+// Mesh-free querying: the headline property of MeshfreeFlowNet.
+//
+// After training once, the latent context grid can be decoded at ANY
+// continuous space-time location — there is no output mesh. This example
+// trains briefly, then:
+//   * reconstructs the flow at 2x, 4x and 12x the input resolution from
+//     the same latent grid,
+//   * samples the temperature along a continuous diagonal ray in
+//     space-time (impossible with a grid-output decoder),
+//   * verifies the decoded field is continuous across cell boundaries.
+#include <cmath>
+#include <cstdio>
+
+#include "core/evaluation.h"
+#include "core/losses.h"
+#include "core/meshfree_flownet.h"
+#include "core/trainer.h"
+#include "data/dataset.h"
+
+int main() {
+  using namespace mfn;
+  std::printf("MeshfreeFlowNet: continuous space-time queries\n");
+  std::printf("==============================================\n");
+
+  data::DatasetConfig dcfg;
+  dcfg.solver.Ra = 1e5;
+  dcfg.solver.nx = 64;
+  dcfg.solver.nz = 33;
+  dcfg.solver.seed = 2;
+  dcfg.spinup_time = 8.0;
+  dcfg.duration = 6.0;
+  dcfg.num_snapshots = 16;
+  data::SRPair pair = data::make_sr_pair(data::generate_rb_dataset(dcfg),
+                                         4, 4);
+
+  Rng rng(3);
+  core::MeshfreeFlowNet model(core::MFNConfig::small_default(), rng);
+  data::PatchSamplerConfig pcfg;
+  pcfg.patch_nt = 4;
+  pcfg.patch_nz = 8;
+  pcfg.patch_nx = 8;
+  pcfg.queries_per_patch = 256;
+  data::PatchSampler sampler(pair, pcfg);
+  core::EquationLossConfig eq;
+  eq.constants = core::RBConstants::from_ra_pr(1e5, 1.0);
+  eq.cell_size = sampler.lr_cell_size();
+  eq.stats = pair.stats;
+  core::TrainerConfig tcfg;
+  tcfg.epochs = 12;
+  tcfg.batches_per_epoch = 10;
+  tcfg.gamma = 0.0125;
+  tcfg.adam.lr = 3e-3;
+  core::Trainer(model, sampler, eq, tcfg).train();
+  std::printf("[trained on LR %lldx%lldx%lld]\n\n",
+              static_cast<long long>(pair.lr.nt()),
+              static_cast<long long>(pair.lr.nz()),
+              static_cast<long long>(pair.lr.nx()));
+
+  // --- one latent grid, any output resolution ---
+  std::printf("reconstruction at arbitrary resolutions (same model):\n");
+  for (const auto [fz, fx] : {std::pair{2, 2}, {4, 4}, {12, 12}}) {
+    data::Grid4D out = core::super_resolve_at(
+        model, pair, pair.lr.nt(), pair.lr.nz() * fz, pair.lr.nx() * fx);
+    std::printf("  %2dx space: output grid %lld x %lld x %lld\n", fz,
+                static_cast<long long>(out.nt()),
+                static_cast<long long>(out.nz()),
+                static_cast<long long>(out.nx()));
+  }
+
+  // --- continuous diagonal ray through space-time ---
+  std::printf("\ntemperature along a continuous space-time ray "
+              "(t, z, x all varying):\n");
+  {
+    ad::NoGradGuard no_grad;
+    model.set_training(false);
+    const data::Grid4D& lr = pair.lr_norm;
+    ad::Var latent = model.encode(lr.data.reshape(
+        Shape{1, 4, lr.nt(), lr.nz(), lr.nx()}));
+    const int steps = 8;
+    Tensor coords(Shape{steps, 3});
+    for (int i = 0; i < steps; ++i) {
+      const double s = static_cast<double>(i) / (steps - 1);
+      coords.at({i, 0}) = static_cast<float>(s * (lr.nt() - 1));
+      coords.at({i, 1}) = static_cast<float>(s * (lr.nz() - 1));
+      coords.at({i, 2}) = static_cast<float>(s * (lr.nx() - 1));
+    }
+    Tensor rows = model.decoder().decode(latent, coords).value().clone();
+    pair.stats.denormalize_rows(rows);
+    for (int i = 0; i < steps; ++i)
+      std::printf("  s=%.2f  (t=%.2f z=%.2f x=%.2f)  T=%.4f\n",
+                  static_cast<double>(i) / (steps - 1),
+                  static_cast<double>(coords.at({i, 0})),
+                  static_cast<double>(coords.at({i, 1})),
+                  static_cast<double>(coords.at({i, 2})),
+                  static_cast<double>(rows.at({i, data::kT})));
+  }
+
+  // --- continuity across a cell boundary ---
+  std::printf("\ncontinuity across a latent-cell boundary (z = 3):\n");
+  {
+    ad::NoGradGuard no_grad;
+    const data::Grid4D& lr = pair.lr_norm;
+    ad::Var latent = model.encode(lr.data.reshape(
+        Shape{1, 4, lr.nt(), lr.nz(), lr.nx()}));
+    const float eps = 1e-4f;
+    Tensor coords(Shape{2, 3});
+    coords.at({0, 0}) = coords.at({1, 0}) = 1.5f;
+    coords.at({0, 1}) = 3.0f - eps;
+    coords.at({1, 1}) = 3.0f + eps;
+    coords.at({0, 2}) = coords.at({1, 2}) = 5.5f;
+    Tensor v = model.decoder().decode(latent, coords).value();
+    const double jump = std::fabs(static_cast<double>(v.at({0, 1})) -
+                                  static_cast<double>(v.at({1, 1})));
+    std::printf("  |T(z=3-) - T(z=3+)| = %.3e  (trilinear blending makes "
+                "the decoded field C0)\n",
+                jump);
+  }
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Arbitrary combinations of PDE constraints (the paper's abstract:
+// "an open-source implementation ... that supports arbitrary combinations
+// of PDE constraints").
+//
+// This example trains the same MeshfreeFlowNet under three different
+// constraint configurations on the same data and prints the resulting
+// physics residuals:
+//   (a) no constraints (gamma = 0 equivalent),
+//   (b) divergence-free only,
+//   (c) divergence-free + temperature advection-diffusion (weighted).
+// It shows how to implement a new constraint by subclassing PDESystem.
+#include <cstdio>
+#include <memory>
+
+#include "core/losses.h"
+#include "core/meshfree_flownet.h"
+#include "core/pde_system.h"
+#include "data/dataset.h"
+#include "optim/adam.h"
+
+using namespace mfn;
+
+namespace {
+
+// A user-defined constraint: penalize unphysical negative temperatures.
+// (Soft inequality constraints compose with PDE residuals seamlessly.)
+class NonNegativeTemperature : public core::PDESystem {
+ public:
+  std::string name() const override { return "T >= 0"; }
+  std::vector<core::ResidualTerm> residuals(
+      const core::PhysicalDerivs& d) const override {
+    // relu(-T): zero wherever T >= 0
+    return {{"relu(-T)", ad::relu(ad::neg(d.val(data::kT)))}};
+  }
+};
+
+double train_with(core::CompositePDELoss* pde, double weight,
+                  const data::SRPair& pair,
+                  const data::PatchSampler& sampler) {
+  Rng rng(11);
+  core::MFNConfig mcfg = core::MFNConfig::small_default();
+  mcfg.unet.base_filters = 4;
+  mcfg.unet.out_channels = 8;
+  mcfg.decoder.latent_channels = 8;
+  mcfg.decoder.hidden = {24};
+  core::MeshfreeFlowNet model(mcfg, rng);
+  optim::Adam opt(model.parameters(), {.lr = 3e-3});
+  Rng batch_rng(5);
+  const std::array<double, 3> cell = sampler.lr_cell_size();
+
+  double final_loss = 0.0;
+  for (int step = 0; step < 60; ++step) {
+    data::SampleBatch batch = sampler.sample(batch_rng);
+    opt.zero_grad();
+    ad::Var loss;
+    if (pde) {
+      core::DecodeDerivs d = model.predict_with_derivatives(
+          batch.lr_patch, batch.query_coords);
+      ad::Var lp = core::prediction_loss(d.value, batch.target);
+      core::PhysicalDerivs phys =
+          core::to_physical(d, pair.stats, cell);
+      loss = ad::add(lp, ad::mul_scalar(pde->loss(phys),
+                                        static_cast<float>(weight)));
+    } else {
+      loss = core::prediction_loss(
+          model.predict(batch.lr_patch, batch.query_coords), batch.target);
+    }
+    ad::backward(loss);
+    opt.step();
+    final_loss = loss.value().item();
+  }
+  return final_loss;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Composable PDE constraints\n==========================\n");
+  data::DatasetConfig dcfg;
+  dcfg.solver.Ra = 1e5;
+  dcfg.solver.nx = 32;
+  dcfg.solver.nz = 17;
+  dcfg.solver.seed = 3;
+  dcfg.spinup_time = 6.0;
+  dcfg.duration = 3.0;
+  dcfg.num_snapshots = 8;
+  data::SRPair pair = data::make_sr_pair(data::generate_rb_dataset(dcfg),
+                                         2, 2);
+  data::PatchSamplerConfig pcfg;
+  pcfg.patch_nt = 4;
+  pcfg.patch_nz = 8;
+  pcfg.patch_nx = 8;
+  pcfg.queries_per_patch = 128;
+  data::PatchSampler sampler(pair, pcfg);
+
+  const double kappa = core::RBConstants::from_ra_pr(1e5, 1.0).p_star;
+
+  std::printf("(a) unconstrained:                final loss %.4f\n",
+              train_with(nullptr, 0.0, pair, sampler));
+
+  core::CompositePDELoss div_only;
+  div_only.add(std::make_shared<core::DivergenceFreeSystem>());
+  std::printf("(b) divergence-free:              final loss %.4f\n",
+              train_with(&div_only, 0.05, pair, sampler));
+
+  core::CompositePDELoss combo;
+  combo.add(std::make_shared<core::DivergenceFreeSystem>(), 1.0);
+  combo.add(std::make_shared<core::AdvectionDiffusionSystem>(data::kT,
+                                                             kappa),
+            0.5);
+  combo.add(std::make_shared<NonNegativeTemperature>(), 0.25);
+  std::printf("(c) div-free + transport + T>=0:  final loss %.4f\n",
+              train_with(&combo, 0.05, pair, sampler));
+
+  std::printf("\nany PDESystem subclass composes into the loss — see "
+              "src/core/pde_system.h\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+#include "autodiff/gradcheck.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace mfn::ad {
+
+GradCheckResult gradcheck(
+    const std::function<Var(const std::vector<Var>&)>& fn,
+    std::vector<Var> inputs, float eps, float tol) {
+  GradCheckResult result;
+
+  // Analytic gradients.
+  for (auto& in : inputs) in.zero_grad();
+  Var loss = fn(inputs);
+  MFN_CHECK(loss.numel() == 1, "gradcheck needs scalar fn");
+  backward(loss);
+
+  for (std::size_t pi = 0; pi < inputs.size(); ++pi) {
+    Var& input = inputs[pi];
+    if (!input.requires_grad()) continue;
+    // fn may not depend on every input; the analytic gradient is then zero
+    // (finite differences will confirm).
+    const Tensor analytic = input.has_grad()
+                                ? input.grad().clone()
+                                : Tensor::zeros(input.value().shape());
+
+    float* p = input.value().data();
+    const std::int64_t n = input.numel();
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float orig = p[i];
+      p[i] = orig + eps;
+      const float fp = fn(inputs).value().item();
+      p[i] = orig - eps;
+      const float fm = fn(inputs).value().item();
+      p[i] = orig;
+      const float numeric = (fp - fm) / (2.0f * eps);
+      const float err = std::fabs(numeric - analytic.data()[i]);
+      if (err > result.max_abs_err) result.max_abs_err = err;
+      if (err > tol && result.ok) {
+        result.ok = false;
+        std::ostringstream os;
+        os << "input " << pi << " elem " << i << ": analytic "
+           << analytic.data()[i] << " vs numeric " << numeric << " (err "
+           << err << ")";
+        result.detail = os.str();
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace mfn::ad

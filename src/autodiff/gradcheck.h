@@ -1,0 +1,31 @@
+// Numerical gradient checking for property-based autodiff tests.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "autodiff/variable.h"
+
+namespace mfn::ad {
+
+struct GradCheckResult {
+  bool ok = true;
+  /// Largest |analytic - numeric| over all checked entries.
+  float max_abs_err = 0.0f;
+  /// Human-readable description of the first failure (empty when ok).
+  std::string detail;
+};
+
+/// Compare reverse-mode gradients of `fn` (mapping leaf inputs to a scalar
+/// Var) against central finite differences, perturbing every element of
+/// every input marked requires_grad.
+///
+/// `eps` is the FD step; `tol` the allowed absolute error (gradients here
+/// are O(1), so an absolute tolerance is appropriate for float32 values
+/// evaluated in double-accumulating kernels).
+GradCheckResult gradcheck(
+    const std::function<Var(const std::vector<Var>&)>& fn,
+    std::vector<Var> inputs, float eps = 1e-3f, float tol = 2e-2f);
+
+}  // namespace mfn::ad

@@ -1,0 +1,133 @@
+#include "autodiff/variable.h"
+
+#include <unordered_set>
+
+#include "common/error.h"
+#include "tensor/tensor_ops.h"
+
+namespace mfn::ad {
+
+Tensor& Node::ensure_grad() {
+  if (!grad.defined()) grad = Tensor::zeros(value.shape());
+  return grad;
+}
+
+void Node::accumulate(const Tensor& g) {
+  MFN_CHECK(g.shape() == value.shape(),
+            "gradient shape " << g.shape().str() << " vs value "
+                              << value.shape().str());
+  add_(ensure_grad(), g);
+}
+
+Var::Var(Tensor value, bool requires_grad) {
+  node_ = std::make_shared<Node>();
+  node_->value = std::move(value);
+  node_->requires_grad = requires_grad;
+}
+
+const Tensor& Var::value() const {
+  MFN_CHECK(defined(), "value() of undefined Var");
+  return node_->value;
+}
+
+Tensor& Var::value() {
+  MFN_CHECK(defined(), "value() of undefined Var");
+  return node_->value;
+}
+
+const Tensor& Var::grad() const {
+  MFN_CHECK(defined() && node_->grad.defined(),
+            "grad() before backward populated it");
+  return node_->grad;
+}
+
+Tensor& Var::mutable_grad() {
+  MFN_CHECK(defined(), "mutable_grad of undefined Var");
+  return node_->ensure_grad();
+}
+
+bool Var::has_grad() const { return defined() && node_->grad.defined(); }
+
+bool Var::requires_grad() const { return defined() && node_->requires_grad; }
+
+void Var::zero_grad() {
+  MFN_CHECK(defined(), "zero_grad of undefined Var");
+  if (node_->grad.defined()) node_->grad.fill_(0.0f);
+}
+
+Var Var::detach() const {
+  MFN_CHECK(defined(), "detach of undefined Var");
+  return Var(node_->value, /*requires_grad=*/false);
+}
+
+namespace {
+thread_local bool t_no_grad = false;
+}  // namespace
+
+NoGradGuard::NoGradGuard() : prev_(t_no_grad) { t_no_grad = true; }
+NoGradGuard::~NoGradGuard() { t_no_grad = prev_; }
+bool NoGradGuard::active() { return t_no_grad; }
+
+Var make_op(Tensor value, std::vector<Var> parents,
+            std::function<void(Node&)> backward_fn) {
+  bool needs_grad = false;
+  if (!t_no_grad)
+    for (const auto& p : parents) needs_grad = needs_grad || p.requires_grad();
+
+  Var out(std::move(value), needs_grad);
+  if (needs_grad) {
+    out.node_->parents.reserve(parents.size());
+    for (auto& p : parents) out.node_->parents.push_back(p.node());
+    out.node_->backward_fn = std::move(backward_fn);
+  }
+  return out;
+}
+
+namespace {
+
+// Iterative DFS postorder over the requires_grad subgraph.
+void topo_postorder(const NodePtr& root, std::vector<Node*>& order) {
+  std::unordered_set<Node*> visited;
+  struct Frame {
+    Node* node;
+    std::size_t next_child;
+  };
+  std::vector<Frame> stack;
+  if (root->requires_grad) stack.push_back({root.get(), 0});
+  visited.insert(root.get());
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_child < f.node->parents.size()) {
+      Node* child = f.node->parents[f.next_child++].get();
+      if (child->requires_grad && !visited.count(child)) {
+        visited.insert(child);
+        stack.push_back({child, 0});
+      }
+    } else {
+      order.push_back(f.node);
+      stack.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+void backward(const Var& loss) {
+  MFN_CHECK(loss.defined(), "backward on undefined Var");
+  MFN_CHECK(loss.numel() == 1,
+            "backward needs a scalar loss, got " << loss.shape().str());
+  if (!loss.requires_grad()) return;  // nothing reachable needs gradients
+
+  std::vector<Node*> order;
+  topo_postorder(loss.node(), order);
+
+  loss.node()->ensure_grad().fill_(1.0f);
+  // Postorder lists parents before children; walk it backwards so each
+  // node's grad is complete before its backward_fn scatters to parents.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* n = *it;
+    if (n->backward_fn && n->grad.defined()) n->backward_fn(*n);
+  }
+}
+
+}  // namespace mfn::ad

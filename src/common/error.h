@@ -1,0 +1,46 @@
+// Error-handling primitives for the MeshfreeFlowNet library.
+//
+// All precondition violations throw mfn::Error (derived from
+// std::runtime_error) carrying a file:line-prefixed message, so callers can
+// distinguish library contract violations from other runtime failures.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mfn {
+
+/// Exception type thrown by all MFN_CHECK / MFN_FAIL macros.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] inline void fail(const std::string& msg, const char* file,
+                              int line) {
+  std::ostringstream os;
+  os << file << ':' << line << ": " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace mfn
+
+// Check a precondition; on failure throw mfn::Error. The trailing varargs are
+// streamed, so call sites may write MFN_CHECK(a == b, "got " << a).
+#define MFN_CHECK(cond, ...)                                \
+  do {                                                      \
+    if (!(cond)) {                                          \
+      std::ostringstream mfn_os_;                           \
+      mfn_os_ << "check failed: `" #cond "`: " << __VA_ARGS__; \
+      ::mfn::fail(mfn_os_.str(), __FILE__, __LINE__);       \
+    }                                                       \
+  } while (0)
+
+// Unconditional failure with a streamed message.
+#define MFN_FAIL(...)                                 \
+  do {                                                \
+    std::ostringstream mfn_os_;                       \
+    mfn_os_ << __VA_ARGS__;                           \
+    ::mfn::fail(mfn_os_.str(), __FILE__, __LINE__);   \
+  } while (0)

@@ -1,0 +1,44 @@
+// Deterministic, seedable random number generation (xoshiro256**).
+//
+// The library never uses std::rand or global state: every component that
+// needs randomness takes an mfn::Rng&, making experiments reproducible from
+// a single seed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace mfn {
+
+/// xoshiro256** pseudo-random generator with convenience distributions.
+///
+/// Deliberately small and header-friendly; the state is 256 bits and the
+/// generator passes BigCrush. Not cryptographically secure.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Standard normal (Box–Muller, cached pair).
+  double normal();
+  /// Normal with mean/stddev.
+  double normal(double mean, double stddev);
+  /// Uniform integer in [lo, hi) — hi exclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Derive an independent child generator (for per-worker streams).
+  Rng split();
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace mfn

@@ -1,0 +1,128 @@
+#include "core/baselines.h"
+
+#include <string>
+
+#include "common/error.h"
+#include "core/evaluation.h"
+#include "core/losses.h"
+#include "optim/optimizer.h"
+
+namespace mfn::core {
+
+data::Grid4D baseline_trilinear(const data::SRPair& pair) {
+  return data::upsample_trilinear(pair.lr, pair.hr.nt(), pair.hr.nz(),
+                                  pair.hr.nx());
+}
+
+metrics::MetricReport evaluate_baseline_trilinear(const data::SRPair& pair,
+                                                  double nu) {
+  return evaluate_grids(pair.hr, baseline_trilinear(pair), nu);
+}
+
+UNetDirectBaseline::UNetDirectBaseline(UNetBaselineConfig config, Rng& rng)
+    : config_(config) {
+  auto is_pow2 = [](int v) { return v >= 1 && (v & (v - 1)) == 0; };
+  MFN_CHECK(is_pow2(config_.time_factor) && is_pow2(config_.space_factor),
+            "upsampling factors must be powers of two, got "
+                << config_.time_factor << "/" << config_.space_factor);
+  trunk_ = std::make_unique<nn::UNet3D>(config_.unet, rng);
+  register_module("trunk", *trunk_);
+
+  // Decompose the factors into x2 stages (paper Fig. 5: latent -> [8,32,32]
+  // -> [16,64,64] -> [16,128,128]).
+  int ft = config_.time_factor, fs = config_.space_factor;
+  const std::int64_t width = config_.unet.out_channels;
+  int stage = 0;
+  while (ft > 1 || fs > 1) {
+    Dims3 f{ft > 1 ? 2 : 1, fs > 1 ? 2 : 1, fs > 1 ? 2 : 1};
+    up_factors_.push_back(f);
+    up_blocks_.push_back(std::make_unique<nn::ResBlock3d>(width, width, rng));
+    register_module("up" + std::to_string(stage++), *up_blocks_.back());
+    if (ft > 1) ft /= 2;
+    if (fs > 1) fs /= 2;
+  }
+  head_ = std::make_unique<nn::Conv3d>(width, 4, nn::Conv3d::same_spec(1),
+                                       rng, /*bias=*/true);
+  register_module("head", *head_);
+}
+
+ad::Var UNetDirectBaseline::forward(const Tensor& lr_patch) {
+  ad::Var h = trunk_->forward(ad::Var(lr_patch, /*requires_grad=*/false));
+  for (std::size_t i = 0; i < up_blocks_.size(); ++i) {
+    h = ad::upsample_nearest3d(h, up_factors_[i]);
+    h = up_blocks_[i]->forward(h);
+  }
+  return head_->forward(h);
+}
+
+std::vector<double> train_unet_baseline(
+    UNetDirectBaseline& model,
+    const std::vector<const data::PatchSampler*>& samplers,
+    const BaselineTrainerConfig& config) {
+  MFN_CHECK(!samplers.empty(), "need at least one sampler");
+  optim::Adam optimizer(model.parameters(), config.adam);
+  Rng rng(config.seed * 0xB5297A4Dull + 3ull);
+  std::vector<double> history;
+  model.set_training(true);
+  for (int e = 0; e < config.epochs; ++e) {
+    double epoch_loss = 0.0;
+    for (int b = 0; b < config.batches_per_epoch; ++b) {
+      const auto si = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(samplers.size())));
+      data::SampleBatch batch = samplers[si]->sample(rng);
+      optimizer.zero_grad();
+      ad::Var pred = model.forward(batch.lr_patch);
+      MFN_CHECK(pred.shape() == batch.hr_patch.shape(),
+                "baseline output " << pred.shape().str() << " vs hr patch "
+                                   << batch.hr_patch.shape().str());
+      ad::Var loss = ad::mean(
+          ad::abs(ad::sub(pred, ad::Var(batch.hr_patch, false))));
+      ad::backward(loss);
+      if (config.grad_clip > 0.0)
+        optim::clip_grad_norm(optimizer.params(), config.grad_clip);
+      optimizer.step();
+      epoch_loss += loss.value().item();
+    }
+    history.push_back(epoch_loss / config.batches_per_epoch);
+  }
+  return history;
+}
+
+data::Grid4D super_resolve_unet_baseline(UNetDirectBaseline& model,
+                                         const data::SRPair& pair) {
+  ad::NoGradGuard no_grad;
+  model.set_training(false);
+  const data::Grid4D& lr = pair.lr_norm;
+  ad::Var pred = model.forward(lr.data.reshape(
+      Shape{1, lr.channels(), lr.nt(), lr.nz(), lr.nx()}));
+
+  data::Grid4D out;
+  out.t0 = pair.hr.t0;
+  out.dt = pair.hr.dt;
+  out.dz_cell = pair.hr.dz_cell;
+  out.dx_cell = pair.hr.dx_cell;
+  const std::int64_t nt = pred.dim(2), nz = pred.dim(3), nx = pred.dim(4);
+  MFN_CHECK(nt == pair.hr.nt() && nz == pair.hr.nz() && nx == pair.hr.nx(),
+            "baseline output grid " << pred.shape().str()
+                                    << " vs HR data "
+                                    << pair.hr.data.shape().str());
+  out.data = pred.value().reshape(Shape{4, nt, nz, nx}).clone();
+  // denormalize channels in place
+  const std::int64_t per = nt * nz * nx;
+  for (int c = 0; c < 4; ++c) {
+    float* p = out.data.data() + c * per;
+    const float s = pair.stats.stddev[static_cast<std::size_t>(c)];
+    const float m = pair.stats.mean[static_cast<std::size_t>(c)];
+    for (std::int64_t i = 0; i < per; ++i) p[i] = p[i] * s + m;
+  }
+  return out;
+}
+
+metrics::MetricReport evaluate_unet_baseline(UNetDirectBaseline& model,
+                                             const data::SRPair& pair,
+                                             double nu) {
+  return evaluate_grids(pair.hr, super_resolve_unet_baseline(model, pair),
+                        nu);
+}
+
+}  // namespace mfn::core

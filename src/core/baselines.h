@@ -1,0 +1,71 @@
+// The paper's two comparison baselines (Sec. 5.2, Table 2):
+//   Baseline I  — classic trilinear interpolation of the LR data.
+//   Baseline II — the same 3D U-Net trunk followed by a convolutional
+//                 up-sampling decoder straight to the HR grid.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "data/dataset.h"
+#include "metrics/comparison.h"
+#include "nn/conv3d.h"
+#include "nn/resblock3d.h"
+#include "nn/unet3d.h"
+#include "optim/adam.h"
+
+namespace mfn::core {
+
+/// Baseline I: trilinear upsampling of the raw LR grid to HR dimensions.
+data::Grid4D baseline_trilinear(const data::SRPair& pair);
+metrics::MetricReport evaluate_baseline_trilinear(const data::SRPair& pair,
+                                                  double nu);
+
+struct UNetBaselineConfig {
+  nn::UNet3DConfig unet;  ///< out_channels = feature width fed to the decoder
+  int time_factor = 2;    ///< power-of-two upsampling factors to HR
+  int space_factor = 4;
+};
+
+/// Baseline II network: latent grid -> (upsample + residue block)* -> conv.
+class UNetDirectBaseline : public nn::Module {
+ public:
+  UNetDirectBaseline(UNetBaselineConfig config, Rng& rng);
+
+  /// (1, 4, LT, LZ, LX) -> (1, 4, LT*ft, LZ*fs, LX*fs), normalized units.
+  ad::Var forward(const Tensor& lr_patch);
+
+  const UNetBaselineConfig& config() const { return config_; }
+
+ private:
+  UNetBaselineConfig config_;
+  std::unique_ptr<nn::UNet3D> trunk_;
+  std::vector<Dims3> up_factors_;
+  std::vector<std::unique_ptr<nn::ResBlock3d>> up_blocks_;
+  std::unique_ptr<nn::Conv3d> head_;
+};
+
+struct BaselineTrainerConfig {
+  int epochs = 20;
+  int batches_per_epoch = 12;
+  optim::AdamConfig adam{.lr = 1e-3};
+  double grad_clip = 5.0;
+  std::uint64_t seed = 0;
+};
+
+/// Train Baseline II with L1 loss on dense HR patches; returns the mean
+/// loss per epoch.
+std::vector<double> train_unet_baseline(
+    UNetDirectBaseline& model,
+    const std::vector<const data::PatchSampler*>& samplers,
+    const BaselineTrainerConfig& config);
+
+/// Apply Baseline II to the full LR grid (no-grad) and denormalize.
+data::Grid4D super_resolve_unet_baseline(UNetDirectBaseline& model,
+                                         const data::SRPair& pair);
+
+metrics::MetricReport evaluate_unet_baseline(UNetDirectBaseline& model,
+                                             const data::SRPair& pair,
+                                             double nu);
+
+}  // namespace mfn::core

@@ -1,0 +1,64 @@
+#include "core/checkpoint.h"
+
+#include <cstdint>
+#include <fstream>
+
+#include "common/error.h"
+
+namespace mfn::core {
+
+namespace {
+constexpr char kMagic[8] = {'M', 'F', 'N', 'C', 'K', 'P', 'T', '1'};
+}
+
+void save_checkpoint(const std::string& path, nn::Module& model,
+                     const optim::Adam& optimizer,
+                     const CheckpointData& data) {
+  std::ofstream os(path, std::ios::binary);
+  MFN_CHECK(os.is_open(), "cannot open checkpoint " << path);
+  os.write(kMagic, sizeof(kMagic));
+  const std::int32_t epoch = data.epoch;
+  os.write(reinterpret_cast<const char*>(&epoch), sizeof(epoch));
+  const auto n = static_cast<std::uint32_t>(data.history.size());
+  os.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  for (const auto& s : data.history) {
+    const double row[4] = {s.total_loss, s.pred_loss, s.eq_loss,
+                           s.wall_seconds};
+    os.write(reinterpret_cast<const char*>(row), sizeof(row));
+  }
+  model.save(os);
+  optimizer.save_state(os);
+  MFN_CHECK(os.good(), "checkpoint write failed: " << path);
+}
+
+CheckpointData load_checkpoint(const std::string& path, nn::Module& model,
+                               optim::Adam& optimizer) {
+  std::ifstream is(path, std::ios::binary);
+  MFN_CHECK(is.is_open(), "cannot open checkpoint " << path);
+  char magic[8];
+  is.read(magic, sizeof(magic));
+  MFN_CHECK(is.good() && std::equal(magic, magic + 8, kMagic),
+            "bad checkpoint magic in " << path);
+  CheckpointData data;
+  std::int32_t epoch = 0;
+  is.read(reinterpret_cast<char*>(&epoch), sizeof(epoch));
+  data.epoch = epoch;
+  std::uint32_t n = 0;
+  is.read(reinterpret_cast<char*>(&n), sizeof(n));
+  MFN_CHECK(is.good() && n < (1u << 24), "corrupt checkpoint history");
+  data.history.resize(n);
+  for (auto& s : data.history) {
+    double row[4];
+    is.read(reinterpret_cast<char*>(row), sizeof(row));
+    s.total_loss = row[0];
+    s.pred_loss = row[1];
+    s.eq_loss = row[2];
+    s.wall_seconds = row[3];
+  }
+  model.load(is);
+  optimizer.load_state(is);
+  MFN_CHECK(is.good(), "checkpoint read failed: " << path);
+  return data;
+}
+
+}  // namespace mfn::core

@@ -1,0 +1,29 @@
+// Training checkpoints: model weights + optimizer state + epoch history,
+// enabling exact training resumption (the paper's multi-hour cluster runs
+// assume restartability).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/trainer.h"
+#include "nn/module.h"
+#include "optim/adam.h"
+
+namespace mfn::core {
+
+struct CheckpointData {
+  int epoch = 0;
+  std::vector<EpochStats> history;
+};
+
+/// Write model + Adam state + history to `path` (binary).
+void save_checkpoint(const std::string& path, nn::Module& model,
+                     const optim::Adam& optimizer,
+                     const CheckpointData& data);
+
+/// Restore into an architecture-compatible model/optimizer pair.
+CheckpointData load_checkpoint(const std::string& path, nn::Module& model,
+                               optim::Adam& optimizer);
+
+}  // namespace mfn::core

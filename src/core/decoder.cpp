@@ -1,0 +1,238 @@
+#include "core/decoder.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "tensor/tensor_ops.h"
+
+namespace mfn::core {
+
+namespace ad = mfn::ad;
+
+ContinuousDecoder::ContinuousDecoder(DecoderConfig config, Rng& rng)
+    : config_(std::move(config)) {
+  std::vector<std::int64_t> widths;
+  widths.push_back(3 + config_.latent_channels);
+  for (auto h : config_.hidden) widths.push_back(h);
+  widths.push_back(config_.out_channels);
+  mlp_ = std::make_unique<nn::MLP>(std::move(widths), rng,
+                                   config_.activation);
+  register_module("mlp", *mlp_);
+}
+
+// Corner layout: corner-major — rows [j*B, (j+1)*B) of every (8B, ...)
+// matrix belong to corner j, so per-corner blocks are contiguous
+// slice_rows targets. Corner j has offsets (jt, jz, jx) = bits of j.
+struct ContinuousDecoder::CornerGeometry {
+  std::int64_t B = 0;
+  Tensor inputs_coords;                 // (8B, 3) relative coords
+  std::vector<ad::VoxelIndex> voxels;   // (8B) gather indices
+  // trilinear weights and their coordinate derivatives, (B, 1) each
+  std::array<Tensor, 8> w;
+  std::array<std::array<Tensor, 3>, 8> dw;  // dw[j][k], k in {t,z,x}
+};
+
+ContinuousDecoder::CornerGeometry ContinuousDecoder::make_corners(
+    const ad::Var& latent, const Tensor& query_coords) const {
+  MFN_CHECK(latent.value().ndim() == 5 && latent.dim(0) == 1,
+            "latent grid must be (1, C, LT, LZ, LX)");
+  MFN_CHECK(latent.dim(1) == config_.latent_channels,
+            "latent channels " << latent.dim(1) << " vs config "
+                               << config_.latent_channels);
+  MFN_CHECK(query_coords.ndim() == 2 && query_coords.dim(1) == 3,
+            "query_coords must be (B, 3)");
+  const std::int64_t LT = latent.dim(2), LZ = latent.dim(3),
+                     LX = latent.dim(4);
+  MFN_CHECK(LT >= 2 && LZ >= 2 && LX >= 2,
+            "latent grid too small for trilinear cells");
+  const std::int64_t B = query_coords.dim(0);
+
+  CornerGeometry geo;
+  geo.B = B;
+  geo.inputs_coords = Tensor(Shape{8 * B, 3});
+  geo.voxels.resize(static_cast<std::size_t>(8 * B));
+  for (int j = 0; j < 8; ++j) {
+    geo.w[static_cast<std::size_t>(j)] = Tensor(Shape{B, 1});
+    for (int k = 0; k < 3; ++k)
+      geo.dw[static_cast<std::size_t>(j)][static_cast<std::size_t>(k)] =
+          Tensor(Shape{B, 1});
+  }
+
+  const float* q = query_coords.data();
+  for (std::int64_t b = 0; b < B; ++b) {
+    // clamp into the valid cell range, pick the base corner
+    auto cellof = [](float v, std::int64_t n) {
+      double c = std::min(std::max(static_cast<double>(v), 0.0),
+                          static_cast<double>(n - 1));
+      auto base = static_cast<std::int64_t>(std::floor(c));
+      base = std::min(base, n - 2);
+      return std::pair<std::int64_t, double>(base, c - static_cast<double>(base));
+    };
+    const auto [t0, ft] = cellof(q[b * 3 + 0], LT);
+    const auto [z0, fz] = cellof(q[b * 3 + 1], LZ);
+    const auto [x0, fx] = cellof(q[b * 3 + 2], LX);
+
+    for (int j = 0; j < 8; ++j) {
+      const int jt = (j >> 2) & 1, jz = (j >> 1) & 1, jx = j & 1;
+      const std::int64_t row = static_cast<std::int64_t>(j) * B + b;
+      // relative coordinate of the query w.r.t. this corner, cell units
+      geo.inputs_coords.data()[row * 3 + 0] = static_cast<float>(ft - jt);
+      geo.inputs_coords.data()[row * 3 + 1] = static_cast<float>(fz - jz);
+      geo.inputs_coords.data()[row * 3 + 2] = static_cast<float>(fx - jx);
+      geo.voxels[static_cast<std::size_t>(row)] = {0, t0 + jt, z0 + jz,
+                                                   x0 + jx};
+      // per-axis hat weights and their derivatives w.r.t. the coordinate
+      const double wt = jt ? ft : 1.0 - ft;
+      const double wz = jz ? fz : 1.0 - fz;
+      const double wx = jx ? fx : 1.0 - fx;
+      const double dwt = jt ? 1.0 : -1.0;
+      const double dwz = jz ? 1.0 : -1.0;
+      const double dwx = jx ? 1.0 : -1.0;
+      geo.w[static_cast<std::size_t>(j)].data()[b] =
+          static_cast<float>(wt * wz * wx);
+      geo.dw[static_cast<std::size_t>(j)][0].data()[b] =
+          static_cast<float>(dwt * wz * wx);
+      geo.dw[static_cast<std::size_t>(j)][1].data()[b] =
+          static_cast<float>(wt * dwz * wx);
+      geo.dw[static_cast<std::size_t>(j)][2].data()[b] =
+          static_cast<float>(wt * wz * dwx);
+    }
+  }
+  return geo;
+}
+
+ad::Var ContinuousDecoder::decode(const ad::Var& latent,
+                                  const Tensor& query_coords) {
+  CornerGeometry geo = make_corners(latent, query_coords);
+  const std::int64_t B = geo.B;
+
+  ad::Var latents = ad::gather_voxels(latent, geo.voxels);  // (8B, C)
+  ad::Var coords(geo.inputs_coords, /*requires_grad=*/false);
+  ad::Var h = ad::concat({coords, latents}, 1);  // (8B, 3 + C)
+  ad::Var y8 = mlp_->forward(h);                 // (8B, out)
+
+  ad::Var out;
+  for (int j = 0; j < 8; ++j) {
+    ad::Var yj = ad::slice_rows(y8, j * B, (j + 1) * B);
+    ad::Var wj(geo.w[static_cast<std::size_t>(j)], false);
+    ad::Var term = ad::mul_colvec(yj, wj);
+    out = out.defined() ? ad::add(out, term) : term;
+  }
+  return out;
+}
+
+DecodeDerivs ContinuousDecoder::decode_with_derivatives(
+    const ad::Var& latent, const Tensor& query_coords) {
+  CornerGeometry geo = make_corners(latent, query_coords);
+  const std::int64_t B = geo.B;
+  const std::int64_t in_dim = 3 + config_.latent_channels;
+
+  // --- forward-mode streams through the MLP ---
+  ad::Var latents = ad::gather_voxels(latent, geo.voxels);
+  ad::Var coords(geo.inputs_coords, false);
+  ad::Var h = ad::concat({coords, latents}, 1);  // value stream
+
+  // tangent seeds: d(input)/d(coord k) = e_k on the coordinate columns
+  std::array<ad::Var, 3> tan;
+  for (int k = 0; k < 3; ++k) {
+    Tensor seed = Tensor::zeros(Shape{8 * B, in_dim});
+    float* p = seed.data();
+    for (std::int64_t r = 0; r < 8 * B; ++r) p[r * in_dim + k] = 1.0f;
+    tan[static_cast<std::size_t>(k)] = ad::Var(seed, false);
+  }
+  // curvature seeds are zero (inputs are affine in the coordinates);
+  // track only z and x (the PDE needs those Laplacian terms)
+  std::array<ad::Var, 2> curv;  // [0] = z, [1] = x
+  for (int k = 0; k < 2; ++k)
+    curv[static_cast<std::size_t>(k)] =
+        ad::Var(Tensor::zeros(Shape{8 * B, in_dim}), false);
+
+  const auto& layers = mlp_->layers();
+  for (std::size_t li = 0; li < layers.size(); ++li) {
+    nn::Linear& fc = *layers[li];
+    // affine: value gets W,b; tangents/curvatures get W only
+    ad::Var z = fc.forward(h);
+    for (auto& t : tan) t = ad::linear(t, fc.weight(), ad::Var());
+    for (auto& c : curv) c = ad::linear(c, fc.weight(), ad::Var());
+
+    if (li + 1 == layers.size()) {
+      h = z;
+      break;  // linear output layer
+    }
+    // smooth nonlinearity: h = f(z); t' = f'(z) t; c' = f''(z) t^2 + f'(z) c
+    ad::Var f1, f2;  // f'(z), f''(z)
+    switch (mlp_->activation()) {
+      case nn::Activation::kSoftplus: {
+        ad::Var s = ad::sigmoid(z);
+        f1 = s;
+        f2 = ad::mul(s, ad::add_scalar(ad::neg(s), 1.0f));  // s(1-s)
+        h = ad::softplus(z);
+        break;
+      }
+      case nn::Activation::kTanh: {
+        ad::Var th = ad::tanh(z);
+        f1 = ad::add_scalar(ad::neg(ad::square(th)), 1.0f);  // 1 - th^2
+        f2 = ad::mul_scalar(ad::mul(th, f1), -2.0f);         // -2 th (1-th^2)
+        h = th;
+        break;
+      }
+      case nn::Activation::kReLU: {
+        // supported for ablation: f'' == 0 kills the diffusive terms
+        ad::Var mask(mfn::gt_zero_mask(z.value()), false);
+        f1 = mask;
+        f2 = ad::Var(Tensor::zeros(z.shape()), false);
+        h = ad::relu(z);
+        break;
+      }
+    }
+    // curvature first (needs the pre-update tangents)
+    curv[0] = ad::add(ad::mul(f2, ad::square(tan[1])),
+                      ad::mul(f1, curv[0]));  // z-coordinate
+    curv[1] = ad::add(ad::mul(f2, ad::square(tan[2])),
+                      ad::mul(f1, curv[1]));  // x-coordinate
+    for (auto& t : tan) t = ad::mul(f1, t);
+  }
+
+  // --- trilinear blend with weight derivatives ---
+  // value:   sum_j w_j y_j
+  // d/dk:    sum_j (dw_j/dk) y_j + w_j (dy_j/dk)
+  // d2/dk2:  sum_j 2 (dw_j/dk)(dy_j/dk) + w_j (d2y_j/dk2)   [d2w/dk2 = 0]
+  DecodeDerivs out;
+  auto accum = [](ad::Var& acc, ad::Var term) {
+    acc = acc.defined() ? ad::add(acc, term) : term;
+  };
+  for (int j = 0; j < 8; ++j) {
+    ad::Var yj = ad::slice_rows(h, j * B, (j + 1) * B);
+    std::array<ad::Var, 3> tj;
+    for (int k = 0; k < 3; ++k)
+      tj[static_cast<std::size_t>(k)] = ad::slice_rows(
+          tan[static_cast<std::size_t>(k)], j * B, (j + 1) * B);
+    ad::Var cz = ad::slice_rows(curv[0], j * B, (j + 1) * B);
+    ad::Var cx = ad::slice_rows(curv[1], j * B, (j + 1) * B);
+
+    ad::Var wj(geo.w[static_cast<std::size_t>(j)], false);
+    std::array<ad::Var, 3> dwj;
+    for (int k = 0; k < 3; ++k)
+      dwj[static_cast<std::size_t>(k)] =
+          ad::Var(geo.dw[static_cast<std::size_t>(j)]
+                        [static_cast<std::size_t>(k)],
+                  false);
+
+    accum(out.value, ad::mul_colvec(yj, wj));
+    accum(out.d_dt, ad::add(ad::mul_colvec(yj, dwj[0]),
+                            ad::mul_colvec(tj[0], wj)));
+    accum(out.d_dz, ad::add(ad::mul_colvec(yj, dwj[1]),
+                            ad::mul_colvec(tj[1], wj)));
+    accum(out.d_dx, ad::add(ad::mul_colvec(yj, dwj[2]),
+                            ad::mul_colvec(tj[2], wj)));
+    accum(out.d2_dz2,
+          ad::add(ad::mul_scalar(ad::mul_colvec(tj[1], dwj[1]), 2.0f),
+                  ad::mul_colvec(cz, wj)));
+    accum(out.d2_dx2,
+          ad::add(ad::mul_scalar(ad::mul_colvec(tj[2], dwj[2]), 2.0f),
+                  ad::mul_colvec(cx, wj)));
+  }
+  return out;
+}
+
+}  // namespace mfn::core

@@ -1,0 +1,35 @@
+// Super-resolution inference and the paper's evaluation protocol:
+// reconstruct the HR grid from the LR input and compare physics-metric
+// series against the HR ground truth (NMAE / R^2 per metric).
+#pragma once
+
+#include "core/meshfree_flownet.h"
+#include "data/dataset.h"
+#include "metrics/comparison.h"
+
+namespace mfn::core {
+
+/// Reconstruct the full HR grid from pair.lr_norm with the trained model
+/// (no-grad, eval mode). Returns a denormalized Grid4D with the HR grid's
+/// metadata. The LR grid dims must satisfy the U-Net pooling divisibility.
+data::Grid4D super_resolve(MeshfreeFlowNet& model, const data::SRPair& pair,
+                           std::int64_t chunk_size = 8192);
+
+/// Continuous (mesh-free) queries at arbitrary upsampling: reconstruct on
+/// an (nt, nz, nx) grid of *any* resolution covering the LR domain.
+data::Grid4D super_resolve_at(MeshfreeFlowNet& model,
+                              const data::SRPair& pair, std::int64_t nt,
+                              std::int64_t nz, std::int64_t nx,
+                              std::int64_t chunk_size = 8192);
+
+/// Compare two HR grids via the nine turbulence metrics over time.
+/// `nu` is the non-dimensional viscosity R* = sqrt(Pr/Ra).
+metrics::MetricReport evaluate_grids(const data::Grid4D& truth,
+                                     const data::Grid4D& predicted,
+                                     double nu);
+
+/// Full protocol: super-resolve then evaluate against pair.hr.
+metrics::MetricReport evaluate_model(MeshfreeFlowNet& model,
+                                     const data::SRPair& pair, double nu);
+
+}  // namespace mfn::core

@@ -1,0 +1,50 @@
+#include "core/losses.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "core/pde_system.h"
+
+namespace mfn::core {
+
+namespace ad = mfn::ad;
+
+RBConstants RBConstants::from_ra_pr(double Ra, double Pr) {
+  MFN_CHECK(Ra > 0 && Pr > 0, "Ra and Pr must be positive");
+  RBConstants c;
+  c.p_star = 1.0 / std::sqrt(Ra * Pr);
+  c.r_star = 1.0 / std::sqrt(Ra / Pr);
+  return c;
+}
+
+ad::Var prediction_loss(const ad::Var& pred, const Tensor& target) {
+  MFN_CHECK(pred.shape() == target.shape(),
+            "prediction_loss shapes " << pred.shape().str() << " vs "
+                                      << target.shape().str());
+  ad::Var t(target, /*requires_grad=*/false);
+  return ad::mean(ad::abs(ad::sub(pred, t)));
+}
+
+EquationResiduals equation_loss(const DecodeDerivs& d,
+                                const EquationLossConfig& config) {
+  PhysicalDerivs phys = to_physical(d, config.stats, config.cell_size);
+  RayleighBenardSystem system(config.constants.p_star,
+                              config.constants.r_star);
+  std::vector<ResidualTerm> terms = system.residuals(phys);
+  MFN_CHECK(terms.size() == 4, "RB system must produce 4 residuals");
+
+  EquationResiduals r;
+  r.continuity = terms[0].residual;
+  r.temperature = terms[1].residual;
+  r.momentum_x = terms[2].residual;
+  r.momentum_z = terms[3].residual;
+  ad::Var sum = ad::add(
+      ad::add(ad::mean(ad::abs(r.continuity)),
+              ad::mean(ad::abs(r.temperature))),
+      ad::add(ad::mean(ad::abs(r.momentum_x)),
+              ad::mean(ad::abs(r.momentum_z))));
+  r.total = ad::mul_scalar(sum, 0.25f);
+  return r;
+}
+
+}  // namespace mfn::core

@@ -1,0 +1,52 @@
+// Training losses (paper Sec. 4.3).
+//
+// Prediction loss: L1 between decoded values and HR ground truth at the
+// query points. Equation loss: L1 norm of the residuals of the
+// Rayleigh–Bénard equations (3a)–(3c), evaluated from the decoder's
+// coordinate derivatives. Total loss: L = Lp + gamma * Le.
+//
+// The network operates on normalized channels and LR-grid-index
+// coordinates; this module converts both back to physical units (channel
+// std-dev sigma_c, LR cell sizes) before forming the PDE residuals.
+#pragma once
+
+#include <array>
+
+#include "autodiff/ops.h"
+#include "core/decoder.h"
+#include "data/grid4d.h"
+
+namespace mfn::core {
+
+/// Non-dimensional groups of the RB system.
+struct RBConstants {
+  double p_star = 0.0;  ///< (Ra Pr)^(-1/2), thermal diffusivity
+  double r_star = 0.0;  ///< (Ra / Pr)^(-1/2), kinematic viscosity
+
+  static RBConstants from_ra_pr(double Ra, double Pr);
+};
+
+struct EquationLossConfig {
+  RBConstants constants;
+  /// Physical size of one LR cell along (t, z, x).
+  std::array<double, 3> cell_size{1.0, 1.0, 1.0};
+  data::NormStats stats;
+};
+
+/// Mean absolute error between predictions and (constant) targets, (B, C).
+ad::Var prediction_loss(const ad::Var& pred, const Tensor& target);
+
+/// PDE residuals at the query points; each is a (B, 1) Var. `total` is the
+/// mean of the four mean-|residual| terms.
+struct EquationResiduals {
+  ad::Var continuity;   ///< du/dx + dw/dz
+  ad::Var temperature;  ///< dT/dt + u.grad T - P* lap T
+  ad::Var momentum_x;   ///< du/dt + u.grad u + dp/dx - R* lap u
+  ad::Var momentum_z;   ///< dw/dt + u.grad w + dp/dz - T - R* lap w
+  ad::Var total;        ///< scalar loss
+};
+
+EquationResiduals equation_loss(const DecodeDerivs& d,
+                                const EquationLossConfig& config);
+
+}  // namespace mfn::core

@@ -1,0 +1,52 @@
+#include "core/meshfree_flownet.h"
+
+#include "common/error.h"
+
+namespace mfn::core {
+
+MFNConfig MFNConfig::small_default() {
+  MFNConfig cfg;
+  cfg.unet.in_channels = 4;
+  cfg.unet.out_channels = 16;
+  cfg.unet.base_filters = 8;
+  cfg.unet.max_filters = 64;
+  cfg.unet.pools = {{1, 2, 2}, {2, 2, 2}};
+  cfg.decoder.latent_channels = 16;
+  cfg.decoder.out_channels = 4;
+  cfg.decoder.hidden = {32, 32};
+  cfg.decoder.activation = nn::Activation::kSoftplus;
+  return cfg;
+}
+
+MeshfreeFlowNet::MeshfreeFlowNet(MFNConfig config, Rng& rng)
+    : config_(std::move(config)) {
+  MFN_CHECK(config_.unet.out_channels == config_.decoder.latent_channels,
+            "latent width mismatch: unet " << config_.unet.out_channels
+                                           << " vs decoder "
+                                           << config_.decoder.latent_channels);
+  encoder_ = std::make_unique<nn::UNet3D>(config_.unet, rng);
+  decoder_ = std::make_unique<ContinuousDecoder>(config_.decoder, rng);
+  register_module("encoder", *encoder_);
+  register_module("decoder", *decoder_);
+}
+
+ad::Var MeshfreeFlowNet::encode(const Tensor& lr_patch) {
+  MFN_CHECK(lr_patch.ndim() == 5 && lr_patch.dim(0) == 1 &&
+                lr_patch.dim(1) == config_.unet.in_channels,
+            "lr_patch must be (1, " << config_.unet.in_channels
+                                    << ", LT, LZ, LX), got "
+                                    << lr_patch.shape().str());
+  return encoder_->forward(ad::Var(lr_patch, /*requires_grad=*/false));
+}
+
+ad::Var MeshfreeFlowNet::predict(const Tensor& lr_patch,
+                                 const Tensor& query_coords) {
+  return decoder_->decode(encode(lr_patch), query_coords);
+}
+
+DecodeDerivs MeshfreeFlowNet::predict_with_derivatives(
+    const Tensor& lr_patch, const Tensor& query_coords) {
+  return decoder_->decode_with_derivatives(encode(lr_patch), query_coords);
+}
+
+}  // namespace mfn::core

@@ -1,0 +1,46 @@
+// MeshfreeFlowNet (paper Sec. 4): Context Generation Network (3D U-Net)
+// producing a Latent Context Grid, plus the Continuous Decoding Network.
+#pragma once
+
+#include <memory>
+
+#include "core/decoder.h"
+#include "nn/unet3d.h"
+
+namespace mfn::core {
+
+struct MFNConfig {
+  nn::UNet3DConfig unet;      ///< unet.out_channels is the latent width
+  DecoderConfig decoder;      ///< decoder.latent_channels must match
+
+  /// Small default sized for CPU experiments; mirrors the paper's
+  /// architecture shape (anisotropic pooling, latent grid at LR resolution).
+  static MFNConfig small_default();
+};
+
+class MeshfreeFlowNet : public nn::Module {
+ public:
+  MeshfreeFlowNet(MFNConfig config, Rng& rng);
+
+  /// LR patch (1, 4, LT, LZ, LX) -> latent context grid Var
+  /// (1, nc, LT, LZ, LX).
+  ad::Var encode(const Tensor& lr_patch);
+
+  /// Full forward: values at query coords, (B, 4) normalized.
+  ad::Var predict(const Tensor& lr_patch, const Tensor& query_coords);
+
+  /// Forward with the coordinate-derivative bundle for the equation loss.
+  DecodeDerivs predict_with_derivatives(const Tensor& lr_patch,
+                                        const Tensor& query_coords);
+
+  nn::UNet3D& encoder() { return *encoder_; }
+  ContinuousDecoder& decoder() { return *decoder_; }
+  const MFNConfig& config() const { return config_; }
+
+ private:
+  MFNConfig config_;
+  std::unique_ptr<nn::UNet3D> encoder_;
+  std::unique_ptr<ContinuousDecoder> decoder_;
+};
+
+}  // namespace mfn::core

@@ -1,0 +1,142 @@
+#include "core/pde_system.h"
+
+#include "common/error.h"
+
+namespace mfn::core {
+
+namespace ad = mfn::ad;
+using data::kNumChannels;
+using data::kP;
+using data::kT;
+using data::kU;
+using data::kW;
+
+namespace {
+
+/// Multiply channel columns of a (B, 4) Var by per-channel constants.
+ad::Var scale_channels(const ad::Var& a, const std::array<double, 4>& s) {
+  const std::int64_t B = a.dim(0);
+  Tensor t(Shape{B, kNumChannels});
+  for (std::int64_t b = 0; b < B; ++b)
+    for (int c = 0; c < kNumChannels; ++c)
+      t.data()[b * kNumChannels + c] =
+          static_cast<float>(s[static_cast<std::size_t>(c)]);
+  return ad::mul(a, ad::Var(t, false));
+}
+
+}  // namespace
+
+PhysicalDerivs to_physical(const DecodeDerivs& d,
+                           const data::NormStats& stats,
+                           const std::array<double, 3>& cell_size) {
+  const double dt_c = cell_size[0], dz_c = cell_size[1], dx_c = cell_size[2];
+  MFN_CHECK(dt_c > 0 && dz_c > 0 && dx_c > 0,
+            "cell sizes must be positive");
+  std::array<double, 4> sig{}, sdt{}, sdz{}, sdx{}, sdz2{}, sdx2{};
+  for (int c = 0; c < kNumChannels; ++c) {
+    const double s = stats.stddev[static_cast<std::size_t>(c)];
+    sig[static_cast<std::size_t>(c)] = s;
+    sdt[static_cast<std::size_t>(c)] = s / dt_c;
+    sdz[static_cast<std::size_t>(c)] = s / dz_c;
+    sdx[static_cast<std::size_t>(c)] = s / dx_c;
+    sdz2[static_cast<std::size_t>(c)] = s / (dz_c * dz_c);
+    sdx2[static_cast<std::size_t>(c)] = s / (dx_c * dx_c);
+  }
+  PhysicalDerivs p;
+  p.value = scale_channels(d.value, sig);
+  {
+    const std::int64_t B = p.value.dim(0);
+    Tensor mu(Shape{B, kNumChannels});
+    for (std::int64_t b = 0; b < B; ++b)
+      for (int c = 0; c < kNumChannels; ++c)
+        mu.data()[b * kNumChannels + c] =
+            stats.mean[static_cast<std::size_t>(c)];
+    p.value = ad::add(p.value, ad::Var(mu, false));
+  }
+  p.d_dt = scale_channels(d.d_dt, sdt);
+  p.d_dz = scale_channels(d.d_dz, sdz);
+  p.d_dx = scale_channels(d.d_dx, sdx);
+  p.d2_dz2 = scale_channels(d.d2_dz2, sdz2);
+  p.d2_dx2 = scale_channels(d.d2_dx2, sdx2);
+  return p;
+}
+
+std::vector<ResidualTerm> RayleighBenardSystem::residuals(
+    const PhysicalDerivs& d) const {
+  ad::Var T = d.val(kT), u = d.val(kU), w = d.val(kW);
+  std::vector<ResidualTerm> out;
+
+  out.push_back({"continuity", ad::add(d.dx(kU), d.dz(kW))});
+
+  {  // temperature transport
+    ad::Var adv = ad::add(ad::mul(u, d.dx(kT)), ad::mul(w, d.dz(kT)));
+    out.push_back(
+        {"temperature",
+         ad::sub(ad::add(d.dt(kT), adv),
+                 ad::mul_scalar(d.lap(kT), static_cast<float>(p_star_)))});
+  }
+  {  // x-momentum
+    ad::Var adv = ad::add(ad::mul(u, d.dx(kU)), ad::mul(w, d.dz(kU)));
+    out.push_back(
+        {"momentum-x",
+         ad::sub(ad::add(ad::add(d.dt(kU), adv), d.dx(kP)),
+                 ad::mul_scalar(d.lap(kU), static_cast<float>(r_star_)))});
+  }
+  {  // z-momentum with buoyancy
+    ad::Var adv = ad::add(ad::mul(u, d.dx(kW)), ad::mul(w, d.dz(kW)));
+    ad::Var lhs = ad::sub(ad::add(ad::add(d.dt(kW), adv), d.dz(kP)), T);
+    out.push_back(
+        {"momentum-z",
+         ad::sub(lhs,
+                 ad::mul_scalar(d.lap(kW), static_cast<float>(r_star_)))});
+  }
+  return out;
+}
+
+std::vector<ResidualTerm> AdvectionDiffusionSystem::residuals(
+    const PhysicalDerivs& d) const {
+  MFN_CHECK(channel_ >= 0 && channel_ < kNumChannels,
+            "bad advection-diffusion channel " << channel_);
+  ad::Var u = d.val(kU), w = d.val(kW);
+  ad::Var adv = ad::add(ad::mul(u, d.dx(channel_)),
+                        ad::mul(w, d.dz(channel_)));
+  ad::Var res =
+      ad::sub(ad::add(d.dt(channel_), adv),
+              ad::mul_scalar(d.lap(channel_), static_cast<float>(kappa_)));
+  return {{std::string("transport[") +
+               data::kChannelNames[static_cast<std::size_t>(channel_)] + "]",
+           res}};
+}
+
+std::vector<ResidualTerm> DivergenceFreeSystem::residuals(
+    const PhysicalDerivs& d) const {
+  return {{"divergence", ad::add(d.dx(kU), d.dz(kW))}};
+}
+
+void CompositePDELoss::add(std::shared_ptr<PDESystem> system, double weight) {
+  MFN_CHECK(system != nullptr, "null PDE system");
+  MFN_CHECK(weight >= 0.0, "negative PDE system weight");
+  systems_.emplace_back(std::move(system), weight);
+}
+
+ad::Var CompositePDELoss::loss(const PhysicalDerivs& d,
+                               std::vector<ResidualTerm>* terms) const {
+  MFN_CHECK(!systems_.empty(), "CompositePDELoss has no systems");
+  ad::Var total;
+  for (const auto& [system, weight] : systems_) {
+    auto res = system->residuals(d);
+    MFN_CHECK(!res.empty(), system->name() << " produced no residuals");
+    ad::Var sys_loss;
+    for (auto& term : res) {
+      ad::Var m = ad::mean(ad::abs(term.residual));
+      sys_loss = sys_loss.defined() ? ad::add(sys_loss, m) : m;
+      if (terms) terms->push_back(std::move(term));
+    }
+    sys_loss = ad::mul_scalar(
+        sys_loss, static_cast<float>(weight / static_cast<double>(res.size())));
+    total = total.defined() ? ad::add(total, sys_loss) : sys_loss;
+  }
+  return total;
+}
+
+}  // namespace mfn::core

@@ -1,0 +1,80 @@
+#include "core/trainer.h"
+
+#include "common/error.h"
+#include "common/stopwatch.h"
+#include "optim/optimizer.h"
+
+namespace mfn::core {
+
+Trainer::Trainer(MeshfreeFlowNet& model,
+                 std::vector<const data::PatchSampler*> samplers,
+                 EquationLossConfig eq_config, TrainerConfig config)
+    : model_(&model),
+      samplers_(std::move(samplers)),
+      eq_config_(std::move(eq_config)),
+      config_(config),
+      optimizer_(model.parameters(), config.adam),
+      rng_(config.seed * 0x51ED2701ull + 77ull) {
+  MFN_CHECK(!samplers_.empty(), "Trainer needs at least one sampler");
+  MFN_CHECK(config_.gamma >= 0.0, "gamma must be non-negative");
+}
+
+Trainer::Trainer(MeshfreeFlowNet& model, const data::PatchSampler& sampler,
+                 EquationLossConfig eq_config, TrainerConfig config)
+    : Trainer(model, std::vector<const data::PatchSampler*>{&sampler},
+              std::move(eq_config), config) {}
+
+EpochStats Trainer::run_epoch() {
+  Stopwatch sw;
+  model_->set_training(true);
+  EpochStats stats;
+  for (int b = 0; b < config_.batches_per_epoch; ++b) {
+    const auto si = static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(samplers_.size())));
+    data::SampleBatch batch = samplers_[si]->sample(rng_);
+
+    optimizer_.zero_grad();
+    ad::Var loss;
+    double pred_v = 0.0, eq_v = 0.0;
+    if (config_.gamma > 0.0) {
+      DecodeDerivs d = model_->predict_with_derivatives(batch.lr_patch,
+                                                        batch.query_coords);
+      ad::Var lp = prediction_loss(d.value, batch.target);
+      EquationResiduals res = equation_loss(d, eq_config_);
+      pred_v = lp.value().item();
+      eq_v = res.total.value().item();
+      loss = ad::add(lp, ad::mul_scalar(res.total,
+                                        static_cast<float>(config_.gamma)));
+    } else {
+      ad::Var pred = model_->predict(batch.lr_patch, batch.query_coords);
+      loss = prediction_loss(pred, batch.target);
+      pred_v = loss.value().item();
+    }
+    ad::backward(loss);
+    if (config_.grad_clip > 0.0)
+      optim::clip_grad_norm(optimizer_.params(), config_.grad_clip);
+    optimizer_.step();
+
+    stats.total_loss += loss.value().item();
+    stats.pred_loss += pred_v;
+    stats.eq_loss += eq_v;
+  }
+  const double n = static_cast<double>(config_.batches_per_epoch);
+  stats.total_loss /= n;
+  stats.pred_loss /= n;
+  stats.eq_loss /= n;
+  stats.wall_seconds = sw.seconds();
+  return stats;
+}
+
+const std::vector<EpochStats>& Trainer::train() {
+  for (int e = 0; e < config_.epochs; ++e) {
+    history_.push_back(run_epoch());
+    if (config_.lr_decay != 1.0)
+      optimizer_.set_learning_rate(optimizer_.learning_rate() *
+                                   config_.lr_decay);
+  }
+  return history_;
+}
+
+}  // namespace mfn::core

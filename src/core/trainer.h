@@ -1,0 +1,69 @@
+// Training loop for MeshfreeFlowNet: Adam on L = Lp + gamma * Le over
+// randomly sampled LR patches and query points (paper Sec. 5: Adam,
+// random samples per epoch).
+#pragma once
+
+#include <vector>
+
+#include "core/losses.h"
+#include "core/meshfree_flownet.h"
+#include "data/dataset.h"
+#include "optim/adam.h"
+
+namespace mfn::core {
+
+struct TrainerConfig {
+  int epochs = 20;
+  /// Patches (each with sampler.queries_per_patch points) per epoch.
+  int batches_per_epoch = 12;
+  /// Equation-loss weight gamma (paper's ablation: gamma* = 0.0125).
+  double gamma = 0.0125;
+  optim::AdamConfig adam{.lr = 1e-3};
+  /// Global gradient-norm clip (0 disables).
+  double grad_clip = 5.0;
+  /// Multiplicative learning-rate decay applied after every epoch
+  /// (1.0 disables).
+  double lr_decay = 1.0;
+  std::uint64_t seed = 0;
+};
+
+struct EpochStats {
+  double total_loss = 0.0;
+  double pred_loss = 0.0;
+  double eq_loss = 0.0;
+  double wall_seconds = 0.0;
+};
+
+class Trainer {
+ public:
+  /// The sampler may draw from several concatenated datasets (multi-IC /
+  /// multi-Ra training); pass one sampler per dataset.
+  Trainer(MeshfreeFlowNet& model,
+          std::vector<const data::PatchSampler*> samplers,
+          EquationLossConfig eq_config, TrainerConfig config);
+
+  /// Convenience single-dataset constructor.
+  Trainer(MeshfreeFlowNet& model, const data::PatchSampler& sampler,
+          EquationLossConfig eq_config, TrainerConfig config);
+
+  /// One pass of batches_per_epoch optimization steps.
+  EpochStats run_epoch();
+
+  /// Run config().epochs epochs; returns the per-epoch history.
+  const std::vector<EpochStats>& train();
+
+  const std::vector<EpochStats>& history() const { return history_; }
+  const TrainerConfig& config() const { return config_; }
+  MeshfreeFlowNet& model() { return *model_; }
+
+ private:
+  MeshfreeFlowNet* model_;
+  std::vector<const data::PatchSampler*> samplers_;
+  EquationLossConfig eq_config_;
+  TrainerConfig config_;
+  optim::Adam optimizer_;
+  Rng rng_;
+  std::vector<EpochStats> history_;
+};
+
+}  // namespace mfn::core

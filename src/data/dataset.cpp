@@ -1,0 +1,191 @@
+#include "data/dataset.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mfn::data {
+namespace {
+
+/// Average node rows j and j+1 onto cell centers: (nz_nodes, nx) ->
+/// (nz_nodes - 1, nx).
+void write_cell_centered(const Tensor& nodes, float* dst) {
+  const std::int64_t nzn = nodes.dim(0), nx = nodes.dim(1);
+  const float* src = nodes.data();
+  for (std::int64_t j = 0; j + 1 < nzn; ++j)
+    for (std::int64_t i = 0; i < nx; ++i)
+      dst[j * nx + i] =
+          0.5f * (src[j * nx + i] + src[(j + 1) * nx + i]);
+}
+
+}  // namespace
+
+Grid4D generate_rb_dataset(const DatasetConfig& config) {
+  MFN_CHECK(config.num_snapshots >= 2, "need at least 2 snapshots");
+  MFN_CHECK(config.duration > 0.0, "duration must be positive");
+  solver::RBSolver solver(config.solver);
+  solver.advance_to(config.spinup_time);
+
+  const std::int64_t T = config.num_snapshots;
+  const std::int64_t Z = config.solver.nz - 1;  // cell centers
+  const std::int64_t X = config.solver.nx;
+  Grid4D grid;
+  grid.data = Tensor(Shape{static_cast<std::int64_t>(kNumChannels), T, Z, X});
+  grid.t0 = config.spinup_time;
+  grid.dt = config.duration / static_cast<double>(T - 1);
+  grid.dz_cell = solver.dz();
+  grid.dx_cell = solver.dx();
+
+  const std::int64_t sz = Z * X;
+  for (std::int64_t t = 0; t < T; ++t) {
+    solver.advance_to(config.spinup_time + static_cast<double>(t) * grid.dt);
+    write_cell_centered(solver.pressure(),
+                        grid.data.data() + (kP * T + t) * sz);
+    write_cell_centered(solver.temperature(),
+                        grid.data.data() + (kT * T + t) * sz);
+    write_cell_centered(solver.velocity_u(),
+                        grid.data.data() + (kU * T + t) * sz);
+    write_cell_centered(solver.velocity_w(),
+                        grid.data.data() + (kW * T + t) * sz);
+  }
+  return grid;
+}
+
+SRPair make_sr_pair(const Grid4D& hr, int time_factor, int space_factor) {
+  SRPair pair;
+  pair.hr = hr;
+  pair.lr = downsample(hr, time_factor, space_factor);
+  pair.stats = NormStats::compute(hr);
+  pair.hr_norm = pair.stats.normalize(hr);
+  pair.lr_norm = pair.stats.normalize(pair.lr);
+  pair.time_factor = time_factor;
+  pair.space_factor = space_factor;
+  return pair;
+}
+
+PatchSampler::PatchSampler(const SRPair& pair, PatchSamplerConfig config)
+    : pair_(&pair), config_(config) {
+  MFN_CHECK(config_.patch_nt <= pair.lr.nt() &&
+                config_.patch_nz <= pair.lr.nz() &&
+                config_.patch_nx <= pair.lr.nx(),
+            "patch (" << config_.patch_nt << "," << config_.patch_nz << ","
+                      << config_.patch_nx << ") exceeds LR grid ("
+                      << pair.lr.nt() << "," << pair.lr.nz() << ","
+                      << pair.lr.nx() << ")");
+  MFN_CHECK(config_.queries_per_patch > 0, "need at least one query");
+}
+
+std::array<double, 3> PatchSampler::lr_cell_size() const {
+  return {pair_->lr.dt, pair_->lr.dz_cell, pair_->lr.dx_cell};
+}
+
+namespace {
+
+/// Copy an LR sub-volume into a (1, C, lt, lz, lx) tensor.
+Tensor extract_patch(const Grid4D& lr, std::int64_t t0, std::int64_t z0,
+                     std::int64_t x0, std::int64_t lt, std::int64_t lz,
+                     std::int64_t lx) {
+  Tensor out(Shape{1, lr.channels(), lt, lz, lx});
+  float* dst = out.data();
+  const float* src = lr.data.data();
+  const std::int64_t sz = lr.nz() * lr.nx();
+  for (std::int64_t c = 0; c < lr.channels(); ++c)
+    for (std::int64_t t = 0; t < lt; ++t)
+      for (std::int64_t z = 0; z < lz; ++z)
+        for (std::int64_t x = 0; x < lx; ++x)
+          dst[((c * lt + t) * lz + z) * lx + x] =
+              src[(c * lr.nt() + t0 + t) * sz + (z0 + z) * lr.nx() +
+                  (x0 + x)];
+  return out;
+}
+
+}  // namespace
+
+SampleBatch PatchSampler::sample(Rng& rng) const {
+  const Grid4D& lr = pair_->lr_norm;
+  const Grid4D& hr = pair_->hr_norm;
+  const std::int64_t lt = config_.patch_nt, lz = config_.patch_nz,
+                     lx = config_.patch_nx;
+  const std::int64_t t0 = rng.uniform_int(0, lr.nt() - lt + 1);
+  const std::int64_t z0 = rng.uniform_int(0, lr.nz() - lz + 1);
+  const std::int64_t x0 = rng.uniform_int(0, lr.nx() - lx + 1);
+
+  SampleBatch batch;
+  batch.lr_patch = extract_patch(lr, t0, z0, x0, lt, lz, lx);
+  batch.hr_patch = extract_patch(
+      hr, t0 * pair_->time_factor, z0 * pair_->space_factor,
+      x0 * pair_->space_factor, lt * pair_->time_factor,
+      lz * pair_->space_factor, lx * pair_->space_factor);
+
+  const std::int64_t B = config_.queries_per_patch;
+  batch.query_coords = Tensor(Shape{B, 3});
+  batch.target = Tensor(Shape{B, static_cast<std::int64_t>(kNumChannels)});
+  const double ft = static_cast<double>(pair_->time_factor);
+  const double fs = static_cast<double>(pair_->space_factor);
+  for (std::int64_t b = 0; b < B; ++b) {
+    // continuous position within the patch, in LR-index units
+    const double pt = rng.uniform(0.0, static_cast<double>(lt - 1));
+    const double pz = rng.uniform(0.0, static_cast<double>(lz - 1));
+    const double px = rng.uniform(0.0, static_cast<double>(lx - 1));
+    batch.query_coords.at({b, 0}) = static_cast<float>(pt);
+    batch.query_coords.at({b, 1}) = static_cast<float>(pz);
+    batch.query_coords.at({b, 2}) = static_cast<float>(px);
+    // map patch-local LR coords to HR fractional indices (box-filter
+    // center alignment): hr = (lr_global + 1/2) * f - 1/2
+    const double hrt = (static_cast<double>(t0) + pt + 0.5) * ft - 0.5;
+    const double hrz = (static_cast<double>(z0) + pz + 0.5) * fs - 0.5;
+    const double hrx = (static_cast<double>(x0) + px + 0.5) * fs - 0.5;
+    const auto v = hr.sample_trilinear(hrt, hrz, hrx);
+    for (int c = 0; c < kNumChannels; ++c)
+      batch.target.at({b, c}) = v[static_cast<std::size_t>(c)];
+  }
+  return batch;
+}
+
+SampleBatch PatchSampler::grid_batch(std::int64_t t0, std::int64_t z0,
+                                     std::int64_t x0, std::int64_t upt,
+                                     std::int64_t upz,
+                                     std::int64_t upx) const {
+  const Grid4D& lr = pair_->lr_norm;
+  const Grid4D& hr = pair_->hr_norm;
+  const std::int64_t lt = config_.patch_nt, lz = config_.patch_nz,
+                     lx = config_.patch_nx;
+  MFN_CHECK(t0 + lt <= lr.nt() && z0 + lz <= lr.nz() && x0 + lx <= lr.nx(),
+            "grid_batch patch origin out of range");
+
+  SampleBatch batch;
+  batch.lr_patch = extract_patch(lr, t0, z0, x0, lt, lz, lx);
+  batch.hr_patch = extract_patch(
+      hr, t0 * pair_->time_factor, z0 * pair_->space_factor,
+      x0 * pair_->space_factor, lt * pair_->time_factor,
+      lz * pair_->space_factor, lx * pair_->space_factor);
+  const std::int64_t B = upt * upz * upx;
+  batch.query_coords = Tensor(Shape{B, 3});
+  batch.target = Tensor(Shape{B, static_cast<std::int64_t>(kNumChannels)});
+
+  const double ft = static_cast<double>(pair_->time_factor);
+  const double fs = static_cast<double>(pair_->space_factor);
+  std::int64_t b = 0;
+  for (std::int64_t it = 0; it < upt; ++it)
+    for (std::int64_t iz = 0; iz < upz; ++iz)
+      for (std::int64_t ix = 0; ix < upx; ++ix, ++b) {
+        const double pt = static_cast<double>(lt - 1) * it /
+                          std::max<std::int64_t>(upt - 1, 1);
+        const double pz = static_cast<double>(lz - 1) * iz /
+                          std::max<std::int64_t>(upz - 1, 1);
+        const double px = static_cast<double>(lx - 1) * ix /
+                          std::max<std::int64_t>(upx - 1, 1);
+        batch.query_coords.at({b, 0}) = static_cast<float>(pt);
+        batch.query_coords.at({b, 1}) = static_cast<float>(pz);
+        batch.query_coords.at({b, 2}) = static_cast<float>(px);
+        const double hrt = (static_cast<double>(t0) + pt + 0.5) * ft - 0.5;
+        const double hrz = (static_cast<double>(z0) + pz + 0.5) * fs - 0.5;
+        const double hrx = (static_cast<double>(x0) + px + 0.5) * fs - 0.5;
+        const auto v = hr.sample_trilinear(hrt, hrz, hrx);
+        for (int c = 0; c < kNumChannels; ++c)
+          batch.target.at({b, c}) = v[static_cast<std::size_t>(c)];
+      }
+  return batch;
+}
+
+}  // namespace mfn::data

@@ -1,0 +1,87 @@
+// Dataset builder: runs the Rayleigh–Bénard solver and packages snapshot
+// sequences into HR/LR Grid4D pairs; plus the patch/point sampler that
+// produces training batches for MeshfreeFlowNet.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "data/grid4d.h"
+#include "solver/rb_solver.h"
+
+namespace mfn::data {
+
+struct DatasetConfig {
+  solver::RBConfig solver;
+  /// Transient skipped before recording (lets convection develop).
+  double spinup_time = 8.0;
+  /// Recording window length and snapshot count.
+  double duration = 8.0;
+  int num_snapshots = 64;
+};
+
+/// Run the DNS and collect {p, T, u, w} snapshots on the cell-centered
+/// (nz-1, nx) grid. Snapshots are evenly spaced in time (the solver's
+/// adaptive steps land exactly on each snapshot time).
+Grid4D generate_rb_dataset(const DatasetConfig& config);
+
+/// A paired high-/low-resolution dataset with its normalization statistics
+/// (computed from the HR data, applied to both).
+struct SRPair {
+  Grid4D hr;       // raw (un-normalized) high-resolution data
+  Grid4D lr;       // raw low-resolution data (box-filtered HR)
+  Grid4D hr_norm;  // normalized copies used for training
+  Grid4D lr_norm;
+  NormStats stats;
+  int time_factor = 1;
+  int space_factor = 1;
+};
+
+SRPair make_sr_pair(const Grid4D& hr, int time_factor, int space_factor);
+
+/// One training batch: an LR input patch plus point queries inside it.
+struct SampleBatch {
+  Tensor lr_patch;      ///< (1, C, lt, lz, lx), normalized
+  /// (B, 3) query positions as continuous LR-grid indices (t, z, x),
+  /// each within [0, dim-1] of the patch.
+  Tensor query_coords;
+  Tensor target;        ///< (B, C) normalized HR values at the queries
+  /// (1, C, lt*ft, lz*fs, lx*fs) normalized HR block covering the LR patch
+  /// — the dense supervision target for the convolutional Baseline II.
+  Tensor hr_patch;
+};
+
+struct PatchSamplerConfig {
+  std::int64_t patch_nt = 4;
+  std::int64_t patch_nz = 8;
+  std::int64_t patch_nx = 8;
+  std::int64_t queries_per_patch = 512;
+};
+
+/// Draws random LR patches and random continuous query points within them,
+/// supervised by trilinear interpolation of the normalized HR data (the
+/// paper's training pipeline, Fig. 3).
+class PatchSampler {
+ public:
+  PatchSampler(const SRPair& pair, PatchSamplerConfig config);
+
+  SampleBatch sample(Rng& rng) const;
+
+  /// Deterministic batch covering a regular grid of query points in a
+  /// given patch (used for evaluation / reconstruction).
+  SampleBatch grid_batch(std::int64_t t0, std::int64_t z0, std::int64_t x0,
+                         std::int64_t upt, std::int64_t upz,
+                         std::int64_t upx) const;
+
+  const PatchSamplerConfig& config() const { return config_; }
+  /// Physical size of one LR cell along (t, z, x) — the derivative scales
+  /// for the equation loss.
+  std::array<double, 3> lr_cell_size() const;
+  const NormStats& stats() const { return pair_->stats; }
+
+ private:
+  const SRPair* pair_;
+  PatchSamplerConfig config_;
+};
+
+}  // namespace mfn::data

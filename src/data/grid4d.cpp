@@ -1,0 +1,215 @@
+#include "data/grid4d.h"
+
+#include <cmath>
+#include <fstream>
+
+#include "common/error.h"
+#include "tensor/serialize.h"
+
+namespace mfn::data {
+
+Tensor Grid4D::frame(int channel, std::int64_t t) const {
+  MFN_CHECK(channel >= 0 && channel < channels() && t >= 0 && t < nt(),
+            "frame(" << channel << "," << t << ")");
+  Tensor out(Shape{nz(), nx()});
+  const std::int64_t sz = nz() * nx();
+  const float* src = data.data() + (channel * nt() + t) * sz;
+  std::copy(src, src + sz, out.data());
+  return out;
+}
+
+std::array<float, 4> Grid4D::sample_trilinear(double ti, double zi,
+                                              double xi) const {
+  const std::int64_t T = nt(), Z = nz(), X = nx();
+  // clamp t and z into the valid interpolation range
+  ti = std::min(std::max(ti, 0.0), static_cast<double>(T - 1));
+  zi = std::min(std::max(zi, 0.0), static_cast<double>(Z - 1));
+
+  const auto t0 = static_cast<std::int64_t>(std::floor(ti));
+  const auto z0 = static_cast<std::int64_t>(std::floor(zi));
+  const auto xf = std::floor(xi);
+  auto x0 = static_cast<std::int64_t>(xf) % X;
+  if (x0 < 0) x0 += X;
+  const std::int64_t t1 = std::min(t0 + 1, T - 1);
+  const std::int64_t z1 = std::min(z0 + 1, Z - 1);
+  const std::int64_t x1 = (x0 + 1) % X;
+  const float ft = static_cast<float>(ti - static_cast<double>(t0));
+  const float fz = static_cast<float>(zi - static_cast<double>(z0));
+  const float fx = static_cast<float>(xi - xf);
+
+  std::array<float, 4> out{0, 0, 0, 0};
+  const std::int64_t sz = Z * X;
+  const float* p = data.data();
+  for (int c = 0; c < channels(); ++c) {
+    auto v = [&](std::int64_t t, std::int64_t z, std::int64_t x) {
+      return p[(c * T + t) * sz + z * X + x];
+    };
+    const float c00 = v(t0, z0, x0) * (1 - fx) + v(t0, z0, x1) * fx;
+    const float c01 = v(t0, z1, x0) * (1 - fx) + v(t0, z1, x1) * fx;
+    const float c10 = v(t1, z0, x0) * (1 - fx) + v(t1, z0, x1) * fx;
+    const float c11 = v(t1, z1, x0) * (1 - fx) + v(t1, z1, x1) * fx;
+    const float c0 = c00 * (1 - fz) + c01 * fz;
+    const float c1 = c10 * (1 - fz) + c11 * fz;
+    out[static_cast<std::size_t>(c)] = c0 * (1 - ft) + c1 * ft;
+  }
+  return out;
+}
+
+void Grid4D::save(std::ostream& os) const {
+  const double meta[4] = {t0, dt, dz_cell, dx_cell};
+  os.write(reinterpret_cast<const char*>(meta), sizeof(meta));
+  write_tensor(os, data);
+}
+
+Grid4D Grid4D::load(std::istream& is) {
+  Grid4D g;
+  double meta[4];
+  is.read(reinterpret_cast<char*>(meta), sizeof(meta));
+  MFN_CHECK(is.good(), "Grid4D metadata read failed");
+  g.t0 = meta[0];
+  g.dt = meta[1];
+  g.dz_cell = meta[2];
+  g.dx_cell = meta[3];
+  g.data = read_tensor(is);
+  MFN_CHECK(g.data.ndim() == 4, "Grid4D tensor must be 4-D");
+  return g;
+}
+
+void Grid4D::save_file(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  MFN_CHECK(os.is_open(), "cannot open " << path);
+  save(os);
+}
+
+Grid4D Grid4D::load_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  MFN_CHECK(is.is_open(), "cannot open " << path);
+  return load(is);
+}
+
+NormStats NormStats::compute(const Grid4D& grid) {
+  NormStats stats;
+  const std::int64_t per = grid.nt() * grid.nz() * grid.nx();
+  for (int c = 0; c < grid.channels(); ++c) {
+    const float* p = grid.data.data() + c * per;
+    double sum = 0.0, sum2 = 0.0;
+    for (std::int64_t i = 0; i < per; ++i) {
+      sum += p[i];
+      sum2 += static_cast<double>(p[i]) * p[i];
+    }
+    const double mean = sum / static_cast<double>(per);
+    const double var =
+        std::max(sum2 / static_cast<double>(per) - mean * mean, 1e-12);
+    stats.mean[static_cast<std::size_t>(c)] = static_cast<float>(mean);
+    stats.stddev[static_cast<std::size_t>(c)] =
+        static_cast<float>(std::sqrt(var));
+  }
+  return stats;
+}
+
+Grid4D NormStats::normalize(const Grid4D& grid) const {
+  Grid4D out = grid;
+  out.data = grid.data.clone();
+  const std::int64_t per = grid.nt() * grid.nz() * grid.nx();
+  for (int c = 0; c < grid.channels(); ++c) {
+    float* p = out.data.data() + c * per;
+    const float m = mean[static_cast<std::size_t>(c)];
+    const float s = stddev[static_cast<std::size_t>(c)];
+    for (std::int64_t i = 0; i < per; ++i) p[i] = (p[i] - m) / s;
+  }
+  return out;
+}
+
+void NormStats::denormalize_rows(Tensor& rows) const {
+  MFN_CHECK(rows.ndim() == 2 && rows.dim(1) == kNumChannels,
+            "denormalize_rows expects (B, 4)");
+  float* p = rows.data();
+  for (std::int64_t b = 0; b < rows.dim(0); ++b)
+    for (int c = 0; c < kNumChannels; ++c)
+      p[b * 4 + c] = p[b * 4 + c] * stddev[static_cast<std::size_t>(c)] +
+                     mean[static_cast<std::size_t>(c)];
+}
+
+void NormStats::normalize_rows(Tensor& rows) const {
+  MFN_CHECK(rows.ndim() == 2 && rows.dim(1) == kNumChannels,
+            "normalize_rows expects (B, 4)");
+  float* p = rows.data();
+  for (std::int64_t b = 0; b < rows.dim(0); ++b)
+    for (int c = 0; c < kNumChannels; ++c)
+      p[b * 4 + c] = (p[b * 4 + c] - mean[static_cast<std::size_t>(c)]) /
+                     stddev[static_cast<std::size_t>(c)];
+}
+
+Grid4D downsample(const Grid4D& hr, int time_factor, int space_factor) {
+  MFN_CHECK(time_factor >= 1 && space_factor >= 1, "downsample factors");
+  MFN_CHECK(hr.nt() % time_factor == 0 && hr.nz() % space_factor == 0 &&
+                hr.nx() % space_factor == 0,
+            "downsample: dims (" << hr.nt() << "," << hr.nz() << ","
+                                 << hr.nx() << ") not divisible by ("
+                                 << time_factor << "," << space_factor
+                                 << ")");
+  const std::int64_t C = hr.channels();
+  const std::int64_t T = hr.nt() / time_factor, Z = hr.nz() / space_factor,
+                     X = hr.nx() / space_factor;
+  Grid4D lr;
+  lr.data = Tensor(Shape{C, T, Z, X});
+  lr.t0 = hr.t0 + 0.5 * (time_factor - 1) * hr.dt;
+  lr.dt = hr.dt * time_factor;
+  lr.dz_cell = hr.dz_cell * space_factor;
+  lr.dx_cell = hr.dx_cell * space_factor;
+
+  const std::int64_t hsz = hr.nz() * hr.nx();
+  const float* src = hr.data.data();
+  float* dst = lr.data.data();
+  const double norm =
+      1.0 / (static_cast<double>(time_factor) * space_factor * space_factor);
+  for (std::int64_t c = 0; c < C; ++c)
+    for (std::int64_t t = 0; t < T; ++t)
+      for (std::int64_t z = 0; z < Z; ++z)
+        for (std::int64_t x = 0; x < X; ++x) {
+          double acc = 0.0;
+          for (int tt = 0; tt < time_factor; ++tt)
+            for (int zz = 0; zz < space_factor; ++zz)
+              for (int xx = 0; xx < space_factor; ++xx) {
+                const std::int64_t ht = t * time_factor + tt;
+                const std::int64_t hz = z * space_factor + zz;
+                const std::int64_t hx = x * space_factor + xx;
+                acc += src[(c * hr.nt() + ht) * hsz + hz * hr.nx() + hx];
+              }
+          dst[((c * T + t) * Z + z) * X + x] =
+              static_cast<float>(acc * norm);
+        }
+  return lr;
+}
+
+Grid4D upsample_trilinear(const Grid4D& lr, std::int64_t nt, std::int64_t nz,
+                          std::int64_t nx) {
+  Grid4D hr;
+  hr.data = Tensor(Shape{lr.channels(), nt, nz, nx});
+  const double ft = static_cast<double>(nt) / static_cast<double>(lr.nt());
+  const double fz = static_cast<double>(nz) / static_cast<double>(lr.nz());
+  const double fx = static_cast<double>(nx) / static_cast<double>(lr.nx());
+  hr.dt = lr.dt / ft;
+  hr.dz_cell = lr.dz_cell / fz;
+  hr.dx_cell = lr.dx_cell / fx;
+  hr.t0 = lr.t0 - 0.5 * (ft - 1.0) * hr.dt;
+
+  float* dst = hr.data.data();
+  const std::int64_t sz = nz * nx;
+  for (std::int64_t t = 0; t < nt; ++t)
+    for (std::int64_t z = 0; z < nz; ++z)
+      for (std::int64_t x = 0; x < nx; ++x) {
+        // align box-filter centers: HR index h maps to LR fractional index
+        // (h + 1/2)/f - 1/2
+        const double ti = (static_cast<double>(t) + 0.5) / ft - 0.5;
+        const double zi = (static_cast<double>(z) + 0.5) / fz - 0.5;
+        const double xi = (static_cast<double>(x) + 0.5) / fx - 0.5;
+        const auto v = lr.sample_trilinear(ti, zi, xi);
+        for (int c = 0; c < lr.channels(); ++c)
+          dst[(c * nt + t) * sz + z * nx + x] =
+              v[static_cast<std::size_t>(c)];
+      }
+  return hr;
+}
+
+}  // namespace mfn::data

@@ -1,0 +1,77 @@
+// Grid4D: a spatio-temporal field dataset (channels, time, z, x) plus the
+// physical domain metadata needed to map indices to coordinates.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace mfn::data {
+
+/// Channel order used throughout the library (paper Sec. 4.3:
+/// y = {p, T, u, w}).
+enum Channel : int { kP = 0, kT = 1, kU = 2, kW = 3 };
+inline constexpr int kNumChannels = 4;
+inline constexpr std::array<const char*, 4> kChannelNames = {"p", "T", "u",
+                                                             "w"};
+
+struct Grid4D {
+  /// (C, T, Z, X) float tensor.
+  Tensor data;
+  /// Time of snapshot 0 and spacing between snapshots.
+  double t0 = 0.0;
+  double dt = 1.0;
+  /// Physical size of one z / x cell (fields are sampled at
+  /// z = (j + 1/2) dz_cell, x = i * dx_cell in this library's convention).
+  double dz_cell = 1.0;
+  double dx_cell = 1.0;
+
+  std::int64_t channels() const { return data.dim(0); }
+  std::int64_t nt() const { return data.dim(1); }
+  std::int64_t nz() const { return data.dim(2); }
+  std::int64_t nx() const { return data.dim(3); }
+
+  float at(int c, std::int64_t t, std::int64_t z, std::int64_t x) const {
+    return data.at({c, t, z, x});
+  }
+
+  /// Extract one (Z, X) frame of one channel.
+  Tensor frame(int channel, std::int64_t t) const;
+
+  /// Sample all channels at fractional grid indices (ti, zi, xi) with
+  /// trilinear interpolation; x wraps periodically, t and z clamp.
+  std::array<float, 4> sample_trilinear(double ti, double zi,
+                                        double xi) const;
+
+  void save(std::ostream& os) const;
+  static Grid4D load(std::istream& is);
+  void save_file(const std::string& path) const;
+  static Grid4D load_file(const std::string& path);
+};
+
+/// Per-channel normalization statistics.
+struct NormStats {
+  std::array<float, 4> mean{0, 0, 0, 0};
+  std::array<float, 4> stddev{1, 1, 1, 1};
+
+  static NormStats compute(const Grid4D& grid);
+  /// (x - mean) / std per channel (returns a new grid).
+  Grid4D normalize(const Grid4D& grid) const;
+  /// Inverse transform applied to a (B, C) prediction matrix in place.
+  void denormalize_rows(Tensor& rows) const;
+  void normalize_rows(Tensor& rows) const;
+};
+
+/// Box-filter downsampling by integer factors (time, space); the spatial
+/// factor applies to both z and x. Dimensions must be divisible.
+Grid4D downsample(const Grid4D& hr, int time_factor, int space_factor);
+
+/// Trilinear upsampling of a LR grid back to the given HR dimensions
+/// (Baseline I of the paper).
+Grid4D upsample_trilinear(const Grid4D& lr, std::int64_t nt, std::int64_t nz,
+                          std::int64_t nx);
+
+}  // namespace mfn::data

@@ -1,0 +1,111 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace mfn::data {
+
+namespace {
+
+struct Wave {
+  double amp, kx, kz, omega, phase;
+};
+
+}  // namespace
+
+Grid4D generate_synthetic_waves(const SyntheticConfig& config) {
+  MFN_CHECK(config.nt >= 2 && config.nz >= 2 && config.nx >= 2,
+            "synthetic grid too small");
+  Rng rng(config.seed * 0x6C62272E07BB0142ull + 99ull);
+
+  // Seeded wave banks per channel. kx must be an integer multiple of
+  // 2 pi / Lx so the field is x-periodic on the grid.
+  std::vector<std::vector<Wave>> waves(kNumChannels);
+  for (int c = 0; c < kNumChannels; ++c)
+    for (int m = 0; m < config.modes; ++m) {
+      Wave w;
+      w.amp = rng.uniform(0.3, 1.0);
+      w.kx = 2.0 * M_PI * static_cast<double>(rng.uniform_int(1, 4)) /
+             config.Lx;
+      w.kz = M_PI * static_cast<double>(rng.uniform_int(1, 4)) / config.Lz;
+      w.omega = rng.uniform(0.5, 2.0);
+      w.phase = rng.uniform(0.0, 2.0 * M_PI);
+      waves[static_cast<std::size_t>(c)].push_back(w);
+    }
+
+  Grid4D g;
+  g.data = Tensor(Shape{static_cast<std::int64_t>(kNumChannels), config.nt,
+                        config.nz, config.nx});
+  g.t0 = 0.0;
+  g.dt = config.duration / static_cast<double>(config.nt - 1);
+  g.dz_cell = config.Lz / static_cast<double>(config.nz);
+  g.dx_cell = config.Lx / static_cast<double>(config.nx);
+
+  float* p = g.data.data();
+  const std::int64_t sz = config.nz * config.nx;
+  for (int c = 0; c < kNumChannels; ++c)
+    for (std::int64_t ti = 0; ti < config.nt; ++ti) {
+      const double t = g.t0 + ti * g.dt;
+      for (std::int64_t zi = 0; zi < config.nz; ++zi) {
+        const double z = (static_cast<double>(zi) + 0.5) * g.dz_cell;
+        for (std::int64_t xi = 0; xi < config.nx; ++xi) {
+          const double x = static_cast<double>(xi) * g.dx_cell;
+          double v = 0.0;
+          for (const auto& w : waves[static_cast<std::size_t>(c)])
+            v += w.amp *
+                 std::sin(w.kx * x + w.phase - w.omega * t) *
+                 std::sin(w.kz * z);
+          p[(c * config.nt + ti) * sz + zi * config.nx + xi] =
+              static_cast<float>(v);
+        }
+      }
+    }
+  return g;
+}
+
+Grid4D generate_taylor_green(const SyntheticConfig& config, double nu) {
+  MFN_CHECK(nu >= 0.0, "negative viscosity");
+  const double a = 2.0 * M_PI / config.Lx;       // one x period
+  const double b = M_PI / config.Lz;             // half z period
+  const double decay = nu * (a * a + b * b);
+
+  Grid4D g;
+  g.data = Tensor(Shape{static_cast<std::int64_t>(kNumChannels), config.nt,
+                        config.nz, config.nx});
+  g.t0 = 0.0;
+  g.dt = config.duration / static_cast<double>(config.nt - 1);
+  g.dz_cell = config.Lz / static_cast<double>(config.nz);
+  g.dx_cell = config.Lx / static_cast<double>(config.nx);
+
+  float* p = g.data.data();
+  const std::int64_t sz = config.nz * config.nx;
+  for (std::int64_t ti = 0; ti < config.nt; ++ti) {
+    const double t = ti * g.dt;
+    const double F = std::exp(-decay * t);
+    for (std::int64_t zi = 0; zi < config.nz; ++zi) {
+      const double z = (static_cast<double>(zi) + 0.5) * g.dz_cell;
+      for (std::int64_t xi = 0; xi < config.nx; ++xi) {
+        const double x = static_cast<double>(xi) * g.dx_cell;
+        const double u = std::cos(a * x) * std::sin(b * z) * F;
+        const double w = -(a / b) * std::sin(a * x) * std::cos(b * z) * F;
+        // consistent Taylor-Green pressure (up to a constant)
+        const double pr = -0.25 * (std::cos(2.0 * a * x) +
+                                   (a * a) / (b * b) * std::cos(2.0 * b * z)) *
+                          F * F;
+        // diffusing passive temperature mode
+        const double T =
+            std::sin(a * x) * std::sin(b * z) * std::exp(-decay * t);
+        const std::int64_t base = ti * sz + zi * config.nx + xi;
+        p[(kP * config.nt) * sz + base] = static_cast<float>(pr);
+        p[(kT * config.nt) * sz + base] = static_cast<float>(T);
+        p[(kU * config.nt) * sz + base] = static_cast<float>(u);
+        p[(kW * config.nt) * sz + base] = static_cast<float>(w);
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace mfn::data

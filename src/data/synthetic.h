@@ -1,0 +1,39 @@
+// Synthetic closed-form datasets.
+//
+// Smooth analytic space-time fields let the super-resolution pipeline be
+// tested against exact values: box filtering, trilinear sampling and the
+// network itself can be scored without running the DNS. Two families:
+//
+//  * traveling waves — every channel is a seeded sum of smooth traveling
+//    sinusoids (periodic in x);
+//  * Taylor–Green vortex — an exactly divergence-free decaying velocity
+//    field with its consistent pressure, for incompressibility tests.
+#pragma once
+
+#include <cstdint>
+
+#include "data/grid4d.h"
+
+namespace mfn::data {
+
+struct SyntheticConfig {
+  std::int64_t nt = 16;
+  std::int64_t nz = 16;
+  std::int64_t nx = 32;
+  double Lx = 4.0;
+  double Lz = 1.0;
+  double duration = 2.0;
+  int modes = 2;           ///< waves per channel (traveling-wave family)
+  std::uint64_t seed = 0;
+};
+
+/// Seeded sum of traveling sinusoids per channel.
+Grid4D generate_synthetic_waves(const SyntheticConfig& config);
+
+/// 2-D Taylor–Green vortex: u = cos(ax) sin(bz) F(t),
+/// w = -(a/b) sin(ax) cos(bz) F(t), F = exp(-nu (a^2+b^2) t), with the
+/// consistent pressure and a diffusing passive temperature. The velocity
+/// field is pointwise divergence-free.
+Grid4D generate_taylor_green(const SyntheticConfig& config, double nu);
+
+}  // namespace mfn::data

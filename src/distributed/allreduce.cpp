@@ -1,0 +1,116 @@
+#include "distributed/allreduce.h"
+
+#include "common/error.h"
+
+namespace mfn::dist {
+
+Barrier::Barrier(int parties) : parties_(parties) {
+  MFN_CHECK(parties >= 1, "barrier needs >= 1 party");
+}
+
+void Barrier::arrive_and_wait() {
+  std::unique_lock<std::mutex> lk(mu_);
+  const std::uint64_t gen = generation_;
+  if (++waiting_ == parties_) {
+    waiting_ = 0;
+    ++generation_;
+    cv_.notify_all();
+    return;
+  }
+  cv_.wait(lk, [&] { return generation_ != gen; });
+}
+
+RingAllReducer::RingAllReducer(int world)
+    : world_(world),
+      barrier_(world),
+      buffers_(static_cast<std::size_t>(world), nullptr),
+      counts_(static_cast<std::size_t>(world), 0) {
+  MFN_CHECK(world >= 1, "world size must be >= 1");
+}
+
+void RingAllReducer::allreduce_average(int rank, float* data,
+                                       std::int64_t count) {
+  MFN_CHECK(rank >= 0 && rank < world_, "bad rank " << rank);
+  if (world_ == 1) return;  // nothing to reduce
+
+  buffers_[static_cast<std::size_t>(rank)] = data;
+  counts_[static_cast<std::size_t>(rank)] = count;
+  barrier_.arrive_and_wait();
+  MFN_CHECK(counts_[0] == count, "allreduce buffer size mismatch");
+
+  // Chunked ring: W chunks; W-1 reduce-scatter steps + W-1 all-gather
+  // steps. Chunk c is owned (fully reduced) by rank (c+1) mod W after the
+  // reduce-scatter phase.
+  const std::int64_t W = world_;
+  const std::int64_t chunk = (count + W - 1) / W;
+  auto range = [&](std::int64_t c, std::int64_t& b, std::int64_t& e) {
+    // chunks past the end of the buffer are empty (count < W case)
+    b = std::min(c * chunk, count);
+    e = std::min(count, b + chunk);
+  };
+
+  // reduce-scatter: at step s, rank r adds its chunk (r - s) into the next
+  // rank's buffer... equivalently every rank accumulates chunk
+  // (r - s - 1) from its predecessor. We implement "pull": rank r reads
+  // predecessor's chunk and adds into its own copy, then barriers.
+  for (std::int64_t s = 0; s < W - 1; ++s) {
+    const std::int64_t c = ((rank - s - 1) % W + W) % W;
+    std::int64_t b, e;
+    range(c, b, e);
+    const float* src =
+        buffers_[static_cast<std::size_t>((rank - 1 + W) % W)];
+    // Predecessor's chunk c already holds s+1 partial terms; ours holds 1.
+    // Ordering: we add predecessor's partial sum into ours AFTER it has
+    // accumulated its own step-s value — enforced by the barrier below
+    // being two-phase (read own snapshot first).
+    // To keep it simple and race-free we double-buffer via a temporary.
+    std::vector<float> tmp(static_cast<std::size_t>(e - b));
+    for (std::int64_t i = b; i < e; ++i)
+      tmp[static_cast<std::size_t>(i - b)] = src[i];
+    barrier_.arrive_and_wait();  // everyone captured predecessor chunk
+    for (std::int64_t i = b; i < e; ++i)
+      data[i] += tmp[static_cast<std::size_t>(i - b)];
+    barrier_.arrive_and_wait();  // everyone applied the partial sum
+  }
+
+  // all-gather: chunk c is complete at rank (c + 1) mod W; propagate
+  // forward around the ring.
+  for (std::int64_t s = 0; s < W - 1; ++s) {
+    const std::int64_t c = ((rank - s) % W + W) % W;
+    std::int64_t b, e;
+    range(c, b, e);
+    const float* src =
+        buffers_[static_cast<std::size_t>((rank - 1 + W) % W)];
+    std::vector<float> tmp(static_cast<std::size_t>(e - b));
+    for (std::int64_t i = b; i < e; ++i)
+      tmp[static_cast<std::size_t>(i - b)] = src[i];
+    barrier_.arrive_and_wait();
+    for (std::int64_t i = b; i < e; ++i)
+      data[i] = tmp[static_cast<std::size_t>(i - b)];
+    barrier_.arrive_and_wait();
+  }
+
+  const float inv = 1.0f / static_cast<float>(W);
+  for (std::int64_t i = 0; i < count; ++i) data[i] *= inv;
+  barrier_.arrive_and_wait();
+}
+
+void allreduce_average_tensors(RingAllReducer& reducer, int rank,
+                               const std::vector<Tensor*>& tensors) {
+  std::int64_t total = 0;
+  for (auto* t : tensors) total += t->numel();
+  std::vector<float> flat(static_cast<std::size_t>(total));
+  std::int64_t off = 0;
+  for (auto* t : tensors) {
+    std::copy(t->data(), t->data() + t->numel(), flat.data() + off);
+    off += t->numel();
+  }
+  reducer.allreduce_average(rank, flat.data(), total);
+  off = 0;
+  for (auto* t : tensors) {
+    std::copy(flat.data() + off, flat.data() + off + t->numel(), t->data());
+    off += t->numel();
+  }
+}
+
+}  // namespace mfn::dist

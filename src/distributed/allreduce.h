@@ -1,0 +1,59 @@
+// Ring all-reduce over shared-memory worker threads.
+//
+// Reproduces the communication pattern of NCCL's ring all-reduce used by
+// the paper's DistributedDataParallel training: reduce-scatter around the
+// ring followed by all-gather, on a flat gradient buffer per worker. The
+// addition order is fixed by the ring structure, so reductions are
+// bitwise deterministic for a given world size.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace mfn::dist {
+
+/// Reusable barrier for a fixed group of threads.
+class Barrier {
+ public:
+  explicit Barrier(int parties);
+  /// Block until all parties arrive; reusable across generations.
+  void arrive_and_wait();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int parties_;
+  int waiting_ = 0;
+  std::uint64_t generation_ = 0;
+};
+
+/// Ring all-reduce (average) across `world` participants. Each rank calls
+/// allreduce_average from its own thread with its local flat buffer; on
+/// return every buffer holds the element-wise average.
+class RingAllReducer {
+ public:
+  explicit RingAllReducer(int world);
+
+  int world() const { return world_; }
+
+  /// Register rank's buffer then run reduce-scatter + all-gather. All
+  /// ranks must call with buffers of identical size.
+  void allreduce_average(int rank, float* data, std::int64_t count);
+
+ private:
+  int world_;
+  Barrier barrier_;
+  std::vector<float*> buffers_;
+  std::vector<std::int64_t> counts_;
+};
+
+/// Convenience: flatten a list of tensors into one buffer, all-reduce,
+/// scatter back (gradient lists of model replicas).
+void allreduce_average_tensors(RingAllReducer& reducer, int rank,
+                               const std::vector<Tensor*>& tensors);
+
+}  // namespace mfn::dist

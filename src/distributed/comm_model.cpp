@@ -1,0 +1,50 @@
+#include "distributed/comm_model.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace mfn::dist {
+
+double ring_allreduce_seconds(int world, double bytes,
+                              const CommModelConfig& config) {
+  MFN_CHECK(world >= 1, "world must be >= 1");
+  if (world == 1) return 0.0;
+  const double w = static_cast<double>(world);
+  return 2.0 * (w - 1.0) * config.alpha +
+         2.0 * (w - 1.0) / w * bytes / config.beta;
+}
+
+double step_seconds(int world, const CommModelConfig& config) {
+  const double comm =
+      ring_allreduce_seconds(world, config.gradient_bytes, config);
+  const double exposed = comm * (1.0 - config.overlap);
+  return config.compute_time + exposed;
+}
+
+std::vector<ScalingPoint> model_scaling_curve(
+    const std::vector<int>& world_sizes, double samples_per_batch,
+    const CommModelConfig& config) {
+  std::vector<ScalingPoint> out;
+  out.reserve(world_sizes.size());
+  const double t1 = step_seconds(1, config);
+  const double thr1 = samples_per_batch / t1;
+  for (int w : world_sizes) {
+    ScalingPoint p;
+    p.workers = w;
+    const double tw = step_seconds(w, config);
+    p.throughput = static_cast<double>(w) * samples_per_batch / tw;
+    p.ideal_throughput = static_cast<double>(w) * thr1;
+    p.efficiency = p.throughput / p.ideal_throughput;
+    out.push_back(p);
+  }
+  return out;
+}
+
+double epoch_seconds(int world, int patches_per_epoch,
+                     const CommModelConfig& config) {
+  const int steps = std::max(1, patches_per_epoch / std::max(world, 1));
+  return static_cast<double>(steps) * step_seconds(world, config);
+}
+
+}  // namespace mfn::dist

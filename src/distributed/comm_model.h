@@ -1,0 +1,59 @@
+// Analytic alpha-beta performance model for data-parallel scaling.
+//
+// The paper measures throughput on up to 128 V100 GPUs (NVLink within a
+// node, EDR InfiniBand across nodes) with NCCL ring all-reduce. This
+// module reproduces that study's *shape* analytically: per-step time =
+// compute + ring all-reduce, where the all-reduce of M bytes over W
+// workers costs
+//
+//     t_comm(W, M) = 2 (W-1) alpha + 2 (W-1)/W * M / beta
+//
+// (the standard latency/bandwidth model for ring all-reduce), overlapped
+// with backprop by a configurable fraction — the paper explicitly overlaps
+// gradient communication with backward computation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mfn::dist {
+
+struct CommModelConfig {
+  /// Per-message latency (s). NVLink/IB hybrid: ~15 us is typical.
+  double alpha = 15e-6;
+  /// Link bandwidth (bytes/s). ~10 GB/s effective ring bandwidth.
+  double beta = 10e9;
+  /// Fraction of communication hidden behind backprop (paper overlaps
+  /// layer gradients with the previous layer's backward pass).
+  double overlap = 0.7;
+  /// Per-device compute time for one local batch (s).
+  double compute_time = 0.05;
+  /// Gradient payload per step (bytes).
+  double gradient_bytes = 4e6;
+};
+
+/// Ring all-reduce time for W workers (0 when W == 1).
+double ring_allreduce_seconds(int world, double bytes,
+                              const CommModelConfig& config);
+
+/// Per-step wall time with overlap applied.
+double step_seconds(int world, const CommModelConfig& config);
+
+struct ScalingPoint {
+  int workers = 1;
+  double throughput = 0.0;        ///< samples / second
+  double ideal_throughput = 0.0;  ///< linear scaling from 1 worker
+  double efficiency = 0.0;        ///< throughput / ideal
+};
+
+/// Throughput curve for the given world sizes (Fig. 7a).
+std::vector<ScalingPoint> model_scaling_curve(
+    const std::vector<int>& world_sizes, double samples_per_batch,
+    const CommModelConfig& config);
+
+/// Wall-time of one epoch for the Fig. 7c axis: steps_per_epoch steps of
+/// step_seconds(W).
+double epoch_seconds(int world, int patches_per_epoch,
+                     const CommModelConfig& config);
+
+}  // namespace mfn::dist

@@ -1,0 +1,55 @@
+// Synchronous data-parallel training (paper Sec. 3.4 / 5.4).
+//
+// Replicates the model across worker threads; every step each worker
+// computes gradients on its own random batch, gradients are averaged with
+// the ring all-reduce, and every replica applies an identical Adam update
+// — the exact semantics of PyTorch DistributedDataParallel with
+// synchronous gradient descent.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/losses.h"
+#include "core/meshfree_flownet.h"
+#include "core/trainer.h"
+#include "data/dataset.h"
+
+namespace mfn::dist {
+
+struct DataParallelConfig {
+  int world_size = 2;
+  int epochs = 4;
+  /// Global samples (patches) per epoch; each worker gets 1/world of them.
+  int patches_per_epoch = 16;
+  double gamma = 0.0;
+  optim::AdamConfig adam{.lr = 1e-3};
+  std::uint64_t seed = 0;
+};
+
+struct DataParallelStats {
+  std::vector<double> epoch_loss;     ///< mean worker loss per epoch
+  double wall_seconds = 0.0;          ///< measured wall time (all epochs)
+  double samples_per_second = 0.0;    ///< measured training throughput
+};
+
+/// Train `world_size` replicas of the given architecture. All replicas
+/// start from `reference`'s weights; on return `reference` holds the final
+/// (identical) weights of replica 0.
+DataParallelStats train_data_parallel(
+    core::MeshfreeFlowNet& reference, const data::PatchSampler& sampler,
+    const core::EquationLossConfig& eq_config,
+    const DataParallelConfig& config);
+
+/// Emulate W-way synchronous data parallelism on a single model by
+/// gradient accumulation over W batches per step (mathematically identical
+/// update sequence; used for the Fig. 7b/7c convergence curves at world
+/// sizes beyond the machine's core count).
+std::vector<double> train_effective_batch(
+    core::MeshfreeFlowNet& model, const data::PatchSampler& sampler,
+    const core::EquationLossConfig& eq_config, int world_size, int epochs,
+    int patches_per_epoch, const optim::AdamConfig& adam,
+    double gamma = 0.0, std::uint64_t seed = 0);
+
+}  // namespace mfn::dist

@@ -1,0 +1,78 @@
+#include "fft/fft.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mfn::fft {
+
+bool is_pow2(std::int64_t n) { return n > 0 && (n & (n - 1)) == 0; }
+
+void fft_inplace(std::vector<cplx>& a, bool inverse) {
+  const std::size_t n = a.size();
+  MFN_CHECK(is_pow2(static_cast<std::int64_t>(n)),
+            "FFT length " << n << " is not a power of two");
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  // Iterative Cooley–Tukey butterflies.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = 2.0 * M_PI / static_cast<double>(len) *
+                       (inverse ? 1.0 : -1.0);
+    const cplx wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      cplx w(1.0, 0.0);
+      for (std::size_t j = 0; j < len / 2; ++j) {
+        const cplx u = a[i + j];
+        const cplx v = a[i + j + len / 2] * w;
+        a[i + j] = u + v;
+        a[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+std::vector<cplx> fft(const std::vector<cplx>& a) {
+  std::vector<cplx> out = a;
+  fft_inplace(out, /*inverse=*/false);
+  return out;
+}
+
+std::vector<cplx> ifft(const std::vector<cplx>& a) {
+  std::vector<cplx> out = a;
+  fft_inplace(out, /*inverse=*/true);
+  const double scale = 1.0 / static_cast<double>(out.size());
+  for (auto& v : out) v *= scale;
+  return out;
+}
+
+std::vector<cplx> rfft(const std::vector<double>& a) {
+  std::vector<cplx> c(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) c[i] = cplx(a[i], 0.0);
+  fft_inplace(c, /*inverse=*/false);
+  return c;
+}
+
+std::vector<double> irfft(const std::vector<cplx>& spectrum) {
+  std::vector<cplx> c = ifft(spectrum);
+  std::vector<double> out(c.size());
+  for (std::size_t i = 0; i < c.size(); ++i) out[i] = c[i].real();
+  return out;
+}
+
+std::vector<double> power_spectrum(const std::vector<double>& a) {
+  const std::size_t n = a.size();
+  std::vector<cplx> spec = rfft(a);
+  std::vector<double> power(n / 2 + 1);
+  const double norm = 1.0 / (static_cast<double>(n) * static_cast<double>(n));
+  for (std::size_t k = 0; k <= n / 2; ++k)
+    power[k] = std::norm(spec[k]) * norm;
+  return power;
+}
+
+}  // namespace mfn::fft

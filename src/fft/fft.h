@@ -1,0 +1,35 @@
+// Minimal FFT library: iterative radix-2 complex transforms plus real-input
+// helpers. Used by the Rayleigh–Bénard pressure Poisson solver (FFT along
+// the periodic x axis) and by the turbulence energy-spectrum metric.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+namespace mfn::fft {
+
+using cplx = std::complex<double>;
+
+/// In-place complex FFT of length n (power of two). `inverse` applies the
+/// unscaled inverse transform; callers divide by n for a round trip.
+void fft_inplace(std::vector<cplx>& a, bool inverse);
+
+/// Out-of-place convenience wrappers (length must be a power of two).
+std::vector<cplx> fft(const std::vector<cplx>& a);
+std::vector<cplx> ifft(const std::vector<cplx>& a);  // includes the 1/n scale
+
+/// Forward FFT of real input; returns the full complex spectrum (length n).
+std::vector<cplx> rfft(const std::vector<double>& a);
+
+/// Inverse of rfft: complex spectrum (length n) -> real signal (length n).
+/// Assumes Hermitian symmetry; the imaginary residue is discarded.
+std::vector<double> irfft(const std::vector<cplx>& spectrum);
+
+/// One-sided power spectrum |X_k|^2 / n^2 for k = 0..n/2 of a real signal.
+std::vector<double> power_spectrum(const std::vector<double>& a);
+
+/// True if n is a power of two (and > 0).
+bool is_pow2(std::int64_t n);
+
+}  // namespace mfn::fft

@@ -1,0 +1,119 @@
+#include "metrics/comparison.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace mfn::metrics {
+
+SeriesComparison compare_series(const std::vector<double>& truth,
+                                const std::vector<double>& predicted) {
+  MFN_CHECK(!truth.empty() && truth.size() == predicted.size(),
+            "compare_series size mismatch: " << truth.size() << " vs "
+                                             << predicted.size());
+  const auto n = truth.size();
+  double mae = 0.0, mean = 0.0;
+  double lo = truth[0], hi = truth[0];
+  for (std::size_t i = 0; i < n; ++i) {
+    mae += std::fabs(predicted[i] - truth[i]);
+    mean += truth[i];
+    lo = std::min(lo, truth[i]);
+    hi = std::max(hi, truth[i]);
+  }
+  mae /= static_cast<double>(n);
+  mean /= static_cast<double>(n);
+
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ss_res += (predicted[i] - truth[i]) * (predicted[i] - truth[i]);
+    ss_tot += (truth[i] - mean) * (truth[i] - mean);
+  }
+
+  SeriesComparison cmp;
+  const double range = hi - lo;
+  // Degenerate constant series: fall back to the mean magnitude so the
+  // metric stays finite and meaningful.
+  const double denom = range > 1e-12 ? range : std::max(std::fabs(mean), 1e-12);
+  cmp.nmae = mae / denom;
+  cmp.r2 = ss_tot > 1e-30 ? 1.0 - ss_res / ss_tot
+                          : (ss_res < 1e-30 ? 1.0 : 0.0);
+  return cmp;
+}
+
+MetricReport compare_flow_metrics(const std::vector<FlowMetrics>& truth,
+                                  const std::vector<FlowMetrics>& predicted) {
+  MFN_CHECK(truth.size() == predicted.size() && !truth.empty(),
+            "compare_flow_metrics needs equal, non-empty series");
+  MetricReport report;
+  std::vector<double> tv(truth.size()), pv(truth.size());
+  double r2_sum = 0.0;
+  for (int mi = 0; mi < kNumFlowMetrics; ++mi) {
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+      tv[i] = truth[i].as_array()[static_cast<std::size_t>(mi)];
+      pv[i] = predicted[i].as_array()[static_cast<std::size_t>(mi)];
+    }
+    report.per_metric[static_cast<std::size_t>(mi)] = compare_series(tv, pv);
+    r2_sum += report.per_metric[static_cast<std::size_t>(mi)].r2;
+  }
+  report.avg_r2 = r2_sum / kNumFlowMetrics;
+  return report;
+}
+
+SeriesComparison compare_energy_spectra(const data::Grid4D& truth,
+                                        const data::Grid4D& predicted) {
+  MFN_CHECK(truth.data.shape() == predicted.data.shape(),
+            "compare_energy_spectra shape mismatch");
+  auto averaged_log_spectrum = [](const data::Grid4D& g) {
+    std::vector<double> acc;
+    for (std::int64_t t = 0; t < g.nt(); ++t) {
+      auto E = energy_spectrum_x(g.frame(data::kU, t),
+                                 g.frame(data::kW, t));
+      if (acc.empty()) acc.assign(E.size(), 0.0);
+      for (std::size_t k = 0; k < E.size(); ++k) acc[k] += E[k];
+    }
+    // drop the k = 0 mean-flow bin, convert to log10 with a floor
+    std::vector<double> logE;
+    logE.reserve(acc.size() - 1);
+    for (std::size_t k = 1; k < acc.size(); ++k)
+      logE.push_back(std::log10(
+          std::max(acc[k] / static_cast<double>(g.nt()), 1e-30)));
+    return logE;
+  };
+  return compare_series(averaged_log_spectrum(truth),
+                        averaged_log_spectrum(predicted));
+}
+
+std::string format_report_header(const std::string& label_title) {
+  std::ostringstream os;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%-22s", label_title.c_str());
+  os << buf;
+  for (const char* name : kFlowMetricNames) {
+    std::snprintf(buf, sizeof(buf), " %16s", name);
+    os << buf;
+  }
+  std::snprintf(buf, sizeof(buf), " %9s", "avg.R2");
+  os << buf;
+  return os.str();
+}
+
+std::string format_report_row(const std::string& label,
+                              const MetricReport& report) {
+  std::ostringstream os;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%-22s", label.c_str());
+  os << buf;
+  for (const auto& cmp : report.per_metric) {
+    std::snprintf(buf, sizeof(buf), " %7.3f(%7.4f)", 100.0 * cmp.nmae,
+                  cmp.r2);
+    os << buf;
+  }
+  std::snprintf(buf, sizeof(buf), " %9.4f", report.avg_r2);
+  os << buf;
+  return os.str();
+}
+
+}  // namespace mfn::metrics

@@ -1,0 +1,48 @@
+// NMAE / R^2 series comparison and the paper-style result tables.
+//
+// The paper reports, for each physics metric, "100 x NMAE" and "(R^2)"
+// between the metric series of predicted-HR and ground-truth-HR data.
+// NMAE here is the mean absolute error normalized by the ground-truth
+// series range; R^2 is the standard coefficient of determination.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "metrics/flow_metrics.h"
+
+namespace mfn::metrics {
+
+struct SeriesComparison {
+  double nmae = 0.0;  ///< mean |pred-true| / (max(true) - min(true))
+  double r2 = 0.0;    ///< 1 - SS_res / SS_tot
+};
+
+SeriesComparison compare_series(const std::vector<double>& truth,
+                                const std::vector<double>& predicted);
+
+/// Per-metric comparison of two FlowMetrics series plus the average R^2
+/// (the paper's "avg. R^2" column).
+struct MetricReport {
+  std::array<SeriesComparison, kNumFlowMetrics> per_metric;
+  double avg_r2 = 0.0;
+};
+
+MetricReport compare_flow_metrics(const std::vector<FlowMetrics>& truth,
+                                  const std::vector<FlowMetrics>& predicted);
+
+/// "0.698 (0.9990)" cells in the paper's layout; `label` is the row name.
+std::string format_report_row(const std::string& label,
+                              const MetricReport& report);
+/// Header matching format_report_row's columns.
+std::string format_report_header(const std::string& label_title);
+
+/// Spectral fidelity: compare the time-averaged kinetic-energy spectra of
+/// two {p,T,u,w} grids. Returns NMAE/R^2 over log10 E(k) for k >= 1
+/// (log-space comparison weights the fine-scale tail the way turbulence
+/// plots do). Grids must have matching shapes.
+SeriesComparison compare_energy_spectra(const data::Grid4D& truth,
+                                        const data::Grid4D& predicted);
+
+}  // namespace mfn::metrics

@@ -1,0 +1,113 @@
+#include "metrics/flow_metrics.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "fft/fft.h"
+
+namespace mfn::metrics {
+
+std::vector<double> energy_spectrum_x(const Tensor& u, const Tensor& w) {
+  MFN_CHECK(u.ndim() == 2 && u.shape() == w.shape(),
+            "energy_spectrum_x expects matching (Z, X) frames");
+  const std::int64_t Z = u.dim(0), X = u.dim(1);
+  MFN_CHECK(fft::is_pow2(X), "nx must be a power of two for the spectrum");
+  std::vector<double> E(static_cast<std::size_t>(X / 2 + 1), 0.0);
+  std::vector<double> row(static_cast<std::size_t>(X));
+  for (const Tensor* field : {&u, &w}) {
+    const float* p = field->data();
+    for (std::int64_t z = 0; z < Z; ++z) {
+      for (std::int64_t x = 0; x < X; ++x)
+        row[static_cast<std::size_t>(x)] = p[z * X + x];
+      auto power = fft::power_spectrum(row);  // |X_k|^2 / n^2
+      // one-sided: double the interior bins (k and -k fold together)
+      for (std::size_t m = 0; m < E.size(); ++m) {
+        const double factor =
+            (m == 0 || static_cast<std::int64_t>(m) == X / 2) ? 1.0 : 2.0;
+        E[m] += 0.5 * factor * power[m];
+      }
+    }
+  }
+  for (auto& e : E) e /= static_cast<double>(Z);
+  return E;
+}
+
+FlowMetrics compute_flow_metrics(const Tensor& u, const Tensor& w, double dx,
+                                 double dz, double Lx, double nu) {
+  MFN_CHECK(u.ndim() == 2 && u.shape() == w.shape(),
+            "compute_flow_metrics expects matching (Z, X) frames");
+  MFN_CHECK(nu > 0.0 && dx > 0.0 && dz > 0.0, "bad metric parameters");
+  const std::int64_t Z = u.dim(0), X = u.dim(1);
+  const float* pu = u.data();
+  const float* pw = w.data();
+
+  FlowMetrics m;
+
+  // --- total kinetic energy ---
+  double ke = 0.0;
+  for (std::int64_t i = 0; i < Z * X; ++i)
+    ke += static_cast<double>(pu[i]) * pu[i] +
+          static_cast<double>(pw[i]) * pw[i];
+  m.etot = 0.5 * ke / static_cast<double>(Z * X);
+  m.urms = std::sqrt(2.0 * m.etot / 3.0);
+
+  // --- dissipation from the strain-rate tensor ---
+  // central differences: periodic in x, one-sided at the z walls
+  auto at = [X](const float* p, std::int64_t z, std::int64_t x) {
+    return static_cast<double>(p[z * X + x]);
+  };
+  double sij2 = 0.0;
+  for (std::int64_t z = 0; z < Z; ++z) {
+    const std::int64_t zm = std::max<std::int64_t>(z - 1, 0);
+    const std::int64_t zp = std::min<std::int64_t>(z + 1, Z - 1);
+    const double dzf = (zp - zm) * dz;
+    for (std::int64_t x = 0; x < X; ++x) {
+      const std::int64_t xm = (x - 1 + X) % X;
+      const std::int64_t xp = (x + 1) % X;
+      const double du_dx = (at(pu, z, xp) - at(pu, z, xm)) / (2.0 * dx);
+      const double dw_dz = (at(pw, zp, x) - at(pw, zm, x)) / dzf;
+      const double du_dz = (at(pu, zp, x) - at(pu, zm, x)) / dzf;
+      const double dw_dx = (at(pw, z, xp) - at(pw, z, xm)) / (2.0 * dx);
+      const double s12 = 0.5 * (du_dz + dw_dx);
+      sij2 += du_dx * du_dx + dw_dz * dw_dz + 2.0 * s12 * s12;
+    }
+  }
+  sij2 /= static_cast<double>(Z * X);
+  m.dissipation = std::max(2.0 * nu * sij2, 1e-30);
+
+  // --- derived scales ---
+  m.taylor_microscale =
+      std::sqrt(15.0 * nu * m.urms * m.urms / m.dissipation);
+  m.taylor_reynolds = m.urms * m.taylor_microscale / nu;
+  m.kolmogorov_time = std::sqrt(nu / m.dissipation);
+  m.kolmogorov_length =
+      std::pow(nu * nu * nu / m.dissipation, 0.25);
+
+  // --- integral scale from the energy spectrum ---
+  const auto E = energy_spectrum_x(u, w);
+  double integral = 0.0;
+  for (std::size_t mm = 1; mm < E.size(); ++mm) {
+    const double k = 2.0 * M_PI * static_cast<double>(mm) / Lx;
+    integral += E[mm] / k;
+  }
+  const double u2 = std::max(m.urms * m.urms, 1e-30);
+  m.integral_scale = M_PI / (2.0 * u2) * integral;
+  m.eddy_turnover_time = m.integral_scale / std::max(m.urms, 1e-15);
+  return m;
+}
+
+std::vector<FlowMetrics> metrics_over_time(const data::Grid4D& grid,
+                                           double nu) {
+  std::vector<FlowMetrics> out;
+  out.reserve(static_cast<std::size_t>(grid.nt()));
+  const double Lx = grid.dx_cell * static_cast<double>(grid.nx());
+  for (std::int64_t t = 0; t < grid.nt(); ++t) {
+    Tensor u = grid.frame(data::kU, t);
+    Tensor w = grid.frame(data::kW, t);
+    out.push_back(compute_flow_metrics(u, w, grid.dx_cell, grid.dz_cell, Lx,
+                                       nu));
+  }
+  return out;
+}
+
+}  // namespace mfn::metrics

@@ -1,0 +1,65 @@
+// Physics-based evaluation metrics (paper Sec. 3.3).
+//
+// All nine turbulence statistics the paper reports, computed from (u, w)
+// velocity frames on a uniform grid with periodic x and wall-bounded z:
+//
+//   E_tot   total kinetic energy            (1/2) <u_i u_i>
+//   u_rms   RMS velocity                     sqrt(2 E_tot / 3)
+//   eps     dissipation                      2 nu <S_ij S_ij>
+//   lambda  Taylor microscale                sqrt(15 nu u_rms^2 / eps)
+//   Re_l    Taylor-scale Reynolds number     u_rms lambda / nu
+//   tau_eta Kolmogorov time scale            sqrt(nu / eps)
+//   eta     Kolmogorov length scale          (nu^3 / eps)^(1/4)
+//   L       turbulent integral scale         (pi / (2 u_rms^2)) sum E(k)/k
+//   T_L     large-eddy turnover time         L / u_rms
+//
+// The kinematic viscosity in the non-dimensional RB units is nu = R* =
+// sqrt(Pr / Ra); callers pass it explicitly.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "data/grid4d.h"
+#include "tensor/tensor.h"
+
+namespace mfn::metrics {
+
+inline constexpr int kNumFlowMetrics = 9;
+inline constexpr std::array<const char*, kNumFlowMetrics> kFlowMetricNames = {
+    "Etot", "urms", "eps", "lambda", "Re_lambda",
+    "tau_eta", "eta", "L", "TL"};
+
+struct FlowMetrics {
+  double etot = 0.0;
+  double urms = 0.0;
+  double dissipation = 0.0;
+  double taylor_microscale = 0.0;
+  double taylor_reynolds = 0.0;
+  double kolmogorov_time = 0.0;
+  double kolmogorov_length = 0.0;
+  double integral_scale = 0.0;
+  double eddy_turnover_time = 0.0;
+
+  std::array<double, kNumFlowMetrics> as_array() const {
+    return {etot,           urms,          dissipation,
+            taylor_microscale, taylor_reynolds, kolmogorov_time,
+            kolmogorov_length, integral_scale,  eddy_turnover_time};
+  }
+};
+
+/// Metrics of a single (Z, X) velocity frame. `dx`/`dz` are the grid
+/// spacings, `Lx` the periodic domain width, `nu` the kinematic viscosity.
+FlowMetrics compute_flow_metrics(const Tensor& u, const Tensor& w, double dx,
+                                 double dz, double Lx, double nu);
+
+/// Metrics for every frame of a {p,T,u,w} Grid4D.
+std::vector<FlowMetrics> metrics_over_time(const data::Grid4D& grid,
+                                           double nu);
+
+/// One-sided kinetic-energy spectrum E(k_m), m = 0..nx/2, from the x-FFT of
+/// (u, w) averaged over z rows. Wavenumber of bin m is 2*pi*m/Lx.
+std::vector<double> energy_spectrum_x(const Tensor& u, const Tensor& w);
+
+}  // namespace mfn::metrics

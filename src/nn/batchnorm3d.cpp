@@ -1,0 +1,69 @@
+#include "nn/batchnorm3d.h"
+
+#include <cmath>
+
+#include "tensor/nn_kernels.h"
+#include "tensor/tensor_ops.h"
+
+namespace mfn::nn {
+
+BatchNorm3d::BatchNorm3d(std::int64_t channels, float eps, float momentum)
+    : eps_(eps), momentum_(momentum) {
+  gamma_ = register_parameter("gamma", Tensor::ones(Shape{channels}));
+  beta_ = register_parameter("beta", Tensor::zeros(Shape{channels}));
+  running_mean_ = register_buffer("running_mean", Tensor::zeros(Shape{channels}));
+  running_var_ = register_buffer("running_var", Tensor::ones(Shape{channels}));
+}
+
+ad::Var BatchNorm3d::forward(const ad::Var& x) {
+  if (training()) {
+    Tensor batch_mean, batch_var;
+    ad::Var out =
+        ad::batchnorm3d(x, gamma_, beta_, eps_, &batch_mean, &batch_var);
+    // running = (1 - momentum) * running + momentum * batch
+    scale_(running_mean_, 1.0f - momentum_);
+    add_(running_mean_, batch_mean, momentum_);
+    scale_(running_var_, 1.0f - momentum_);
+    add_(running_var_, batch_var, momentum_);
+    return out;
+  }
+  Tensor y = batchnorm3d_eval(x.value(), gamma_.value(), beta_.value(),
+                              running_mean_, running_var_, eps_);
+  // Eval-mode affine normalization is still differentiable w.r.t. x, gamma
+  // and beta; wire a backward for completeness (used by fine-tuning tests).
+  const Tensor rm = running_mean_;
+  const Tensor rv = running_var_;
+  const float eps = eps_;
+  return ad::make_op(std::move(y), {x, gamma_, beta_}, [rm, rv, eps](
+                                                           ad::Node& n) {
+    const Shape& xs = n.parents[0]->value.shape();
+    const std::int64_t N = xs[0], C = xs[1], S = xs[2] * xs[3] * xs[4];
+    const float* pgy = n.grad.data();
+    const float* px = n.parents[0]->value.data();
+    const float* pgam = n.parents[1]->value.data();
+    Tensor gx(xs);
+    Tensor ggam(Shape{C});
+    Tensor gbeta(Shape{C});
+    for (std::int64_t c = 0; c < C; ++c) {
+      const float inv = 1.0f / std::sqrt(rv.data()[c] + eps);
+      const float mu = rm.data()[c];
+      double sg = 0.0, sgx = 0.0;
+      for (std::int64_t nn = 0; nn < N; ++nn) {
+        const std::int64_t base = (nn * C + c) * S;
+        for (std::int64_t i = 0; i < S; ++i) {
+          const float xhat = (px[base + i] - mu) * inv;
+          gx.data()[base + i] = pgy[base + i] * pgam[c] * inv;
+          sg += pgy[base + i];
+          sgx += static_cast<double>(pgy[base + i]) * xhat;
+        }
+      }
+      ggam.data()[c] = static_cast<float>(sgx);
+      gbeta.data()[c] = static_cast<float>(sg);
+    }
+    if (n.parents[0]->requires_grad) n.parents[0]->accumulate(gx);
+    if (n.parents[1]->requires_grad) n.parents[1]->accumulate(ggam);
+    if (n.parents[2]->requires_grad) n.parents[2]->accumulate(gbeta);
+  });
+}
+
+}  // namespace mfn::nn

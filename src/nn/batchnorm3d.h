@@ -1,0 +1,27 @@
+// Batch normalization over (N, D, H, W) per channel with running statistics.
+#pragma once
+
+#include "autodiff/ops.h"
+#include "nn/module.h"
+
+namespace mfn::nn {
+
+class BatchNorm3d : public Module {
+ public:
+  explicit BatchNorm3d(std::int64_t channels, float eps = 1e-5f,
+                       float momentum = 0.1f);
+
+  /// Training mode normalizes with batch stats and updates running stats;
+  /// eval mode uses the stored running statistics.
+  ad::Var forward(const ad::Var& x);
+
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
+
+ private:
+  float eps_, momentum_;
+  ad::Var gamma_, beta_;
+  Tensor running_mean_, running_var_;  // handles shared with buffers
+};
+
+}  // namespace mfn::nn

@@ -1,0 +1,35 @@
+#include "nn/conv3d.h"
+
+#include "common/error.h"
+#include "nn/init.h"
+
+namespace mfn::nn {
+
+Conv3d::Conv3d(std::int64_t in_channels, std::int64_t out_channels,
+               Conv3dSpec spec, Rng& rng, bool bias)
+    : spec_(spec) {
+  const std::int64_t fan_in =
+      in_channels * spec.kernel[0] * spec.kernel[1] * spec.kernel[2];
+  weight_ = register_parameter(
+      "weight",
+      kaiming_uniform(Shape{out_channels, in_channels, spec.kernel[0],
+                            spec.kernel[1], spec.kernel[2]},
+                      fan_in, rng));
+  if (bias)
+    bias_ = register_parameter("bias", Tensor::zeros(Shape{out_channels}));
+}
+
+Conv3dSpec Conv3d::same_spec(std::int64_t k) {
+  MFN_CHECK(k % 2 == 1, "same padding needs odd kernel, got " << k);
+  Conv3dSpec spec;
+  spec.kernel = {k, k, k};
+  spec.stride = {1, 1, 1};
+  spec.padding = {k / 2, k / 2, k / 2};
+  return spec;
+}
+
+ad::Var Conv3d::forward(const ad::Var& x) {
+  return ad::conv3d(x, weight_, bias_, spec_);
+}
+
+}  // namespace mfn::nn

@@ -1,0 +1,30 @@
+// 3-D convolution layer over (N, C, D, H, W) space-time volumes.
+#pragma once
+
+#include "autodiff/ops.h"
+#include "nn/module.h"
+
+namespace mfn::nn {
+
+class Conv3d : public Module {
+ public:
+  /// "Same" padding is the caller's responsibility via `spec.padding`.
+  Conv3d(std::int64_t in_channels, std::int64_t out_channels, Conv3dSpec spec,
+         Rng& rng, bool bias = true);
+
+  /// Convenience: cubic kernel k with stride 1 and same padding (k odd).
+  static Conv3dSpec same_spec(std::int64_t k);
+
+  ad::Var forward(const ad::Var& x);
+
+  const Conv3dSpec& spec() const { return spec_; }
+  const ad::Var& weight() const { return weight_; }
+  const ad::Var& bias() const { return bias_; }
+
+ private:
+  Conv3dSpec spec_;
+  ad::Var weight_;
+  ad::Var bias_;
+};
+
+}  // namespace mfn::nn

@@ -1,0 +1,23 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mfn::nn {
+
+Tensor kaiming_uniform(Shape shape, std::int64_t fan_in, Rng& rng) {
+  MFN_CHECK(fan_in > 0, "kaiming_uniform fan_in " << fan_in);
+  const float bound = std::sqrt(6.0f / static_cast<float>(fan_in));
+  return Tensor::uniform(std::move(shape), rng, -bound, bound);
+}
+
+Tensor xavier_uniform(Shape shape, std::int64_t fan_in, std::int64_t fan_out,
+                      Rng& rng) {
+  MFN_CHECK(fan_in > 0 && fan_out > 0, "xavier_uniform fans");
+  const float bound =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return Tensor::uniform(std::move(shape), rng, -bound, bound);
+}
+
+}  // namespace mfn::nn

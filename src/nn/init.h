@@ -1,0 +1,19 @@
+// Weight initialization schemes.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace mfn::nn {
+
+/// Kaiming (He) uniform initialization for ReLU-family networks:
+/// U(-b, b) with b = sqrt(6 / fan_in).
+Tensor kaiming_uniform(Shape shape, std::int64_t fan_in, Rng& rng);
+
+/// Xavier/Glorot uniform: U(-b, b), b = sqrt(6 / (fan_in + fan_out)).
+Tensor xavier_uniform(Shape shape, std::int64_t fan_in, std::int64_t fan_out,
+                      Rng& rng);
+
+}  // namespace mfn::nn

@@ -1,0 +1,19 @@
+#include "nn/linear.h"
+
+#include "nn/init.h"
+
+namespace mfn::nn {
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng,
+               bool bias)
+    : in_(in_features), out_(out_features) {
+  weight_ = register_parameter(
+      "weight", kaiming_uniform(Shape{out_, in_}, in_, rng));
+  if (bias) bias_ = register_parameter("bias", Tensor::zeros(Shape{out_}));
+}
+
+ad::Var Linear::forward(const ad::Var& x) {
+  return ad::linear(x, weight_, bias_);
+}
+
+}  // namespace mfn::nn

@@ -1,0 +1,31 @@
+// Fully-connected layer.
+#pragma once
+
+#include "autodiff/ops.h"
+#include "nn/module.h"
+
+namespace mfn::nn {
+
+class Linear : public Module {
+ public:
+  /// weight:(out,in) Kaiming-uniform, bias:(out) zero (when enabled).
+  Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng,
+         bool bias = true);
+
+  /// x:(B,in) -> (B,out).
+  ad::Var forward(const ad::Var& x);
+
+  std::int64_t in_features() const { return in_; }
+  std::int64_t out_features() const { return out_; }
+  /// Handles share the registered parameter nodes.
+  const ad::Var& weight() const { return weight_; }
+  const ad::Var& bias() const { return bias_; }
+  bool has_bias() const { return bias_.defined(); }
+
+ private:
+  std::int64_t in_, out_;
+  ad::Var weight_;  // shares node with the registered parameter
+  ad::Var bias_;    // undefined when bias is disabled
+};
+
+}  // namespace mfn::nn

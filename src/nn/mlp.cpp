@@ -1,0 +1,40 @@
+#include "nn/mlp.h"
+
+#include <string>
+
+#include "common/error.h"
+
+namespace mfn::nn {
+
+ad::Var apply_activation(Activation act, const ad::Var& x) {
+  switch (act) {
+    case Activation::kReLU:
+      return ad::relu(x);
+    case Activation::kSoftplus:
+      return ad::softplus(x);
+    case Activation::kTanh:
+      return ad::tanh(x);
+  }
+  MFN_FAIL("unknown activation");
+}
+
+MLP::MLP(std::vector<std::int64_t> widths, Rng& rng, Activation activation)
+    : widths_(std::move(widths)), activation_(activation) {
+  MFN_CHECK(widths_.size() >= 2, "MLP needs at least in/out widths");
+  for (std::size_t i = 0; i + 1 < widths_.size(); ++i) {
+    layers_.push_back(
+        std::make_unique<Linear>(widths_[i], widths_[i + 1], rng));
+    register_module("fc" + std::to_string(i), *layers_.back());
+  }
+}
+
+ad::Var MLP::forward(const ad::Var& x) {
+  ad::Var h = x;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i]->forward(h);
+    if (i + 1 < layers_.size()) h = apply_activation(activation_, h);
+  }
+  return h;
+}
+
+}  // namespace mfn::nn

@@ -1,0 +1,43 @@
+// Multilayer perceptron — the Continuous Decoding Network trunk.
+//
+// Hidden activations default to softplus: the decoder must have non-zero
+// second derivatives w.r.t. its inputs for the PDE equation loss (ReLU's
+// second derivative vanishes a.e., which would silently disable the
+// diffusive terms). The layer list is exposed so core/ can run the
+// forward-mode (value, tangent, curvature) propagation through it.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace mfn::nn {
+
+enum class Activation { kReLU, kSoftplus, kTanh };
+
+ad::Var apply_activation(Activation act, const ad::Var& x);
+
+class MLP : public Module {
+ public:
+  /// widths = {in, h1, ..., out}; activation applied between layers only.
+  MLP(std::vector<std::int64_t> widths, Rng& rng,
+      Activation activation = Activation::kSoftplus);
+
+  ad::Var forward(const ad::Var& x);
+
+  const std::vector<std::unique_ptr<Linear>>& layers() const {
+    return layers_;
+  }
+  Activation activation() const { return activation_; }
+  std::int64_t in_features() const { return widths_.front(); }
+  std::int64_t out_features() const { return widths_.back(); }
+
+ private:
+  std::vector<std::int64_t> widths_;
+  Activation activation_;
+  std::vector<std::unique_ptr<Linear>> layers_;
+};
+
+}  // namespace mfn::nn

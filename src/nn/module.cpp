@@ -1,0 +1,104 @@
+#include "nn/module.h"
+
+#include "common/error.h"
+#include "tensor/serialize.h"
+#include "tensor/tensor_ops.h"
+
+namespace mfn::nn {
+
+std::vector<ad::Var*> Module::parameters() {
+  std::vector<ad::Var*> out;
+  for (auto& [name, var] : named_parameters()) out.push_back(var);
+  return out;
+}
+
+std::vector<std::pair<std::string, ad::Var*>> Module::named_parameters() {
+  std::vector<std::pair<std::string, ad::Var*>> out;
+  for (auto& [name, p] : params_) out.emplace_back(name, p.get());
+  for (auto& [cname, child] : children_) {
+    for (auto& [name, p] : child->named_parameters())
+      out.emplace_back(cname + "." + name, p);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, Tensor*>> Module::named_buffers() {
+  std::vector<std::pair<std::string, Tensor*>> out;
+  for (auto& [name, b] : buffers_) out.emplace_back(name, b.get());
+  for (auto& [cname, child] : children_) {
+    for (auto& [name, b] : child->named_buffers())
+      out.emplace_back(cname + "." + name, b);
+  }
+  return out;
+}
+
+std::int64_t Module::num_parameters() {
+  std::int64_t n = 0;
+  for (auto* p : parameters()) n += p->numel();
+  return n;
+}
+
+void Module::set_training(bool training) {
+  training_ = training;
+  for (auto& [name, child] : children_) child->set_training(training);
+}
+
+void Module::save(std::ostream& os) {
+  for (auto& [name, p] : named_parameters()) write_tensor(os, p->value());
+  for (auto& [name, b] : named_buffers()) write_tensor(os, *b);
+}
+
+void Module::load(std::istream& is) {
+  for (auto& [name, p] : named_parameters()) {
+    Tensor t = read_tensor(is);
+    MFN_CHECK(t.shape() == p->value().shape(),
+              "checkpoint shape mismatch for " << name);
+    std::copy(t.data(), t.data() + t.numel(), p->value().data());
+  }
+  for (auto& [name, b] : named_buffers()) {
+    Tensor t = read_tensor(is);
+    MFN_CHECK(t.shape() == b->shape(), "checkpoint shape mismatch for "
+                                           << name);
+    std::copy(t.data(), t.data() + t.numel(), b->data());
+  }
+}
+
+void Module::copy_state_from(Module& other) {
+  auto mine = named_parameters();
+  auto theirs = other.named_parameters();
+  MFN_CHECK(mine.size() == theirs.size(), "copy_state_from: arity mismatch");
+  for (std::size_t i = 0; i < mine.size(); ++i) {
+    MFN_CHECK(mine[i].second->shape() == theirs[i].second->shape(),
+              "copy_state_from: shape mismatch at " << mine[i].first);
+    std::copy(theirs[i].second->value().data(),
+              theirs[i].second->value().data() + theirs[i].second->numel(),
+              mine[i].second->value().data());
+  }
+  auto mybuf = named_buffers();
+  auto theirbuf = other.named_buffers();
+  MFN_CHECK(mybuf.size() == theirbuf.size(),
+            "copy_state_from: buffer arity mismatch");
+  for (std::size_t i = 0; i < mybuf.size(); ++i) {
+    std::copy(theirbuf[i].second->data(),
+              theirbuf[i].second->data() + theirbuf[i].second->numel(),
+              mybuf[i].second->data());
+  }
+}
+
+ad::Var& Module::register_parameter(const std::string& name, Tensor init) {
+  params_.emplace_back(name,
+                       std::make_unique<ad::Var>(std::move(init),
+                                                 /*requires_grad=*/true));
+  return *params_.back().second;
+}
+
+Tensor& Module::register_buffer(const std::string& name, Tensor init) {
+  buffers_.emplace_back(name, std::make_unique<Tensor>(std::move(init)));
+  return *buffers_.back().second;
+}
+
+void Module::register_module(const std::string& name, Module& child) {
+  children_.emplace_back(name, &child);
+}
+
+}  // namespace mfn::nn

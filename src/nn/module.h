@@ -1,0 +1,59 @@
+// Module: base class for trainable network components.
+//
+// A Module owns named parameters (ad::Var with requires_grad) and named
+// buffers (plain Tensors such as batch-norm running statistics), registers
+// child modules by reference, and supports recursive parameter collection,
+// train/eval mode switching, and binary checkpointing.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "autodiff/variable.h"
+
+namespace mfn::nn {
+
+class Module {
+ public:
+  virtual ~Module() = default;
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All parameters of this module and its registered children.
+  std::vector<ad::Var*> parameters();
+  /// Parameters with hierarchical names ("block1.conv.weight").
+  std::vector<std::pair<std::string, ad::Var*>> named_parameters();
+  /// Buffers (non-trainable state) with hierarchical names.
+  std::vector<std::pair<std::string, Tensor*>> named_buffers();
+
+  /// Total trainable scalar count.
+  std::int64_t num_parameters();
+
+  void set_training(bool training);
+  bool training() const { return training_; }
+
+  /// Binary checkpoint of parameters + buffers (order-based).
+  void save(std::ostream& os);
+  void load(std::istream& is);
+
+  /// Copy parameter/buffer values from another instance of the same
+  /// architecture (used by the data-parallel replicas).
+  void copy_state_from(Module& other);
+
+ protected:
+  ad::Var& register_parameter(const std::string& name, Tensor init);
+  Tensor& register_buffer(const std::string& name, Tensor init);
+  void register_module(const std::string& name, Module& child);
+
+ private:
+  std::vector<std::pair<std::string, std::unique_ptr<ad::Var>>> params_;
+  std::vector<std::pair<std::string, std::unique_ptr<Tensor>>> buffers_;
+  std::vector<std::pair<std::string, Module*>> children_;
+  bool training_ = true;
+};
+
+}  // namespace mfn::nn

@@ -1,0 +1,45 @@
+#include "nn/resblock3d.h"
+
+#include <algorithm>
+
+namespace mfn::nn {
+
+ResBlock3d::ResBlock3d(std::int64_t in_channels, std::int64_t out_channels,
+                       Rng& rng) {
+  const std::int64_t mid = std::max<std::int64_t>(out_channels / 2, 4);
+  conv1_ = std::make_unique<Conv3d>(in_channels, mid, Conv3d::same_spec(1),
+                                    rng, /*bias=*/false);
+  bn1_ = std::make_unique<BatchNorm3d>(mid);
+  conv2_ = std::make_unique<Conv3d>(mid, mid, Conv3d::same_spec(3), rng,
+                                    /*bias=*/false);
+  bn2_ = std::make_unique<BatchNorm3d>(mid);
+  conv3_ = std::make_unique<Conv3d>(mid, out_channels, Conv3d::same_spec(1),
+                                    rng, /*bias=*/false);
+  bn3_ = std::make_unique<BatchNorm3d>(out_channels);
+  if (in_channels != out_channels) {
+    proj_ = std::make_unique<Conv3d>(in_channels, out_channels,
+                                     Conv3d::same_spec(1), rng,
+                                     /*bias=*/false);
+    bn_proj_ = std::make_unique<BatchNorm3d>(out_channels);
+  }
+  register_module("conv1", *conv1_);
+  register_module("bn1", *bn1_);
+  register_module("conv2", *conv2_);
+  register_module("bn2", *bn2_);
+  register_module("conv3", *conv3_);
+  register_module("bn3", *bn3_);
+  if (proj_) {
+    register_module("proj", *proj_);
+    register_module("bn_proj", *bn_proj_);
+  }
+}
+
+ad::Var ResBlock3d::forward(const ad::Var& x) {
+  ad::Var h = ad::relu(bn1_->forward(conv1_->forward(x)));
+  h = ad::relu(bn2_->forward(conv2_->forward(h)));
+  h = bn3_->forward(conv3_->forward(h));
+  ad::Var skip = proj_ ? bn_proj_->forward(proj_->forward(x)) : x;
+  return ad::relu(ad::add(h, skip));
+}
+
+}  // namespace mfn::nn

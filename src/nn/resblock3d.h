@@ -1,0 +1,28 @@
+// Bottleneck residual block used by the Context Generation Network.
+//
+// Paper (Fig. 5): each residue block is three convolutions (1x1x1, 3x3x3,
+// 1x1x1) interleaved with batch normalization and ReLU, plus a skip
+// connection (identity, or a projected 1x1x1 conv when channel counts
+// differ), followed by a final ReLU.
+#pragma once
+
+#include <memory>
+
+#include "nn/batchnorm3d.h"
+#include "nn/conv3d.h"
+#include "nn/module.h"
+
+namespace mfn::nn {
+
+class ResBlock3d : public Module {
+ public:
+  ResBlock3d(std::int64_t in_channels, std::int64_t out_channels, Rng& rng);
+
+  ad::Var forward(const ad::Var& x);
+
+ private:
+  std::unique_ptr<Conv3d> conv1_, conv2_, conv3_, proj_;
+  std::unique_ptr<BatchNorm3d> bn1_, bn2_, bn3_, bn_proj_;
+};
+
+}  // namespace mfn::nn

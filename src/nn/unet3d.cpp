@@ -1,0 +1,63 @@
+#include "nn/unet3d.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/error.h"
+
+namespace mfn::nn {
+
+UNet3D::UNet3D(UNet3DConfig config, Rng& rng) : config_(std::move(config)) {
+  MFN_CHECK(!config_.pools.empty(), "UNet3D needs at least one level");
+  const std::int64_t L = static_cast<std::int64_t>(config_.pools.size());
+
+  level_channels_.push_back(config_.base_filters);
+  for (std::int64_t i = 0; i < L; ++i)
+    level_channels_.push_back(std::min(level_channels_.back() * 2,
+                                       config_.max_filters));
+
+  stem_ = std::make_unique<ResBlock3d>(config_.in_channels,
+                                       level_channels_[0], rng);
+  register_module("stem", *stem_);
+
+  for (std::int64_t i = 0; i < L; ++i) {
+    down_.push_back(std::make_unique<ResBlock3d>(
+        level_channels_[static_cast<std::size_t>(i)],
+        level_channels_[static_cast<std::size_t>(i + 1)], rng));
+    register_module("down" + std::to_string(i), *down_.back());
+  }
+  for (std::int64_t i = L - 1; i >= 0; --i) {
+    // input: upsampled deep features + skip concatenation
+    const std::int64_t cin =
+        level_channels_[static_cast<std::size_t>(i + 1)] +
+        level_channels_[static_cast<std::size_t>(i)];
+    up_.push_back(std::make_unique<ResBlock3d>(
+        cin, level_channels_[static_cast<std::size_t>(i)], rng));
+    register_module("up" + std::to_string(i), *up_.back());
+  }
+  head_ = std::make_unique<Conv3d>(level_channels_[0], config_.out_channels,
+                                   Conv3d::same_spec(1), rng, /*bias=*/true);
+  register_module("head", *head_);
+}
+
+ad::Var UNet3D::forward(const ad::Var& x) {
+  const std::size_t L = config_.pools.size();
+  std::vector<ad::Var> skips;
+  skips.reserve(L);
+
+  ad::Var h = stem_->forward(x);
+  for (std::size_t i = 0; i < L; ++i) {
+    skips.push_back(h);
+    h = ad::maxpool3d(h, config_.pools[i]);
+    h = down_[i]->forward(h);
+  }
+  for (std::size_t i = 0; i < L; ++i) {
+    const std::size_t level = L - 1 - i;
+    h = ad::upsample_nearest3d(h, config_.pools[level]);
+    h = ad::concat({h, skips[level]}, /*axis=*/1);
+    h = up_[i]->forward(h);
+  }
+  return head_->forward(h);
+}
+
+}  // namespace mfn::nn

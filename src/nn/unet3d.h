@@ -1,0 +1,49 @@
+// 3-D U-Net: the Context Generation Network trunk of MeshfreeFlowNet.
+//
+// Mirrors the paper's architecture (Fig. 5): a contractive path of residue
+// blocks + max pooling, an expansive path of nearest-neighbour upsampling +
+// residue blocks, and skip concatenations between same-resolution stages.
+// Pooling factors are configurable per level so time can be pooled less
+// aggressively than space, exactly like the paper's
+// [4,16,16] -> [4,8,8] -> [4,4,4] -> [2,2,2] -> [1,1,1] progression.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/conv3d.h"
+#include "nn/module.h"
+#include "nn/resblock3d.h"
+
+namespace mfn::nn {
+
+struct UNet3DConfig {
+  std::int64_t in_channels = 4;
+  std::int64_t out_channels = 32;  ///< latent grid channels
+  std::int64_t base_filters = 16;
+  std::int64_t max_filters = 256;
+  /// Pooling factor (D,H,W) applied at each contraction level. Input dims
+  /// must be divisible by the per-axis product of all pools.
+  std::vector<Dims3> pools = {{1, 2, 2}, {1, 2, 2}, {2, 2, 2}};
+};
+
+class UNet3D : public Module {
+ public:
+  UNet3D(UNet3DConfig config, Rng& rng);
+
+  /// (N, C_in, D, H, W) -> (N, C_out, D, H, W): latent grid at the input
+  /// resolution (fully convolutional — any divisible D/H/W works).
+  ad::Var forward(const ad::Var& x);
+
+  const UNet3DConfig& config() const { return config_; }
+
+ private:
+  UNet3DConfig config_;
+  std::unique_ptr<ResBlock3d> stem_;
+  std::vector<std::unique_ptr<ResBlock3d>> down_;
+  std::vector<std::unique_ptr<ResBlock3d>> up_;
+  std::unique_ptr<Conv3d> head_;
+  std::vector<std::int64_t> level_channels_;
+};
+
+}  // namespace mfn::nn

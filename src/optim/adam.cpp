@@ -1,0 +1,73 @@
+#include "optim/adam.h"
+
+#include <cmath>
+#include <iostream>
+
+#include "common/error.h"
+#include "tensor/serialize.h"
+
+namespace mfn::optim {
+
+Adam::Adam(std::vector<ad::Var*> params, AdamConfig config)
+    : Optimizer(std::move(params)), config_(config) {
+  lr_ = config_.lr;
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (auto* p : params_) {
+    m_.push_back(Tensor::zeros(p->value().shape()));
+    v_.push_back(Tensor::zeros(p->value().shape()));
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(config_.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(config_.beta2, static_cast<double>(t_));
+  const float b1 = static_cast<float>(config_.beta1);
+  const float b2 = static_cast<float>(config_.beta2);
+  const float wd = static_cast<float>(config_.weight_decay);
+
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    ad::Var* p = params_[i];
+    if (!p->has_grad()) continue;
+    const float* g = p->grad().data();
+    float* pv = p->value().data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    const std::int64_t n = p->numel();
+    for (std::int64_t j = 0; j < n; ++j) {
+      float gj = g[j];
+      if (wd != 0.0f) gj += wd * pv[j];
+      m[j] = b1 * m[j] + (1.0f - b1) * gj;
+      v[j] = b2 * v[j] + (1.0f - b2) * gj * gj;
+      const double mhat = m[j] / bc1;
+      const double vhat = v[j] / bc2;
+      pv[j] -= static_cast<float>(lr_ * mhat /
+                                  (std::sqrt(vhat) + config_.eps));
+    }
+  }
+}
+
+void Adam::save_state(std::ostream& os) const {
+  os.write(reinterpret_cast<const char*>(&t_), sizeof(t_));
+  for (const auto& m : m_) write_tensor(os, m);
+  for (const auto& v : v_) write_tensor(os, v);
+  MFN_CHECK(os.good(), "Adam state write failed");
+}
+
+void Adam::load_state(std::istream& is) {
+  is.read(reinterpret_cast<char*>(&t_), sizeof(t_));
+  MFN_CHECK(is.good(), "Adam state read failed");
+  for (std::size_t i = 0; i < m_.size(); ++i) {
+    Tensor t = read_tensor(is);
+    MFN_CHECK(t.shape() == m_[i].shape(), "Adam m state shape mismatch");
+    m_[i] = t;
+  }
+  for (std::size_t i = 0; i < v_.size(); ++i) {
+    Tensor t = read_tensor(is);
+    MFN_CHECK(t.shape() == v_[i].shape(), "Adam v state shape mismatch");
+    v_[i] = t;
+  }
+}
+
+}  // namespace mfn::optim

@@ -1,0 +1,37 @@
+// Adam optimizer (Kingma & Ba, 2015) — the optimizer used by the paper's
+// experiments (Sec. 5: Adam, lr = 1e-2).
+#pragma once
+
+#include "optim/optimizer.h"
+#include "tensor/tensor.h"
+
+namespace mfn::optim {
+
+struct AdamConfig {
+  double lr = 1e-2;  // paper default
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double eps = 1e-8;
+  double weight_decay = 0.0;  // L2 penalty added to gradients
+};
+
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<ad::Var*> params, AdamConfig config = {});
+
+  void step() override;
+
+  std::int64_t step_count() const { return t_; }
+
+  /// (De)serialize the moment estimates and step counter, enabling exact
+  /// training resumption from a checkpoint.
+  void save_state(std::ostream& os) const;
+  void load_state(std::istream& is);
+
+ private:
+  AdamConfig config_;
+  std::int64_t t_ = 0;
+  std::vector<Tensor> m_, v_;
+};
+
+}  // namespace mfn::optim

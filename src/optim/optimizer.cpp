@@ -1,0 +1,32 @@
+#include "optim/optimizer.h"
+
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+
+namespace mfn::optim {
+
+void Optimizer::zero_grad() {
+  for (auto* p : params_) p->zero_grad();
+}
+
+double clip_grad_norm(const std::vector<ad::Var*>& params, double max_norm) {
+  double sq = 0.0;
+  for (auto* p : params) {
+    if (!p->has_grad()) continue;
+    const float* g = p->grad().data();
+    for (std::int64_t i = 0; i < p->numel(); ++i)
+      sq += static_cast<double>(g[i]) * g[i];
+  }
+  const double norm = std::sqrt(sq);
+  if (norm > max_norm && norm > 0.0) {
+    const float scale = static_cast<float>(max_norm / norm);
+    for (auto* p : params) {
+      if (!p->has_grad()) continue;
+      scale_(p->mutable_grad(), scale);
+    }
+  }
+  return norm;
+}
+
+}  // namespace mfn::optim

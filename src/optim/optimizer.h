@@ -1,0 +1,36 @@
+// Optimizer interface plus gradient utilities.
+#pragma once
+
+#include <vector>
+
+#include "autodiff/variable.h"
+
+namespace mfn::optim {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<ad::Var*> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// Apply one update using the gradients currently stored on the params.
+  virtual void step() = 0;
+
+  /// Reset all parameter gradients to zero.
+  void zero_grad();
+
+  const std::vector<ad::Var*>& params() const { return params_; }
+
+  double learning_rate() const { return lr_; }
+  void set_learning_rate(double lr) { lr_ = lr; }
+
+ protected:
+  std::vector<ad::Var*> params_;
+  double lr_ = 1e-3;
+};
+
+/// Scale gradients so their global L2 norm is at most `max_norm`.
+/// Returns the pre-clip norm.
+double clip_grad_norm(const std::vector<ad::Var*>& params, double max_norm);
+
+}  // namespace mfn::optim

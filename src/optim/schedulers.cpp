@@ -1,0 +1,49 @@
+#include "optim/schedulers.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mfn::optim {
+
+void LRScheduler::step() {
+  ++epoch_;
+  optimizer_->set_learning_rate(lr_at(epoch_));
+}
+
+StepLR::StepLR(Optimizer& optimizer, int step_size, double gamma)
+    : LRScheduler(optimizer), step_size_(step_size), gamma_(gamma) {
+  MFN_CHECK(step_size >= 1, "StepLR step_size must be >= 1");
+  MFN_CHECK(gamma > 0.0, "StepLR gamma must be positive");
+}
+
+double StepLR::lr_at(int epoch) const {
+  return base_lr_ * std::pow(gamma_, epoch / step_size_);
+}
+
+ExponentialLR::ExponentialLR(Optimizer& optimizer, double gamma)
+    : LRScheduler(optimizer), gamma_(gamma) {
+  MFN_CHECK(gamma > 0.0, "ExponentialLR gamma must be positive");
+}
+
+double ExponentialLR::lr_at(int epoch) const {
+  return base_lr_ * std::pow(gamma_, epoch);
+}
+
+CosineAnnealingLR::CosineAnnealingLR(Optimizer& optimizer, int t_max,
+                                     double min_lr)
+    : LRScheduler(optimizer), t_max_(t_max), min_lr_(min_lr) {
+  MFN_CHECK(t_max >= 1, "CosineAnnealingLR t_max must be >= 1");
+  MFN_CHECK(min_lr >= 0.0 && min_lr <= base_lr_,
+            "min_lr must lie in [0, base_lr]");
+}
+
+double CosineAnnealingLR::lr_at(int epoch) const {
+  const int e = std::min(epoch, t_max_);
+  return min_lr_ + 0.5 * (base_lr_ - min_lr_) *
+                       (1.0 + std::cos(M_PI * static_cast<double>(e) /
+                                       static_cast<double>(t_max_)));
+}
+
+}  // namespace mfn::optim

@@ -1,0 +1,68 @@
+// Learning-rate schedules, stepped once per epoch.
+#pragma once
+
+#include "optim/optimizer.h"
+
+namespace mfn::optim {
+
+class LRScheduler {
+ public:
+  explicit LRScheduler(Optimizer& optimizer)
+      : optimizer_(&optimizer), base_lr_(optimizer.learning_rate()) {}
+  virtual ~LRScheduler() = default;
+
+  /// Advance one epoch and update the optimizer's learning rate.
+  void step();
+
+  int epoch() const { return epoch_; }
+  double current_lr() const { return optimizer_->learning_rate(); }
+
+ protected:
+  /// Learning rate for the given (1-based) epoch count.
+  virtual double lr_at(int epoch) const = 0;
+
+  Optimizer* optimizer_;
+  double base_lr_;
+  int epoch_ = 0;
+};
+
+/// Multiply by `gamma` every `step_size` epochs.
+class StepLR : public LRScheduler {
+ public:
+  StepLR(Optimizer& optimizer, int step_size, double gamma);
+
+ protected:
+  double lr_at(int epoch) const override;
+
+ private:
+  int step_size_;
+  double gamma_;
+};
+
+/// Multiply by `gamma` every epoch.
+class ExponentialLR : public LRScheduler {
+ public:
+  ExponentialLR(Optimizer& optimizer, double gamma);
+
+ protected:
+  double lr_at(int epoch) const override;
+
+ private:
+  double gamma_;
+};
+
+/// Cosine annealing from the base LR to `min_lr` over `t_max` epochs,
+/// constant at `min_lr` afterwards.
+class CosineAnnealingLR : public LRScheduler {
+ public:
+  CosineAnnealingLR(Optimizer& optimizer, int t_max, double min_lr = 0.0);
+
+ protected:
+  double lr_at(int epoch) const override;
+
+ private:
+  int t_max_;
+  double min_lr_;
+};
+
+}  // namespace mfn::optim

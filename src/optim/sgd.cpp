@@ -1,0 +1,31 @@
+#include "optim/sgd.h"
+
+#include "tensor/tensor_ops.h"
+
+namespace mfn::optim {
+
+SGD::SGD(std::vector<ad::Var*> params, double lr, double momentum)
+    : Optimizer(std::move(params)), momentum_(momentum) {
+  lr_ = lr;
+  if (momentum_ != 0.0) {
+    velocity_.reserve(params_.size());
+    for (auto* p : params_)
+      velocity_.push_back(Tensor::zeros(p->value().shape()));
+  }
+}
+
+void SGD::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    ad::Var* p = params_[i];
+    if (!p->has_grad()) continue;
+    if (momentum_ != 0.0) {
+      scale_(velocity_[i], static_cast<float>(momentum_));
+      add_(velocity_[i], p->grad());
+      add_(p->value(), velocity_[i], static_cast<float>(-lr_));
+    } else {
+      add_(p->value(), p->grad(), static_cast<float>(-lr_));
+    }
+  }
+}
+
+}  // namespace mfn::optim

@@ -1,0 +1,20 @@
+// Stochastic gradient descent with optional momentum.
+#pragma once
+
+#include "optim/optimizer.h"
+#include "tensor/tensor.h"
+
+namespace mfn::optim {
+
+class SGD : public Optimizer {
+ public:
+  SGD(std::vector<ad::Var*> params, double lr, double momentum = 0.0);
+
+  void step() override;
+
+ private:
+  double momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+}  // namespace mfn::optim

@@ -1,0 +1,451 @@
+#include "solver/rb_solver.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "fft/fft.h"
+#include "threading/thread_pool.h"
+
+namespace mfn::solver {
+
+RBSolver::RBSolver(RBConfig config) : config_(config) {
+  nx_ = config_.nx;
+  nz_ = config_.nz;
+  MFN_CHECK(fft::is_pow2(nx_), "nx must be a power of two, got " << nx_);
+  MFN_CHECK(nz_ >= 5, "nz too small: " << nz_);
+  MFN_CHECK(config_.Ra > 0 && config_.Pr > 0, "Ra and Pr must be positive");
+  dx_ = config_.Lx / static_cast<double>(nx_);
+  dz_ = config_.Lz / static_cast<double>(nz_ - 1);
+  p_star_ = 1.0 / std::sqrt(config_.Ra * config_.Pr);
+  r_star_ = 1.0 / std::sqrt(config_.Ra / config_.Pr);
+
+  const std::size_t n = static_cast<std::size_t>(nx_) * nz_;
+  omega_.assign(n, 0.0);
+  temp_.assign(n, 0.0);
+  psi_.assign(n, 0.0);
+  u_.assign(n, 0.0);
+  w_.assign(n, 0.0);
+  s_omega_.assign(n, 0.0);
+  s_temp_.assign(n, 0.0);
+  s_psi_.assign(n, 0.0);
+  s_u_.assign(n, 0.0);
+  s_w_.assign(n, 0.0);
+  s_do_.assign(n, 0.0);
+  s_dt_.assign(n, 0.0);
+  reset();
+}
+
+double& RBSolver::at(Field& f, int j, int i) const {
+  return f[static_cast<std::size_t>(j) * nx_ + i];
+}
+
+double RBSolver::at(const Field& f, int j, int i) const {
+  return f[static_cast<std::size_t>(j) * nx_ + i];
+}
+
+int RBSolver::wrap(int i) const { return (i % nx_ + nx_) % nx_; }
+
+void RBSolver::reset() {
+  time_ = 0.0;
+  steps_ = 0;
+  Rng rng(config_.seed * 0x9E3779B9ull + 12345ull);
+  std::fill(omega_.begin(), omega_.end(), 0.0);
+  std::fill(psi_.begin(), psi_.end(), 0.0);
+
+  const double amp = config_.perturbation;
+  for (int j = 0; j < nz_; ++j) {
+    const double z = j * dz_ / config_.Lz;        // in [0,1]
+    const double envelope = std::sin(M_PI * z);   // vanishes at the walls
+    for (int i = 0; i < nx_; ++i) {
+      const double x = i * dx_ / config_.Lx;  // in [0,1)
+      double pert = 0.0;
+      switch (config_.ic) {
+        case InitialCondition::kRandom:
+          pert = rng.normal();
+          break;
+        case InitialCondition::kSingleMode: {
+          const double q = 1.0 + static_cast<double>(config_.seed % 3);
+          const double phase = 2.0 * M_PI * (config_.seed % 7) / 7.0;
+          pert = std::sin(2.0 * M_PI * q * x + phase);
+          break;
+        }
+        case InitialCondition::kTwoMode: {
+          const double q1 = 1.0 + static_cast<double>(config_.seed % 3);
+          const double q2 = 2.0 + static_cast<double>((config_.seed / 3) % 3);
+          const double ph1 = 2.0 * M_PI * (config_.seed % 5) / 5.0;
+          const double ph2 = 2.0 * M_PI * (config_.seed % 11) / 11.0;
+          pert = 0.7 * std::sin(2.0 * M_PI * q1 * x + ph1) +
+                 0.3 * std::sin(2.0 * M_PI * q2 * x + ph2);
+          break;
+        }
+      }
+      at(temp_, j, i) = (1.0 - z) + amp * envelope * pert;
+    }
+  }
+  apply_boundary_conditions(omega_, temp_, psi_);
+  solve_streamfunction(omega_, psi_);
+  velocities_from_streamfunction();
+}
+
+void RBSolver::apply_boundary_conditions(Field& omega, Field& temp,
+                                         const Field& psi) const {
+  const double inv_dz2 = 1.0 / (dz_ * dz_);
+  for (int i = 0; i < nx_; ++i) {
+    at(temp, 0, i) = 1.0;        // hot bottom
+    at(temp, nz_ - 1, i) = 0.0;  // cold top
+    if (config_.velocity_bc == VelocityBC::kFreeSlip) {
+      at(omega, 0, i) = 0.0;
+      at(omega, nz_ - 1, i) = 0.0;
+    } else {
+      // Thom's formula: with psi = 0 and u = dpsi/dz = 0 at a rigid wall,
+      // omega_wall = -lap(psi)|wall ~ -2 psi_adjacent / dz^2.
+      at(omega, 0, i) = -2.0 * at(psi, 1, i) * inv_dz2;
+      at(omega, nz_ - 1, i) = -2.0 * at(psi, nz_ - 2, i) * inv_dz2;
+    }
+  }
+}
+
+void RBSolver::poisson_dirichlet(const Field& rhs, Field& out) const {
+  // FFT every interior row of rhs, solve (d2/dz2 - k^2) f = rhs per mode
+  // with f = 0 at the walls, inverse FFT back into `out`.
+  const int interior = nz_ - 2;
+  std::vector<std::vector<fft::cplx>> spec(
+      static_cast<std::size_t>(interior));
+  for (int j = 1; j <= interior; ++j) {
+    std::vector<fft::cplx> row(static_cast<std::size_t>(nx_));
+    for (int i = 0; i < nx_; ++i) row[i] = fft::cplx(at(rhs, j, i), 0.0);
+    fft::fft_inplace(row, /*inverse=*/false);
+    spec[static_cast<std::size_t>(j - 1)] = std::move(row);
+  }
+
+  const double inv_dz2 = 1.0 / (dz_ * dz_);
+  std::vector<std::vector<fft::cplx>> sol(
+      static_cast<std::size_t>(interior),
+      std::vector<fft::cplx>(static_cast<std::size_t>(nx_)));
+
+  parallel_for(nx_, [&](std::int64_t m0, std::int64_t m1) {
+    std::vector<double> diag(static_cast<std::size_t>(interior));
+    std::vector<fft::cplx> d(static_cast<std::size_t>(interior));
+    std::vector<double> cp(static_cast<std::size_t>(interior));
+    for (std::int64_t m = m0; m < m1; ++m) {
+      const int mm = static_cast<int>(m) <= nx_ / 2
+                         ? static_cast<int>(m)
+                         : static_cast<int>(m) - nx_;
+      const double k = 2.0 * M_PI * mm / config_.Lx;
+      const double b = -2.0 * inv_dz2 - k * k;
+      // Thomas algorithm: sub/super diagonals are inv_dz2.
+      for (int j = 0; j < interior; ++j) {
+        diag[j] = b;
+        d[j] = spec[static_cast<std::size_t>(j)][static_cast<std::size_t>(m)];
+      }
+      cp[0] = inv_dz2 / diag[0];
+      d[0] /= diag[0];
+      for (int j = 1; j < interior; ++j) {
+        const double denom = diag[j] - inv_dz2 * cp[j - 1];
+        cp[j] = inv_dz2 / denom;
+        d[j] = (d[j] - inv_dz2 * d[j - 1]) / denom;
+      }
+      for (int j = interior - 2; j >= 0; --j) d[j] -= cp[j] * d[j + 1];
+      for (int j = 0; j < interior; ++j)
+        sol[static_cast<std::size_t>(j)][static_cast<std::size_t>(m)] = d[j];
+    }
+  });
+
+  for (int i = 0; i < nx_; ++i) {
+    out[static_cast<std::size_t>(0) * nx_ + i] = 0.0;
+    out[static_cast<std::size_t>(nz_ - 1) * nx_ + i] = 0.0;
+  }
+  for (int j = 1; j <= interior; ++j) {
+    std::vector<fft::cplx> row = sol[static_cast<std::size_t>(j - 1)];
+    fft::fft_inplace(row, /*inverse=*/true);
+    const double scale = 1.0 / static_cast<double>(nx_);
+    for (int i = 0; i < nx_; ++i) at(out, j, i) = row[i].real() * scale;
+  }
+}
+
+void RBSolver::solve_streamfunction(const Field& omega, Field& psi) const {
+  // lap(psi) = -omega
+  Field neg(omega.size());
+  for (std::size_t k = 0; k < omega.size(); ++k) neg[k] = -omega[k];
+  poisson_dirichlet(neg, psi);
+}
+
+void RBSolver::velocities_from_streamfunction() {
+  // u = dpsi/dz (central; one-sided 2nd order at walls),
+  // w = -dpsi/dx (central periodic; zero at walls since psi=0 there).
+  for (int j = 0; j < nz_; ++j) {
+    for (int i = 0; i < nx_; ++i) {
+      double dpsi_dz;
+      if (j == 0)
+        dpsi_dz = (-3.0 * at(psi_, 0, i) + 4.0 * at(psi_, 1, i) -
+                   at(psi_, 2, i)) /
+                  (2.0 * dz_);
+      else if (j == nz_ - 1)
+        dpsi_dz = (3.0 * at(psi_, nz_ - 1, i) - 4.0 * at(psi_, nz_ - 2, i) +
+                   at(psi_, nz_ - 3, i)) /
+                  (2.0 * dz_);
+      else
+        dpsi_dz = (at(psi_, j + 1, i) - at(psi_, j - 1, i)) / (2.0 * dz_);
+      at(u_, j, i) = dpsi_dz;
+      at(w_, j, i) =
+          -(at(psi_, j, wrap(i + 1)) - at(psi_, j, wrap(i - 1))) / (2.0 * dx_);
+    }
+  }
+  if (config_.velocity_bc == VelocityBC::kNoSlip) {
+    // rigid walls: the tangential velocity vanishes exactly
+    for (int i = 0; i < nx_; ++i) {
+      at(u_, 0, i) = 0.0;
+      at(u_, nz_ - 1, i) = 0.0;
+    }
+  }
+}
+
+double RBSolver::advect(const Field& q, const Field& u, const Field& w, int j,
+                        int i) const {
+  // x: 2nd-order upwind-biased (periodic neighbours always available).
+  const double uu = at(u, j, i);
+  double dq_dx;
+  if (uu >= 0.0)
+    dq_dx = (3.0 * at(q, j, i) - 4.0 * at(q, j, wrap(i - 1)) +
+             at(q, j, wrap(i - 2))) /
+            (2.0 * dx_);
+  else
+    dq_dx = (-3.0 * at(q, j, i) + 4.0 * at(q, j, wrap(i + 1)) -
+             at(q, j, wrap(i + 2))) /
+            (2.0 * dx_);
+
+  // z: 2nd-order upwind in the bulk, centered next to the walls.
+  const double ww = at(w, j, i);
+  double dq_dz;
+  if (ww >= 0.0 && j >= 2)
+    dq_dz = (3.0 * at(q, j, i) - 4.0 * at(q, j - 1, i) + at(q, j - 2, i)) /
+            (2.0 * dz_);
+  else if (ww < 0.0 && j <= nz_ - 3)
+    dq_dz = (-3.0 * at(q, j, i) + 4.0 * at(q, j + 1, i) - at(q, j + 2, i)) /
+            (2.0 * dz_);
+  else
+    dq_dz = (at(q, j + 1, i) - at(q, j - 1, i)) / (2.0 * dz_);
+
+  return uu * dq_dx + ww * dq_dz;
+}
+
+void RBSolver::compute_rhs(const Field& omega, const Field& temp,
+                           const Field& u, const Field& w, Field& domega,
+                           Field& dtemp) const {
+  const double inv_dx2 = 1.0 / (dx_ * dx_);
+  const double inv_dz2 = 1.0 / (dz_ * dz_);
+  parallel_for(nz_ - 2, [&](std::int64_t j0, std::int64_t j1) {
+    for (std::int64_t jj = j0; jj < j1; ++jj) {
+      const int j = static_cast<int>(jj) + 1;
+      for (int i = 0; i < nx_; ++i) {
+        const double lap_omega =
+            (at(omega, j, wrap(i + 1)) - 2.0 * at(omega, j, i) +
+             at(omega, j, wrap(i - 1))) *
+                inv_dx2 +
+            (at(omega, j + 1, i) - 2.0 * at(omega, j, i) +
+             at(omega, j - 1, i)) *
+                inv_dz2;
+        const double lap_temp =
+            (at(temp, j, wrap(i + 1)) - 2.0 * at(temp, j, i) +
+             at(temp, j, wrap(i - 1))) *
+                inv_dx2 +
+            (at(temp, j + 1, i) - 2.0 * at(temp, j, i) +
+             at(temp, j - 1, i)) *
+                inv_dz2;
+        const double dT_dx =
+            (at(temp, j, wrap(i + 1)) - at(temp, j, wrap(i - 1))) /
+            (2.0 * dx_);
+        at(domega, j, i) =
+            -advect(omega, u, w, j, i) + dT_dx + r_star_ * lap_omega;
+        at(dtemp, j, i) = -advect(temp, u, w, j, i) + p_star_ * lap_temp;
+      }
+    }
+  });
+  // wall rows evolve nothing (Dirichlet values re-imposed after update)
+  for (int i = 0; i < nx_; ++i) {
+    at(domega, 0, i) = at(domega, nz_ - 1, i) = 0.0;
+    at(dtemp, 0, i) = at(dtemp, nz_ - 1, i) = 0.0;
+  }
+}
+
+double RBSolver::stable_dt() const {
+  double umax = 1e-12, wmax = 1e-12;
+  for (std::size_t k = 0; k < u_.size(); ++k) {
+    umax = std::max(umax, std::fabs(u_[k]));
+    wmax = std::max(wmax, std::fabs(w_[k]));
+  }
+  const double dt_adv =
+      config_.cfl / (umax / dx_ + wmax / dz_);
+  const double h2 = std::min(dx_ * dx_, dz_ * dz_);
+  const double nu_max = std::max(p_star_, r_star_);
+  const double dt_diff = config_.cfl * 0.25 * h2 / nu_max;
+  return std::min({dt_adv, dt_diff, config_.max_dt});
+}
+
+double RBSolver::step() {
+  const double dt = stable_dt();
+
+  // Stage 1: midpoint state.
+  compute_rhs(omega_, temp_, u_, w_, s_do_, s_dt_);
+  for (std::size_t k = 0; k < omega_.size(); ++k) {
+    s_omega_[k] = omega_[k] + 0.5 * dt * s_do_[k];
+    s_temp_[k] = temp_[k] + 0.5 * dt * s_dt_[k];
+  }
+  apply_boundary_conditions(s_omega_, s_temp_, psi_);
+  solve_streamfunction(s_omega_, s_psi_);
+  // velocities of midpoint state
+  for (int j = 0; j < nz_; ++j)
+    for (int i = 0; i < nx_; ++i) {
+      double dpsi_dz;
+      if (j == 0)
+        dpsi_dz = (-3.0 * at(s_psi_, 0, i) + 4.0 * at(s_psi_, 1, i) -
+                   at(s_psi_, 2, i)) /
+                  (2.0 * dz_);
+      else if (j == nz_ - 1)
+        dpsi_dz = (3.0 * at(s_psi_, nz_ - 1, i) -
+                   4.0 * at(s_psi_, nz_ - 2, i) + at(s_psi_, nz_ - 3, i)) /
+                  (2.0 * dz_);
+      else
+        dpsi_dz = (at(s_psi_, j + 1, i) - at(s_psi_, j - 1, i)) / (2.0 * dz_);
+      at(s_u_, j, i) = dpsi_dz;
+      at(s_w_, j, i) = -(at(s_psi_, j, wrap(i + 1)) -
+                         at(s_psi_, j, wrap(i - 1))) /
+                       (2.0 * dx_);
+    }
+
+  // Stage 2: full step with midpoint derivatives.
+  compute_rhs(s_omega_, s_temp_, s_u_, s_w_, s_do_, s_dt_);
+  for (std::size_t k = 0; k < omega_.size(); ++k) {
+    omega_[k] += dt * s_do_[k];
+    temp_[k] += dt * s_dt_[k];
+  }
+  apply_boundary_conditions(omega_, temp_, s_psi_);
+  solve_streamfunction(omega_, psi_);
+  velocities_from_streamfunction();
+
+  time_ += dt;
+  ++steps_;
+  return dt;
+}
+
+void RBSolver::advance_to(double t) {
+  while (time_ < t - 1e-12) {
+    const double dt = stable_dt();
+    if (time_ + dt > t) {
+      // temporarily clamp via max_dt so the step lands on t
+      const double saved = config_.max_dt;
+      config_.max_dt = t - time_;
+      step();
+      config_.max_dt = saved;
+    } else {
+      step();
+    }
+  }
+}
+
+namespace {
+Tensor field_to_tensor(const std::vector<double>& f, int nz, int nx) {
+  Tensor t(Shape{nz, nx});
+  float* p = t.data();
+  for (std::size_t k = 0; k < f.size(); ++k)
+    p[k] = static_cast<float>(f[k]);
+  return t;
+}
+}  // namespace
+
+Tensor RBSolver::temperature() const { return field_to_tensor(temp_, nz_, nx_); }
+Tensor RBSolver::velocity_u() const { return field_to_tensor(u_, nz_, nx_); }
+Tensor RBSolver::velocity_w() const { return field_to_tensor(w_, nz_, nx_); }
+Tensor RBSolver::vorticity() const { return field_to_tensor(omega_, nz_, nx_); }
+Tensor RBSolver::streamfunction() const {
+  return field_to_tensor(psi_, nz_, nx_);
+}
+
+Tensor RBSolver::pressure() const {
+  // Pressure Poisson: lap p = dT/dz - d(u.grad u)/dx - d(u.grad w)/dz.
+  // Solved with FFT in x; in z we use a Dirichlet solve on the interior with
+  // wall values extrapolated from the z-momentum balance dp/dz = T at the
+  // walls (w = 0 and advection vanishes there). Gauge: zero mean.
+  Field adv_u(u_.size(), 0.0), adv_w(u_.size(), 0.0);
+  for (int j = 1; j < nz_ - 1; ++j)
+    for (int i = 0; i < nx_; ++i) {
+      adv_u[static_cast<std::size_t>(j) * nx_ + i] = advect(u_, u_, w_, j, i);
+      adv_w[static_cast<std::size_t>(j) * nx_ + i] = advect(w_, u_, w_, j, i);
+    }
+  Field rhs(u_.size(), 0.0);
+  for (int j = 1; j < nz_ - 1; ++j)
+    for (int i = 0; i < nx_; ++i) {
+      const double dTdz =
+          (at(temp_, j + 1, i) - at(temp_, j - 1, i)) / (2.0 * dz_);
+      const double dax =
+          (adv_u[static_cast<std::size_t>(j) * nx_ + wrap(i + 1)] -
+           adv_u[static_cast<std::size_t>(j) * nx_ + wrap(i - 1)]) /
+          (2.0 * dx_);
+      double daz;
+      if (j == 1)
+        daz = (adv_w[static_cast<std::size_t>(2) * nx_ + i] - 0.0) /
+              (2.0 * dz_);
+      else if (j == nz_ - 2)
+        daz = (0.0 - adv_w[static_cast<std::size_t>(nz_ - 3) * nx_ + i]) /
+              (2.0 * dz_);
+      else
+        daz = (adv_w[static_cast<std::size_t>(j + 1) * nx_ + i] -
+               adv_w[static_cast<std::size_t>(j - 1) * nx_ + i]) /
+              (2.0 * dz_);
+      rhs[static_cast<std::size_t>(j) * nx_ + i] = dTdz - dax - daz;
+    }
+
+  Field p(u_.size(), 0.0);
+  poisson_dirichlet(rhs, p);
+  // Extrapolate wall pressure from dp/dz = T at the walls.
+  for (int i = 0; i < nx_; ++i) {
+    at(p, 0, i) = at(p, 1, i) - dz_ * at(temp_, 0, i);
+    at(p, nz_ - 1, i) = at(p, nz_ - 2, i) + dz_ * at(temp_, nz_ - 1, i);
+  }
+  double mean = 0.0;
+  for (double v : p) mean += v;
+  mean /= static_cast<double>(p.size());
+  for (double& v : p) v -= mean;
+  return field_to_tensor(p, nz_, nx_);
+}
+
+double RBSolver::kinetic_energy() const {
+  double acc = 0.0;
+  for (std::size_t k = 0; k < u_.size(); ++k)
+    acc += u_[k] * u_[k] + w_[k] * w_[k];
+  return 0.5 * acc / static_cast<double>(u_.size());
+}
+
+double RBSolver::divergence_error() const {
+  double acc = 0.0;
+  int count = 0;
+  for (int j = 1; j < nz_ - 1; ++j)
+    for (int i = 0; i < nx_; ++i) {
+      const double div =
+          (at(u_, j, wrap(i + 1)) - at(u_, j, wrap(i - 1))) / (2.0 * dx_) +
+          (at(w_, j + 1, i) - at(w_, j - 1, i)) / (2.0 * dz_);
+      acc += std::fabs(div);
+      ++count;
+    }
+  return acc / std::max(count, 1);
+}
+
+double RBSolver::nusselt() const {
+  // Nu = -<dT/dz>_wall / (DeltaT / Lz), with DeltaT = Lz = 1 non-dim.
+  double bottom = 0.0, top = 0.0;
+  for (int i = 0; i < nx_; ++i) {
+    bottom += (-3.0 * at(temp_, 0, i) + 4.0 * at(temp_, 1, i) -
+               at(temp_, 2, i)) /
+              (2.0 * dz_);
+    top += (3.0 * at(temp_, nz_ - 1, i) - 4.0 * at(temp_, nz_ - 2, i) +
+            at(temp_, nz_ - 3, i)) /
+           (2.0 * dz_);
+  }
+  bottom /= nx_;
+  top /= nx_;
+  return 0.5 * (-bottom - top);
+}
+
+}  // namespace mfn::solver

@@ -1,0 +1,435 @@
+#include "tensor/nn_kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+#include "tensor/tensor_ops.h"
+#include "threading/thread_pool.h"
+
+namespace mfn {
+namespace {
+
+void check_5d(const Tensor& t, const char* what) {
+  MFN_CHECK(t.ndim() == 5, what << " must be 5-D (N,C,D,H,W), got "
+                                << t.shape().str());
+}
+
+std::int64_t out_size(std::int64_t in, std::int64_t k, std::int64_t s,
+                      std::int64_t p) {
+  return (in + 2 * p - k) / s + 1;
+}
+
+// Scatter/gather between a padded input volume (C, D, H, W) and the column
+// matrix (C*KD*KH*KW, OD*OH*OW).
+struct ColGeom {
+  std::int64_t C, D, H, W, KD, KH, KW, OD, OH, OW;
+  Dims3 stride, pad;
+};
+
+void vol2col(const float* x, const ColGeom& g, float* col) {
+  const std::int64_t L = g.OD * g.OH * g.OW;
+  const std::int64_t K = g.KD * g.KH * g.KW;
+  for (std::int64_t c = 0; c < g.C; ++c) {
+    const float* xc = x + c * g.D * g.H * g.W;
+    for (std::int64_t kd = 0; kd < g.KD; ++kd)
+      for (std::int64_t kh = 0; kh < g.KH; ++kh)
+        for (std::int64_t kw = 0; kw < g.KW; ++kw) {
+          float* crow = col + (c * K + (kd * g.KH + kh) * g.KW + kw) * L;
+          for (std::int64_t od = 0; od < g.OD; ++od) {
+            const std::int64_t d = od * g.stride[0] - g.pad[0] + kd;
+            const bool dok = d >= 0 && d < g.D;
+            for (std::int64_t oh = 0; oh < g.OH; ++oh) {
+              const std::int64_t h = oh * g.stride[1] - g.pad[1] + kh;
+              const bool hok = dok && h >= 0 && h < g.H;
+              float* dst = crow + (od * g.OH + oh) * g.OW;
+              if (!hok) {
+                std::fill(dst, dst + g.OW, 0.0f);
+                continue;
+              }
+              const float* src = xc + (d * g.H + h) * g.W;
+              for (std::int64_t ow = 0; ow < g.OW; ++ow) {
+                const std::int64_t w = ow * g.stride[2] - g.pad[2] + kw;
+                dst[ow] = (w >= 0 && w < g.W) ? src[w] : 0.0f;
+              }
+            }
+          }
+        }
+  }
+}
+
+void col2vol_accumulate(const float* col, const ColGeom& g, float* x) {
+  const std::int64_t L = g.OD * g.OH * g.OW;
+  const std::int64_t K = g.KD * g.KH * g.KW;
+  for (std::int64_t c = 0; c < g.C; ++c) {
+    float* xc = x + c * g.D * g.H * g.W;
+    for (std::int64_t kd = 0; kd < g.KD; ++kd)
+      for (std::int64_t kh = 0; kh < g.KH; ++kh)
+        for (std::int64_t kw = 0; kw < g.KW; ++kw) {
+          const float* crow = col + (c * K + (kd * g.KH + kh) * g.KW + kw) * L;
+          for (std::int64_t od = 0; od < g.OD; ++od) {
+            const std::int64_t d = od * g.stride[0] - g.pad[0] + kd;
+            if (d < 0 || d >= g.D) continue;
+            for (std::int64_t oh = 0; oh < g.OH; ++oh) {
+              const std::int64_t h = oh * g.stride[1] - g.pad[1] + kh;
+              if (h < 0 || h >= g.H) continue;
+              const float* src = crow + (od * g.OH + oh) * g.OW;
+              float* dst = xc + (d * g.H + h) * g.W;
+              for (std::int64_t ow = 0; ow < g.OW; ++ow) {
+                const std::int64_t w = ow * g.stride[2] - g.pad[2] + kw;
+                if (w >= 0 && w < g.W) dst[w] += src[ow];
+              }
+            }
+          }
+        }
+  }
+}
+
+ColGeom make_geom(const Shape& xs, const Shape& ws, const Conv3dSpec& spec) {
+  ColGeom g;
+  g.C = xs[1];
+  g.D = xs[2];
+  g.H = xs[3];
+  g.W = xs[4];
+  g.KD = ws[2];
+  g.KH = ws[3];
+  g.KW = ws[4];
+  g.OD = out_size(g.D, g.KD, spec.stride[0], spec.padding[0]);
+  g.OH = out_size(g.H, g.KH, spec.stride[1], spec.padding[1]);
+  g.OW = out_size(g.W, g.KW, spec.stride[2], spec.padding[2]);
+  g.stride = spec.stride;
+  g.pad = spec.padding;
+  return g;
+}
+
+}  // namespace
+
+Shape conv3d_output_shape(const Shape& input, const Shape& weight,
+                          const Conv3dSpec& spec) {
+  MFN_CHECK(input.ndim() == 5 && weight.ndim() == 5,
+            "conv3d shapes " << input.str() << ", " << weight.str());
+  MFN_CHECK(input[1] == weight[1], "conv3d channel mismatch: input "
+                                       << input.str() << " weight "
+                                       << weight.str());
+  const ColGeom g = make_geom(input, weight, spec);
+  MFN_CHECK(g.OD > 0 && g.OH > 0 && g.OW > 0,
+            "conv3d output would be empty for input " << input.str());
+  return Shape{input[0], weight[0], g.OD, g.OH, g.OW};
+}
+
+Tensor conv3d_forward(const Tensor& x, const Tensor& weight,
+                      const Tensor& bias, const Conv3dSpec& spec) {
+  check_5d(x, "conv3d input");
+  check_5d(weight, "conv3d weight");
+  const Shape out_shape = conv3d_output_shape(x.shape(), weight.shape(), spec);
+  const ColGeom g = make_geom(x.shape(), weight.shape(), spec);
+  const std::int64_t N = x.dim(0), F = weight.dim(0);
+  const std::int64_t CK = g.C * g.KD * g.KH * g.KW;
+  const std::int64_t L = g.OD * g.OH * g.OW;
+  if (bias.defined())
+    MFN_CHECK(bias.ndim() == 1 && bias.dim(0) == F,
+              "conv3d bias shape " << bias.shape().str());
+
+  Tensor out(out_shape);
+  const Tensor w2d = weight.reshape(Shape{F, CK});
+  Tensor col(Shape{CK, L});
+  const std::int64_t in_slab = g.C * g.D * g.H * g.W;
+  for (std::int64_t n = 0; n < N; ++n) {
+    vol2col(x.data() + n * in_slab, g, col.data());
+    Tensor y = matmul(w2d, col);  // (F, L)
+    float* po = out.data() + n * F * L;
+    const float* py = y.data();
+    if (bias.defined()) {
+      const float* pb = bias.data();
+      for (std::int64_t f = 0; f < F; ++f)
+        for (std::int64_t l = 0; l < L; ++l) po[f * L + l] = py[f * L + l] + pb[f];
+    } else {
+      std::copy(py, py + F * L, po);
+    }
+  }
+  return out;
+}
+
+Conv3dGrads conv3d_backward(const Tensor& x, const Tensor& weight,
+                            bool had_bias, const Conv3dSpec& spec,
+                            const Tensor& gy) {
+  const ColGeom g = make_geom(x.shape(), weight.shape(), spec);
+  const std::int64_t N = x.dim(0), F = weight.dim(0);
+  const std::int64_t CK = g.C * g.KD * g.KH * g.KW;
+  const std::int64_t L = g.OD * g.OH * g.OW;
+
+  Conv3dGrads grads;
+  grads.gx = Tensor::zeros(x.shape());
+  grads.gweight = Tensor::zeros(weight.shape());
+  if (had_bias) grads.gbias = Tensor::zeros(Shape{F});
+
+  const Tensor w2d = weight.reshape(Shape{F, CK});
+  Tensor gw2d = grads.gweight.reshape(Shape{F, CK});  // shares storage
+  Tensor col(Shape{CK, L});
+  const std::int64_t in_slab = g.C * g.D * g.H * g.W;
+
+  for (std::int64_t n = 0; n < N; ++n) {
+    vol2col(x.data() + n * in_slab, g, col.data());
+    Tensor gy_n = Tensor::from_vector(
+        Shape{F, L},
+        std::vector<float>(gy.data() + n * F * L, gy.data() + (n + 1) * F * L));
+    // dW += gy_n * col^T
+    Tensor dw = matmul_nt(gy_n, col);  // (F, CK)
+    add_(gw2d, dw);
+    // dX_n = col2vol(W^T * gy_n)
+    Tensor dcol = matmul_tn(w2d, gy_n);  // (CK, L)
+    col2vol_accumulate(dcol.data(), g, grads.gx.data() + n * in_slab);
+    if (had_bias) {
+      float* pgb = grads.gbias.data();
+      const float* pgy = gy_n.data();
+      for (std::int64_t f = 0; f < F; ++f) {
+        double acc = 0.0;
+        for (std::int64_t l = 0; l < L; ++l) acc += pgy[f * L + l];
+        pgb[f] += static_cast<float>(acc);
+      }
+    }
+  }
+  return grads;
+}
+
+MaxPool3dResult maxpool3d_forward(const Tensor& x, Dims3 kernel) {
+  check_5d(x, "maxpool3d input");
+  const std::int64_t N = x.dim(0), C = x.dim(1), D = x.dim(2), H = x.dim(3),
+                     W = x.dim(4);
+  const auto [kd, kh, kw] = kernel;
+  MFN_CHECK(D % kd == 0 && H % kh == 0 && W % kw == 0,
+            "maxpool3d requires divisible dims; input " << x.shape().str()
+                                                        << " kernel [" << kd
+                                                        << "," << kh << ","
+                                                        << kw << "]");
+  const std::int64_t OD = D / kd, OH = H / kh, OW = W / kw;
+  MaxPool3dResult res;
+  res.out = Tensor(Shape{N, C, OD, OH, OW});
+  res.argmax.resize(static_cast<std::size_t>(N * C * OD * OH * OW));
+
+  const float* px = x.data();
+  float* po = res.out.data();
+  std::int64_t* pam = res.argmax.data();
+  const std::int64_t slab = D * H * W;
+  const std::int64_t oslab = OD * OH * OW;
+  parallel_for(N * C, [&](std::int64_t b0, std::int64_t b1) {
+    for (std::int64_t b = b0; b < b1; ++b) {
+      const float* xs = px + b * slab;
+      float* os = po + b * oslab;
+      std::int64_t* as = pam + b * oslab;
+      for (std::int64_t od = 0; od < OD; ++od)
+        for (std::int64_t oh = 0; oh < OH; ++oh)
+          for (std::int64_t ow = 0; ow < OW; ++ow) {
+            float best = -std::numeric_limits<float>::infinity();
+            std::int64_t best_idx = 0;
+            for (std::int64_t dd = 0; dd < kd; ++dd)
+              for (std::int64_t hh = 0; hh < kh; ++hh)
+                for (std::int64_t ww = 0; ww < kw; ++ww) {
+                  const std::int64_t idx =
+                      ((od * kd + dd) * H + (oh * kh + hh)) * W + ow * kw + ww;
+                  if (xs[idx] > best) {
+                    best = xs[idx];
+                    best_idx = idx;
+                  }
+                }
+            const std::int64_t oidx = (od * OH + oh) * OW + ow;
+            os[oidx] = best;
+            as[oidx] = best_idx;
+          }
+    }
+  });
+  return res;
+}
+
+Tensor maxpool3d_backward(const Shape& input_shape, Dims3 kernel,
+                          const std::vector<std::int64_t>& argmax,
+                          const Tensor& gy) {
+  const std::int64_t N = input_shape[0], C = input_shape[1],
+                     D = input_shape[2], H = input_shape[3],
+                     W = input_shape[4];
+  const auto [kd, kh, kw] = kernel;
+  const std::int64_t oslab = (D / kd) * (H / kh) * (W / kw);
+  MFN_CHECK(gy.numel() == N * C * oslab, "maxpool3d backward shape");
+  Tensor gx = Tensor::zeros(input_shape);
+  const float* pg = gy.data();
+  float* px = gx.data();
+  const std::int64_t slab = D * H * W;
+  for (std::int64_t b = 0; b < N * C; ++b) {
+    float* xs = px + b * slab;
+    const float* gs = pg + b * oslab;
+    const std::int64_t* as = argmax.data() + b * oslab;
+    for (std::int64_t i = 0; i < oslab; ++i) xs[as[i]] += gs[i];
+  }
+  return gx;
+}
+
+Tensor upsample_nearest3d_forward(const Tensor& x, Dims3 factor) {
+  check_5d(x, "upsample input");
+  const std::int64_t N = x.dim(0), C = x.dim(1), D = x.dim(2), H = x.dim(3),
+                     W = x.dim(4);
+  const auto [fd, fh, fw] = factor;
+  Tensor out(Shape{N, C, D * fd, H * fh, W * fw});
+  const float* px = x.data();
+  float* po = out.data();
+  const std::int64_t OH = H * fh, OW = W * fw;
+  parallel_for(N * C, [&](std::int64_t b0, std::int64_t b1) {
+    for (std::int64_t b = b0; b < b1; ++b) {
+      const float* xs = px + b * D * H * W;
+      float* os = po + b * D * fd * OH * OW;
+      for (std::int64_t od = 0; od < D * fd; ++od) {
+        const std::int64_t d = od / fd;
+        for (std::int64_t oh = 0; oh < OH; ++oh) {
+          const std::int64_t h = oh / fh;
+          const float* src = xs + (d * H + h) * W;
+          float* dst = os + (od * OH + oh) * OW;
+          for (std::int64_t ow = 0; ow < OW; ++ow) dst[ow] = src[ow / fw];
+        }
+      }
+    }
+  });
+  return out;
+}
+
+Tensor upsample_nearest3d_backward(const Shape& input_shape, Dims3 factor,
+                                   const Tensor& gy) {
+  const std::int64_t N = input_shape[0], C = input_shape[1],
+                     D = input_shape[2], H = input_shape[3],
+                     W = input_shape[4];
+  const auto [fd, fh, fw] = factor;
+  MFN_CHECK(gy.numel() == N * C * D * fd * H * fh * W * fw,
+            "upsample backward shape");
+  Tensor gx = Tensor::zeros(input_shape);
+  const float* pg = gy.data();
+  float* px = gx.data();
+  const std::int64_t OH = H * fh, OW = W * fw;
+  for (std::int64_t b = 0; b < N * C; ++b) {
+    float* xs = px + b * D * H * W;
+    const float* gs = pg + b * D * fd * OH * OW;
+    for (std::int64_t od = 0; od < D * fd; ++od) {
+      const std::int64_t d = od / fd;
+      for (std::int64_t oh = 0; oh < OH; ++oh) {
+        const std::int64_t h = oh / fh;
+        float* dst = xs + (d * H + h) * W;
+        const float* src = gs + (od * OH + oh) * OW;
+        for (std::int64_t ow = 0; ow < OW; ++ow) dst[ow / fw] += src[ow];
+      }
+    }
+  }
+  return gx;
+}
+
+BatchNorm3dResult batchnorm3d_forward(const Tensor& x, const Tensor& gamma,
+                                      const Tensor& beta, float eps) {
+  check_5d(x, "batchnorm input");
+  const std::int64_t N = x.dim(0), C = x.dim(1),
+                     S = x.dim(2) * x.dim(3) * x.dim(4);
+  MFN_CHECK(gamma.numel() == C && beta.numel() == C, "batchnorm param shape");
+  const std::int64_t M = N * S;
+  MFN_CHECK(M > 0, "batchnorm over empty batch");
+
+  BatchNorm3dResult res;
+  res.out = Tensor(x.shape());
+  res.xhat = Tensor(x.shape());
+  res.invstd = Tensor(Shape{C});
+  res.batch_mean = Tensor(Shape{C});
+  res.batch_var = Tensor(Shape{C});
+
+  const float* px = x.data();
+  parallel_for(C, [&](std::int64_t c0, std::int64_t c1) {
+    for (std::int64_t c = c0; c < c1; ++c) {
+      double acc = 0.0, acc2 = 0.0;
+      for (std::int64_t n = 0; n < N; ++n) {
+        const float* s = px + (n * C + c) * S;
+        for (std::int64_t i = 0; i < S; ++i) {
+          acc += s[i];
+          acc2 += static_cast<double>(s[i]) * s[i];
+        }
+      }
+      const double mu = acc / static_cast<double>(M);
+      const double var =
+          std::max(acc2 / static_cast<double>(M) - mu * mu, 0.0);
+      const float inv = 1.0f / std::sqrt(static_cast<float>(var) + eps);
+      res.batch_mean.data()[c] = static_cast<float>(mu);
+      res.batch_var.data()[c] = static_cast<float>(var);
+      res.invstd.data()[c] = inv;
+      const float g = gamma.data()[c], b = beta.data()[c];
+      for (std::int64_t n = 0; n < N; ++n) {
+        const float* s = px + (n * C + c) * S;
+        float* xh = res.xhat.data() + (n * C + c) * S;
+        float* o = res.out.data() + (n * C + c) * S;
+        for (std::int64_t i = 0; i < S; ++i) {
+          xh[i] = (s[i] - static_cast<float>(mu)) * inv;
+          o[i] = g * xh[i] + b;
+        }
+      }
+    }
+  });
+  return res;
+}
+
+Tensor batchnorm3d_eval(const Tensor& x, const Tensor& gamma,
+                        const Tensor& beta, const Tensor& running_mean,
+                        const Tensor& running_var, float eps) {
+  check_5d(x, "batchnorm input");
+  const std::int64_t N = x.dim(0), C = x.dim(1),
+                     S = x.dim(2) * x.dim(3) * x.dim(4);
+  Tensor out(x.shape());
+  const float* px = x.data();
+  float* po = out.data();
+  for (std::int64_t c = 0; c < C; ++c) {
+    const float inv = 1.0f / std::sqrt(running_var.data()[c] + eps);
+    const float mu = running_mean.data()[c];
+    const float g = gamma.data()[c], b = beta.data()[c];
+    for (std::int64_t n = 0; n < N; ++n) {
+      const float* s = px + (n * C + c) * S;
+      float* o = po + (n * C + c) * S;
+      for (std::int64_t i = 0; i < S; ++i) o[i] = g * (s[i] - mu) * inv + b;
+    }
+  }
+  return out;
+}
+
+BatchNorm3dGrads batchnorm3d_backward(const BatchNorm3dResult& saved,
+                                      const Tensor& gamma, const Tensor& gy) {
+  const Shape& xs = saved.xhat.shape();
+  const std::int64_t N = xs[0], C = xs[1], S = xs[2] * xs[3] * xs[4];
+  const std::int64_t M = N * S;
+
+  BatchNorm3dGrads grads;
+  grads.gx = Tensor(xs);
+  grads.ggamma = Tensor(Shape{C});
+  grads.gbeta = Tensor(Shape{C});
+
+  const float* pxh = saved.xhat.data();
+  const float* pgy = gy.data();
+  parallel_for(C, [&](std::int64_t c0, std::int64_t c1) {
+    for (std::int64_t c = c0; c < c1; ++c) {
+      double sum_gy = 0.0, sum_gy_xhat = 0.0;
+      for (std::int64_t n = 0; n < N; ++n) {
+        const std::int64_t base = (n * C + c) * S;
+        for (std::int64_t i = 0; i < S; ++i) {
+          sum_gy += pgy[base + i];
+          sum_gy_xhat += static_cast<double>(pgy[base + i]) * pxh[base + i];
+        }
+      }
+      grads.gbeta.data()[c] = static_cast<float>(sum_gy);
+      grads.ggamma.data()[c] = static_cast<float>(sum_gy_xhat);
+      const float inv = saved.invstd.data()[c];
+      const float g = gamma.data()[c];
+      const float k = g * inv / static_cast<float>(M);
+      for (std::int64_t n = 0; n < N; ++n) {
+        const std::int64_t base = (n * C + c) * S;
+        float* gx = grads.gx.data() + base;
+        for (std::int64_t i = 0; i < S; ++i) {
+          gx[i] = k * (static_cast<float>(M) * pgy[base + i] -
+                       static_cast<float>(sum_gy) -
+                       pxh[base + i] * static_cast<float>(sum_gy_xhat));
+        }
+      }
+    }
+  });
+  return grads;
+}
+
+}  // namespace mfn

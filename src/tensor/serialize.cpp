@@ -1,0 +1,61 @@
+#include "tensor/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <vector>
+
+#include "common/error.h"
+
+namespace mfn {
+namespace {
+constexpr char kMagic[4] = {'M', 'F', 'N', 'T'};
+}
+
+void write_tensor(std::ostream& os, const Tensor& t) {
+  MFN_CHECK(t.defined(), "cannot serialize undefined tensor");
+  os.write(kMagic, 4);
+  const auto ndim = static_cast<std::uint32_t>(t.ndim());
+  os.write(reinterpret_cast<const char*>(&ndim), sizeof(ndim));
+  for (int d = 0; d < t.ndim(); ++d) {
+    const std::int64_t v = t.dim(d);
+    os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  }
+  os.write(reinterpret_cast<const char*>(t.data()),
+           static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  MFN_CHECK(os.good(), "tensor write failed");
+}
+
+Tensor read_tensor(std::istream& is) {
+  char magic[4];
+  is.read(magic, 4);
+  MFN_CHECK(is.good() && std::equal(magic, magic + 4, kMagic),
+            "bad tensor magic");
+  std::uint32_t ndim = 0;
+  is.read(reinterpret_cast<char*>(&ndim), sizeof(ndim));
+  MFN_CHECK(is.good() && ndim <= 8, "bad tensor rank " << ndim);
+  std::vector<std::int64_t> dims(ndim);
+  for (auto& d : dims) {
+    is.read(reinterpret_cast<char*>(&d), sizeof(d));
+    MFN_CHECK(is.good() && d >= 0, "bad tensor dim");
+  }
+  Shape shape{std::move(dims)};
+  std::vector<float> values(static_cast<std::size_t>(shape.numel()));
+  is.read(reinterpret_cast<char*>(values.data()),
+          static_cast<std::streamsize>(values.size() * sizeof(float)));
+  MFN_CHECK(is.good(), "tensor payload read failed");
+  return Tensor::from_vector(std::move(shape), std::move(values));
+}
+
+void save_tensor(const std::string& path, const Tensor& t) {
+  std::ofstream os(path, std::ios::binary);
+  MFN_CHECK(os.is_open(), "cannot open " << path << " for writing");
+  write_tensor(os, t);
+}
+
+Tensor load_tensor(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  MFN_CHECK(is.is_open(), "cannot open " << path << " for reading");
+  return read_tensor(is);
+}
+
+}  // namespace mfn

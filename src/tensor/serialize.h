@@ -1,0 +1,20 @@
+// Binary tensor (de)serialization, used for dataset caching and model
+// checkpoints. Format: magic "MFNT", u32 ndim, i64 dims..., f32 data.
+// Little-endian host order (this library targets a single host).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace mfn {
+
+void write_tensor(std::ostream& os, const Tensor& t);
+Tensor read_tensor(std::istream& is);
+
+/// Convenience file round-trips (throw mfn::Error on I/O failure).
+void save_tensor(const std::string& path, const Tensor& t);
+Tensor load_tensor(const std::string& path);
+
+}  // namespace mfn

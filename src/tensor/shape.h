@@ -1,0 +1,52 @@
+// Shape: dimension vector for dense row-major tensors.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace mfn {
+
+/// Immutable-ish dimension list. Tensors in this library are always dense,
+/// contiguous and row-major; Shape is the only layout metadata needed.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<std::int64_t> dims) : dims_(dims) {}
+  explicit Shape(std::vector<std::int64_t> dims) : dims_(std::move(dims)) {}
+
+  int ndim() const { return static_cast<int>(dims_.size()); }
+
+  /// Size of dimension i; supports negative (from-the-back) indices.
+  std::int64_t operator[](int i) const {
+    const int n = ndim();
+    if (i < 0) i += n;
+    return dims_[static_cast<std::size_t>(i)];
+  }
+
+  std::int64_t numel() const {
+    std::int64_t n = 1;
+    for (auto d : dims_) n *= d;
+    return n;
+  }
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  const std::vector<std::int64_t>& dims() const { return dims_; }
+
+  std::string str() const {
+    std::string s = "[";
+    for (std::size_t i = 0; i < dims_.size(); ++i) {
+      if (i) s += ", ";
+      s += std::to_string(dims_[i]);
+    }
+    return s + "]";
+  }
+
+ private:
+  std::vector<std::int64_t> dims_;
+};
+
+}  // namespace mfn

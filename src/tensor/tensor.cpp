@@ -1,0 +1,123 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace mfn {
+
+Tensor::Tensor(Shape shape) : shape_(std::move(shape)) {
+  MFN_CHECK(shape_.numel() >= 0, "negative element count " << shape_.str());
+  data_ = std::make_shared<std::vector<float>>(
+      static_cast<std::size_t>(shape_.numel()), 0.0f);
+}
+
+Tensor Tensor::zeros(Shape shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::ones(Shape shape) { return full(std::move(shape), 1.0f); }
+
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill_(value);
+  return t;
+}
+
+Tensor Tensor::randn(Shape shape, Rng& rng, float stddev) {
+  Tensor t(std::move(shape));
+  float* p = t.data();
+  const std::int64_t n = t.numel();
+  for (std::int64_t i = 0; i < n; ++i)
+    p[i] = static_cast<float>(rng.normal()) * stddev;
+  return t;
+}
+
+Tensor Tensor::uniform(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  float* p = t.data();
+  const std::int64_t n = t.numel();
+  for (std::int64_t i = 0; i < n; ++i)
+    p[i] = static_cast<float>(rng.uniform(lo, hi));
+  return t;
+}
+
+Tensor Tensor::from_vector(Shape shape, std::vector<float> values) {
+  MFN_CHECK(shape.numel() == static_cast<std::int64_t>(values.size()),
+            "shape " << shape.str() << " vs " << values.size() << " values");
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.data_ = std::make_shared<std::vector<float>>(std::move(values));
+  return t;
+}
+
+Tensor Tensor::arange(std::int64_t n) {
+  Tensor t(Shape{n});
+  float* p = t.data();
+  for (std::int64_t i = 0; i < n; ++i) p[i] = static_cast<float>(i);
+  return t;
+}
+
+Tensor Tensor::scalar(float value) { return full(Shape{1}, value); }
+
+float* Tensor::data() {
+  MFN_CHECK(defined(), "access to undefined tensor");
+  return data_->data();
+}
+
+const float* Tensor::data() const {
+  MFN_CHECK(defined(), "access to undefined tensor");
+  return data_->data();
+}
+
+std::int64_t Tensor::flat_index(
+    std::initializer_list<std::int64_t> idx) const {
+  MFN_CHECK(static_cast<int>(idx.size()) == ndim(),
+            "index rank " << idx.size() << " vs tensor rank " << ndim());
+  std::int64_t flat = 0;
+  int d = 0;
+  for (std::int64_t i : idx) {
+    const std::int64_t size = shape_[d];
+    MFN_CHECK(i >= 0 && i < size,
+              "index " << i << " out of range [0," << size << ") in dim " << d);
+    flat = flat * size + i;
+    ++d;
+  }
+  return flat;
+}
+
+float& Tensor::at(std::initializer_list<std::int64_t> idx) {
+  return (*data_)[static_cast<std::size_t>(flat_index(idx))];
+}
+
+float Tensor::at(std::initializer_list<std::int64_t> idx) const {
+  return (*data_)[static_cast<std::size_t>(flat_index(idx))];
+}
+
+float Tensor::item() const {
+  MFN_CHECK(numel() == 1, "item() on tensor with " << numel() << " elements");
+  return (*data_)[0];
+}
+
+Tensor Tensor::clone() const {
+  if (!defined()) return Tensor();
+  Tensor t;
+  t.shape_ = shape_;
+  t.data_ = std::make_shared<std::vector<float>>(*data_);
+  return t;
+}
+
+Tensor Tensor::reshape(Shape new_shape) const {
+  MFN_CHECK(defined(), "reshape of undefined tensor");
+  MFN_CHECK(new_shape.numel() == numel(), "reshape " << shape_.str() << " -> "
+                                                     << new_shape.str());
+  Tensor t;
+  t.shape_ = std::move(new_shape);
+  t.data_ = data_;
+  return t;
+}
+
+void Tensor::fill_(float value) {
+  MFN_CHECK(defined(), "fill_ of undefined tensor");
+  std::fill(data_->begin(), data_->end(), value);
+}
+
+}  // namespace mfn

@@ -1,0 +1,75 @@
+// Dense float32 tensor with shared, contiguous, row-major storage.
+//
+// Copying a Tensor is cheap (shared buffer). Ops that write in place are
+// suffixed with '_' and require the caller to own the uniquely-referenced
+// buffer semantics; the autodiff layer only uses pure (allocating) ops.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/shape.h"
+
+namespace mfn {
+
+class Tensor {
+ public:
+  /// Default-constructed tensor is "undefined" (no storage).
+  Tensor() = default;
+
+  /// Zero-filled tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  // ----- factories -----
+  static Tensor zeros(Shape shape);
+  static Tensor ones(Shape shape);
+  static Tensor full(Shape shape, float value);
+  /// i.i.d. N(0, stddev^2).
+  static Tensor randn(Shape shape, Rng& rng, float stddev = 1.0f);
+  /// i.i.d. U[lo, hi).
+  static Tensor uniform(Shape shape, Rng& rng, float lo = 0.0f,
+                        float hi = 1.0f);
+  /// Takes ownership of `values` (size must equal shape.numel()).
+  static Tensor from_vector(Shape shape, std::vector<float> values);
+  /// 1-D tensor [0, 1, ..., n-1].
+  static Tensor arange(std::int64_t n);
+  /// Scalar wrapped in a shape-{1} tensor.
+  static Tensor scalar(float value);
+
+  // ----- metadata -----
+  bool defined() const { return data_ != nullptr; }
+  const Shape& shape() const { return shape_; }
+  int ndim() const { return shape_.ndim(); }
+  std::int64_t dim(int i) const { return shape_[i]; }
+  std::int64_t numel() const { return shape_.numel(); }
+
+  // ----- storage -----
+  float* data();
+  const float* data() const;
+  /// Bounds-checked element access (slow; for tests and small code paths).
+  float& at(std::initializer_list<std::int64_t> idx);
+  float at(std::initializer_list<std::int64_t> idx) const;
+  /// Value of a 1-element tensor.
+  float item() const;
+
+  // ----- simple transforms -----
+  /// Deep copy.
+  Tensor clone() const;
+  /// Same storage, new shape (numel must match).
+  Tensor reshape(Shape new_shape) const;
+  void fill_(float value);
+  /// True if the underlying buffer is shared with another live Tensor.
+  bool shares_storage_with(const Tensor& other) const {
+    return data_ != nullptr && data_ == other.data_;
+  }
+
+ private:
+  std::int64_t flat_index(std::initializer_list<std::int64_t> idx) const;
+
+  std::shared_ptr<std::vector<float>> data_;
+  Shape shape_;
+};
+
+}  // namespace mfn

@@ -1,0 +1,416 @@
+#include "tensor/tensor_ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+#include "threading/thread_pool.h"
+
+namespace mfn {
+namespace {
+
+void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  MFN_CHECK(a.shape() == b.shape(), op << ": shape mismatch "
+                                       << a.shape().str() << " vs "
+                                       << b.shape().str());
+}
+
+template <typename F>
+Tensor map_unary(const Tensor& a, F&& f) {
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) po[i] = f(pa[i]);
+  return out;
+}
+
+template <typename F>
+Tensor map_binary(const Tensor& a, const Tensor& b, const char* op, F&& f) {
+  check_same_shape(a, b, op);
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) po[i] = f(pa[i], pb[i]);
+  return out;
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  return map_binary(a, b, "add", [](float x, float y) { return x + y; });
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  return map_binary(a, b, "sub", [](float x, float y) { return x - y; });
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  return map_binary(a, b, "mul", [](float x, float y) { return x * y; });
+}
+
+Tensor div(const Tensor& a, const Tensor& b) {
+  return map_binary(a, b, "div", [](float x, float y) { return x / y; });
+}
+
+Tensor add_scaled(const Tensor& a, const Tensor& b, float alpha) {
+  return map_binary(a, b, "add_scaled",
+                    [alpha](float x, float y) { return x + alpha * y; });
+}
+
+void add_(Tensor& a, const Tensor& b, float alpha) {
+  check_same_shape(a, b, "add_");
+  float* pa = a.data();
+  const float* pb = b.data();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) pa[i] += alpha * pb[i];
+}
+
+void scale_(Tensor& a, float s) {
+  float* pa = a.data();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) pa[i] *= s;
+}
+
+void clamp_(Tensor& a, float lo, float hi) {
+  float* pa = a.data();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) pa[i] = std::clamp(pa[i], lo, hi);
+}
+
+Tensor add_scalar(const Tensor& a, float s) {
+  return map_unary(a, [s](float x) { return x + s; });
+}
+
+Tensor mul_scalar(const Tensor& a, float s) {
+  return map_unary(a, [s](float x) { return x * s; });
+}
+
+Tensor neg(const Tensor& a) {
+  return map_unary(a, [](float x) { return -x; });
+}
+
+Tensor exp(const Tensor& a) {
+  return map_unary(a, [](float x) { return std::exp(x); });
+}
+
+Tensor log(const Tensor& a) {
+  return map_unary(a, [](float x) { return std::log(x); });
+}
+
+Tensor sqrt(const Tensor& a) {
+  return map_unary(a, [](float x) { return std::sqrt(x); });
+}
+
+Tensor abs(const Tensor& a) {
+  return map_unary(a, [](float x) { return std::fabs(x); });
+}
+
+Tensor sign(const Tensor& a) {
+  return map_unary(a, [](float x) -> float {
+    if (x > 0.0f) return 1.0f;
+    if (x < 0.0f) return -1.0f;
+    return 0.0f;
+  });
+}
+
+Tensor square(const Tensor& a) {
+  return map_unary(a, [](float x) { return x * x; });
+}
+
+Tensor relu(const Tensor& a) {
+  return map_unary(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+}
+
+Tensor softplus(const Tensor& a) {
+  return map_unary(a, [](float x) {
+    // log(1 + e^x) computed without overflow for large |x|.
+    if (x > 20.0f) return x;
+    if (x < -20.0f) return std::exp(x);
+    return std::log1p(std::exp(x));
+  });
+}
+
+Tensor sigmoid(const Tensor& a) {
+  return map_unary(a, [](float x) {
+    if (x >= 0.0f) {
+      const float e = std::exp(-x);
+      return 1.0f / (1.0f + e);
+    }
+    const float e = std::exp(x);
+    return e / (1.0f + e);
+  });
+}
+
+Tensor tanh(const Tensor& a) {
+  return map_unary(a, [](float x) { return std::tanh(x); });
+}
+
+Tensor gt_zero_mask(const Tensor& a) {
+  return map_unary(a, [](float x) { return x > 0.0f ? 1.0f : 0.0f; });
+}
+
+float sum(const Tensor& a) {
+  const float* pa = a.data();
+  const std::int64_t n = a.numel();
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) acc += pa[i];
+  return static_cast<float>(acc);
+}
+
+float mean(const Tensor& a) {
+  MFN_CHECK(a.numel() > 0, "mean of empty tensor");
+  return sum(a) / static_cast<float>(a.numel());
+}
+
+float min_value(const Tensor& a) {
+  MFN_CHECK(a.numel() > 0, "min of empty tensor");
+  const float* pa = a.data();
+  return *std::min_element(pa, pa + a.numel());
+}
+
+float max_value(const Tensor& a) {
+  MFN_CHECK(a.numel() > 0, "max of empty tensor");
+  const float* pa = a.data();
+  return *std::max_element(pa, pa + a.numel());
+}
+
+float max_abs(const Tensor& a) {
+  const float* pa = a.data();
+  const std::int64_t n = a.numel();
+  float m = 0.0f;
+  for (std::int64_t i = 0; i < n; ++i) m = std::max(m, std::fabs(pa[i]));
+  return m;
+}
+
+Tensor sum_axis0(const Tensor& a) {
+  MFN_CHECK(a.ndim() == 2, "sum_axis0 expects 2-D, got " << a.shape().str());
+  const std::int64_t m = a.dim(0), n = a.dim(1);
+  Tensor out(Shape{n});
+  const float* pa = a.data();
+  float* po = out.data();
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* row = pa + i * n;
+    for (std::int64_t j = 0; j < n; ++j) po[j] += row[j];
+  }
+  return out;
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  MFN_CHECK(a.ndim() == 2 && b.ndim() == 2, "matmul expects 2-D operands");
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  MFN_CHECK(b.dim(0) == k, "matmul inner dims " << a.shape().str() << " x "
+                                                << b.shape().str());
+  Tensor out(Shape{m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = out.data();
+  parallel_for(
+      m,
+      [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i) {
+          float* crow = pc + i * n;
+          const float* arow = pa + i * k;
+          for (std::int64_t kk = 0; kk < k; ++kk) {
+            const float aik = arow[kk];
+            if (aik == 0.0f) continue;
+            const float* brow = pb + kk * n;
+            for (std::int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+          }
+        }
+      },
+      /*grain=*/16);
+  return out;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  MFN_CHECK(a.ndim() == 2 && b.ndim() == 2, "matmul_tn expects 2-D operands");
+  const std::int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  MFN_CHECK(b.dim(0) == k, "matmul_tn inner dims " << a.shape().str() << " x "
+                                                   << b.shape().str());
+  Tensor out(Shape{m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = out.data();
+  parallel_for(
+      m,
+      [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i) {
+          float* crow = pc + i * n;
+          for (std::int64_t kk = 0; kk < k; ++kk) {
+            const float aik = pa[kk * m + i];
+            if (aik == 0.0f) continue;
+            const float* brow = pb + kk * n;
+            for (std::int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+          }
+        }
+      },
+      /*grain=*/16);
+  return out;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  MFN_CHECK(a.ndim() == 2 && b.ndim() == 2, "matmul_nt expects 2-D operands");
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  MFN_CHECK(b.dim(1) == k, "matmul_nt inner dims " << a.shape().str() << " x "
+                                                   << b.shape().str());
+  Tensor out(Shape{m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = out.data();
+  parallel_for(
+      m,
+      [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i) {
+          const float* arow = pa + i * k;
+          float* crow = pc + i * n;
+          for (std::int64_t j = 0; j < n; ++j) {
+            const float* brow = pb + j * k;
+            float acc = 0.0f;
+            for (std::int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+            crow[j] = acc;
+          }
+        }
+      },
+      /*grain=*/16);
+  return out;
+}
+
+Tensor transpose2d(const Tensor& a) {
+  MFN_CHECK(a.ndim() == 2, "transpose2d expects 2-D");
+  const std::int64_t m = a.dim(0), n = a.dim(1);
+  Tensor out(Shape{n, m});
+  const float* pa = a.data();
+  float* po = out.data();
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t j = 0; j < n; ++j) po[j * m + i] = pa[i * n + j];
+  return out;
+}
+
+Tensor add_rowvec(const Tensor& a, const Tensor& v) {
+  MFN_CHECK(a.ndim() == 2 && v.ndim() == 1 && v.dim(0) == a.dim(1),
+            "add_rowvec " << a.shape().str() << " + " << v.shape().str());
+  const std::int64_t m = a.dim(0), n = a.dim(1);
+  Tensor out(Shape{m, n});
+  const float* pa = a.data();
+  const float* pv = v.data();
+  float* po = out.data();
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* row = pa + i * n;
+    float* orow = po + i * n;
+    for (std::int64_t j = 0; j < n; ++j) orow[j] = row[j] + pv[j];
+  }
+  return out;
+}
+
+namespace {
+
+// Concatenation treats the tensor as (outer, axis_size, inner) and copies
+// contiguous inner*axis_size blocks.
+struct AxisView {
+  std::int64_t outer = 1, axis = 1, inner = 1;
+};
+
+AxisView axis_view(const Shape& s, int axis) {
+  AxisView v;
+  for (int d = 0; d < axis; ++d) v.outer *= s[d];
+  v.axis = s[axis];
+  for (int d = axis + 1; d < s.ndim(); ++d) v.inner *= s[d];
+  return v;
+}
+
+}  // namespace
+
+Tensor concat(const std::vector<Tensor>& parts, int axis) {
+  MFN_CHECK(!parts.empty(), "concat of zero tensors");
+  const int nd = parts[0].ndim();
+  if (axis < 0) axis += nd;
+  MFN_CHECK(axis >= 0 && axis < nd, "concat axis " << axis);
+  std::int64_t total_axis = 0;
+  for (const auto& p : parts) {
+    MFN_CHECK(p.ndim() == nd, "concat rank mismatch");
+    for (int d = 0; d < nd; ++d) {
+      if (d == axis) continue;
+      MFN_CHECK(p.dim(d) == parts[0].dim(d),
+                "concat shape mismatch in dim " << d);
+    }
+    total_axis += p.dim(axis);
+  }
+  std::vector<std::int64_t> out_dims = parts[0].shape().dims();
+  out_dims[static_cast<std::size_t>(axis)] = total_axis;
+  Tensor out{Shape(out_dims)};
+
+  const AxisView ov = axis_view(out.shape(), axis);
+  float* po = out.data();
+  std::int64_t axis_offset = 0;
+  for (const auto& p : parts) {
+    const AxisView pv = axis_view(p.shape(), axis);
+    const float* pp = p.data();
+    for (std::int64_t o = 0; o < pv.outer; ++o) {
+      const float* src = pp + o * pv.axis * pv.inner;
+      float* dst = po + (o * ov.axis + axis_offset) * ov.inner;
+      std::copy(src, src + pv.axis * pv.inner, dst);
+    }
+    axis_offset += pv.axis;
+  }
+  return out;
+}
+
+std::vector<Tensor> split(const Tensor& a, int axis,
+                          const std::vector<std::int64_t>& sizes) {
+  const int nd = a.ndim();
+  if (axis < 0) axis += nd;
+  MFN_CHECK(axis >= 0 && axis < nd, "split axis " << axis);
+  std::int64_t total = 0;
+  for (auto s : sizes) total += s;
+  MFN_CHECK(total == a.dim(axis), "split sizes sum " << total << " vs dim "
+                                                     << a.dim(axis));
+  const AxisView av = axis_view(a.shape(), axis);
+  const float* pa = a.data();
+
+  std::vector<Tensor> out;
+  out.reserve(sizes.size());
+  std::int64_t axis_offset = 0;
+  for (auto s : sizes) {
+    std::vector<std::int64_t> dims = a.shape().dims();
+    dims[static_cast<std::size_t>(axis)] = s;
+    Tensor part{Shape(dims)};
+    float* pp = part.data();
+    for (std::int64_t o = 0; o < av.outer; ++o) {
+      const float* src = pa + (o * av.axis + axis_offset) * av.inner;
+      std::copy(src, src + s * av.inner, pp + o * s * av.inner);
+    }
+    axis_offset += s;
+    out.push_back(std::move(part));
+  }
+  return out;
+}
+
+Tensor slice_axis0(const Tensor& a, std::int64_t begin, std::int64_t end) {
+  MFN_CHECK(a.ndim() >= 1, "slice_axis0 on scalar");
+  MFN_CHECK(0 <= begin && begin <= end && end <= a.dim(0),
+            "slice [" << begin << "," << end << ") of dim " << a.dim(0));
+  std::vector<std::int64_t> dims = a.shape().dims();
+  dims[0] = end - begin;
+  Tensor out{Shape(dims)};
+  const std::int64_t inner = a.numel() / std::max<std::int64_t>(a.dim(0), 1);
+  std::copy(a.data() + begin * inner, a.data() + end * inner, out.data());
+  return out;
+}
+
+bool allclose(const Tensor& a, const Tensor& b, float atol, float rtol) {
+  if (a.shape() != b.shape()) return false;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float tol = atol + rtol * std::fabs(pb[i]);
+    if (std::fabs(pa[i] - pb[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace mfn

@@ -1,0 +1,83 @@
+// Pure (allocating) and in-place kernels on dense tensors.
+//
+// These are the raw math kernels; the autodiff layer wraps them with
+// backward rules. All binary ops require identical shapes unless the name
+// says otherwise (scalar / rowvec variants). Heavy kernels (matmul family)
+// are parallelized through mfn::parallel_for.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace mfn {
+
+// ----- elementwise binary (same shape) -----
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+Tensor div(const Tensor& a, const Tensor& b);
+/// a + alpha * b.
+Tensor add_scaled(const Tensor& a, const Tensor& b, float alpha);
+
+// ----- in-place (used by optimizers / gradient accumulation) -----
+/// a += alpha * b.
+void add_(Tensor& a, const Tensor& b, float alpha = 1.0f);
+void scale_(Tensor& a, float s);
+void clamp_(Tensor& a, float lo, float hi);
+
+// ----- scalar variants -----
+Tensor add_scalar(const Tensor& a, float s);
+Tensor mul_scalar(const Tensor& a, float s);
+
+// ----- elementwise unary -----
+Tensor neg(const Tensor& a);
+Tensor exp(const Tensor& a);
+Tensor log(const Tensor& a);
+Tensor sqrt(const Tensor& a);
+Tensor abs(const Tensor& a);
+/// sign(x) in {-1, 0, +1}.
+Tensor sign(const Tensor& a);
+Tensor square(const Tensor& a);
+Tensor relu(const Tensor& a);
+/// Numerically-stable softplus log(1+e^x).
+Tensor softplus(const Tensor& a);
+Tensor sigmoid(const Tensor& a);
+Tensor tanh(const Tensor& a);
+/// 1 where a > 0 else 0 (relu mask).
+Tensor gt_zero_mask(const Tensor& a);
+
+// ----- reductions -----
+float sum(const Tensor& a);
+float mean(const Tensor& a);
+float min_value(const Tensor& a);
+float max_value(const Tensor& a);
+float max_abs(const Tensor& a);
+/// Column sums of a 2-D (m,n) tensor -> shape (n). Used for bias gradients.
+Tensor sum_axis0(const Tensor& a);
+
+// ----- 2-D linear algebra -----
+/// (m,k) x (k,n) -> (m,n).
+Tensor matmul(const Tensor& a, const Tensor& b);
+/// a^T b with a:(k,m), b:(k,n) -> (m,n).
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
+/// a b^T with a:(m,k), b:(n,k) -> (m,n).
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+Tensor transpose2d(const Tensor& a);
+/// Broadcast-add a length-n row vector to every row of (m,n).
+Tensor add_rowvec(const Tensor& a, const Tensor& v);
+
+// ----- shape surgery -----
+/// Concatenate along `axis`; all other dims must match.
+Tensor concat(const std::vector<Tensor>& parts, int axis);
+/// Inverse of concat: split along `axis` into chunks of the given sizes.
+std::vector<Tensor> split(const Tensor& a, int axis,
+                          const std::vector<std::int64_t>& sizes);
+/// Copy of rows [begin, end) along axis 0.
+Tensor slice_axis0(const Tensor& a, std::int64_t begin, std::int64_t end);
+
+// ----- comparisons -----
+bool allclose(const Tensor& a, const Tensor& b, float atol = 1e-5f,
+              float rtol = 1e-4f);
+
+}  // namespace mfn

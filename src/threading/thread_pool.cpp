@@ -1,0 +1,121 @@
+#include "threading/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+
+#include "common/error.h"
+
+namespace mfn {
+namespace {
+thread_local bool t_in_worker = false;
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  MFN_CHECK(num_threads >= 1, "thread pool needs >= 1 thread");
+  workers_.reserve(static_cast<std::size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    tasks_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  t_in_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("MFN_NUM_THREADS")) {
+      const int n = std::atoi(env);
+      if (n >= 1) return n;
+    }
+    const unsigned hc = std::thread::hardware_concurrency();
+    return hc == 0 ? 1 : static_cast<int>(hc);
+  }());
+  return pool;
+}
+
+bool ThreadPool::in_worker() { return t_in_worker; }
+
+void parallel_for(std::int64_t n,
+                  const std::function<void(std::int64_t, std::int64_t)>& fn,
+                  std::int64_t grain) {
+  if (n <= 0) return;
+  ThreadPool& pool = ThreadPool::global();
+  const int nthreads = pool.size();
+  if (n <= grain || nthreads <= 1 || ThreadPool::in_worker()) {
+    fn(0, n);
+    return;
+  }
+
+  // Dynamic chunk scheduling: workers and the calling thread all pull chunks
+  // from a shared atomic counter, so the caller is never idle.
+  std::int64_t nchunks = std::min<std::int64_t>(
+      static_cast<std::int64_t>(nthreads) * 4, (n + grain - 1) / grain);
+  if (nchunks < 1) nchunks = 1;
+  const std::int64_t chunk = (n + nchunks - 1) / nchunks;
+
+  struct State {
+    std::atomic<std::int64_t> next{0};
+    std::atomic<int> active{0};
+    std::mutex mu;
+    std::condition_variable done;
+  };
+  auto state = std::make_shared<State>();
+
+  auto drain = [state, &fn, chunk, n, nchunks] {
+    for (;;) {
+      const std::int64_t c = state->next.fetch_add(1);
+      if (c >= nchunks) break;
+      const std::int64_t begin = c * chunk;
+      const std::int64_t end = std::min<std::int64_t>(begin + chunk, n);
+      fn(begin, end);
+    }
+  };
+
+  const int helpers =
+      static_cast<int>(std::min<std::int64_t>(nthreads, nchunks));
+  state->active.store(helpers);
+  for (int i = 0; i < helpers; ++i) {
+    pool.submit([state, drain] {
+      drain();
+      if (state->active.fetch_sub(1) == 1) {
+        std::lock_guard<std::mutex> lk(state->mu);
+        state->done.notify_all();
+      }
+    });
+  }
+  drain();  // caller participates
+  std::unique_lock<std::mutex> lk(state->mu);
+  state->done.wait(lk, [&] { return state->active.load() == 0; });
+}
+
+}  // namespace mfn

@@ -1,0 +1,59 @@
+// Shared-memory parallelism layer: a persistent thread pool and a
+// parallel_for helper.
+//
+// Every compute kernel in the library funnels its parallelism through
+// parallel_for, so thread count is controlled in one place
+// (MFN_NUM_THREADS env var or ThreadPool::set_global_size). Nested
+// parallel_for calls from inside a worker run serially, which keeps kernels
+// composable without deadlock.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace mfn {
+
+/// Fixed-size pool of worker threads executing fire-and-forget tasks.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueue a task. Tasks must not throw; exceptions terminate.
+  void submit(std::function<void()> task);
+
+  /// Process-wide pool. Sized from MFN_NUM_THREADS if set, else
+  /// hardware_concurrency().
+  static ThreadPool& global();
+
+  /// True when called from inside one of this pool's workers.
+  static bool in_worker();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Run fn(begin, end) over a partition of [0, n). Blocks until all chunks
+/// complete. Runs serially when n <= grain, when the pool has a single
+/// thread, or when invoked from inside a pool worker (no nested parallelism).
+void parallel_for(std::int64_t n,
+                  const std::function<void(std::int64_t, std::int64_t)>& fn,
+                  std::int64_t grain = 1);
+
+}  // namespace mfn

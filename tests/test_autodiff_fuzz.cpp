@@ -1,0 +1,118 @@
+// Fuzz-style property test: random expression DAGs over a fixed op
+// vocabulary must pass gradcheck. This probes op *compositions* (shared
+// subexpressions, mixed shapes through reshapes/slices) that the per-op
+// tests cannot enumerate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "autodiff/gradcheck.h"
+#include "autodiff/ops.h"
+#include "common/rng.h"
+#include "tensor/tensor_ops.h"
+
+namespace mfn::ad {
+namespace {
+
+// Grow a random DAG: each new node applies a random op to random existing
+// nodes; all intermediate shapes are (rows, cols).
+Var random_dag(const std::vector<Var>& leaves, Rng& rng, int extra_nodes) {
+  std::vector<Var> pool = leaves;
+  auto pick = [&]() -> const Var& {
+    return pool[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(pool.size())))];
+  };
+  for (int i = 0; i < extra_nodes; ++i) {
+    const auto op = rng.uniform_int(0, 9);
+    switch (op) {
+      case 0:
+        pool.push_back(add(pick(), pick()));
+        break;
+      case 1:
+        pool.push_back(sub(pick(), pick()));
+        break;
+      case 2:
+        pool.push_back(mul(pick(), pick()));
+        break;
+      case 3:
+        pool.push_back(tanh(pick()));
+        break;
+      case 4:
+        pool.push_back(softplus(pick()));
+        break;
+      case 5:
+        pool.push_back(sigmoid(pick()));
+        break;
+      case 6:
+        pool.push_back(mul_scalar(pick(), 0.5f + 0.1f * i));
+        break;
+      case 7:
+        pool.push_back(add_scalar(pick(), -0.3f));
+        break;
+      case 8:
+        pool.push_back(square(mul_scalar(pick(), 0.5f)));
+        break;
+      default:
+        pool.push_back(relu(pick()));
+        break;
+    }
+  }
+  return mean(square(pool.back()));
+}
+
+class DagFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(DagFuzz, RandomDagPassesGradcheck) {
+  const int seed = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 1299709 + 31);
+  const std::int64_t rows = 2 + rng.uniform_int(0, 3);
+  const std::int64_t cols = 2 + rng.uniform_int(0, 3);
+  std::vector<Var> leaves;
+  for (int i = 0; i < 3; ++i) {
+    Tensor t = Tensor::randn(Shape{rows, cols}, rng, 0.6f);
+    // keep values away from relu/abs kinks
+    for (std::int64_t k = 0; k < t.numel(); ++k)
+      if (std::fabs(t.data()[k]) < 0.1f)
+        t.data()[k] += t.data()[k] < 0 ? -0.2f : 0.2f;
+    leaves.emplace_back(t, /*requires_grad=*/true);
+  }
+  Rng dag_rng(static_cast<std::uint64_t>(seed) * 7919 + 1);
+  auto fn = [&](const std::vector<Var>& in) {
+    Rng local = dag_rng;  // same DAG every call
+    return random_dag(in, local, 8 + seed % 5);
+  };
+  auto res = gradcheck(fn, leaves, 1e-3f, 3e-2f);
+  EXPECT_TRUE(res.ok) << "seed " << seed << ": " << res.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DagFuzz, ::testing::Range(0, 24));
+
+// Structured composition: matmul chains with shared operands.
+TEST(DagFuzz, SharedMatmulChain) {
+  Rng rng(77);
+  Var a(Tensor::randn(Shape{3, 3}, rng, 0.5f), true);
+  Var b(Tensor::randn(Shape{3, 3}, rng, 0.5f), true);
+  auto fn = [](const std::vector<Var>& in) {
+    Var m1 = matmul(in[0], in[1]);
+    Var m2 = matmul(m1, in[0]);       // reuse in[0]
+    Var m3 = add(m2, m1);             // reuse m1
+    return mean(square(tanh(m3)));
+  };
+  auto res = gradcheck(fn, {a, b}, 1e-3f, 3e-2f);
+  EXPECT_TRUE(res.ok) << res.detail;
+}
+
+// Deep chains do not lose gradient mass (no premature tape truncation).
+TEST(DagFuzz, DeepChainGradientReachesLeaf) {
+  Rng rng(88);
+  Var x(Tensor::randn(Shape{4}, rng, 0.3f), true);
+  Var h = x;
+  for (int i = 0; i < 64; ++i) h = tanh(mul_scalar(h, 1.01f));
+  backward(mean(h));
+  ASSERT_TRUE(x.has_grad());
+  EXPECT_GT(max_abs(x.grad()), 0.0f);
+}
+
+}  // namespace
+}  // namespace mfn::ad

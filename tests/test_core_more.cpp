@@ -1,0 +1,231 @@
+// Second round of core tests: decoder derivatives across activations
+// (parameterized), full-model checkpoint round trips, baseline alignment
+// exactness on analytic data, and super-resolution metadata.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/rng.h"
+#include "core/baselines.h"
+#include "core/evaluation.h"
+#include "core/meshfree_flownet.h"
+#include "data/synthetic.h"
+#include "optim/adam.h"
+#include "tensor/tensor_ops.h"
+
+namespace mfn::core {
+namespace {
+
+Tensor interior_coords(std::int64_t B, Rng& rng) {
+  Tensor c(Shape{B, 3});
+  for (std::int64_t b = 0; b < B; ++b) {
+    c.at({b, 0}) = static_cast<float>(rng.uniform_int(0, 2)) +
+                   static_cast<float>(rng.uniform(0.3, 0.7));
+    c.at({b, 1}) = static_cast<float>(rng.uniform_int(0, 3)) +
+                   static_cast<float>(rng.uniform(0.3, 0.7));
+    c.at({b, 2}) = static_cast<float>(rng.uniform_int(0, 3)) +
+                   static_cast<float>(rng.uniform(0.3, 0.7));
+  }
+  return c;
+}
+
+// ---- decoder derivative checks across smooth activations ----
+class DecoderActivationSweep
+    : public ::testing::TestWithParam<nn::Activation> {};
+
+TEST_P(DecoderActivationSweep, FirstDerivativesMatchFD) {
+  Rng rng(21);
+  DecoderConfig cfg;
+  cfg.latent_channels = 6;
+  cfg.hidden = {16, 16};
+  cfg.activation = GetParam();
+  ContinuousDecoder dec(cfg, rng);
+  ad::Var latent(Tensor::randn(Shape{1, 6, 3, 4, 4}, rng, 0.5f), false);
+  const std::int64_t B = 5;
+  Tensor coords = interior_coords(B, rng);
+  DecodeDerivs d = dec.decode_with_derivatives(latent, coords);
+
+  const float eps = 1e-3f;
+  const ad::Var* derivs[3] = {&d.d_dt, &d.d_dz, &d.d_dx};
+  for (int k = 0; k < 3; ++k) {
+    Tensor cp = coords.clone(), cm = coords.clone();
+    for (std::int64_t b = 0; b < B; ++b) {
+      cp.at({b, k}) += eps;
+      cm.at({b, k}) -= eps;
+    }
+    Tensor fp = dec.decode(latent, cp).value();
+    Tensor fm = dec.decode(latent, cm).value();
+    for (std::int64_t b = 0; b < B; ++b)
+      for (int c = 0; c < 4; ++c)
+        EXPECT_NEAR(derivs[k]->value().at({b, c}),
+                    (fp.at({b, c}) - fm.at({b, c})) / (2 * eps), 2e-2f)
+            << "axis " << k;
+  }
+}
+
+TEST_P(DecoderActivationSweep, SecondDerivativesMatchFD) {
+  Rng rng(22);
+  DecoderConfig cfg;
+  cfg.latent_channels = 6;
+  cfg.hidden = {16};
+  cfg.activation = GetParam();
+  ContinuousDecoder dec(cfg, rng);
+  ad::Var latent(Tensor::randn(Shape{1, 6, 3, 4, 4}, rng, 0.5f), false);
+  const std::int64_t B = 4;
+  Tensor coords = interior_coords(B, rng);
+  DecodeDerivs d = dec.decode_with_derivatives(latent, coords);
+
+  const float eps = 3e-2f;
+  Tensor f0 = dec.decode(latent, coords).value();
+  const ad::Var* derivs[2] = {&d.d2_dz2, &d.d2_dx2};
+  const int axes[2] = {1, 2};
+  for (int k = 0; k < 2; ++k) {
+    Tensor cp = coords.clone(), cm = coords.clone();
+    for (std::int64_t b = 0; b < B; ++b) {
+      cp.at({b, axes[k]}) += eps;
+      cm.at({b, axes[k]}) -= eps;
+    }
+    Tensor fp = dec.decode(latent, cp).value();
+    Tensor fm = dec.decode(latent, cm).value();
+    for (std::int64_t b = 0; b < B; ++b)
+      for (int c = 0; c < 4; ++c)
+        EXPECT_NEAR(
+            derivs[k]->value().at({b, c}),
+            (fp.at({b, c}) - 2 * f0.at({b, c}) + fm.at({b, c})) / (eps * eps),
+            8e-2f)
+            << "axis " << axes[k];
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmoothActivations, DecoderActivationSweep,
+                         ::testing::Values(nn::Activation::kSoftplus,
+                                           nn::Activation::kTanh));
+
+// ---- full-model checkpoint round trip ----
+TEST(ModelCheckpoint, MFNStateRoundTripsThroughStream) {
+  Rng rng(23);
+  MFNConfig cfg = MFNConfig::small_default();
+  cfg.unet.base_filters = 4;
+  cfg.unet.out_channels = 8;
+  cfg.decoder.latent_channels = 8;
+  cfg.decoder.hidden = {16};
+  MeshfreeFlowNet a(cfg, rng);
+  MeshfreeFlowNet b(cfg, rng);  // different init
+
+  // push batchnorm running stats away from init so buffers are exercised
+  Tensor lr_patch = Tensor::randn(Shape{1, 4, 2, 4, 4}, rng, 2.0f);
+  a.set_training(true);
+  (void)a.encode(lr_patch);
+
+  std::stringstream ss;
+  a.save(ss);
+  b.load(ss);
+
+  // identical inference on both (eval mode: uses the restored buffers)
+  a.set_training(false);
+  b.set_training(false);
+  Tensor coords = interior_coords(6, rng);
+  ad::NoGradGuard guard;
+  Tensor ya = a.predict(lr_patch, coords).value();
+  Tensor yb = b.predict(lr_patch, coords).value();
+  EXPECT_TRUE(allclose(ya, yb, 0.0f, 0.0f));
+}
+
+// ---- trilinear baseline exactness on analytic data ----
+TEST(BaselineAlignment, TrilinearRecoversAffineFieldsInInterior) {
+  // Build an affine HR field; box-filter + trilinear-upsample (Baseline I)
+  // must reproduce it away from clamped boundaries. This pins down the
+  // (h + 1/2)/f - 1/2 box-center alignment used everywhere.
+  data::Grid4D hr;
+  hr.data = Tensor(Shape{4, 8, 8, 16});
+  hr.dt = 0.5;
+  hr.dz_cell = 0.125;
+  hr.dx_cell = 0.25;
+  for (int c = 0; c < 4; ++c)
+    for (std::int64_t t = 0; t < 8; ++t)
+      for (std::int64_t z = 0; z < 8; ++z)
+        for (std::int64_t x = 0; x < 16; ++x)
+          hr.data.at({c, t, z, x}) =
+              static_cast<float>(c + 0.25 * t - 0.5 * z + 0.125 * x);
+  data::SRPair pair = data::make_sr_pair(hr, 2, 2);
+  data::Grid4D up = baseline_trilinear(pair);
+  ASSERT_EQ(up.data.shape(), hr.data.shape());
+  for (int c = 0; c < 4; ++c)
+    for (std::int64_t t = 1; t < 7; ++t)
+      for (std::int64_t z = 1; z < 7; ++z)
+        for (std::int64_t x = 1; x < 15; ++x)
+          EXPECT_NEAR(up.data.at({c, t, z, x}), hr.data.at({c, t, z, x}),
+                      2e-3f)
+              << c << " " << t << " " << z << " " << x;
+}
+
+TEST(BaselineAlignment, PatchSamplerTargetsMatchHRInterior) {
+  // grid_batch targets at HR-aligned query points must equal the HR values
+  // for an affine field (trilinear interpolation exact).
+  data::Grid4D hr;
+  hr.data = Tensor(Shape{4, 8, 8, 16});
+  hr.dt = 1.0;
+  hr.dz_cell = hr.dx_cell = 1.0;
+  for (int c = 0; c < 4; ++c)
+    for (std::int64_t t = 0; t < 8; ++t)
+      for (std::int64_t z = 0; z < 8; ++z)
+        for (std::int64_t x = 0; x < 16; ++x)
+          hr.data.at({c, t, z, x}) =
+              static_cast<float>(0.1 * t + 0.2 * z + 0.05 * x);
+  data::SRPair pair = data::make_sr_pair(hr, 2, 2);
+  data::PatchSamplerConfig pcfg;
+  pcfg.patch_nt = 4;
+  pcfg.patch_nz = 4;
+  pcfg.patch_nx = 8;
+  data::PatchSampler sampler(pair, pcfg);
+  data::SampleBatch batch = sampler.grid_batch(0, 0, 0, 5, 5, 9);
+  // normalized targets must denormalize back onto the affine plane
+  Tensor rows = batch.target.clone();
+  pair.stats.denormalize_rows(rows);
+  const double f = 2.0;  // both factors
+  for (std::int64_t b = 0; b < rows.dim(0); ++b) {
+    const double lt = batch.query_coords.at({b, 0});
+    const double lz = batch.query_coords.at({b, 1});
+    const double lx = batch.query_coords.at({b, 2});
+    // map LR patch coords to HR coords, then to the affine value
+    const double ht = (lt + 0.5) * f - 0.5;
+    const double hz = (lz + 0.5) * f - 0.5;
+    const double hx = (lx + 0.5) * f - 0.5;
+    // interior only (clamping distorts the borders)
+    if (ht < 0.5 || ht > 6.5 || hz < 0.5 || hz > 6.5 || hx < 0.5 ||
+        hx > 14.5)
+      continue;
+    const double expected = 0.1 * ht + 0.2 * hz + 0.05 * hx;
+    EXPECT_NEAR(rows.at({b, 0}), expected, 5e-3) << "row " << b;
+  }
+}
+
+// ---- super_resolve_at metadata ----
+TEST(SuperResolveAt, MetadataTracksRequestedResolution) {
+  Rng rng(24);
+  MFNConfig cfg = MFNConfig::small_default();
+  cfg.unet.base_filters = 4;
+  cfg.unet.out_channels = 8;
+  cfg.unet.pools = {{1, 2, 2}};
+  cfg.decoder.latent_channels = 8;
+  cfg.decoder.hidden = {16};
+  MeshfreeFlowNet model(cfg, rng);
+
+  data::SyntheticConfig scfg;
+  scfg.nt = 8;
+  scfg.nz = 8;
+  scfg.nx = 16;
+  data::Grid4D hr = data::generate_synthetic_waves(scfg);
+  data::SRPair pair = data::make_sr_pair(hr, 2, 2);
+
+  data::Grid4D out = core::super_resolve_at(model, pair, 16, 32, 64);
+  EXPECT_EQ(out.data.shape(), (Shape{4, 16, 32, 64}));
+  // 4x finer than LR in time -> dt is LR dt / 4
+  EXPECT_NEAR(out.dt, pair.lr.dt / 4.0, 1e-9);
+  EXPECT_NEAR(out.dz_cell, pair.lr.dz_cell / 8.0, 1e-9);
+  EXPECT_NEAR(out.dx_cell, pair.lr.dx_cell / 8.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace mfn::core

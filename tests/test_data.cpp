@@ -1,0 +1,281 @@
+// Tests for the data pipeline: Grid4D container, trilinear sampling
+// exactness on linear fields, downsampling, normalization round trips,
+// dataset generation from the solver, patch/point sampling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "data/grid4d.h"
+#include "tensor/tensor_ops.h"
+
+namespace mfn::data {
+namespace {
+
+// Small synthetic grid with an affine field per channel: value =
+// a_c + bt*t + bz*z + bx*x (trilinear interpolation must be exact on it).
+Grid4D affine_grid(std::int64_t T, std::int64_t Z, std::int64_t X) {
+  Grid4D g;
+  g.data = Tensor(Shape{4, T, Z, X});
+  g.dt = 0.5;
+  g.dz_cell = 0.1;
+  g.dx_cell = 0.2;
+  for (int c = 0; c < 4; ++c)
+    for (std::int64_t t = 0; t < T; ++t)
+      for (std::int64_t z = 0; z < Z; ++z)
+        for (std::int64_t x = 0; x < X; ++x)
+          g.data.at({c, t, z, x}) =
+              static_cast<float>(c + 2.0 * t + 3.0 * z + 0.5 * x);
+  return g;
+}
+
+TEST(Grid4D, MetadataAndFrame) {
+  Grid4D g = affine_grid(3, 4, 8);
+  EXPECT_EQ(g.channels(), 4);
+  EXPECT_EQ(g.nt(), 3);
+  EXPECT_EQ(g.nz(), 4);
+  EXPECT_EQ(g.nx(), 8);
+  Tensor f = g.frame(kT, 1);
+  EXPECT_EQ(f.shape(), (Shape{4, 8}));
+  EXPECT_EQ(f.at({2, 3}), g.at(kT, 1, 2, 3));
+  EXPECT_THROW(g.frame(5, 0), mfn::Error);
+}
+
+TEST(Grid4D, TrilinearExactOnAffineFields) {
+  Grid4D g = affine_grid(4, 5, 8);
+  for (double ti : {0.0, 0.3, 1.7, 2.9}) {
+    for (double zi : {0.0, 0.5, 3.2}) {
+      for (double xi : {0.0, 1.4, 5.9}) {
+        auto v = g.sample_trilinear(ti, zi, xi);
+        for (int c = 0; c < 4; ++c)
+          EXPECT_NEAR(v[static_cast<std::size_t>(c)],
+                      c + 2.0 * ti + 3.0 * zi + 0.5 * xi, 1e-4)
+              << ti << " " << zi << " " << xi;
+      }
+    }
+  }
+}
+
+TEST(Grid4D, TrilinearGridPointsExact) {
+  Grid4D g = affine_grid(3, 3, 4);
+  auto v = g.sample_trilinear(2.0, 1.0, 3.0);
+  EXPECT_NEAR(v[1], g.at(1, 2, 1, 3), 1e-5);
+}
+
+TEST(Grid4D, TrilinearClampsTimeAndZ) {
+  Grid4D g = affine_grid(3, 3, 4);
+  auto lo = g.sample_trilinear(-1.0, -2.0, 0.0);
+  auto hi = g.sample_trilinear(10.0, 10.0, 0.0);
+  EXPECT_NEAR(lo[0], g.at(0, 0, 0, 0), 1e-5);
+  EXPECT_NEAR(hi[0], g.at(0, 2, 2, 0), 1e-5);
+}
+
+TEST(Grid4D, TrilinearWrapsXPeriodically) {
+  Grid4D g;
+  g.data = Tensor(Shape{4, 1, 1, 4});
+  for (int c = 0; c < 4; ++c)
+    for (int x = 0; x < 4; ++x)
+      g.data.at({c, 0, 0, x}) = static_cast<float>(x);
+  // halfway between x=3 and x=0 (wrap): (3+0)/2
+  auto v = g.sample_trilinear(0.0, 0.0, 3.5);
+  EXPECT_NEAR(v[0], 1.5, 1e-5);
+  auto v2 = g.sample_trilinear(0.0, 0.0, -0.5);  // between x=-1==3 and x=0
+  EXPECT_NEAR(v2[0], 1.5, 1e-5);
+}
+
+TEST(Grid4D, SaveLoadRoundTrip) {
+  Grid4D g = affine_grid(2, 3, 4);
+  g.t0 = 7.5;
+  std::stringstream ss;
+  g.save(ss);
+  Grid4D h = Grid4D::load(ss);
+  EXPECT_EQ(h.t0, 7.5);
+  EXPECT_EQ(h.dt, g.dt);
+  EXPECT_TRUE(allclose(h.data, g.data, 0.0f, 0.0f));
+}
+
+TEST(Downsample, BoxFilterAverages) {
+  Grid4D g;
+  g.data = Tensor(Shape{4, 2, 2, 2});
+  g.dt = 1.0;
+  g.dz_cell = g.dx_cell = 0.5;
+  // channel 0: values 0..7 over (t,z,x)
+  for (int t = 0; t < 2; ++t)
+    for (int z = 0; z < 2; ++z)
+      for (int x = 0; x < 2; ++x)
+        g.data.at({0, t, z, x}) = static_cast<float>(4 * t + 2 * z + x);
+  Grid4D lr = downsample(g, 2, 2);
+  EXPECT_EQ(lr.nt(), 1);
+  EXPECT_EQ(lr.nz(), 1);
+  EXPECT_EQ(lr.nx(), 1);
+  EXPECT_NEAR(lr.at(0, 0, 0, 0), 3.5f, 1e-5f);  // mean of 0..7
+  EXPECT_EQ(lr.dt, 2.0);
+  EXPECT_EQ(lr.dz_cell, 1.0);
+}
+
+TEST(Downsample, PreservesConstantFields) {
+  Grid4D g = affine_grid(4, 4, 8);
+  g.data.fill_(3.25f);
+  Grid4D lr = downsample(g, 2, 4);
+  for (std::int64_t i = 0; i < lr.data.numel(); ++i)
+    EXPECT_EQ(lr.data.data()[i], 3.25f);
+}
+
+TEST(Downsample, RejectsIndivisibleDims) {
+  Grid4D g = affine_grid(3, 4, 8);
+  EXPECT_THROW(downsample(g, 2, 2), mfn::Error);
+}
+
+TEST(UpsampleTrilinear, InvertsDownsampleOnAffine) {
+  // Box-filtering an affine field then trilinearly upsampling recovers it
+  // except near boundaries (clamped extrapolation).
+  Grid4D hr = affine_grid(4, 4, 8);
+  Grid4D lr = downsample(hr, 2, 2);
+  Grid4D up = upsample_trilinear(lr, 4, 4, 8);
+  for (std::int64_t t = 1; t < 3; ++t)
+    for (std::int64_t z = 1; z < 3; ++z)
+      for (std::int64_t x = 1; x < 7; ++x)
+        EXPECT_NEAR(up.at(2, t, z, x), hr.at(2, t, z, x), 1e-3f)
+            << t << " " << z << " " << x;
+}
+
+TEST(NormStats, NormalizeThenDenormalizeRoundTrips) {
+  Grid4D g = affine_grid(3, 4, 8);
+  NormStats stats = NormStats::compute(g);
+  Grid4D n = stats.normalize(g);
+  // normalized channels have ~zero mean / unit variance
+  const std::int64_t per = n.nt() * n.nz() * n.nx();
+  for (int c = 0; c < 4; ++c) {
+    double s = 0.0, s2 = 0.0;
+    for (std::int64_t i = 0; i < per; ++i) {
+      const float v = n.data.data()[c * per + i];
+      s += v;
+      s2 += static_cast<double>(v) * v;
+    }
+    EXPECT_NEAR(s / static_cast<double>(per), 0.0, 1e-4);
+    EXPECT_NEAR(s2 / static_cast<double>(per), 1.0, 1e-3);
+  }
+  // row denormalization inverts
+  Tensor rows(Shape{2, 4});
+  for (int c = 0; c < 4; ++c) {
+    rows.at({0, c}) = n.data.at({c, 0, 0, 0});
+    rows.at({1, c}) = n.data.at({c, 1, 2, 3});
+  }
+  stats.denormalize_rows(rows);
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_NEAR(rows.at({0, c}), g.data.at({c, 0, 0, 0}), 1e-3f);
+    EXPECT_NEAR(rows.at({1, c}), g.data.at({c, 1, 2, 3}), 1e-3f);
+  }
+}
+
+TEST(GenerateDataset, ShapesAndMetadata) {
+  DatasetConfig cfg;
+  cfg.solver.nx = 32;
+  cfg.solver.nz = 17;
+  cfg.solver.Ra = 1e5;
+  cfg.spinup_time = 0.5;
+  cfg.duration = 1.0;
+  cfg.num_snapshots = 5;
+  Grid4D g = generate_rb_dataset(cfg);
+  EXPECT_EQ(g.channels(), 4);
+  EXPECT_EQ(g.nt(), 5);
+  EXPECT_EQ(g.nz(), 16);  // cell centers of 17 nodes
+  EXPECT_EQ(g.nx(), 32);
+  EXPECT_NEAR(g.t0, 0.5, 1e-9);
+  EXPECT_NEAR(g.dt, 0.25, 1e-9);
+  // temperature near the hot wall is high, near the cold wall low
+  EXPECT_GT(g.at(kT, 0, 0, 0), 0.5f);
+  EXPECT_LT(g.at(kT, 0, 15, 0), 0.5f);
+}
+
+TEST(MakeSRPair, DownsampleAndNormalizeConsistent) {
+  DatasetConfig cfg;
+  cfg.solver.nx = 32;
+  cfg.solver.nz = 17;
+  cfg.solver.Ra = 1e5;
+  cfg.spinup_time = 0.2;
+  cfg.duration = 0.7;
+  cfg.num_snapshots = 8;
+  Grid4D hr = generate_rb_dataset(cfg);
+  SRPair pair = make_sr_pair(hr, 2, 4);
+  EXPECT_EQ(pair.lr.nt(), 4);
+  EXPECT_EQ(pair.lr.nz(), 4);
+  EXPECT_EQ(pair.lr.nx(), 8);
+  EXPECT_EQ(pair.hr_norm.nt(), 8);
+  // normalized LR is the normalization of the downsampled raw LR
+  Grid4D check = pair.stats.normalize(pair.lr);
+  EXPECT_TRUE(allclose(check.data, pair.lr_norm.data, 1e-5f, 1e-5f));
+}
+
+TEST(PatchSampler, BatchShapesAndRanges) {
+  DatasetConfig cfg;
+  cfg.solver.nx = 32;
+  cfg.solver.nz = 17;
+  cfg.solver.Ra = 1e5;
+  cfg.spinup_time = 0.2;
+  cfg.duration = 0.7;
+  cfg.num_snapshots = 8;
+  SRPair pair = make_sr_pair(generate_rb_dataset(cfg), 2, 4);
+  PatchSamplerConfig pcfg;
+  pcfg.patch_nt = 2;
+  pcfg.patch_nz = 4;
+  pcfg.patch_nx = 4;
+  pcfg.queries_per_patch = 64;
+  PatchSampler sampler(pair, pcfg);
+  Rng rng(3);
+  SampleBatch batch = sampler.sample(rng);
+  EXPECT_EQ(batch.lr_patch.shape(), (Shape{1, 4, 2, 4, 4}));
+  EXPECT_EQ(batch.query_coords.shape(), (Shape{64, 3}));
+  EXPECT_EQ(batch.target.shape(), (Shape{64, 4}));
+  for (std::int64_t b = 0; b < 64; ++b) {
+    EXPECT_GE(batch.query_coords.at({b, 0}), 0.0f);
+    EXPECT_LE(batch.query_coords.at({b, 0}), 1.0f);  // patch_nt-1
+    EXPECT_GE(batch.query_coords.at({b, 1}), 0.0f);
+    EXPECT_LE(batch.query_coords.at({b, 1}), 3.0f);
+    EXPECT_GE(batch.query_coords.at({b, 2}), 0.0f);
+    EXPECT_LE(batch.query_coords.at({b, 2}), 3.0f);
+  }
+  // targets are normalized values: should be O(1)
+  EXPECT_LT(max_abs(batch.target), 10.0f);
+}
+
+TEST(PatchSampler, RejectsOversizedPatch) {
+  DatasetConfig cfg;
+  cfg.solver.nx = 32;
+  cfg.solver.nz = 17;
+  cfg.spinup_time = 0.1;
+  cfg.duration = 0.3;
+  cfg.num_snapshots = 4;
+  SRPair pair = make_sr_pair(generate_rb_dataset(cfg), 2, 4);
+  PatchSamplerConfig pcfg;
+  pcfg.patch_nt = 99;
+  EXPECT_THROW(PatchSampler(pair, pcfg), mfn::Error);
+}
+
+TEST(PatchSampler, GridBatchCoversCorners) {
+  DatasetConfig cfg;
+  cfg.solver.nx = 32;
+  cfg.solver.nz = 17;
+  cfg.spinup_time = 0.1;
+  cfg.duration = 0.3;
+  cfg.num_snapshots = 4;
+  SRPair pair = make_sr_pair(generate_rb_dataset(cfg), 2, 4);
+  PatchSamplerConfig pcfg;
+  pcfg.patch_nt = 2;
+  pcfg.patch_nz = 4;
+  pcfg.patch_nx = 4;
+  PatchSampler sampler(pair, pcfg);
+  SampleBatch b = sampler.grid_batch(0, 0, 0, 3, 5, 5);
+  EXPECT_EQ(b.query_coords.dim(0), 3 * 5 * 5);
+  EXPECT_EQ(b.query_coords.at({0, 0}), 0.0f);
+  const std::int64_t last = 3 * 5 * 5 - 1;
+  EXPECT_NEAR(b.query_coords.at({last, 0}), 1.0f, 1e-5f);
+  EXPECT_NEAR(b.query_coords.at({last, 1}), 3.0f, 1e-5f);
+  EXPECT_NEAR(b.query_coords.at({last, 2}), 3.0f, 1e-5f);
+}
+
+}  // namespace
+}  // namespace mfn::data

@@ -1,0 +1,119 @@
+// FFT tests: against a naive DFT reference, round trips across sizes
+// (parameterized), Parseval's theorem, spectrum of pure tones.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "fft/fft.h"
+
+namespace mfn::fft {
+namespace {
+
+std::vector<cplx> dft_reference(const std::vector<cplx>& a) {
+  const std::size_t n = a.size();
+  std::vector<cplx> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    cplx acc(0.0, 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double ang = -2.0 * M_PI * static_cast<double>(k * j) /
+                         static_cast<double>(n);
+      acc += a[j] * cplx(std::cos(ang), std::sin(ang));
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+class FftSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(FftSizes, MatchesNaiveDft) {
+  const int n = GetParam();
+  mfn::Rng rng(77);
+  std::vector<cplx> a(static_cast<std::size_t>(n));
+  for (auto& v : a) v = cplx(rng.normal(), rng.normal());
+  auto fast = fft(a);
+  auto ref = dft_reference(a);
+  for (int k = 0; k < n; ++k) {
+    EXPECT_NEAR(fast[k].real(), ref[k].real(), 1e-8 * n) << "k=" << k;
+    EXPECT_NEAR(fast[k].imag(), ref[k].imag(), 1e-8 * n) << "k=" << k;
+  }
+}
+
+TEST_P(FftSizes, RoundTripIdentity) {
+  const int n = GetParam();
+  mfn::Rng rng(78);
+  std::vector<cplx> a(static_cast<std::size_t>(n));
+  for (auto& v : a) v = cplx(rng.normal(), rng.normal());
+  auto back = ifft(fft(a));
+  for (int k = 0; k < n; ++k) {
+    EXPECT_NEAR(back[k].real(), a[k].real(), 1e-10 * n);
+    EXPECT_NEAR(back[k].imag(), a[k].imag(), 1e-10 * n);
+  }
+}
+
+TEST_P(FftSizes, ParsevalHolds) {
+  const int n = GetParam();
+  mfn::Rng rng(79);
+  std::vector<double> a(static_cast<std::size_t>(n));
+  double time_energy = 0.0;
+  for (auto& v : a) {
+    v = rng.normal();
+    time_energy += v * v;
+  }
+  auto spec = rfft(a);
+  double freq_energy = 0.0;
+  for (const auto& s : spec) freq_energy += std::norm(s);
+  freq_energy /= static_cast<double>(n);
+  EXPECT_NEAR(freq_energy, time_energy, 1e-8 * n);
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwo, FftSizes,
+                         ::testing::Values(1, 2, 4, 8, 16, 64, 256, 1024));
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<cplx> a(3);
+  EXPECT_THROW(fft(a), mfn::Error);
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(12));
+  EXPECT_TRUE(is_pow2(16));
+}
+
+TEST(Fft, DeltaHasFlatSpectrum) {
+  std::vector<cplx> a(8, cplx(0.0, 0.0));
+  a[0] = cplx(1.0, 0.0);
+  auto spec = fft(a);
+  for (const auto& s : spec) {
+    EXPECT_NEAR(s.real(), 1.0, 1e-12);
+    EXPECT_NEAR(s.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, PureToneLandsInSingleBin) {
+  const int n = 64, k0 = 5;
+  std::vector<double> a(n);
+  for (int i = 0; i < n; ++i)
+    a[i] = std::cos(2.0 * M_PI * k0 * i / static_cast<double>(n));
+  auto power = power_spectrum(a);
+  for (std::size_t k = 0; k < power.size(); ++k) {
+    if (static_cast<int>(k) == k0)
+      EXPECT_NEAR(power[k], 0.25, 1e-10);  // |X_k|^2/n^2 = (n/2)^2/n^2
+    else
+      EXPECT_NEAR(power[k], 0.0, 1e-10);
+  }
+}
+
+TEST(Fft, IrfftRecoversRealSignal) {
+  mfn::Rng rng(80);
+  std::vector<double> a(32);
+  for (auto& v : a) v = rng.normal();
+  auto back = irfft(rfft(a));
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_NEAR(back[i], a[i], 1e-10);
+}
+
+}  // namespace
+}  // namespace mfn::fft

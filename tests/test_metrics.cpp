@@ -1,0 +1,222 @@
+// Metrics tests: closed-form checks of every turbulence statistic on
+// synthetic fields, spectrum properties, NMAE/R^2 behaviour, table format.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "metrics/comparison.h"
+#include "metrics/flow_metrics.h"
+
+namespace mfn::metrics {
+namespace {
+
+constexpr double kLx = 4.0;
+
+// u = A sin(k x), w = 0 on a (Z, X) grid — closed forms:
+//   <u^2> = A^2/2, Etot = A^2/4
+//   du/dx = A k cos(kx): <S11^2> = A^2 k^2 / 2; S12 = S22 = 0
+//   eps = 2 nu <SijSij> = nu A^2 k^2
+Tensor sinusoid_u(std::int64_t Z, std::int64_t X, double A, int mode) {
+  Tensor u(Shape{Z, X});
+  const double k = 2.0 * M_PI * mode / kLx;
+  const double dx = kLx / static_cast<double>(X);
+  for (std::int64_t z = 0; z < Z; ++z)
+    for (std::int64_t x = 0; x < X; ++x)
+      u.at({z, x}) = static_cast<float>(A * std::sin(k * x * dx));
+  return u;
+}
+
+TEST(FlowMetrics, KineticEnergyOfSinusoid) {
+  const std::int64_t Z = 16, X = 128;
+  Tensor u = sinusoid_u(Z, X, 2.0, 1);
+  Tensor w = Tensor::zeros(Shape{Z, X});
+  auto m = compute_flow_metrics(u, w, kLx / X, 1.0 / Z, kLx, 1e-3);
+  EXPECT_NEAR(m.etot, 1.0, 1e-3);                       // A^2/4 = 1
+  EXPECT_NEAR(m.urms, std::sqrt(2.0 / 3.0), 1e-3);
+}
+
+TEST(FlowMetrics, DissipationOfSinusoid) {
+  const std::int64_t Z = 16, X = 256;
+  const double A = 1.5, nu = 2e-3;
+  const int mode = 2;
+  Tensor u = sinusoid_u(Z, X, A, mode);
+  Tensor w = Tensor::zeros(Shape{Z, X});
+  auto m = compute_flow_metrics(u, w, kLx / X, 1.0 / Z, kLx, nu);
+  const double k = 2.0 * M_PI * mode / kLx;
+  // central differences underestimate slightly: sin(k dx)/(k dx) factor
+  EXPECT_NEAR(m.dissipation, nu * A * A * k * k, nu * A * A * k * k * 0.01);
+}
+
+TEST(FlowMetrics, DerivedScalesConsistent) {
+  mfn::Rng rng(3);
+  const std::int64_t Z = 16, X = 64;
+  Tensor u = Tensor::randn(Shape{Z, X}, rng);
+  Tensor w = Tensor::randn(Shape{Z, X}, rng);
+  const double nu = 1e-3;
+  auto m = compute_flow_metrics(u, w, kLx / X, 1.0 / Z, kLx, nu);
+  EXPECT_NEAR(m.taylor_microscale,
+              std::sqrt(15.0 * nu * m.urms * m.urms / m.dissipation), 1e-9);
+  EXPECT_NEAR(m.taylor_reynolds, m.urms * m.taylor_microscale / nu, 1e-9);
+  EXPECT_NEAR(m.kolmogorov_time, std::sqrt(nu / m.dissipation), 1e-12);
+  EXPECT_NEAR(m.kolmogorov_length,
+              std::pow(nu * nu * nu / m.dissipation, 0.25), 1e-12);
+  EXPECT_NEAR(m.eddy_turnover_time, m.integral_scale / m.urms, 1e-9);
+  EXPECT_GT(m.integral_scale, 0.0);
+}
+
+TEST(EnergySpectrum, SingleModeLandsInOneBin) {
+  const std::int64_t Z = 8, X = 64;
+  Tensor u = sinusoid_u(Z, X, 2.0, 3);
+  Tensor w = Tensor::zeros(Shape{Z, X});
+  auto E = energy_spectrum_x(u, w);
+  ASSERT_EQ(E.size(), static_cast<std::size_t>(X / 2 + 1));
+  // total spectral energy = <u^2+w^2>/2 = A^2/4 = 1
+  double total = 0.0;
+  for (double e : E) total += e;
+  EXPECT_NEAR(total, 1.0, 1e-6);
+  EXPECT_NEAR(E[3], 1.0, 1e-6);  // all in mode 3
+  EXPECT_NEAR(E[2], 0.0, 1e-9);
+}
+
+TEST(EnergySpectrum, ParsevalForRandomField) {
+  mfn::Rng rng(4);
+  const std::int64_t Z = 4, X = 128;
+  Tensor u = Tensor::randn(Shape{Z, X}, rng);
+  Tensor w = Tensor::randn(Shape{Z, X}, rng);
+  auto E = energy_spectrum_x(u, w);
+  double total = 0.0;
+  for (double e : E) total += e;
+  double ke = 0.0;
+  for (std::int64_t i = 0; i < Z * X; ++i)
+    ke += static_cast<double>(u.data()[i]) * u.data()[i] +
+          static_cast<double>(w.data()[i]) * w.data()[i];
+  ke = 0.5 * ke / static_cast<double>(Z * X);
+  EXPECT_NEAR(total, ke, ke * 1e-6);
+}
+
+TEST(CompareSeries, PerfectPrediction) {
+  std::vector<double> t = {1.0, 2.0, 3.0, 2.5};
+  auto c = compare_series(t, t);
+  EXPECT_NEAR(c.nmae, 0.0, 1e-12);
+  EXPECT_NEAR(c.r2, 1.0, 1e-12);
+}
+
+TEST(CompareSeries, KnownError) {
+  std::vector<double> t = {0.0, 1.0, 2.0};   // range 2, mean 1
+  std::vector<double> p = {0.5, 1.5, 2.5};   // constant +0.5 error
+  auto c = compare_series(t, p);
+  EXPECT_NEAR(c.nmae, 0.25, 1e-12);  // 0.5 / 2
+  // SS_res = 3*0.25, SS_tot = 2 -> R2 = 1 - 0.375 = 0.625
+  EXPECT_NEAR(c.r2, 0.625, 1e-12);
+}
+
+TEST(CompareSeries, MeanPredictorGivesZeroR2) {
+  std::vector<double> t = {0.0, 2.0, 4.0};
+  std::vector<double> p = {2.0, 2.0, 2.0};
+  EXPECT_NEAR(compare_series(t, p).r2, 0.0, 1e-12);
+}
+
+TEST(CompareSeries, WorseThanMeanGoesNegative) {
+  std::vector<double> t = {0.0, 1.0, 2.0};
+  std::vector<double> p = {4.0, -3.0, 9.0};
+  EXPECT_LT(compare_series(t, p).r2, 0.0);
+}
+
+TEST(CompareSeries, DegenerateConstantSeriesStaysFinite) {
+  std::vector<double> t = {5.0, 5.0, 5.0};
+  std::vector<double> p = {5.0, 5.0, 5.0};
+  auto c = compare_series(t, p);
+  EXPECT_NEAR(c.nmae, 0.0, 1e-12);
+  EXPECT_NEAR(c.r2, 1.0, 1e-12);
+}
+
+TEST(CompareSeries, SizeMismatchThrows) {
+  EXPECT_THROW(compare_series({1.0}, {1.0, 2.0}), mfn::Error);
+  EXPECT_THROW(compare_series({}, {}), mfn::Error);
+}
+
+TEST(MetricReport, AveragesR2) {
+  std::vector<FlowMetrics> truth(4), pred(4);
+  for (int i = 0; i < 4; ++i) {
+    FlowMetrics m;
+    m.etot = i;
+    m.urms = 2.0 * i;
+    m.dissipation = 1.0 + i;
+    m.taylor_microscale = 0.5 * i;
+    m.taylor_reynolds = i;
+    m.kolmogorov_time = i;
+    m.kolmogorov_length = i;
+    m.integral_scale = i;
+    m.eddy_turnover_time = i;
+    truth[static_cast<std::size_t>(i)] = m;
+    pred[static_cast<std::size_t>(i)] = m;  // perfect
+  }
+  auto report = compare_flow_metrics(truth, pred);
+  EXPECT_NEAR(report.avg_r2, 1.0, 1e-12);
+  for (const auto& c : report.per_metric) EXPECT_NEAR(c.nmae, 0.0, 1e-12);
+}
+
+TEST(SpectralFidelity, PerfectForIdenticalGrids) {
+  mfn::Rng rng(9);
+  data::Grid4D g;
+  g.data = Tensor::randn(Shape{4, 3, 8, 64}, rng);
+  g.dx_cell = 4.0 / 64.0;
+  g.dz_cell = 1.0 / 8.0;
+  auto c = compare_energy_spectra(g, g);
+  EXPECT_NEAR(c.nmae, 0.0, 1e-12);
+  EXPECT_NEAR(c.r2, 1.0, 1e-12);
+}
+
+TEST(SpectralFidelity, DetectsMissingFineScales) {
+  // Smoothing the prediction (dropping high-k energy) must be penalized.
+  mfn::Rng rng(10);
+  data::Grid4D truth;
+  truth.data = Tensor::randn(Shape{4, 2, 8, 64}, rng);
+  truth.dx_cell = 4.0 / 64.0;
+  truth.dz_cell = 1.0 / 8.0;
+  data::Grid4D smooth = truth;
+  smooth.data = truth.data.clone();
+  // 3-point moving average along x of u and w
+  for (int c : {data::kU, data::kW})
+    for (std::int64_t t = 0; t < 2; ++t)
+      for (std::int64_t z = 0; z < 8; ++z)
+        for (std::int64_t x = 0; x < 64; ++x) {
+          const std::int64_t xm = (x + 63) % 64, xp = (x + 1) % 64;
+          smooth.data.at({c, t, z, x}) =
+              (truth.data.at({c, t, z, xm}) + truth.data.at({c, t, z, x}) +
+               truth.data.at({c, t, z, xp})) /
+              3.0f;
+        }
+  auto c = compare_energy_spectra(truth, smooth);
+  EXPECT_GT(c.nmae, 0.05);
+  EXPECT_LT(c.r2, 0.99);
+}
+
+TEST(SpectralFidelity, ShapeMismatchThrows) {
+  data::Grid4D a, b;
+  a.data = Tensor::zeros(Shape{4, 2, 4, 16});
+  b.data = Tensor::zeros(Shape{4, 2, 4, 32});
+  EXPECT_THROW(compare_energy_spectra(a, b), mfn::Error);
+}
+
+TEST(MetricReport, TableFormatting) {
+  std::vector<FlowMetrics> truth(3), pred(3);
+  for (int i = 0; i < 3; ++i) {
+    truth[static_cast<std::size_t>(i)].etot = i;
+    pred[static_cast<std::size_t>(i)].etot = i + 0.01;
+  }
+  auto report = compare_flow_metrics(truth, pred);
+  const std::string header = format_report_header("gamma");
+  const std::string row = format_report_row("0.0125", report);
+  EXPECT_NE(header.find("Etot"), std::string::npos);
+  EXPECT_NE(header.find("avg.R2"), std::string::npos);
+  EXPECT_NE(row.find("0.0125"), std::string::npos);
+  EXPECT_NE(row.find("("), std::string::npos);
+  // header and row column widths line up
+  EXPECT_EQ(header.size(), row.size());
+}
+
+}  // namespace
+}  // namespace mfn::metrics

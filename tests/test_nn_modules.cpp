@@ -1,0 +1,211 @@
+// Tests for nn/: module registry, layer shapes, U-Net end-to-end shape and
+// trainability, MLP behaviour, checkpoint round-trips.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "autodiff/ops.h"
+#include "common/rng.h"
+#include "nn/batchnorm3d.h"
+#include "nn/conv3d.h"
+#include "nn/linear.h"
+#include "nn/mlp.h"
+#include "nn/resblock3d.h"
+#include "nn/unet3d.h"
+#include "tensor/tensor_ops.h"
+
+namespace mfn::nn {
+namespace {
+
+TEST(Linear, ShapesAndParamCount) {
+  Rng rng(1);
+  Linear fc(3, 5, rng);
+  EXPECT_EQ(fc.num_parameters(), 3 * 5 + 5);
+  ad::Var x(Tensor::randn(Shape{7, 3}, rng), false);
+  ad::Var y = fc.forward(x);
+  EXPECT_EQ(y.shape(), (Shape{7, 5}));
+}
+
+TEST(Linear, NoBiasVariant) {
+  Rng rng(2);
+  Linear fc(3, 5, rng, /*bias=*/false);
+  EXPECT_EQ(fc.num_parameters(), 15);
+  EXPECT_FALSE(fc.has_bias());
+}
+
+TEST(Linear, GradientsReachParameters) {
+  Rng rng(3);
+  Linear fc(4, 2, rng);
+  ad::Var x(Tensor::randn(Shape{6, 4}, rng), false);
+  ad::backward(ad::mean(ad::square(fc.forward(x))));
+  for (auto* p : fc.parameters()) {
+    ASSERT_TRUE(p->has_grad());
+    EXPECT_GT(max_abs(p->grad()), 0.0f);
+  }
+}
+
+TEST(Module, NamedParametersHierarchy) {
+  Rng rng(4);
+  MLP mlp({3, 8, 2}, rng);
+  auto named = mlp.named_parameters();
+  ASSERT_EQ(named.size(), 4u);  // two layers x (weight, bias)
+  EXPECT_EQ(named[0].first, "fc0.weight");
+  EXPECT_EQ(named[3].first, "fc1.bias");
+}
+
+TEST(Module, CheckpointRoundTrip) {
+  Rng rng(5);
+  MLP a({3, 6, 2}, rng);
+  MLP b({3, 6, 2}, rng);  // different random init
+  std::stringstream ss;
+  a.save(ss);
+  b.load(ss);
+  auto pa = a.parameters();
+  auto pb = b.parameters();
+  for (std::size_t i = 0; i < pa.size(); ++i)
+    EXPECT_TRUE(allclose(pa[i]->value(), pb[i]->value(), 0.0f, 0.0f));
+}
+
+TEST(Module, CopyStateFrom) {
+  Rng rng(6);
+  Linear a(3, 3, rng), b(3, 3, rng);
+  b.copy_state_from(a);
+  EXPECT_TRUE(allclose(a.parameters()[0]->value(),
+                       b.parameters()[0]->value(), 0.0f, 0.0f));
+}
+
+TEST(Conv3dLayer, SameSpecPreservesDims) {
+  Rng rng(7);
+  Conv3d conv(2, 4, Conv3d::same_spec(3), rng);
+  ad::Var x(Tensor::randn(Shape{1, 2, 4, 6, 8}, rng), false);
+  EXPECT_EQ(conv.forward(x).shape(), (Shape{1, 4, 4, 6, 8}));
+}
+
+TEST(BatchNormLayer, TrainVsEvalModes) {
+  Rng rng(8);
+  BatchNorm3d bn(2);
+  ad::Var x(Tensor::randn(Shape{4, 2, 2, 2, 2}, rng, 3.0f), false);
+  bn.set_training(true);
+  ad::Var y_train = bn.forward(x);
+  // Running stats should have moved from init (0 mean, 1 var).
+  EXPECT_GT(max_abs(bn.running_mean()), 0.0f);
+  bn.set_training(false);
+  ad::Var y_eval = bn.forward(x);
+  EXPECT_EQ(y_eval.shape(), x.shape());
+  // train output normalized: batch std of eval output differs
+  EXPECT_FALSE(allclose(y_train.value(), y_eval.value(), 1e-3f, 1e-3f));
+}
+
+TEST(ResBlock, ShapeAndSkipProjection) {
+  Rng rng(9);
+  ResBlock3d same(4, 4, rng);
+  ResBlock3d proj(4, 8, rng);
+  ad::Var x(Tensor::randn(Shape{2, 4, 2, 4, 4}, rng), false);
+  EXPECT_EQ(same.forward(x).shape(), (Shape{2, 4, 2, 4, 4}));
+  EXPECT_EQ(proj.forward(x).shape(), (Shape{2, 8, 2, 4, 4}));
+}
+
+TEST(ResBlock, OutputNonNegativeAfterFinalReLU) {
+  Rng rng(10);
+  ResBlock3d block(2, 2, rng);
+  ad::Var x(Tensor::randn(Shape{1, 2, 2, 4, 4}, rng), false);
+  EXPECT_GE(min_value(block.forward(x).value()), 0.0f);
+}
+
+TEST(UNet3D, ProducesLatentGridAtInputResolution) {
+  Rng rng(11);
+  UNet3DConfig cfg;
+  cfg.in_channels = 4;
+  cfg.out_channels = 16;
+  cfg.base_filters = 8;
+  cfg.pools = {{1, 2, 2}, {2, 2, 2}};
+  UNet3D unet(cfg, rng);
+  ad::Var x(Tensor::randn(Shape{1, 4, 4, 8, 8}, rng), false);
+  ad::Var latent = unet.forward(x);
+  EXPECT_EQ(latent.shape(), (Shape{1, 16, 4, 8, 8}));
+}
+
+TEST(UNet3D, FullyConvolutionalAcceptsLargerInputs) {
+  // Same weights applied to a bigger domain — the fully-convolutional
+  // property the paper uses to scale to arbitrary domains at test time.
+  Rng rng(12);
+  UNet3DConfig cfg;
+  cfg.in_channels = 2;
+  cfg.out_channels = 4;
+  cfg.base_filters = 4;
+  cfg.pools = {{1, 2, 2}, {2, 2, 2}};
+  UNet3D unet(cfg, rng);
+  unet.set_training(false);
+  ad::Var small(Tensor::randn(Shape{1, 2, 2, 4, 4}, rng), false);
+  ad::Var large(Tensor::randn(Shape{1, 2, 4, 16, 16}, rng), false);
+  EXPECT_EQ(unet.forward(small).shape(), (Shape{1, 4, 2, 4, 4}));
+  EXPECT_EQ(unet.forward(large).shape(), (Shape{1, 4, 4, 16, 16}));
+}
+
+TEST(UNet3D, GradientsFlowToAllParameters) {
+  Rng rng(13);
+  UNet3DConfig cfg;
+  cfg.in_channels = 2;
+  cfg.out_channels = 3;
+  cfg.base_filters = 4;
+  cfg.pools = {{1, 2, 2}};
+  UNet3D unet(cfg, rng);
+  ad::Var x(Tensor::randn(Shape{2, 2, 2, 4, 4}, rng), false);
+  ad::backward(ad::mean(ad::square(unet.forward(x))));
+  int with_grad = 0, total = 0;
+  for (auto* p : unet.parameters()) {
+    ++total;
+    if (p->has_grad() && max_abs(p->grad()) > 0.0f) ++with_grad;
+  }
+  // batch-norm betas of dead ReLU paths can have zero grad; require most.
+  EXPECT_GT(with_grad, total * 3 / 4);
+}
+
+TEST(MLP, ForwardShapesAndActivation) {
+  Rng rng(14);
+  MLP mlp({3, 16, 16, 2}, rng, Activation::kSoftplus);
+  EXPECT_EQ(mlp.in_features(), 3);
+  EXPECT_EQ(mlp.out_features(), 2);
+  EXPECT_EQ(mlp.layers().size(), 3u);
+  ad::Var x(Tensor::randn(Shape{5, 3}, rng), false);
+  EXPECT_EQ(mlp.forward(x).shape(), (Shape{5, 2}));
+}
+
+TEST(MLP, DifferentActivationsDiffer) {
+  Rng rng(15);
+  MLP a({2, 8, 1}, rng, Activation::kSoftplus);
+  MLP b({2, 8, 1}, rng, Activation::kTanh);
+  b.copy_state_from(a);
+  ad::Var x(Tensor::randn(Shape{4, 2}, rng), false);
+  EXPECT_FALSE(
+      allclose(a.forward(x).value(), b.forward(x).value(), 1e-4f, 1e-4f));
+}
+
+TEST(MLP, TrainsOnToyRegression) {
+  // y = 2*x0 - x1; a small MLP should fit quickly.
+  Rng rng(16);
+  MLP mlp({2, 16, 1}, rng, Activation::kTanh);
+  Tensor xs = Tensor::randn(Shape{64, 2}, rng);
+  std::vector<float> ys(64);
+  for (int i = 0; i < 64; ++i)
+    ys[static_cast<std::size_t>(i)] =
+        2.0f * xs.at({i, 0}) - xs.at({i, 1});
+  ad::Var x(xs, false);
+  ad::Var y(Tensor::from_vector(Shape{64, 1}, ys), false);
+
+  auto params = mlp.parameters();
+  float first_loss = 0.0f, last_loss = 0.0f;
+  for (int step = 0; step < 200; ++step) {
+    for (auto* p : params) p->zero_grad();
+    ad::Var loss = ad::mean(ad::square(ad::sub(mlp.forward(x), y)));
+    if (step == 0) first_loss = loss.value().item();
+    last_loss = loss.value().item();
+    ad::backward(loss);
+    for (auto* p : params)
+      add_(p->value(), p->grad(), -0.05f);  // plain GD
+  }
+  EXPECT_LT(last_loss, first_loss * 0.1f);
+}
+
+}  // namespace
+}  // namespace mfn::nn

@@ -1,0 +1,192 @@
+// Rayleigh–Bénard solver tests: boundary conditions, incompressibility,
+// conduction vs convection regimes, energy growth, determinism, and a
+// parameterized Ra/Pr stability sweep.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "solver/rb_solver.h"
+#include "tensor/tensor_ops.h"
+
+namespace mfn::solver {
+namespace {
+
+RBConfig small_config(double Ra = 1e5, std::uint64_t seed = 1) {
+  RBConfig cfg;
+  cfg.Ra = Ra;
+  cfg.Pr = 1.0;
+  cfg.nx = 64;
+  cfg.nz = 17;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(RBSolver, ValidatesConfig) {
+  RBConfig cfg = small_config();
+  cfg.nx = 60;  // not a power of two
+  EXPECT_THROW(RBSolver{cfg}, mfn::Error);
+  cfg = small_config();
+  cfg.nz = 3;
+  EXPECT_THROW(RBSolver{cfg}, mfn::Error);
+  cfg = small_config();
+  cfg.Ra = -1;
+  EXPECT_THROW(RBSolver{cfg}, mfn::Error);
+}
+
+TEST(RBSolver, NonDimensionalGroups) {
+  RBConfig cfg = small_config(1e6);
+  cfg.Pr = 4.0;
+  RBSolver s(cfg);
+  EXPECT_NEAR(s.thermal_diffusivity(), 1.0 / std::sqrt(1e6 * 4.0), 1e-12);
+  EXPECT_NEAR(s.viscosity(), 1.0 / std::sqrt(1e6 / 4.0), 1e-12);
+}
+
+TEST(RBSolver, InitialConditionRespectsWalls) {
+  RBSolver s(small_config());
+  Tensor T = s.temperature();
+  for (std::int64_t i = 0; i < T.dim(1); ++i) {
+    EXPECT_EQ(T.at({0, i}), 1.0f);                 // hot bottom
+    EXPECT_EQ(T.at({T.dim(0) - 1, i}), 0.0f);      // cold top
+  }
+  // velocities start at rest
+  EXPECT_LT(max_abs(s.velocity_u()), 1e-10f);
+  EXPECT_LT(max_abs(s.velocity_w()), 1e-10f);
+}
+
+TEST(RBSolver, WallsHoldAfterStepping) {
+  RBSolver s(small_config());
+  for (int i = 0; i < 50; ++i) s.step();
+  Tensor T = s.temperature();
+  Tensor w = s.velocity_w();
+  for (std::int64_t i = 0; i < T.dim(1); ++i) {
+    EXPECT_EQ(T.at({0, i}), 1.0f);
+    EXPECT_EQ(T.at({T.dim(0) - 1, i}), 0.0f);
+    EXPECT_NEAR(w.at({0, i}), 0.0f, 1e-10f);               // impermeable
+    EXPECT_NEAR(w.at({w.dim(0) - 1, i}), 0.0f, 1e-10f);
+  }
+}
+
+TEST(RBSolver, VelocityFieldIsDivergenceFree) {
+  RBSolver s(small_config(1e5));
+  s.advance_to(5.0);
+  EXPECT_LT(s.divergence_error(), 1e-10);
+}
+
+TEST(RBSolver, SubcriticalRayleighStaysConductive) {
+  // Ra below the critical value (~657 for free-slip): perturbations decay,
+  // no convection; Nu stays ~1.
+  RBConfig cfg = small_config(300.0);
+  cfg.max_dt = 1e-2;
+  RBSolver s(cfg);
+  s.advance_to(3.0);
+  EXPECT_LT(s.kinetic_energy(), 1e-5);
+  EXPECT_NEAR(s.nusselt(), 1.0, 0.05);
+}
+
+TEST(RBSolver, SupercriticalRayleighConvects) {
+  RBSolver s(small_config(1e5));
+  s.advance_to(12.0);
+  EXPECT_GT(s.kinetic_energy(), 1e-3);
+  EXPECT_GT(s.nusselt(), 2.0);  // convective heat transport
+}
+
+TEST(RBSolver, TemperatureStaysBounded) {
+  // Maximum principle (up to small numerical overshoot).
+  RBSolver s(small_config(1e6));
+  s.advance_to(10.0);
+  EXPECT_GT(min_value(s.temperature()), -0.05f);
+  EXPECT_LT(max_value(s.temperature()), 1.05f);
+}
+
+TEST(RBSolver, DeterministicForFixedSeed) {
+  RBSolver a(small_config(1e5, 7));
+  RBSolver b(small_config(1e5, 7));
+  a.advance_to(2.0);
+  b.advance_to(2.0);
+  EXPECT_TRUE(allclose(a.temperature(), b.temperature(), 0.0f, 0.0f));
+  EXPECT_TRUE(allclose(a.velocity_u(), b.velocity_u(), 0.0f, 0.0f));
+}
+
+TEST(RBSolver, DifferentSeedsDiverge) {
+  RBSolver a(small_config(1e6, 1));
+  RBSolver b(small_config(1e6, 2));
+  a.advance_to(8.0);
+  b.advance_to(8.0);
+  EXPECT_FALSE(allclose(a.temperature(), b.temperature(), 1e-3f, 1e-3f));
+}
+
+TEST(RBSolver, ResetReproducesInitialState) {
+  RBSolver s(small_config());
+  Tensor T0 = s.temperature().clone();
+  s.advance_to(1.0);
+  s.reset();
+  EXPECT_EQ(s.time(), 0.0);
+  EXPECT_TRUE(allclose(s.temperature(), T0, 0.0f, 0.0f));
+}
+
+TEST(RBSolver, AdvanceToLandsExactly) {
+  RBSolver s(small_config());
+  s.advance_to(0.7351);
+  EXPECT_NEAR(s.time(), 0.7351, 1e-9);
+}
+
+TEST(RBSolver, StableDtPositiveAndBounded) {
+  RBConfig cfg = small_config();
+  RBSolver s(cfg);
+  EXPECT_GT(s.stable_dt(), 0.0);
+  EXPECT_LE(s.stable_dt(), cfg.max_dt);
+}
+
+TEST(RBSolver, PressureHasZeroMean) {
+  RBSolver s(small_config(1e5));
+  s.advance_to(6.0);
+  Tensor p = s.pressure();
+  EXPECT_NEAR(mean(p), 0.0f, 1e-5f);
+  EXPECT_GT(max_abs(p), 1e-4f);  // non-trivial field once convecting
+}
+
+TEST(RBSolver, StreamfunctionVanishesAtWalls) {
+  RBSolver s(small_config(1e5));
+  s.advance_to(4.0);
+  Tensor psi = s.streamfunction();
+  for (std::int64_t i = 0; i < psi.dim(1); ++i) {
+    EXPECT_EQ(psi.at({0, i}), 0.0f);
+    EXPECT_EQ(psi.at({psi.dim(0) - 1, i}), 0.0f);
+  }
+}
+
+TEST(RBSolver, InitialConditionFamiliesDiffer) {
+  RBConfig cfg = small_config();
+  cfg.ic = InitialCondition::kRandom;
+  RBSolver a(cfg);
+  cfg.ic = InitialCondition::kSingleMode;
+  RBSolver b(cfg);
+  cfg.ic = InitialCondition::kTwoMode;
+  RBSolver c(cfg);
+  EXPECT_FALSE(allclose(a.temperature(), b.temperature(), 1e-5f, 1e-5f));
+  EXPECT_FALSE(allclose(b.temperature(), c.temperature(), 1e-5f, 1e-5f));
+}
+
+// --- parameterized stability sweep over (Ra, Pr) ---
+class RBSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(RBSweep, ShortRunStaysFinite) {
+  const auto [Ra, Pr] = GetParam();
+  RBConfig cfg = small_config(Ra);
+  cfg.Pr = Pr;
+  RBSolver s(cfg);
+  s.advance_to(1.5);
+  EXPECT_TRUE(std::isfinite(s.kinetic_energy()));
+  EXPECT_LT(max_abs(s.temperature()), 2.0f);
+  EXPECT_TRUE(std::isfinite(static_cast<double>(max_abs(s.velocity_u()))));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RaPr, RBSweep,
+    ::testing::Combine(::testing::Values(1e4, 1e5, 1e6, 1e7),
+                       ::testing::Values(0.1, 1.0, 10.0)));
+
+}  // namespace
+}  // namespace mfn::solver

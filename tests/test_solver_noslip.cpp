@@ -1,0 +1,79 @@
+// No-slip wall boundary condition tests (Thom's vorticity formula).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "solver/rb_solver.h"
+#include "tensor/tensor_ops.h"
+
+namespace mfn::solver {
+namespace {
+
+RBConfig noslip_config(double Ra = 1e5) {
+  RBConfig cfg;
+  cfg.Ra = Ra;
+  cfg.Pr = 1.0;
+  cfg.nx = 64;
+  cfg.nz = 17;
+  cfg.seed = 1;
+  cfg.velocity_bc = VelocityBC::kNoSlip;
+  return cfg;
+}
+
+TEST(NoSlip, TangentialVelocityVanishesAtWalls) {
+  RBSolver s(noslip_config());
+  s.advance_to(6.0);
+  Tensor u = s.velocity_u();
+  Tensor w = s.velocity_w();
+  for (std::int64_t i = 0; i < u.dim(1); ++i) {
+    EXPECT_EQ(u.at({0, i}), 0.0f);
+    EXPECT_EQ(u.at({u.dim(0) - 1, i}), 0.0f);
+    EXPECT_NEAR(w.at({0, i}), 0.0f, 1e-10f);
+    EXPECT_NEAR(w.at({w.dim(0) - 1, i}), 0.0f, 1e-10f);
+  }
+}
+
+TEST(NoSlip, WallVorticityFollowsThomFormula) {
+  RBSolver s(noslip_config());
+  s.advance_to(5.0);
+  Tensor omega = s.vorticity();
+  Tensor psi = s.streamfunction();
+  const double dz = s.dz();
+  for (std::int64_t i = 0; i < omega.dim(1); ++i) {
+    EXPECT_NEAR(omega.at({0, i}),
+                -2.0f * psi.at({1, i}) / static_cast<float>(dz * dz),
+                1e-3f + 1e-3f * std::fabs(omega.at({0, i})));
+  }
+}
+
+TEST(NoSlip, StillConvectsAndStaysBounded) {
+  RBSolver s(noslip_config(1e5));
+  s.advance_to(12.0);
+  EXPECT_TRUE(std::isfinite(s.kinetic_energy()));
+  EXPECT_GT(s.kinetic_energy(), 1e-4);
+  EXPECT_GT(s.nusselt(), 1.5);
+  EXPECT_GT(min_value(s.temperature()), -0.1f);
+  EXPECT_LT(max_value(s.temperature()), 1.1f);
+}
+
+TEST(NoSlip, TransportsLessHeatThanFreeSlip) {
+  // Rigid walls damp the flow: at equal Ra the free-slip configuration
+  // transports at least as much heat once convection is developed.
+  RBConfig fs = noslip_config(1e5);
+  fs.velocity_bc = VelocityBC::kFreeSlip;
+  RBSolver rigid(noslip_config(1e5));
+  RBSolver slip(fs);
+  rigid.advance_to(14.0);
+  slip.advance_to(14.0);
+  EXPECT_LT(rigid.nusselt(), slip.nusselt() * 1.05);
+  EXPECT_LT(rigid.kinetic_energy(), slip.kinetic_energy());
+}
+
+TEST(NoSlip, DivergenceFreePreserved) {
+  RBSolver s(noslip_config());
+  s.advance_to(4.0);
+  EXPECT_LT(s.divergence_error(), 1e-8);
+}
+
+}  // namespace
+}  // namespace mfn::solver

@@ -1,0 +1,137 @@
+// Unit tests for the Tensor container: factories, shape metadata, access,
+// reshape sharing, cloning, serialization.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "tensor/serialize.h"
+#include "tensor/tensor.h"
+
+namespace mfn {
+namespace {
+
+TEST(Shape, Basics) {
+  Shape s{2, 3, 4};
+  EXPECT_EQ(s.ndim(), 3);
+  EXPECT_EQ(s.numel(), 24);
+  EXPECT_EQ(s[0], 2);
+  EXPECT_EQ(s[-1], 4);
+  EXPECT_EQ(s.str(), "[2, 3, 4]");
+  EXPECT_EQ(s, (Shape{2, 3, 4}));
+  EXPECT_NE(s, (Shape{2, 3}));
+}
+
+TEST(Tensor, DefaultIsUndefined) {
+  Tensor t;
+  EXPECT_FALSE(t.defined());
+  EXPECT_THROW(t.data(), Error);
+}
+
+TEST(Tensor, ZerosAndFill) {
+  Tensor t = Tensor::zeros(Shape{2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  for (std::int64_t i = 0; i < 6; ++i) EXPECT_EQ(t.data()[i], 0.0f);
+  t.fill_(2.5f);
+  for (std::int64_t i = 0; i < 6; ++i) EXPECT_EQ(t.data()[i], 2.5f);
+}
+
+TEST(Tensor, FullOnesArangeScalar) {
+  EXPECT_EQ(Tensor::full(Shape{3}, 7.0f).at({1}), 7.0f);
+  EXPECT_EQ(Tensor::ones(Shape{2, 2}).at({1, 1}), 1.0f);
+  Tensor a = Tensor::arange(5);
+  for (std::int64_t i = 0; i < 5; ++i) EXPECT_EQ(a.at({i}), float(i));
+  EXPECT_EQ(Tensor::scalar(3.0f).item(), 3.0f);
+}
+
+TEST(Tensor, AtRowMajorOrder) {
+  Tensor t = Tensor::arange(24).reshape(Shape{2, 3, 4});
+  EXPECT_EQ(t.at({0, 0, 0}), 0.0f);
+  EXPECT_EQ(t.at({0, 0, 3}), 3.0f);
+  EXPECT_EQ(t.at({0, 1, 0}), 4.0f);
+  EXPECT_EQ(t.at({1, 0, 0}), 12.0f);
+  EXPECT_EQ(t.at({1, 2, 3}), 23.0f);
+}
+
+TEST(Tensor, AtBoundsChecked) {
+  Tensor t = Tensor::zeros(Shape{2, 2});
+  EXPECT_THROW(t.at({2, 0}), Error);
+  EXPECT_THROW(t.at({0, 0, 0}), Error);
+}
+
+TEST(Tensor, ReshapeSharesStorage) {
+  Tensor t = Tensor::arange(6);
+  Tensor r = t.reshape(Shape{2, 3});
+  EXPECT_TRUE(r.shares_storage_with(t));
+  r.at({0, 1}) = 99.0f;
+  EXPECT_EQ(t.at({1}), 99.0f);
+  EXPECT_THROW(t.reshape(Shape{4}), Error);
+}
+
+TEST(Tensor, CloneIsDeep) {
+  Tensor t = Tensor::arange(4);
+  Tensor c = t.clone();
+  EXPECT_FALSE(c.shares_storage_with(t));
+  c.at({0}) = -1.0f;
+  EXPECT_EQ(t.at({0}), 0.0f);
+}
+
+TEST(Tensor, RandnStats) {
+  Rng rng(3);
+  Tensor t = Tensor::randn(Shape{50000}, rng, 2.0f);
+  double sum = 0.0, sum2 = 0.0;
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    sum += t.data()[i];
+    sum2 += static_cast<double>(t.data()[i]) * t.data()[i];
+  }
+  const double mean = sum / static_cast<double>(t.numel());
+  const double var = sum2 / static_cast<double>(t.numel()) - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(Tensor, UniformBounds) {
+  Rng rng(4);
+  Tensor t = Tensor::uniform(Shape{1000}, rng, -1.0f, 2.0f);
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_GE(t.data()[i], -1.0f);
+    EXPECT_LT(t.data()[i], 2.0f);
+  }
+}
+
+TEST(Tensor, FromVectorValidatesSize) {
+  EXPECT_THROW(Tensor::from_vector(Shape{3}, {1.0f, 2.0f}), Error);
+  Tensor t = Tensor::from_vector(Shape{2}, {1.0f, 2.0f});
+  EXPECT_EQ(t.at({1}), 2.0f);
+}
+
+TEST(Serialize, RoundTripStream) {
+  Rng rng(11);
+  Tensor t = Tensor::randn(Shape{3, 4, 5}, rng);
+  std::stringstream ss;
+  write_tensor(ss, t);
+  Tensor u = read_tensor(ss);
+  ASSERT_EQ(u.shape(), t.shape());
+  for (std::int64_t i = 0; i < t.numel(); ++i)
+    EXPECT_EQ(u.data()[i], t.data()[i]);
+}
+
+TEST(Serialize, RejectsGarbage) {
+  std::stringstream ss;
+  ss << "not a tensor";
+  EXPECT_THROW(read_tensor(ss), Error);
+}
+
+TEST(Serialize, MultipleTensorsInOneStream) {
+  std::stringstream ss;
+  write_tensor(ss, Tensor::arange(3));
+  write_tensor(ss, Tensor::full(Shape{2, 2}, 5.0f));
+  Tensor a = read_tensor(ss);
+  Tensor b = read_tensor(ss);
+  EXPECT_EQ(a.numel(), 3);
+  EXPECT_EQ(b.at({1, 1}), 5.0f);
+}
+
+}  // namespace
+}  // namespace mfn

@@ -1,0 +1,222 @@
+// Unit + property tests for tensor_ops: elementwise math, reductions,
+// matmul family (including parameterized shape sweeps), concat/split.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "tensor/tensor.h"
+#include "tensor/tensor_ops.h"
+
+namespace mfn {
+namespace {
+
+Tensor rand_tensor(Shape s, std::uint64_t seed) {
+  Rng rng(seed);
+  return Tensor::randn(std::move(s), rng);
+}
+
+TEST(ElementwiseOps, AddSubMulDiv) {
+  Tensor a = Tensor::from_vector(Shape{4}, {1, 2, 3, 4});
+  Tensor b = Tensor::from_vector(Shape{4}, {4, 3, 2, 1});
+  EXPECT_EQ(add(a, b).at({0}), 5.0f);
+  EXPECT_EQ(sub(a, b).at({0}), -3.0f);
+  EXPECT_EQ(mul(a, b).at({1}), 6.0f);
+  EXPECT_EQ(div(a, b).at({3}), 4.0f);
+  EXPECT_THROW(add(a, Tensor::zeros(Shape{3})), Error);
+}
+
+TEST(ElementwiseOps, ScalarAndScaled) {
+  Tensor a = Tensor::from_vector(Shape{3}, {1, 2, 3});
+  EXPECT_EQ(add_scalar(a, 1.5f).at({0}), 2.5f);
+  EXPECT_EQ(mul_scalar(a, -2.0f).at({2}), -6.0f);
+  Tensor b = Tensor::ones(Shape{3});
+  EXPECT_EQ(add_scaled(a, b, 0.5f).at({0}), 1.5f);
+}
+
+TEST(ElementwiseOps, InPlace) {
+  Tensor a = Tensor::from_vector(Shape{3}, {1, 2, 3});
+  Tensor b = Tensor::ones(Shape{3});
+  add_(a, b, 2.0f);
+  EXPECT_EQ(a.at({0}), 3.0f);
+  scale_(a, 0.5f);
+  EXPECT_EQ(a.at({2}), 2.5f);
+  clamp_(a, 1.6f, 2.0f);
+  EXPECT_EQ(a.at({0}), 1.6f);
+  EXPECT_EQ(a.at({2}), 2.0f);
+}
+
+TEST(UnaryOps, MathFunctions) {
+  Tensor a = Tensor::from_vector(Shape{3}, {-1.0f, 0.0f, 2.0f});
+  EXPECT_EQ(neg(a).at({0}), 1.0f);
+  EXPECT_NEAR(mfn::exp(a).at({2}), std::exp(2.0f), 1e-5f);
+  EXPECT_EQ(mfn::abs(a).at({0}), 1.0f);
+  EXPECT_EQ(sign(a).at({0}), -1.0f);
+  EXPECT_EQ(sign(a).at({1}), 0.0f);
+  EXPECT_EQ(sign(a).at({2}), 1.0f);
+  EXPECT_EQ(square(a).at({2}), 4.0f);
+  EXPECT_EQ(relu(a).at({0}), 0.0f);
+  EXPECT_EQ(relu(a).at({2}), 2.0f);
+  EXPECT_EQ(gt_zero_mask(a).at({0}), 0.0f);
+  EXPECT_EQ(gt_zero_mask(a).at({2}), 1.0f);
+}
+
+TEST(UnaryOps, SoftplusStable) {
+  Tensor a = Tensor::from_vector(Shape{4}, {-50.0f, -1.0f, 1.0f, 50.0f});
+  Tensor s = softplus(a);
+  EXPECT_NEAR(s.at({0}), 0.0f, 1e-6f);
+  EXPECT_NEAR(s.at({1}), std::log1p(std::exp(-1.0f)), 1e-5f);
+  EXPECT_NEAR(s.at({2}), std::log1p(std::exp(1.0f)), 1e-5f);
+  EXPECT_NEAR(s.at({3}), 50.0f, 1e-4f);
+}
+
+TEST(UnaryOps, SigmoidStableAndSymmetric) {
+  Tensor a = Tensor::from_vector(Shape{4}, {-100.0f, -2.0f, 2.0f, 100.0f});
+  Tensor s = sigmoid(a);
+  EXPECT_NEAR(s.at({0}), 0.0f, 1e-6f);
+  EXPECT_NEAR(s.at({3}), 1.0f, 1e-6f);
+  EXPECT_NEAR(s.at({1}) + s.at({2}), 1.0f, 1e-5f);
+}
+
+TEST(Reductions, SumMeanMinMax) {
+  Tensor a = Tensor::from_vector(Shape{2, 2}, {1, -2, 3, 4});
+  EXPECT_EQ(sum(a), 6.0f);
+  EXPECT_EQ(mean(a), 1.5f);
+  EXPECT_EQ(min_value(a), -2.0f);
+  EXPECT_EQ(max_value(a), 4.0f);
+  EXPECT_EQ(max_abs(a), 4.0f);
+}
+
+TEST(Reductions, SumAxis0) {
+  Tensor a = Tensor::from_vector(Shape{2, 3}, {1, 2, 3, 10, 20, 30});
+  Tensor s = sum_axis0(a);
+  ASSERT_EQ(s.shape(), (Shape{3}));
+  EXPECT_EQ(s.at({0}), 11.0f);
+  EXPECT_EQ(s.at({2}), 33.0f);
+}
+
+// ---- matmul family property sweep ----
+using MatmulShapes = std::tuple<int, int, int>;
+class MatmulSweep : public ::testing::TestWithParam<MatmulShapes> {};
+
+// Naive reference implementation.
+Tensor matmul_ref(const Tensor& a, const Tensor& b) {
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c(Shape{m, n});
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t kk = 0; kk < k; ++kk)
+        acc += static_cast<double>(a.at({i, kk})) * b.at({kk, j});
+      c.at({i, j}) = static_cast<float>(acc);
+    }
+  return c;
+}
+
+TEST_P(MatmulSweep, MatchesReference) {
+  const auto [m, k, n] = GetParam();
+  Tensor a = rand_tensor(Shape{m, k}, 1000 + m);
+  Tensor b = rand_tensor(Shape{k, n}, 2000 + n);
+  EXPECT_TRUE(allclose(matmul(a, b), matmul_ref(a, b), 1e-3f, 1e-3f));
+}
+
+TEST_P(MatmulSweep, TransposedVariantsConsistent) {
+  const auto [m, k, n] = GetParam();
+  Tensor a = rand_tensor(Shape{m, k}, 3000 + m);
+  Tensor b = rand_tensor(Shape{k, n}, 4000 + n);
+  // matmul_tn(a^T stored, b) == matmul(a, b)
+  EXPECT_TRUE(allclose(matmul_tn(transpose2d(a), b), matmul(a, b), 1e-3f,
+                       1e-3f));
+  // matmul_nt(a, b^T stored) == matmul(a, b)
+  EXPECT_TRUE(allclose(matmul_nt(a, transpose2d(b)), matmul(a, b), 1e-3f,
+                       1e-3f));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatmulSweep,
+    ::testing::Values(MatmulShapes{1, 1, 1}, MatmulShapes{2, 3, 4},
+                      MatmulShapes{5, 1, 7}, MatmulShapes{16, 16, 16},
+                      MatmulShapes{33, 17, 9}, MatmulShapes{64, 128, 32},
+                      MatmulShapes{127, 63, 65}));
+
+TEST(Matmul, ShapeErrors) {
+  Tensor a = Tensor::zeros(Shape{2, 3});
+  Tensor b = Tensor::zeros(Shape{4, 2});
+  EXPECT_THROW(matmul(a, b), Error);
+  EXPECT_THROW(matmul(a, Tensor::zeros(Shape{3})), Error);
+}
+
+TEST(Transpose, RoundTrip) {
+  Tensor a = rand_tensor(Shape{5, 7}, 55);
+  EXPECT_TRUE(allclose(transpose2d(transpose2d(a)), a, 0.0f, 0.0f));
+}
+
+TEST(AddRowVec, Broadcasts) {
+  Tensor a = Tensor::zeros(Shape{2, 3});
+  Tensor v = Tensor::from_vector(Shape{3}, {1, 2, 3});
+  Tensor r = add_rowvec(a, v);
+  EXPECT_EQ(r.at({0, 0}), 1.0f);
+  EXPECT_EQ(r.at({1, 2}), 3.0f);
+}
+
+TEST(ConcatSplit, Axis0RoundTrip) {
+  Tensor a = rand_tensor(Shape{2, 3}, 1);
+  Tensor b = rand_tensor(Shape{4, 3}, 2);
+  Tensor c = concat({a, b}, 0);
+  ASSERT_EQ(c.shape(), (Shape{6, 3}));
+  auto parts = split(c, 0, {2, 4});
+  EXPECT_TRUE(allclose(parts[0], a, 0.0f, 0.0f));
+  EXPECT_TRUE(allclose(parts[1], b, 0.0f, 0.0f));
+}
+
+TEST(ConcatSplit, Axis1RoundTrip) {
+  Tensor a = rand_tensor(Shape{3, 2}, 3);
+  Tensor b = rand_tensor(Shape{3, 5}, 4);
+  Tensor c = concat({a, b}, 1);
+  ASSERT_EQ(c.shape(), (Shape{3, 7}));
+  EXPECT_EQ(c.at({1, 0}), a.at({1, 0}));
+  EXPECT_EQ(c.at({1, 2}), b.at({1, 0}));
+  auto parts = split(c, 1, {2, 5});
+  EXPECT_TRUE(allclose(parts[0], a, 0.0f, 0.0f));
+  EXPECT_TRUE(allclose(parts[1], b, 0.0f, 0.0f));
+}
+
+TEST(ConcatSplit, MiddleAxis5D) {
+  Tensor a = rand_tensor(Shape{2, 3, 2, 2, 2}, 5);
+  Tensor b = rand_tensor(Shape{2, 1, 2, 2, 2}, 6);
+  Tensor c = concat({a, b}, 1);
+  ASSERT_EQ(c.shape(), (Shape{2, 4, 2, 2, 2}));
+  EXPECT_EQ(c.at({1, 3, 1, 0, 1}), b.at({1, 0, 1, 0, 1}));
+  auto parts = split(c, 1, {3, 1});
+  EXPECT_TRUE(allclose(parts[0], a, 0.0f, 0.0f));
+  EXPECT_TRUE(allclose(parts[1], b, 0.0f, 0.0f));
+}
+
+TEST(ConcatSplit, ShapeMismatchThrows) {
+  Tensor a = Tensor::zeros(Shape{2, 3});
+  Tensor b = Tensor::zeros(Shape{2, 4});
+  EXPECT_THROW(concat({a, b}, 0), Error);
+  EXPECT_THROW(split(a, 0, {1, 2}), Error);
+}
+
+TEST(SliceAxis0, CopiesRows) {
+  Tensor a = Tensor::arange(12).reshape(Shape{4, 3});
+  Tensor s = slice_axis0(a, 1, 3);
+  ASSERT_EQ(s.shape(), (Shape{2, 3}));
+  EXPECT_EQ(s.at({0, 0}), 3.0f);
+  EXPECT_EQ(s.at({1, 2}), 8.0f);
+  EXPECT_THROW(slice_axis0(a, 3, 5), Error);
+}
+
+TEST(Allclose, RespectsTolerances) {
+  Tensor a = Tensor::from_vector(Shape{2}, {1.0f, 100.0f});
+  Tensor b = Tensor::from_vector(Shape{2}, {1.0005f, 100.05f});
+  EXPECT_TRUE(allclose(a, b, 1e-3f, 1e-3f));
+  EXPECT_FALSE(allclose(a, b, 1e-6f, 1e-6f));
+  EXPECT_FALSE(allclose(a, Tensor::zeros(Shape{3})));
+}
+
+}  // namespace
+}  // namespace mfn

@@ -1,0 +1,78 @@
+// Unit tests for the thread pool and parallel_for.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "threading/thread_pool.h"
+
+namespace mfn {
+namespace {
+
+TEST(ParallelFor, CoversAllIndicesExactlyOnce) {
+  for (std::int64_t n : {0, 1, 2, 7, 100, 1023, 4096}) {
+    std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
+    parallel_for(n, [&](std::int64_t b, std::int64_t e) {
+      for (std::int64_t i = b; i < e; ++i) hits[static_cast<std::size_t>(i)]++;
+    });
+    for (std::int64_t i = 0; i < n; ++i)
+      EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, SumMatchesSerial) {
+  const std::int64_t n = 100000;
+  std::atomic<long long> total{0};
+  parallel_for(n, [&](std::int64_t b, std::int64_t e) {
+    long long local = 0;
+    for (std::int64_t i = b; i < e; ++i) local += i;
+    total += local;
+  });
+  EXPECT_EQ(total.load(), n * (n - 1) / 2);
+}
+
+TEST(ParallelFor, NestedCallsRunSerially) {
+  // A nested parallel_for from inside a worker must not deadlock.
+  std::atomic<int> count{0};
+  parallel_for(8, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) {
+      parallel_for(16, [&](std::int64_t bb, std::int64_t ee) {
+        count += static_cast<int>(ee - bb);
+      });
+    }
+  });
+  EXPECT_EQ(count.load(), 8 * 16);
+}
+
+TEST(ParallelFor, RespectsGrain) {
+  // With grain >= n the body must be invoked exactly once with [0, n).
+  std::atomic<int> calls{0};
+  parallel_for(
+      100,
+      [&](std::int64_t b, std::int64_t e) {
+        calls++;
+        EXPECT_EQ(b, 0);
+        EXPECT_EQ(e, 100);
+      },
+      /*grain=*/100);
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPool, GlobalHasAtLeastOneThread) {
+  EXPECT_GE(ThreadPool::global().size(), 1);
+}
+
+TEST(ThreadPool, SubmitRuns) {
+  std::atomic<bool> ran{false};
+  std::atomic<int> done{0};
+  ThreadPool::global().submit([&] {
+    ran = true;
+    done = 1;
+  });
+  while (!done.load()) std::this_thread::yield();
+  EXPECT_TRUE(ran.load());
+}
+
+}  // namespace
+}  // namespace mfn
