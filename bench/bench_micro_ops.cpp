@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "common/rng.h"
+#include "common/stopwatch.h"
 #include "core/decoder.h"
 #include "core/meshfree_flownet.h"
 #include "distributed/allreduce.h"
@@ -13,7 +14,11 @@
 #include "solver/rb_solver.h"
 #include "tensor/nn_kernels.h"
 #include "tensor/tensor_ops.h"
+#include "threading/thread_pool.h"
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <thread>
 
 namespace {
@@ -41,6 +46,34 @@ void BM_Conv3dSame(benchmark::State& state) {
     benchmark::DoNotOptimize(conv3d_forward(x, w, b, spec));
 }
 BENCHMARK(BM_Conv3dSame)->Arg(8)->Arg(16)->Arg(32);
+
+// Batched conv3d: the batch-parallel backend path vs the seed serial
+// reference, at the training-shaped batch size.
+void BM_Conv3dBatched(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(2);
+  Tensor x = Tensor::randn(Shape{n, 16, 4, 16, 16}, rng);
+  Tensor w = Tensor::randn(Shape{16, 16, 3, 3, 3}, rng, 0.2f);
+  Tensor b = Tensor::zeros(Shape{16});
+  Conv3dSpec spec;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(conv3d_forward(x, w, b, spec));
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Conv3dBatched)->Arg(4)->Arg(8);
+
+void BM_Conv3dBatchedSeedReference(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(2);
+  Tensor x = Tensor::randn(Shape{n, 16, 4, 16, 16}, rng);
+  Tensor w = Tensor::randn(Shape{16, 16, 3, 3, 3}, rng, 0.2f);
+  Tensor b = Tensor::zeros(Shape{16});
+  Conv3dSpec spec;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(conv3d_forward_reference(x, w, b, spec));
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Conv3dBatchedSeedReference)->Arg(4)->Arg(8);
 
 void BM_Fft(benchmark::State& state) {
   const auto n = state.range(0);
@@ -163,6 +196,86 @@ void BM_RingAllReduce(benchmark::State& state) {
 }
 BENCHMARK(BM_RingAllReduce)->Arg(2)->Arg(4);
 
+// ------------------------------------------------------ JSON perf lines --
+// Machine-readable GFLOP/s for the two hot kernels, so successive PRs can
+// track the perf trajectory by grepping `mfn_perf` lines out of CI logs.
+
+double time_best_of(int reps, const std::function<void()>& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch sw;
+    fn();
+    best = std::min(best, sw.seconds());
+  }
+  return best;
+}
+
+void emit_perf_json() {
+  const int threads = ThreadPool::global().size();
+  {
+    // GEMM: square matmul at a training-representative size.
+    const std::int64_t n = 384;
+    Rng rng(21);
+    Tensor a = Tensor::randn(Shape{n, n}, rng);
+    Tensor b = Tensor::randn(Shape{n, n}, rng);
+    matmul(a, b);  // warm up pool + workspace
+    const double sec =
+        time_best_of(5, [&] { benchmark::DoNotOptimize(matmul(a, b)); });
+    const double gflops = 2.0 * static_cast<double>(n) * n * n / sec / 1e9;
+    std::printf(
+        "{\"mfn_perf\":\"gemm\",\"m\":%lld,\"n\":%lld,\"k\":%lld,"
+        "\"threads\":%d,\"gflops\":%.3f}\n",
+        static_cast<long long>(n), static_cast<long long>(n),
+        static_cast<long long>(n), threads, gflops);
+  }
+  {
+    // conv3d forward at training batch size, new path vs seed reference.
+    const std::int64_t N = 4, C = 16, F = 16;
+    Rng rng(22);
+    Tensor x = Tensor::randn(Shape{N, C, 4, 16, 16}, rng);
+    Tensor w = Tensor::randn(Shape{F, C, 3, 3, 3}, rng, 0.2f);
+    Tensor b = Tensor::zeros(Shape{F});
+    Conv3dSpec spec;
+    const Shape out = conv3d_output_shape(x.shape(), w.shape(), spec);
+    const double flops = 2.0 * static_cast<double>(out.numel()) *
+                         static_cast<double>(C) * 27.0;
+    conv3d_forward(x, w, b, spec);  // warm up
+    conv3d_forward_reference(x, w, b, spec);
+    // Interleave the two paths so frequency/scheduling drift on a busy
+    // host hits both equally; take each path's best.
+    double sec = 1e300, sec_ref = 1e300;
+    for (int r = 0; r < 9; ++r) {
+      {
+        Stopwatch sw;
+        benchmark::DoNotOptimize(conv3d_forward(x, w, b, spec));
+        sec = std::min(sec, sw.seconds());
+      }
+      {
+        Stopwatch sw;
+        benchmark::DoNotOptimize(conv3d_forward_reference(x, w, b, spec));
+        sec_ref = std::min(sec_ref, sw.seconds());
+      }
+    }
+    std::printf(
+        "{\"mfn_perf\":\"conv3d\",\"batch\":%lld,\"channels\":%lld,"
+        "\"threads\":%d,\"gflops\":%.3f,\"seed_gflops\":%.3f,"
+        "\"speedup_vs_seed\":%.2f}\n",
+        static_cast<long long>(N), static_cast<long long>(C), threads,
+        flops / sec / 1e9, flops / sec_ref / 1e9, sec_ref / sec);
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // The acceptance perf bar is defined at >= 4 threads; default the pool to
+  // 4 unless the caller pinned a count. Must happen before the first
+  // ThreadPool::global() touch.
+  setenv("MFN_NUM_THREADS", "4", /*overwrite=*/0);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  emit_perf_json();
+  return 0;
+}

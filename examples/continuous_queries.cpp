@@ -58,7 +58,7 @@ int main() {
 
   // --- one latent grid, any output resolution ---
   std::printf("reconstruction at arbitrary resolutions (same model):\n");
-  for (const auto [fz, fx] : {std::pair{2, 2}, {4, 4}, {12, 12}}) {
+  for (const auto& [fz, fx] : {std::pair{2, 2}, {4, 4}, {12, 12}}) {
     data::Grid4D out = core::super_resolve_at(
         model, pair, pair.lr.nt(), pair.lr.nz() * fz, pair.lr.nx() * fx);
     std::printf("  %2dx space: output grid %lld x %lld x %lld\n", fz,

@@ -1,7 +1,9 @@
 #include "autodiff/ops.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "backend/sgemm.h"
 #include "common/error.h"
 #include "tensor/tensor_ops.h"
 
@@ -157,9 +159,22 @@ Var linear(const Var& x, const Var& weight, const Var& bias) {
   MFN_CHECK(x.dim(1) == weight.dim(1),
             "linear in-features " << x.shape().str() << " vs weight "
                                   << weight.shape().str());
-  Tensor y = mfn::matmul_nt(x.value(), weight.value());  // (B, out)
+  // Fused x * W^T + b through the backend GEMM: the per-feature bias is
+  // added in the GEMM write-back, so decoder query batches do one pass
+  // over y instead of matmul_nt + add_rowvec.
+  const std::int64_t B = x.dim(0), out_f = weight.dim(0), in_f = x.dim(1);
+  Tensor y = Tensor::uninitialized(Shape{B, out_f});
   const bool has_bias = bias.defined();
-  if (has_bias) y = mfn::add_rowvec(y, bias.value());
+  if (has_bias) {
+    backend::sgemm_bias_cols(backend::Trans::kNo, backend::Trans::kYes, B,
+                             out_f, in_f, 1.0f, x.value().data(),
+                             weight.value().data(), 0.0f, bias.value().data(),
+                             y.data());
+  } else {
+    backend::sgemm(backend::Trans::kNo, backend::Trans::kYes, B, out_f, in_f,
+                   1.0f, x.value().data(), weight.value().data(), 0.0f,
+                   y.data());
+  }
 
   std::vector<Var> parents{x, weight};
   if (has_bias) parents.push_back(bias);

@@ -1,0 +1,409 @@
+#include "backend/sgemm.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "threading/thread_pool.h"
+
+namespace mfn::backend {
+namespace {
+
+// Register-tile footprint, sized to the widest vector unit the build
+// targets. The microkernel accumulator is MR x NR floats and must stay in
+// registers for the k-loop to sustain MR fused multiply-adds per B load.
+#if defined(__AVX512F__)
+constexpr int kMR = 8, kNR = 32;
+#elif defined(__AVX__)
+constexpr int kMR = 6, kNR = 16;
+#else
+constexpr int kMR = 4, kNR = 8;
+#endif
+
+// Cache-block sizes: an MC x KC block of packed A should sit in L2 while a
+// KC x NR sliver of packed B streams through L1.
+constexpr std::int64_t kMC = 16 * kMR;
+constexpr std::int64_t kKC = 256;
+constexpr std::int64_t kNC = 2048;
+
+// Below this problem volume (or for vector-like shapes) packing costs more
+// than it saves; use direct loops.
+constexpr std::int64_t kSmallFlops = 32 * 1024;
+
+// Optional fused epilogue: after the product lands in C, add row_bias[i]
+// (broadcast along the row, e.g. conv3d per-filter bias) and/or col_bias[j]
+// (broadcast down the column, e.g. linear per-feature bias). Pointers are
+// global — indexed by the absolute row/column of C — and may be null.
+struct Epilogue {
+  const float* row_bias = nullptr;
+  const float* col_bias = nullptr;
+};
+
+struct StrideA {
+  std::int64_t rs, cs;  // op(A)(i,k) = A[i*rs + k*cs]
+};
+
+StrideA strides_a(Trans t, std::int64_t M, std::int64_t K) {
+  (void)M;
+  return t == Trans::kNo ? StrideA{K, 1} : StrideA{1, M};
+}
+
+StrideA strides_b(Trans t, std::int64_t K, std::int64_t N) {
+  (void)K;
+  return t == Trans::kNo ? StrideA{N, 1} : StrideA{1, K};
+}
+
+void apply_epilogue(float* C, std::int64_t M, std::int64_t N,
+                    const Epilogue& ep) {
+  if (ep.row_bias == nullptr && ep.col_bias == nullptr) return;
+  for (std::int64_t i = 0; i < M; ++i) {
+    float* crow = C + i * N;
+    const float rb = ep.row_bias ? ep.row_bias[i] : 0.0f;
+    if (ep.col_bias) {
+      for (std::int64_t j = 0; j < N; ++j) crow[j] += rb + ep.col_bias[j];
+    } else if (rb != 0.0f) {
+      for (std::int64_t j = 0; j < N; ++j) crow[j] += rb;
+    }
+  }
+}
+
+void scale_c(float* C, std::int64_t M, std::int64_t N, float beta) {
+  const std::int64_t n = M * N;
+  if (beta == 0.0f) {
+    std::fill(C, C + n, 0.0f);
+  } else if (beta != 1.0f) {
+    for (std::int64_t i = 0; i < n; ++i) C[i] *= beta;
+  }
+}
+
+// Direct (unpacked) path for small problems and row slices of vector-like
+// shapes. `sa` carries the full-matrix strides (so callers may pass a
+// pre-offset A pointer with M covering just a slice of rows). Loop order
+// is chosen per transb so the innermost loop always walks contiguous
+// memory.
+void small_gemm(StrideA sa, Trans transb, std::int64_t M, std::int64_t N,
+                std::int64_t K, float alpha, const float* A, const float* B,
+                float beta, float* C, const Epilogue& ep) {
+  if (transb == Trans::kNo) {
+    for (std::int64_t i = 0; i < M; ++i) {
+      float* crow = C + i * N;
+      if (beta == 0.0f) {
+        std::fill(crow, crow + N, 0.0f);
+      } else if (beta != 1.0f) {
+        for (std::int64_t j = 0; j < N; ++j) crow[j] *= beta;
+      }
+      for (std::int64_t k = 0; k < K; ++k) {
+        const float aik = alpha * A[i * sa.rs + k * sa.cs];
+        if (aik == 0.0f) continue;
+        const float* brow = B + k * N;
+        for (std::int64_t j = 0; j < N; ++j) crow[j] += aik * brow[j];
+      }
+    }
+  } else {
+    for (std::int64_t i = 0; i < M; ++i) {
+      float* crow = C + i * N;
+      for (std::int64_t j = 0; j < N; ++j) {
+        const float* bcol = B + j * K;  // row j of B == column j of op(B)
+        float acc = 0.0f;
+        for (std::int64_t k = 0; k < K; ++k)
+          acc += A[i * sa.rs + k * sa.cs] * bcol[k];
+        crow[j] = alpha * acc + (beta == 0.0f ? 0.0f : beta * crow[j]);
+      }
+    }
+  }
+  apply_epilogue(C, M, N, ep);
+}
+
+// Pack op(A)[i0:i0+mc, pc:pc+kc], pre-scaled by alpha, into PMR-row panels:
+// panel p holds rows i0+p*PMR.., laid out k-major (Ap[p*kc*PMR + k*PMR + r]).
+// Rows past mc are zero-filled so the microkernel always reads PMR rows.
+template <int PMR>
+void pack_a(const float* A, StrideA sa, std::int64_t i0, std::int64_t mc,
+            std::int64_t pc, std::int64_t kc, float alpha, float* Ap) {
+  for (std::int64_t p = 0; p * PMR < mc; ++p) {
+    const std::int64_t rows = std::min<std::int64_t>(PMR, mc - p * PMR);
+    float* dst = Ap + p * kc * PMR;
+    for (std::int64_t k = 0; k < kc; ++k) {
+      const float* src = A + (i0 + p * PMR) * sa.rs + (pc + k) * sa.cs;
+      for (std::int64_t r = 0; r < rows; ++r)
+        dst[k * PMR + r] = alpha * src[r * sa.rs];
+      for (std::int64_t r = rows; r < PMR; ++r) dst[k * PMR + r] = 0.0f;
+    }
+  }
+}
+
+// Pack op(B)[pc:pc+kc, 0:N] into NR-column panels, k-major within a panel
+// (Bp[p*kc*NR + k*NR + c]); columns past N are zero-filled.
+void pack_b(const float* B, StrideA sb, std::int64_t pc, std::int64_t kc,
+            std::int64_t N, float* Bp) {
+  const std::int64_t npanels = (N + kNR - 1) / kNR;
+  parallel_for(npanels, [&](std::int64_t p0, std::int64_t p1) {
+    for (std::int64_t p = p0; p < p1; ++p) {
+      const std::int64_t j0 = p * kNR;
+      const std::int64_t cols = std::min<std::int64_t>(kNR, N - j0);
+      float* dst = Bp + p * kc * kNR;
+      for (std::int64_t k = 0; k < kc; ++k) {
+        const float* src = B + (pc + k) * sb.rs + j0 * sb.cs;
+        if (sb.cs == 1) {
+          for (std::int64_t c = 0; c < cols; ++c) dst[k * kNR + c] = src[c];
+        } else {
+          for (std::int64_t c = 0; c < cols; ++c)
+            dst[k * kNR + c] = src[c * sb.cs];
+        }
+        for (std::int64_t c = cols; c < kNR; ++c) dst[k * kNR + c] = 0.0f;
+      }
+    }
+  });
+}
+
+// Shared writeback for both microkernels: C = acc + beta * C (+ bias) on
+// the live mr x nr corner. `rb`/`cb` are pre-offset to this tile, may be
+// null, and must only be non-null on the final accumulation pass.
+template <int TMR, int TNR>
+inline void write_tile(const float* acc, float* c, std::int64_t ldc, int mr,
+                       int nr, float beta, const float* rb, const float* cb) {
+  if (rb == nullptr && cb == nullptr) {
+    if (mr == TMR && nr == TNR) {
+      if (beta == 0.0f) {
+        for (int i = 0; i < TMR; ++i)
+          for (int j = 0; j < TNR; ++j) c[i * ldc + j] = acc[i * TNR + j];
+      } else if (beta == 1.0f) {
+        for (int i = 0; i < TMR; ++i)
+          for (int j = 0; j < TNR; ++j) c[i * ldc + j] += acc[i * TNR + j];
+      } else {
+        for (int i = 0; i < TMR; ++i)
+          for (int j = 0; j < TNR; ++j)
+            c[i * ldc + j] = acc[i * TNR + j] + beta * c[i * ldc + j];
+      }
+      return;
+    }
+    for (int i = 0; i < mr; ++i)
+      for (int j = 0; j < nr; ++j) {
+        float* cc = c + i * ldc + j;
+        *cc = acc[i * TNR + j] + (beta == 0.0f ? 0.0f : beta * *cc);
+      }
+    return;
+  }
+  for (int i = 0; i < mr; ++i) {
+    const float rbias = rb ? rb[i] : 0.0f;
+    for (int j = 0; j < nr; ++j) {
+      float* cc = c + i * ldc + j;
+      const float bias = rbias + (cb ? cb[j] : 0.0f);
+      *cc = acc[i * TNR + j] + bias + (beta == 0.0f ? 0.0f : beta * *cc);
+    }
+  }
+}
+
+// MR x NR microkernel over a packed A panel and packed B panel.
+void micro_kernel(std::int64_t kc, const float* ap, const float* bp, float* c,
+                  std::int64_t ldc, int mr, int nr, float beta,
+                  const float* rb, const float* cb) {
+  float acc[kMR * kNR];
+  for (int x = 0; x < kMR * kNR; ++x) acc[x] = 0.0f;
+  for (std::int64_t k = 0; k < kc; ++k) {
+    const float* a = ap + k * kMR;
+    const float* b = bp + k * kNR;
+    for (int i = 0; i < kMR; ++i) {
+      const float ai = a[i];
+      for (int j = 0; j < kNR; ++j) acc[i * kNR + j] += ai * b[j];
+    }
+  }
+  write_tile<kMR, kNR>(acc, c, ldc, mr, nr, beta, rb, cb);
+}
+
+// Microkernel reading B directly (row-major, leading dimension ldb) instead
+// of from a packed panel. Used by the short-M path below where packing B
+// would cost more than it saves.
+template <int TMR, int TNR>
+void micro_kernel_direct_b(std::int64_t K, const float* ap, const float* b,
+                           std::int64_t ldb, float* c, std::int64_t ldc,
+                           int mr, int nr, float beta, const float* rb,
+                           const float* cb) {
+  float acc[TMR * TNR];
+  for (int x = 0; x < TMR * TNR; ++x) acc[x] = 0.0f;
+  if (nr == TNR) {
+    for (std::int64_t k = 0; k < K; ++k) {
+      const float* a = ap + k * TMR;
+      const float* bk = b + k * ldb;
+      __builtin_prefetch(bk + 4 * ldb, 0, 3);
+      for (int i = 0; i < TMR; ++i) {
+        const float ai = a[i];
+        for (int j = 0; j < TNR; ++j) acc[i * TNR + j] += ai * bk[j];
+      }
+    }
+  } else {
+    for (std::int64_t k = 0; k < K; ++k) {
+      const float* a = ap + k * TMR;
+      const float* bk = b + k * ldb;
+      for (int i = 0; i < TMR; ++i) {
+        const float ai = a[i];
+        for (int j = 0; j < nr; ++j) acc[i * TNR + j] += ai * bk[j];
+      }
+    }
+  }
+  write_tile<TMR, TNR>(acc, c, ldc, mr, nr, beta, rb, cb);
+}
+
+// Short-M products (conv3d's F x L GEMMs: a handful of row panels over a
+// wide N) reuse a packed B panel so little that packing costs more than it
+// saves. Read B in place instead; the whole K-extent stays in the register
+// accumulator, so no k-blocking and no beta bookkeeping either. Keeps the
+// standard register tile: taller/narrower variants measured slower here
+// (the compiler spills the accumulator once the row count exceeds kMR).
+constexpr int kSMR = kMR;
+constexpr int kSNR = kNR;
+
+void gemm_short_m(std::int64_t M, std::int64_t N, std::int64_t K, float alpha,
+                  const float* A, StrideA sa, const float* B, float beta,
+                  float* C, const Epilogue& ep, Workspace* ws) {
+  const Workspace::Mark m = ws->mark();
+  const std::int64_t panels = (M + kSMR - 1) / kSMR;
+  float* Ap = ws->alloc(static_cast<std::size_t>(panels * K * kSMR));
+  pack_a<kSMR>(A, sa, 0, M, 0, K, alpha, Ap);
+  parallel_for(
+      (N + kSNR - 1) / kSNR,
+      [&](std::int64_t s0, std::int64_t s1) {
+        for (std::int64_t s = s0; s < s1; ++s) {
+          const std::int64_t j = s * kSNR;
+          const int nr =
+              static_cast<int>(std::min<std::int64_t>(kSNR, N - j));
+          const float* cb = ep.col_bias ? ep.col_bias + j : nullptr;
+          for (std::int64_t p = 0; p < panels; ++p) {
+            const int mr = static_cast<int>(
+                std::min<std::int64_t>(kSMR, M - p * kSMR));
+            const float* rb =
+                ep.row_bias ? ep.row_bias + p * kSMR : nullptr;
+            micro_kernel_direct_b<kSMR, kSNR>(K, Ap + p * K * kSMR, B + j, N,
+                                              C + p * kSMR * N + j, N, mr,
+                                              nr, beta, rb, cb);
+          }
+        }
+      },
+      /*grain=*/8);
+  ws->release(m);
+}
+
+void sgemm_impl(Trans transa, Trans transb, std::int64_t M, std::int64_t N,
+                std::int64_t K, float alpha, const float* A, const float* B,
+                float beta, float* C, const Epilogue& ep, Workspace* ws) {
+  MFN_CHECK(M >= 0 && N >= 0 && K >= 0, "sgemm negative dims");
+  if (M == 0 || N == 0) return;
+  const StrideA sa = strides_a(transa, M, K);
+  if (K == 0 || alpha == 0.0f) {
+    scale_c(C, M, N, beta);
+    apply_epilogue(C, M, N, ep);
+    return;
+  }
+  if (M * N * K <= kSmallFlops) {
+    small_gemm(sa, transb, M, N, K, alpha, A, B, beta, C, ep);
+    return;
+  }
+  if (N <= 4 || M <= 2) {
+    // Vector-like shapes gain nothing from packing, but a skinny-N product
+    // with many rows (e.g. the decoder's output layer: thousands of query
+    // points onto a handful of fields) still wants row parallelism.
+    const std::int64_t grain =
+        std::max<std::int64_t>(1, kSmallFlops / std::max<std::int64_t>(
+                                                    N * K, 1));
+    parallel_for(
+        M,
+        [&](std::int64_t i0, std::int64_t i1) {
+          Epilogue eps = ep;
+          if (eps.row_bias != nullptr) eps.row_bias += i0;
+          small_gemm(sa, transb, i1 - i0, N, K, alpha, A + i0 * sa.rs, B,
+                     beta, C + i0 * N, eps);
+        },
+        grain);
+    return;
+  }
+
+  const StrideA sb = strides_b(transb, K, N);
+  if (ws == nullptr) ws = &local_workspace();
+
+  if (transb == Trans::kNo && M <= 2 * kSMR) {
+    gemm_short_m(M, N, K, alpha, A, sa, B, beta, C, ep, ws);
+    return;
+  }
+
+  const Workspace::Mark outer = ws->mark();
+
+  // Adaptive k-blocking: packed B is rebuilt once per k-block, so for
+  // short-M products where the packed A block is tiny, stretch the k-block
+  // to avoid paying the B-pack twice. Also absorb a small trailing
+  // remainder into one block.
+  std::int64_t kc_max = kKC;
+  if (M <= 2 * kMC) kc_max = 2 * kKC;
+  if (K <= kc_max + kc_max / 2) kc_max = std::max<std::int64_t>(K, 1);
+
+  const std::int64_t nr_panels = (N + kNR - 1) / kNR;
+  for (std::int64_t pc = 0; pc < K; pc += kc_max) {
+    const std::int64_t kc = std::min<std::int64_t>(kc_max, K - pc);
+    // beta applies once (first block); the bias epilogue fires once (last
+    // block); intermediate blocks accumulate.
+    const bool first = pc == 0;
+    const bool last = pc + kc >= K;
+    const float eff_beta = first ? beta : 1.0f;
+    float* Bp = ws->alloc(static_cast<std::size_t>(nr_panels * kc * kNR));
+    pack_b(B, sb, pc, kc, N, Bp);
+
+    parallel_for_2d(
+        M, N, kMC, kNC,
+        [&](std::int64_t i0, std::int64_t i1, std::int64_t j0,
+            std::int64_t j1) {
+          // Runs on a pool worker or the caller: pack this M-block of A
+          // into the executing thread's own arena.
+          Workspace& wsl = local_workspace();
+          const Workspace::Mark m = wsl.mark();
+          const std::int64_t mc = i1 - i0;
+          const std::int64_t ma_panels = (mc + kMR - 1) / kMR;
+          float* Ap =
+              wsl.alloc(static_cast<std::size_t>(ma_panels * kc * kMR));
+          pack_a<kMR>(A, sa, i0, mc, pc, kc, alpha, Ap);
+          for (std::int64_t j = j0; j < j1; j += kNR) {
+            const float* bp = Bp + (j / kNR) * kc * kNR;
+            const int nr = static_cast<int>(
+                std::min<std::int64_t>(kNR, N - j));
+            const float* cb =
+                last && ep.col_bias ? ep.col_bias + j : nullptr;
+            for (std::int64_t i = i0; i < i1; i += kMR) {
+              const float* ap = Ap + ((i - i0) / kMR) * kc * kMR;
+              const int mr = static_cast<int>(
+                  std::min<std::int64_t>(kMR, M - i));
+              const float* rb =
+                  last && ep.row_bias ? ep.row_bias + i : nullptr;
+              micro_kernel(kc, ap, bp, C + i * N + j, N, mr, nr, eff_beta,
+                           rb, cb);
+            }
+          }
+          wsl.release(m);
+        });
+    ws->release(outer);  // Bp for the next k-block reuses the same storage
+  }
+}
+
+}  // namespace
+
+void sgemm(Trans transa, Trans transb, std::int64_t M, std::int64_t N,
+           std::int64_t K, float alpha, const float* A, const float* B,
+           float beta, float* C, Workspace* ws) {
+  sgemm_impl(transa, transb, M, N, K, alpha, A, B, beta, C, Epilogue{}, ws);
+}
+
+void sgemm_bias_rows(Trans transa, Trans transb, std::int64_t M,
+                     std::int64_t N, std::int64_t K, float alpha,
+                     const float* A, const float* B, float beta,
+                     const float* bias, float* C, Workspace* ws) {
+  Epilogue ep;
+  ep.row_bias = bias;
+  sgemm_impl(transa, transb, M, N, K, alpha, A, B, beta, C, ep, ws);
+}
+
+void sgemm_bias_cols(Trans transa, Trans transb, std::int64_t M,
+                     std::int64_t N, std::int64_t K, float alpha,
+                     const float* A, const float* B, float beta,
+                     const float* bias, float* C, Workspace* ws) {
+  Epilogue ep;
+  ep.col_bias = bias;
+  sgemm_impl(transa, transb, M, N, K, alpha, A, B, beta, C, ep, ws);
+}
+
+}  // namespace mfn::backend

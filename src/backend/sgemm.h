@@ -1,0 +1,61 @@
+// Unified GEMM execution backend.
+//
+// Every dense matrix product in the library — the matmul/matmul_tn/
+// matmul_nt family in tensor_ops, the conv3d im2col products, the linear/
+// MLP layers — dispatches to the single sgemm() entry point below. This is
+// the seam future backends (SIMD variants, GPU) slot into: consumers only
+// ever see this contract.
+//
+// Contract:
+//   C = alpha * op(A) * op(B) + beta * C
+// with op(X) = X or X^T per the Trans flags. All matrices are dense,
+// row-major, and contiguous:
+//   op(A) is M x K  — A is stored (M,K) when transa == kNo, (K,M) when kYes
+//   op(B) is K x N  — B is stored (K,N) when transb == kNo, (N,K) when kYes
+//   C     is M x N
+// beta == 0 treats C as uninitialized (it is fully overwritten, never read),
+// so callers can pass fresh storage without zero-filling it first.
+//
+// Implementation: cache-blocked (MC/KC/NC) with alpha-scaled A panels and
+// zero-padded B panels packed into a Workspace arena, and an MR x NR
+// register-tiled microkernel. Work is tiled over (M, N) blocks through
+// parallel_for_2d; each tile packs its A block into its thread-local
+// workspace, so concurrent calls from pool workers are race-free and
+// allocation-free in steady state. Nested calls (e.g. from inside a
+// parallelized conv3d batch loop) automatically run serially.
+#pragma once
+
+#include <cstdint>
+
+#include "backend/workspace.h"
+
+namespace mfn::backend {
+
+enum class Trans : std::uint8_t { kNo, kYes };
+
+/// C(M,N) = alpha * op(A) * op(B) + beta * C. `ws` is the arena used for
+/// the shared packed-B panels; defaults to the caller's thread-local
+/// workspace. The arena is rewound before returning.
+void sgemm(Trans transa, Trans transb, std::int64_t M, std::int64_t N,
+           std::int64_t K, float alpha, const float* A, const float* B,
+           float beta, float* C, Workspace* ws = nullptr);
+
+/// sgemm with a fused per-row bias epilogue:
+///   C(i,j) = alpha * (op(A) op(B))(i,j) + beta * C(i,j) + bias[i]
+/// `bias` has M entries (broadcast along each row). conv3d uses this for
+/// the per-filter bias without an extra pass over the output.
+void sgemm_bias_rows(Trans transa, Trans transb, std::int64_t M,
+                     std::int64_t N, std::int64_t K, float alpha,
+                     const float* A, const float* B, float beta,
+                     const float* bias, float* C, Workspace* ws = nullptr);
+
+/// sgemm with a fused per-column bias epilogue:
+///   C(i,j) = alpha * (op(A) op(B))(i,j) + beta * C(i,j) + bias[j]
+/// `bias` has N entries (broadcast down each column). linear layers use
+/// this for the per-feature bias.
+void sgemm_bias_cols(Trans transa, Trans transb, std::int64_t M,
+                     std::int64_t N, std::int64_t K, float alpha,
+                     const float* A, const float* B, float beta,
+                     const float* bias, float* C, Workspace* ws = nullptr);
+
+}  // namespace mfn::backend

@@ -1,0 +1,48 @@
+#include "backend/workspace.h"
+
+#include <algorithm>
+#include <new>
+
+namespace mfn::backend {
+
+void Workspace::AlignedDeleter::operator()(float* p) const {
+  ::operator delete[](p, std::align_val_t(64));
+}
+
+float* Workspace::alloc(std::size_t n) {
+  // Round up so every allocation starts 64-byte aligned relative to the
+  // (64-byte aligned) chunk base.
+  n = (n + kAlignFloats - 1) / kAlignFloats * kAlignFloats;
+  // Advance through existing chunks until one fits.
+  while (cur_ < chunks_.size() && offset_ + n > chunks_[cur_].size) {
+    ++cur_;
+    offset_ = 0;
+  }
+  if (cur_ == chunks_.size()) {
+    // Geometric growth keeps the chunk count logarithmic in peak demand.
+    std::size_t want = std::max(n, kMinChunkFloats);
+    if (!chunks_.empty()) want = std::max(want, 2 * chunks_.back().size);
+    Chunk c;
+    c.data.reset(static_cast<float*>(
+        ::operator new[](want * sizeof(float), std::align_val_t(64))));
+    c.size = want;
+    chunks_.push_back(std::move(c));
+    offset_ = 0;
+  }
+  float* p = chunks_[cur_].data.get() + offset_;
+  offset_ += n;
+  return p;
+}
+
+std::size_t Workspace::capacity() const {
+  std::size_t total = 0;
+  for (const auto& c : chunks_) total += c.size;
+  return total;
+}
+
+Workspace& local_workspace() {
+  thread_local Workspace ws;
+  return ws;
+}
+
+}  // namespace mfn::backend

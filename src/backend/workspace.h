@@ -1,0 +1,76 @@
+// Reusable scratch arena for the execution backend.
+//
+// Backend kernels (sgemm packing buffers, conv3d column matrices) need
+// large temporary buffers on every call. Allocating them per call dominates
+// small problem sizes and fragments the heap, so kernels bump-allocate from
+// a Workspace instead: memory is requested once, kept across calls, and
+// handed out in O(1).
+//
+// Contract:
+//  - alloc(n) returns a buffer of n floats, 64-byte aligned, valid until the
+//    owning mark is released (or reset() is called). Chunks never move, so
+//    earlier allocations stay valid while later ones are made.
+//  - mark()/release(mark) give stack discipline: a kernel takes a mark on
+//    entry and releases it on exit, returning the arena to its caller's
+//    state while keeping the capacity for the next call.
+//  - A Workspace is NOT thread-safe. Use one per thread; local_workspace()
+//    returns a thread-local instance (persistent pool workers reuse theirs
+//    across tasks, which is what kills the steady-state allocation cost).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace mfn::backend {
+
+class Workspace {
+ public:
+  struct Mark {
+    std::size_t chunk = 0;
+    std::size_t offset = 0;
+  };
+
+  Workspace() = default;
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  /// Bump-allocate `n` floats (64-byte aligned, uninitialized).
+  float* alloc(std::size_t n);
+
+  /// Snapshot of the current allocation point.
+  Mark mark() const { return {cur_, offset_}; }
+
+  /// Rewind to a previous mark(); capacity is retained for reuse.
+  void release(Mark m) {
+    cur_ = m.chunk;
+    offset_ = m.offset;
+  }
+
+  /// Rewind everything (capacity retained).
+  void reset() { release(Mark{}); }
+
+  /// Total floats of backing storage currently held.
+  std::size_t capacity() const;
+
+ private:
+  struct AlignedDeleter {
+    void operator()(float* p) const;
+  };
+  struct Chunk {
+    std::unique_ptr<float[], AlignedDeleter> data;
+    std::size_t size = 0;
+  };
+
+  static constexpr std::size_t kMinChunkFloats = 1u << 16;  // 256 KiB
+  static constexpr std::size_t kAlignFloats = 16;           // 64 bytes
+
+  std::vector<Chunk> chunks_;
+  std::size_t cur_ = 0;     // chunk currently being bumped
+  std::size_t offset_ = 0;  // floats used in chunks_[cur_]
+};
+
+/// Per-thread arena shared by all backend kernels on this thread.
+Workspace& local_workspace();
+
+}  // namespace mfn::backend

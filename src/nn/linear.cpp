@@ -13,6 +13,9 @@ Linear::Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng,
 }
 
 ad::Var Linear::forward(const ad::Var& x) {
+  // ad::linear routes x * W^T + b through the unified backend GEMM
+  // (backend/sgemm.h) with the bias fused into the write-back, so decoder
+  // query batches hit the blocked/packed kernel in a single pass.
   return ad::linear(x, weight_, bias_);
 }
 

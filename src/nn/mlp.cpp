@@ -21,6 +21,7 @@ ad::Var apply_activation(Activation act, const ad::Var& x) {
 MLP::MLP(std::vector<std::int64_t> widths, Rng& rng, Activation activation)
     : widths_(std::move(widths)), activation_(activation) {
   MFN_CHECK(widths_.size() >= 2, "MLP needs at least in/out widths");
+  layers_.reserve(widths_.size() - 1);
   for (std::size_t i = 0; i + 1 < widths_.size(); ++i) {
     layers_.push_back(
         std::make_unique<Linear>(widths_[i], widths_[i + 1], rng));
@@ -29,6 +30,8 @@ MLP::MLP(std::vector<std::int64_t> widths, Rng& rng, Activation activation)
 }
 
 ad::Var MLP::forward(const ad::Var& x) {
+  // Each Linear dispatches into the backend GEMM; with query batches of a
+  // few hundred rows the whole trunk stays on the blocked/packed path.
   ad::Var h = x;
   for (std::size_t i = 0; i < layers_.size(); ++i) {
     h = layers_[i]->forward(h);

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "backend/sgemm.h"
+#include "backend/workspace.h"
 #include "common/error.h"
 #include "tensor/tensor_ops.h"
 #include "threading/thread_pool.h"
@@ -29,6 +31,94 @@ struct ColGeom {
 };
 
 void vol2col(const float* x, const ColGeom& g, float* col) {
+  const std::int64_t L = g.OD * g.OH * g.OW;
+  const std::int64_t K = g.KD * g.KH * g.KW;
+  // "Same-size" convs (unit H/W stride, OH == H, OW == W — e.g. the 3x3x3
+  // pad-1 convs of the context network) admit a plane-at-a-time fast path:
+  // for |w-shift| <= 1 a whole (OH x W) block is one contiguous copy whose
+  // wrapped-around boundary column is then punched to zero.
+  const bool same2d = g.stride[1] == 1 && g.stride[2] == 1 &&
+                      g.OH == g.H && g.OW == g.W;
+  for (std::int64_t c = 0; c < g.C; ++c) {
+    const float* xc = x + c * g.D * g.H * g.W;
+    for (std::int64_t kd = 0; kd < g.KD; ++kd)
+      for (std::int64_t kh = 0; kh < g.KH; ++kh)
+        for (std::int64_t kw = 0; kw < g.KW; ++kw) {
+          float* crow = col + (c * K + (kd * g.KH + kh) * g.KW + kw) * L;
+          // For unit W-stride the in-bounds ow range is one contiguous run:
+          // a zero prefix, a straight copy, and a zero suffix. That removes
+          // the per-element bounds branch from the hot inner loop.
+          std::int64_t lo = 0, hi = g.OW;
+          if (g.stride[2] == 1) {
+            lo = std::clamp<std::int64_t>(g.pad[2] - kw, 0, g.OW);
+            hi = std::clamp<std::int64_t>(g.W + g.pad[2] - kw, 0, g.OW);
+          }
+          const std::int64_t dw = kw - g.pad[2];
+          if (same2d && dw >= -1 && dw <= 1) {
+            const std::int64_t oh_lo =
+                std::clamp<std::int64_t>(g.pad[1] - kh, 0, g.OH);
+            const std::int64_t oh_hi =
+                std::clamp<std::int64_t>(g.H + g.pad[1] - kh, 0, g.OH);
+            for (std::int64_t od = 0; od < g.OD; ++od) {
+              const std::int64_t d = od * g.stride[0] - g.pad[0] + kd;
+              float* dstp = crow + od * g.OH * g.OW;
+              if (d < 0 || d >= g.D || oh_lo >= oh_hi) {
+                std::fill(dstp, dstp + g.OH * g.OW, 0.0f);
+                continue;
+              }
+              std::fill(dstp, dstp + oh_lo * g.W, 0.0f);
+              std::fill(dstp + oh_hi * g.W, dstp + g.OH * g.W, 0.0f);
+              const float* src0 = xc + (d * g.H + (oh_lo - g.pad[1] + kh)) * g.W;
+              const std::int64_t n = (oh_hi - oh_lo) * g.W;
+              float* dst0 = dstp + oh_lo * g.W;
+              if (dw == 0) {
+                std::copy(src0, src0 + n, dst0);
+              } else if (dw == 1) {
+                // dst[r][w] = src[r][w+1]; the flat copy drags row r+1's
+                // first element into column W-1, punched to zero below.
+                std::copy(src0 + 1, src0 + n, dst0);
+                for (std::int64_t r = oh_lo; r < oh_hi; ++r)
+                  dstp[r * g.W + g.W - 1] = 0.0f;
+              } else {  // dw == -1
+                std::copy(src0, src0 + n - 1, dst0 + 1);
+                for (std::int64_t r = oh_lo; r < oh_hi; ++r)
+                  dstp[r * g.W] = 0.0f;
+              }
+            }
+            continue;
+          }
+          for (std::int64_t od = 0; od < g.OD; ++od) {
+            const std::int64_t d = od * g.stride[0] - g.pad[0] + kd;
+            const bool dok = d >= 0 && d < g.D;
+            for (std::int64_t oh = 0; oh < g.OH; ++oh) {
+              const std::int64_t h = oh * g.stride[1] - g.pad[1] + kh;
+              const bool hok = dok && h >= 0 && h < g.H;
+              float* dst = crow + (od * g.OH + oh) * g.OW;
+              if (!hok) {
+                std::fill(dst, dst + g.OW, 0.0f);
+                continue;
+              }
+              const float* src = xc + (d * g.H + h) * g.W;
+              if (g.stride[2] == 1) {
+                std::fill(dst, dst + lo, 0.0f);
+                std::copy(src + (lo - g.pad[2] + kw),
+                          src + (hi - g.pad[2] + kw), dst + lo);
+                std::fill(dst + hi, dst + g.OW, 0.0f);
+              } else {
+                for (std::int64_t ow = 0; ow < g.OW; ++ow) {
+                  const std::int64_t w = ow * g.stride[2] - g.pad[2] + kw;
+                  dst[ow] = (w >= 0 && w < g.W) ? src[w] : 0.0f;
+                }
+              }
+            }
+          }
+        }
+  }
+}
+
+// Seed copy of vol2col (per-element bounds checks), used only by the
+// *_reference conv paths so the baseline stays the pre-backend code.
+void vol2col_reference(const float* x, const ColGeom& g, float* col) {
   const std::int64_t L = g.OD * g.OH * g.OW;
   const std::int64_t K = g.KD * g.KH * g.KW;
   for (std::int64_t c = 0; c < g.C; ++c) {
@@ -131,23 +221,40 @@ Tensor conv3d_forward(const Tensor& x, const Tensor& weight,
     MFN_CHECK(bias.ndim() == 1 && bias.dim(0) == F,
               "conv3d bias shape " << bias.shape().str());
 
-  Tensor out(out_shape);
-  const Tensor w2d = weight.reshape(Shape{F, CK});
-  Tensor col(Shape{CK, L});
+  // Every element of `out` is written by the per-sample GEMMs (beta = 0,
+  // bias fused), so skip the zero-fill.
+  Tensor out = Tensor::uninitialized(out_shape);
+  const float* pw = weight.data();  // (F, CK) viewed flat
+  const float* pb = bias.defined() ? bias.data() : nullptr;
+  const float* px = x.data();
+  float* pout = out.data();
   const std::int64_t in_slab = g.C * g.D * g.H * g.W;
-  for (std::int64_t n = 0; n < N; ++n) {
-    vol2col(x.data() + n * in_slab, g, col.data());
-    Tensor y = matmul(w2d, col);  // (F, L)
-    float* po = out.data() + n * F * L;
-    const float* py = y.data();
-    if (bias.defined()) {
-      const float* pb = bias.data();
-      for (std::int64_t f = 0; f < F; ++f)
-        for (std::int64_t l = 0; l < L; ++l) po[f * L + l] = py[f * L + l] + pb[f];
-    } else {
-      std::copy(py, py + F * L, po);
-    }
-  }
+  // One task per sample; each executing thread draws its column matrix from
+  // its own workspace arena, so the batch loop is allocation-free and
+  // race-free. For N == 1 the loop runs inline on the caller and the GEMM
+  // parallelizes internally instead.
+  parallel_for(
+      N,
+      [&](std::int64_t n0, std::int64_t n1) {
+        backend::Workspace& ws = backend::local_workspace();
+        for (std::int64_t n = n0; n < n1; ++n) {
+          const backend::Workspace::Mark m = ws.mark();
+          float* col = ws.alloc(static_cast<std::size_t>(CK * L));
+          vol2col(px + n * in_slab, g, col);
+          float* po = pout + n * F * L;
+          if (pb != nullptr) {
+            // Per-filter bias is fused into the GEMM write-back.
+            backend::sgemm_bias_rows(backend::Trans::kNo, backend::Trans::kNo,
+                                     F, L, CK, 1.0f, pw, col, 0.0f, pb, po,
+                                     &ws);
+          } else {
+            backend::sgemm(backend::Trans::kNo, backend::Trans::kNo, F, L, CK,
+                           1.0f, pw, col, 0.0f, po, &ws);
+          }
+          ws.release(m);
+        }
+      },
+      /*grain=*/1);
   return out;
 }
 
@@ -164,28 +271,193 @@ Conv3dGrads conv3d_backward(const Tensor& x, const Tensor& weight,
   grads.gweight = Tensor::zeros(weight.shape());
   if (had_bias) grads.gbias = Tensor::zeros(Shape{F});
 
-  const Tensor w2d = weight.reshape(Shape{F, CK});
+  const float* pw = weight.data();  // (F, CK) viewed flat
+  const float* px = x.data();
+  const float* pgy = gy.data();
+  const std::int64_t in_slab = g.C * g.D * g.H * g.W;
+
+  // gx is per-sample (disjoint slabs), but gweight/gbias sum over the
+  // batch: give every potential worker its own zeroed partial and reduce
+  // after the parallel region. parallel_for_indexed hands out at most
+  // min(pool size, chunks) + 1 slots, so small batches never pay for a
+  // large pool's worth of partials.
+  const int W = static_cast<int>(std::min<std::int64_t>(
+      max_parallel_workers(), N + 1));
+  std::vector<float> gw_part(static_cast<std::size_t>(W) *
+                                 static_cast<std::size_t>(F * CK),
+                             0.0f);
+  std::vector<float> gb_part(
+      had_bias ? static_cast<std::size_t>(W) * static_cast<std::size_t>(F)
+               : 0,
+      0.0f);
+
+  parallel_for_indexed(
+      N,
+      [&](int worker, std::int64_t n0, std::int64_t n1) {
+        backend::Workspace& ws = backend::local_workspace();
+        float* gw = gw_part.data() +
+                    static_cast<std::size_t>(worker) *
+                        static_cast<std::size_t>(F * CK);
+        for (std::int64_t n = n0; n < n1; ++n) {
+          const backend::Workspace::Mark m = ws.mark();
+          float* col = ws.alloc(static_cast<std::size_t>(CK * L));
+          vol2col(px + n * in_slab, g, col);
+          const float* gy_n = pgy + n * F * L;  // (F, L), no copy
+          // dW_partial += gy_n * col^T  (beta = 1 accumulation)
+          backend::sgemm(backend::Trans::kNo, backend::Trans::kYes, F, CK, L,
+                         1.0f, gy_n, col, 1.0f, gw, &ws);
+          // dX_n = col2vol(W^T * gy_n)
+          float* dcol = ws.alloc(static_cast<std::size_t>(CK * L));
+          backend::sgemm(backend::Trans::kYes, backend::Trans::kNo, CK, L, F,
+                         1.0f, pw, gy_n, 0.0f, dcol, &ws);
+          col2vol_accumulate(dcol, g, grads.gx.data() + n * in_slab);
+          if (had_bias) {
+            float* gb = gb_part.data() +
+                        static_cast<std::size_t>(worker) *
+                            static_cast<std::size_t>(F);
+            for (std::int64_t f = 0; f < F; ++f) {
+              double acc = 0.0;
+              for (std::int64_t l = 0; l < L; ++l) acc += gy_n[f * L + l];
+              gb[f] += static_cast<float>(acc);
+            }
+          }
+          ws.release(m);
+        }
+      },
+      /*grain=*/1);
+
+  float* pgw = grads.gweight.data();
+  for (int w = 0; w < W; ++w) {
+    const float* part = gw_part.data() + static_cast<std::size_t>(w) *
+                                             static_cast<std::size_t>(F * CK);
+    for (std::int64_t i = 0; i < F * CK; ++i) pgw[i] += part[i];
+  }
+  if (had_bias) {
+    float* pgb = grads.gbias.data();
+    for (int w = 0; w < W; ++w) {
+      const float* part = gb_part.data() +
+                          static_cast<std::size_t>(w) *
+                              static_cast<std::size_t>(F);
+      for (std::int64_t f = 0; f < F; ++f) pgb[f] += part[f];
+    }
+  }
+  return grads;
+}
+
+namespace {
+
+// Naive GEMM loops preserved verbatim from the seed so the reference conv
+// path below stays byte-for-byte the pre-backend baseline.
+void seed_mm(std::int64_t m, std::int64_t k, std::int64_t n, const float* pa,
+             const float* pb, float* pc) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* crow = pc + i * n;
+    const float* arow = pa + i * k;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float aik = arow[kk];
+      if (aik == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+void seed_mm_tn(std::int64_t k, std::int64_t m, std::int64_t n,
+                const float* pa, const float* pb, float* pc) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* crow = pc + i * n;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float aik = pa[kk * m + i];
+      if (aik == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+void seed_mm_nt(std::int64_t m, std::int64_t k, std::int64_t n,
+                const float* pa, const float* pb, float* pc) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    float* crow = pc + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      float acc = 0.0f;
+      for (std::int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      crow[j] = acc;
+    }
+  }
+}
+
+}  // namespace
+
+Tensor conv3d_forward_reference(const Tensor& x, const Tensor& weight,
+                                const Tensor& bias, const Conv3dSpec& spec) {
+  check_5d(x, "conv3d input");
+  check_5d(weight, "conv3d weight");
+  const Shape out_shape = conv3d_output_shape(x.shape(), weight.shape(), spec);
+  const ColGeom g = make_geom(x.shape(), weight.shape(), spec);
+  const std::int64_t N = x.dim(0), F = weight.dim(0);
+  const std::int64_t CK = g.C * g.KD * g.KH * g.KW;
+  const std::int64_t L = g.OD * g.OH * g.OW;
+  if (bias.defined())
+    MFN_CHECK(bias.ndim() == 1 && bias.dim(0) == F,
+              "conv3d bias shape " << bias.shape().str());
+
+  Tensor out(out_shape);
+  Tensor col(Shape{CK, L});
+  const std::int64_t in_slab = g.C * g.D * g.H * g.W;
+  for (std::int64_t n = 0; n < N; ++n) {
+    vol2col_reference(x.data() + n * in_slab, g, col.data());
+    Tensor y(Shape{F, L});
+    seed_mm(F, CK, L, weight.data(), col.data(), y.data());
+    float* po = out.data() + n * F * L;
+    const float* py = y.data();
+    if (bias.defined()) {
+      const float* pb = bias.data();
+      for (std::int64_t f = 0; f < F; ++f)
+        for (std::int64_t l = 0; l < L; ++l)
+          po[f * L + l] = py[f * L + l] + pb[f];
+    } else {
+      std::copy(py, py + F * L, po);
+    }
+  }
+  return out;
+}
+
+Conv3dGrads conv3d_backward_reference(const Tensor& x, const Tensor& weight,
+                                      bool had_bias, const Conv3dSpec& spec,
+                                      const Tensor& gy) {
+  const ColGeom g = make_geom(x.shape(), weight.shape(), spec);
+  const std::int64_t N = x.dim(0), F = weight.dim(0);
+  const std::int64_t CK = g.C * g.KD * g.KH * g.KW;
+  const std::int64_t L = g.OD * g.OH * g.OW;
+
+  Conv3dGrads grads;
+  grads.gx = Tensor::zeros(x.shape());
+  grads.gweight = Tensor::zeros(weight.shape());
+  if (had_bias) grads.gbias = Tensor::zeros(Shape{F});
+
   Tensor gw2d = grads.gweight.reshape(Shape{F, CK});  // shares storage
   Tensor col(Shape{CK, L});
   const std::int64_t in_slab = g.C * g.D * g.H * g.W;
 
   for (std::int64_t n = 0; n < N; ++n) {
-    vol2col(x.data() + n * in_slab, g, col.data());
-    Tensor gy_n = Tensor::from_vector(
-        Shape{F, L},
-        std::vector<float>(gy.data() + n * F * L, gy.data() + (n + 1) * F * L));
+    vol2col_reference(x.data() + n * in_slab, g, col.data());
+    const float* gy_n = gy.data() + n * F * L;
     // dW += gy_n * col^T
-    Tensor dw = matmul_nt(gy_n, col);  // (F, CK)
+    Tensor dw(Shape{F, CK});
+    seed_mm_nt(F, L, CK, gy_n, col.data(), dw.data());
     add_(gw2d, dw);
     // dX_n = col2vol(W^T * gy_n)
-    Tensor dcol = matmul_tn(w2d, gy_n);  // (CK, L)
+    Tensor dcol(Shape{CK, L});
+    seed_mm_tn(F, CK, L, weight.data(), gy_n, dcol.data());
     col2vol_accumulate(dcol.data(), g, grads.gx.data() + n * in_slab);
     if (had_bias) {
       float* pgb = grads.gbias.data();
-      const float* pgy = gy_n.data();
       for (std::int64_t f = 0; f < F; ++f) {
         double acc = 0.0;
-        for (std::int64_t l = 0; l < L; ++l) acc += pgy[f * L + l];
+        for (std::int64_t l = 0; l < L; ++l) acc += gy_n[f * L + l];
         pgb[f] += static_cast<float>(acc);
       }
     }
@@ -269,7 +541,7 @@ Tensor upsample_nearest3d_forward(const Tensor& x, Dims3 factor) {
   const std::int64_t N = x.dim(0), C = x.dim(1), D = x.dim(2), H = x.dim(3),
                      W = x.dim(4);
   const auto [fd, fh, fw] = factor;
-  Tensor out(Shape{N, C, D * fd, H * fh, W * fw});
+  Tensor out = Tensor::uninitialized(Shape{N, C, D * fd, H * fh, W * fw});
   const float* px = x.data();
   float* po = out.data();
   const std::int64_t OH = H * fh, OW = W * fw;

@@ -28,6 +28,10 @@ Shape conv3d_output_shape(const Shape& input, const Shape& weight,
                           const Conv3dSpec& spec);
 
 /// y = conv3d(x, w) + b. `bias` may be undefined (no bias).
+/// Parallelized over the batch: each sample's vol2col + GEMM runs as an
+/// independent task with per-worker scratch from the backend Workspace,
+/// and the bias add is fused into the GEMM write-back (beta = 1 over
+/// bias-initialized output rows).
 Tensor conv3d_forward(const Tensor& x, const Tensor& weight,
                       const Tensor& bias, const Conv3dSpec& spec);
 
@@ -37,9 +41,20 @@ struct Conv3dGrads {
   Tensor gbias;   // (F); undefined when forward had no bias
 };
 
+/// Batch-parallel like conv3d_forward; weight/bias gradients accumulate
+/// into per-worker partials (GEMM beta = 1) that are reduced at the end.
 Conv3dGrads conv3d_backward(const Tensor& x, const Tensor& weight,
                             bool had_bias, const Conv3dSpec& spec,
                             const Tensor& gy);
+
+/// Seed (v0) serial-batch implementations with naive per-sample GEMM
+/// loops. Kept solely as the comparison baseline for parity tests and the
+/// bench_micro_ops perf trajectory; the model never calls these.
+Tensor conv3d_forward_reference(const Tensor& x, const Tensor& weight,
+                                const Tensor& bias, const Conv3dSpec& spec);
+Conv3dGrads conv3d_backward_reference(const Tensor& x, const Tensor& weight,
+                                      bool had_bias, const Conv3dSpec& spec,
+                                      const Tensor& gy);
 
 // -------------------------------------------------------------- maxpool --
 struct MaxPool3dResult {

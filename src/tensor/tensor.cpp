@@ -6,13 +6,30 @@
 
 namespace mfn {
 
+namespace {
+
+std::shared_ptr<float[]> alloc_storage(std::int64_t numel) {
+  return std::shared_ptr<float[]>(
+      new float[static_cast<std::size_t>(numel)]);
+}
+
+}  // namespace
+
 Tensor::Tensor(Shape shape) : shape_(std::move(shape)) {
   MFN_CHECK(shape_.numel() >= 0, "negative element count " << shape_.str());
-  data_ = std::make_shared<std::vector<float>>(
-      static_cast<std::size_t>(shape_.numel()), 0.0f);
+  data_ = alloc_storage(shape_.numel());
+  std::fill(data_.get(), data_.get() + shape_.numel(), 0.0f);
 }
 
 Tensor Tensor::zeros(Shape shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::uninitialized(Shape shape) {
+  MFN_CHECK(shape.numel() >= 0, "negative element count " << shape.str());
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.data_ = alloc_storage(t.shape_.numel());
+  return t;
+}
 
 Tensor Tensor::ones(Shape shape) { return full(std::move(shape), 1.0f); }
 
@@ -43,9 +60,8 @@ Tensor Tensor::uniform(Shape shape, Rng& rng, float lo, float hi) {
 Tensor Tensor::from_vector(Shape shape, std::vector<float> values) {
   MFN_CHECK(shape.numel() == static_cast<std::int64_t>(values.size()),
             "shape " << shape.str() << " vs " << values.size() << " values");
-  Tensor t;
-  t.shape_ = std::move(shape);
-  t.data_ = std::make_shared<std::vector<float>>(std::move(values));
+  Tensor t = uninitialized(std::move(shape));
+  std::copy(values.begin(), values.end(), t.data());
   return t;
 }
 
@@ -60,12 +76,12 @@ Tensor Tensor::scalar(float value) { return full(Shape{1}, value); }
 
 float* Tensor::data() {
   MFN_CHECK(defined(), "access to undefined tensor");
-  return data_->data();
+  return data_.get();
 }
 
 const float* Tensor::data() const {
   MFN_CHECK(defined(), "access to undefined tensor");
-  return data_->data();
+  return data_.get();
 }
 
 std::int64_t Tensor::flat_index(
@@ -85,23 +101,22 @@ std::int64_t Tensor::flat_index(
 }
 
 float& Tensor::at(std::initializer_list<std::int64_t> idx) {
-  return (*data_)[static_cast<std::size_t>(flat_index(idx))];
+  return data_[static_cast<std::size_t>(flat_index(idx))];
 }
 
 float Tensor::at(std::initializer_list<std::int64_t> idx) const {
-  return (*data_)[static_cast<std::size_t>(flat_index(idx))];
+  return data_[static_cast<std::size_t>(flat_index(idx))];
 }
 
 float Tensor::item() const {
   MFN_CHECK(numel() == 1, "item() on tensor with " << numel() << " elements");
-  return (*data_)[0];
+  return data_[0];
 }
 
 Tensor Tensor::clone() const {
   if (!defined()) return Tensor();
-  Tensor t;
-  t.shape_ = shape_;
-  t.data_ = std::make_shared<std::vector<float>>(*data_);
+  Tensor t = uninitialized(shape_);
+  std::copy(data_.get(), data_.get() + numel(), t.data());
   return t;
 }
 
@@ -117,7 +132,7 @@ Tensor Tensor::reshape(Shape new_shape) const {
 
 void Tensor::fill_(float value) {
   MFN_CHECK(defined(), "fill_ of undefined tensor");
-  std::fill(data_->begin(), data_->end(), value);
+  std::fill(data_.get(), data_.get() + numel(), value);
 }
 
 }  // namespace mfn

@@ -31,8 +31,12 @@ class Tensor {
   /// i.i.d. U[lo, hi).
   static Tensor uniform(Shape shape, Rng& rng, float lo = 0.0f,
                         float hi = 1.0f);
-  /// Takes ownership of `values` (size must equal shape.numel()).
+  /// Copies `values` (size must equal shape.numel()).
   static Tensor from_vector(Shape shape, std::vector<float> values);
+  /// Storage with unspecified contents: for kernel outputs that are fully
+  /// overwritten (e.g. backend GEMM with beta == 0), skipping the
+  /// zero-fill pass of Tensor(Shape). Callers MUST write every element.
+  static Tensor uninitialized(Shape shape);
   /// 1-D tensor [0, 1, ..., n-1].
   static Tensor arange(std::int64_t n);
   /// Scalar wrapped in a shape-{1} tensor.
@@ -68,7 +72,7 @@ class Tensor {
  private:
   std::int64_t flat_index(std::initializer_list<std::int64_t> idx) const;
 
-  std::shared_ptr<std::vector<float>> data_;
+  std::shared_ptr<float[]> data_;
   Shape shape_;
 };
 

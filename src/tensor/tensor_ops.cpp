@@ -4,8 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "backend/sgemm.h"
 #include "common/error.h"
-#include "threading/thread_pool.h"
 
 namespace mfn {
 namespace {
@@ -18,7 +18,7 @@ void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
 
 template <typename F>
 Tensor map_unary(const Tensor& a, F&& f) {
-  Tensor out(a.shape());
+  Tensor out = Tensor::uninitialized(a.shape());
   const float* pa = a.data();
   float* po = out.data();
   const std::int64_t n = a.numel();
@@ -29,7 +29,7 @@ Tensor map_unary(const Tensor& a, F&& f) {
 template <typename F>
 Tensor map_binary(const Tensor& a, const Tensor& b, const char* op, F&& f) {
   check_same_shape(a, b, op);
-  Tensor out(a.shape());
+  Tensor out = Tensor::uninitialized(a.shape());
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
@@ -199,30 +199,17 @@ Tensor sum_axis0(const Tensor& a) {
   return out;
 }
 
+// The matmul family is thin dispatch into the unified backend GEMM
+// (src/backend/sgemm.h); blocking, packing, and threading live there.
+
 Tensor matmul(const Tensor& a, const Tensor& b) {
   MFN_CHECK(a.ndim() == 2 && b.ndim() == 2, "matmul expects 2-D operands");
   const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   MFN_CHECK(b.dim(0) == k, "matmul inner dims " << a.shape().str() << " x "
                                                 << b.shape().str());
-  Tensor out(Shape{m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = out.data();
-  parallel_for(
-      m,
-      [&](std::int64_t i0, std::int64_t i1) {
-        for (std::int64_t i = i0; i < i1; ++i) {
-          float* crow = pc + i * n;
-          const float* arow = pa + i * k;
-          for (std::int64_t kk = 0; kk < k; ++kk) {
-            const float aik = arow[kk];
-            if (aik == 0.0f) continue;
-            const float* brow = pb + kk * n;
-            for (std::int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
-          }
-        }
-      },
-      /*grain=*/16);
+  Tensor out = Tensor::uninitialized(Shape{m, n});
+  backend::sgemm(backend::Trans::kNo, backend::Trans::kNo, m, n, k, 1.0f,
+                 a.data(), b.data(), 0.0f, out.data());
   return out;
 }
 
@@ -231,24 +218,9 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   const std::int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
   MFN_CHECK(b.dim(0) == k, "matmul_tn inner dims " << a.shape().str() << " x "
                                                    << b.shape().str());
-  Tensor out(Shape{m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = out.data();
-  parallel_for(
-      m,
-      [&](std::int64_t i0, std::int64_t i1) {
-        for (std::int64_t i = i0; i < i1; ++i) {
-          float* crow = pc + i * n;
-          for (std::int64_t kk = 0; kk < k; ++kk) {
-            const float aik = pa[kk * m + i];
-            if (aik == 0.0f) continue;
-            const float* brow = pb + kk * n;
-            for (std::int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
-          }
-        }
-      },
-      /*grain=*/16);
+  Tensor out = Tensor::uninitialized(Shape{m, n});
+  backend::sgemm(backend::Trans::kYes, backend::Trans::kNo, m, n, k, 1.0f,
+                 a.data(), b.data(), 0.0f, out.data());
   return out;
 }
 
@@ -257,32 +229,16 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
   MFN_CHECK(b.dim(1) == k, "matmul_nt inner dims " << a.shape().str() << " x "
                                                    << b.shape().str());
-  Tensor out(Shape{m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = out.data();
-  parallel_for(
-      m,
-      [&](std::int64_t i0, std::int64_t i1) {
-        for (std::int64_t i = i0; i < i1; ++i) {
-          const float* arow = pa + i * k;
-          float* crow = pc + i * n;
-          for (std::int64_t j = 0; j < n; ++j) {
-            const float* brow = pb + j * k;
-            float acc = 0.0f;
-            for (std::int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-            crow[j] = acc;
-          }
-        }
-      },
-      /*grain=*/16);
+  Tensor out = Tensor::uninitialized(Shape{m, n});
+  backend::sgemm(backend::Trans::kNo, backend::Trans::kYes, m, n, k, 1.0f,
+                 a.data(), b.data(), 0.0f, out.data());
   return out;
 }
 
 Tensor transpose2d(const Tensor& a) {
   MFN_CHECK(a.ndim() == 2, "transpose2d expects 2-D");
   const std::int64_t m = a.dim(0), n = a.dim(1);
-  Tensor out(Shape{n, m});
+  Tensor out = Tensor::uninitialized(Shape{n, m});
   const float* pa = a.data();
   float* po = out.data();
   for (std::int64_t i = 0; i < m; ++i)
@@ -294,7 +250,7 @@ Tensor add_rowvec(const Tensor& a, const Tensor& v) {
   MFN_CHECK(a.ndim() == 2 && v.ndim() == 1 && v.dim(0) == a.dim(1),
             "add_rowvec " << a.shape().str() << " + " << v.shape().str());
   const std::int64_t m = a.dim(0), n = a.dim(1);
-  Tensor out(Shape{m, n});
+  Tensor out = Tensor::uninitialized(Shape{m, n});
   const float* pa = a.data();
   const float* pv = v.data();
   float* po = out.data();
@@ -341,7 +297,7 @@ Tensor concat(const std::vector<Tensor>& parts, int axis) {
   }
   std::vector<std::int64_t> out_dims = parts[0].shape().dims();
   out_dims[static_cast<std::size_t>(axis)] = total_axis;
-  Tensor out{Shape(out_dims)};
+  Tensor out = Tensor::uninitialized(Shape(out_dims));
 
   const AxisView ov = axis_view(out.shape(), axis);
   float* po = out.data();
@@ -377,7 +333,7 @@ std::vector<Tensor> split(const Tensor& a, int axis,
   for (auto s : sizes) {
     std::vector<std::int64_t> dims = a.shape().dims();
     dims[static_cast<std::size_t>(axis)] = s;
-    Tensor part{Shape(dims)};
+    Tensor part = Tensor::uninitialized(Shape(dims));
     float* pp = part.data();
     for (std::int64_t o = 0; o < av.outer; ++o) {
       const float* src = pa + (o * av.axis + axis_offset) * av.inner;
@@ -395,7 +351,7 @@ Tensor slice_axis0(const Tensor& a, std::int64_t begin, std::int64_t end) {
             "slice [" << begin << "," << end << ") of dim " << a.dim(0));
   std::vector<std::int64_t> dims = a.shape().dims();
   dims[0] = end - begin;
-  Tensor out{Shape(dims)};
+  Tensor out = Tensor::uninitialized(Shape(dims));
   const std::int64_t inner = a.numel() / std::max<std::int64_t>(a.dim(0), 1);
   std::copy(a.data() + begin * inner, a.data() + end * inner, out.data());
   return out;

@@ -3,7 +3,8 @@
 // These are the raw math kernels; the autodiff layer wraps them with
 // backward rules. All binary ops require identical shapes unless the name
 // says otherwise (scalar / rowvec variants). Heavy kernels (matmul family)
-// are parallelized through mfn::parallel_for.
+// are thin dispatch into the unified execution backend (backend/sgemm.h),
+// which owns blocking, packing, and threading.
 #pragma once
 
 #include <vector>

@@ -1,6 +1,7 @@
 #include "threading/thread_pool.h"
 
 #include <atomic>
+#include <cerrno>
 #include <cstdlib>
 #include <memory>
 
@@ -13,6 +14,8 @@ thread_local bool t_in_worker = false;
 
 ThreadPool::ThreadPool(int num_threads) {
   MFN_CHECK(num_threads >= 1, "thread pool needs >= 1 thread");
+  MFN_CHECK(num_threads <= kMaxThreads,
+            "thread pool size " << num_threads << " exceeds kMaxThreads");
   workers_.reserve(static_cast<std::size_t>(num_threads));
   for (int i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -51,33 +54,49 @@ void ThreadPool::worker_loop() {
   }
 }
 
+int ThreadPool::resolve_thread_count(const char* env_value, unsigned hardware) {
+  const int hw_default =
+      hardware == 0
+          ? 1
+          : static_cast<int>(std::min<unsigned>(hardware, kMaxThreads));
+  if (env_value == nullptr || *env_value == '\0') return hw_default;
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(env_value, &end, 10);
+  if (end == env_value || *end != '\0' || errno == ERANGE) {
+    // Malformed ("abc", "4x", "") — ignore rather than propagate.
+    return hw_default;
+  }
+  if (v < 1) return hw_default;  // non-positive is meaningless for a pool
+  if (v > kMaxThreads) return kMaxThreads;
+  return static_cast<int>(v);
+}
+
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool([] {
-    if (const char* env = std::getenv("MFN_NUM_THREADS")) {
-      const int n = std::atoi(env);
-      if (n >= 1) return n;
-    }
-    const unsigned hc = std::thread::hardware_concurrency();
-    return hc == 0 ? 1 : static_cast<int>(hc);
-  }());
+  static ThreadPool pool(resolve_thread_count(
+      std::getenv("MFN_NUM_THREADS"), std::thread::hardware_concurrency()));
   return pool;
 }
 
 bool ThreadPool::in_worker() { return t_in_worker; }
 
-void parallel_for(std::int64_t n,
-                  const std::function<void(std::int64_t, std::int64_t)>& fn,
-                  std::int64_t grain) {
+int max_parallel_workers() { return ThreadPool::global().size() + 1; }
+
+void parallel_for_indexed(
+    std::int64_t n,
+    const std::function<void(int, std::int64_t, std::int64_t)>& fn,
+    std::int64_t grain) {
   if (n <= 0) return;
   ThreadPool& pool = ThreadPool::global();
   const int nthreads = pool.size();
   if (n <= grain || nthreads <= 1 || ThreadPool::in_worker()) {
-    fn(0, n);
+    fn(0, 0, n);
     return;
   }
 
   // Dynamic chunk scheduling: workers and the calling thread all pull chunks
-  // from a shared atomic counter, so the caller is never idle.
+  // from a shared atomic counter, so the caller is never idle. Each
+  // participant claims one stable worker slot for the whole call.
   std::int64_t nchunks = std::min<std::int64_t>(
       static_cast<std::int64_t>(nthreads) * 4, (n + grain - 1) / grain);
   if (nchunks < 1) nchunks = 1;
@@ -85,6 +104,7 @@ void parallel_for(std::int64_t n,
 
   struct State {
     std::atomic<std::int64_t> next{0};
+    std::atomic<int> slot{0};
     std::atomic<int> active{0};
     std::mutex mu;
     std::condition_variable done;
@@ -92,13 +112,22 @@ void parallel_for(std::int64_t n,
   auto state = std::make_shared<State>();
 
   auto drain = [state, &fn, chunk, n, nchunks] {
+    const int worker = state->slot.fetch_add(1);
+    // Mark every participant — including the calling thread — as "in
+    // worker" while it drains. A nested parallel_for from the caller's
+    // chunk must run serially just like one from a pool worker: if it
+    // enqueued helper tasks they would sit behind the other outer chunks
+    // in the pool FIFO and the caller would stall waiting on them.
+    const bool was_in_worker = t_in_worker;
+    t_in_worker = true;
     for (;;) {
       const std::int64_t c = state->next.fetch_add(1);
       if (c >= nchunks) break;
       const std::int64_t begin = c * chunk;
       const std::int64_t end = std::min<std::int64_t>(begin + chunk, n);
-      fn(begin, end);
+      fn(worker, begin, end);
     }
+    t_in_worker = was_in_worker;
   };
 
   const int helpers =
@@ -116,6 +145,30 @@ void parallel_for(std::int64_t n,
   drain();  // caller participates
   std::unique_lock<std::mutex> lk(state->mu);
   state->done.wait(lk, [&] { return state->active.load() == 0; });
+}
+
+void parallel_for(std::int64_t n,
+                  const std::function<void(std::int64_t, std::int64_t)>& fn,
+                  std::int64_t grain) {
+  parallel_for_indexed(
+      n, [&fn](int, std::int64_t b, std::int64_t e) { fn(b, e); }, grain);
+}
+
+void parallel_for_2d(
+    std::int64_t n0, std::int64_t n1, std::int64_t grain0, std::int64_t grain1,
+    const std::function<void(std::int64_t, std::int64_t, std::int64_t,
+                             std::int64_t)>& fn) {
+  if (n0 <= 0 || n1 <= 0) return;
+  MFN_CHECK(grain0 >= 1 && grain1 >= 1, "parallel_for_2d grain must be >= 1");
+  const std::int64_t t0 = (n0 + grain0 - 1) / grain0;
+  const std::int64_t t1 = (n1 + grain1 - 1) / grain1;
+  parallel_for(t0 * t1, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t t = b; t < e; ++t) {
+      const std::int64_t i = (t / t1) * grain0;
+      const std::int64_t j = (t % t1) * grain1;
+      fn(i, std::min(i + grain0, n0), j, std::min(j + grain1, n1));
+    }
+  });
 }
 
 }  // namespace mfn

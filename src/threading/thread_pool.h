@@ -1,11 +1,11 @@
-// Shared-memory parallelism layer: a persistent thread pool and a
-// parallel_for helper.
+// Shared-memory parallelism layer: a persistent thread pool and
+// parallel_for helpers.
 //
 // Every compute kernel in the library funnels its parallelism through
-// parallel_for, so thread count is controlled in one place
-// (MFN_NUM_THREADS env var or ThreadPool::set_global_size). Nested
-// parallel_for calls from inside a worker run serially, which keeps kernels
-// composable without deadlock.
+// parallel_for / parallel_for_indexed / parallel_for_2d, so thread count is
+// controlled in one place (MFN_NUM_THREADS env var or the pool size).
+// Nested parallel_for calls from inside a worker run serially, which keeps
+// kernels composable without deadlock.
 #pragma once
 
 #include <condition_variable>
@@ -21,6 +21,9 @@ namespace mfn {
 /// Fixed-size pool of worker threads executing fire-and-forget tasks.
 class ThreadPool {
  public:
+  /// Hard upper bound on pool size; MFN_NUM_THREADS is clamped to this.
+  static constexpr int kMaxThreads = 256;
+
   explicit ThreadPool(int num_threads);
   ~ThreadPool();
 
@@ -32,12 +35,19 @@ class ThreadPool {
   /// Enqueue a task. Tasks must not throw; exceptions terminate.
   void submit(std::function<void()> task);
 
-  /// Process-wide pool. Sized from MFN_NUM_THREADS if set, else
-  /// hardware_concurrency().
+  /// Process-wide pool. Sized by resolve_thread_count(MFN_NUM_THREADS).
   static ThreadPool& global();
 
   /// True when called from inside one of this pool's workers.
   static bool in_worker();
+
+  /// Pure sizing policy, exposed for testing. `env_value` is the raw
+  /// MFN_NUM_THREADS string (may be null); `hardware` is
+  /// std::thread::hardware_concurrency() (may be 0 when unknown).
+  /// Malformed (non-integer, trailing junk, out-of-range) and non-positive
+  /// values are rejected in favour of the hardware default; valid values are
+  /// clamped to [1, kMaxThreads].
+  static int resolve_thread_count(const char* env_value, unsigned hardware);
 
  private:
   void worker_loop();
@@ -49,11 +59,33 @@ class ThreadPool {
   bool stop_ = false;
 };
 
-/// Run fn(begin, end) over a partition of [0, n). Blocks until all chunks
-/// complete. Runs serially when n <= grain, when the pool has a single
-/// thread, or when invoked from inside a pool worker (no nested parallelism).
+/// Upper bound on the number of distinct `worker` ids parallel_for_indexed
+/// can hand out (pool workers + the calling thread).
+int max_parallel_workers();
+
+/// Run fn(worker, begin, end) over a partition of [0, n). `worker` is a
+/// stable id in [0, max_parallel_workers()) for the duration of the call:
+/// every chunk a given participant executes sees the same id, so callers
+/// can index per-worker scratch buffers race-free. Blocks until all chunks
+/// complete. Runs serially (worker == 0) when n <= grain, when the pool has
+/// a single thread, or when invoked from inside a pool worker.
+void parallel_for_indexed(
+    std::int64_t n,
+    const std::function<void(int, std::int64_t, std::int64_t)>& fn,
+    std::int64_t grain = 1);
+
+/// Run fn(begin, end) over a partition of [0, n). Same scheduling rules as
+/// parallel_for_indexed.
 void parallel_for(std::int64_t n,
                   const std::function<void(std::int64_t, std::int64_t)>& fn,
                   std::int64_t grain = 1);
+
+/// Tile the 2-D range [0, n0) x [0, n1) into blocks of at most
+/// (grain0, grain1) and run fn(i_begin, i_end, j_begin, j_end) over the
+/// tiles in parallel. Tiles are disjoint and cover the range exactly once.
+void parallel_for_2d(
+    std::int64_t n0, std::int64_t n1, std::int64_t grain0, std::int64_t grain1,
+    const std::function<void(std::int64_t, std::int64_t, std::int64_t,
+                             std::int64_t)>& fn);
 
 }  // namespace mfn

@@ -59,8 +59,93 @@ TEST(ParallelFor, RespectsGrain) {
   EXPECT_EQ(calls.load(), 1);
 }
 
+TEST(ParallelForIndexed, WorkerIdsAreStableAndInRange) {
+  const int maxw = max_parallel_workers();
+  EXPECT_GE(maxw, 1);
+  // Per-worker scratch indexed by the id must never race: count chunk
+  // executions per slot and verify ids stay in range and sum to full
+  // coverage.
+  std::vector<std::atomic<std::int64_t>> per_worker(
+      static_cast<std::size_t>(maxw));
+  const std::int64_t n = 10000;
+  parallel_for_indexed(n, [&](int worker, std::int64_t b, std::int64_t e) {
+    ASSERT_GE(worker, 0);
+    ASSERT_LT(worker, maxw);
+    per_worker[static_cast<std::size_t>(worker)] += e - b;
+  });
+  std::int64_t total = 0;
+  for (auto& c : per_worker) total += c.load();
+  EXPECT_EQ(total, n);
+}
+
+TEST(ParallelForIndexed, SerialPathUsesWorkerZero) {
+  int seen = -1;
+  parallel_for_indexed(
+      5, [&](int worker, std::int64_t, std::int64_t) { seen = worker; },
+      /*grain=*/100);
+  EXPECT_EQ(seen, 0);
+}
+
+TEST(ParallelFor2d, TilesCoverRangeExactlyOnce) {
+  const std::int64_t n0 = 37, n1 = 53;
+  std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n0 * n1));
+  parallel_for_2d(n0, n1, 8, 16,
+                  [&](std::int64_t i0, std::int64_t i1, std::int64_t j0,
+                      std::int64_t j1) {
+                    EXPECT_LE(i1 - i0, 8);
+                    EXPECT_LE(j1 - j0, 16);
+                    for (std::int64_t i = i0; i < i1; ++i)
+                      for (std::int64_t j = j0; j < j1; ++j)
+                        hits[static_cast<std::size_t>(i * n1 + j)]++;
+                  });
+  for (std::int64_t i = 0; i < n0 * n1; ++i)
+    ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "cell " << i;
+}
+
+TEST(ParallelFor2d, EmptyRangeDoesNothing) {
+  int calls = 0;
+  parallel_for_2d(0, 10, 4, 4,
+                  [&](std::int64_t, std::int64_t, std::int64_t, std::int64_t) {
+                    ++calls;
+                  });
+  parallel_for_2d(10, 0, 4, 4,
+                  [&](std::int64_t, std::int64_t, std::int64_t, std::int64_t) {
+                    ++calls;
+                  });
+  EXPECT_EQ(calls, 0);
+}
+
 TEST(ThreadPool, GlobalHasAtLeastOneThread) {
   EXPECT_GE(ThreadPool::global().size(), 1);
+}
+
+// Regression: MFN_NUM_THREADS sizing must reject malformed and
+// non-positive values and clamp absurd ones instead of propagating them
+// into the pool constructor.
+TEST(ThreadPool, ResolveThreadCountSanitizesEnv) {
+  const unsigned hw = 8;
+  // Unset / empty -> hardware default.
+  EXPECT_EQ(ThreadPool::resolve_thread_count(nullptr, hw), 8);
+  EXPECT_EQ(ThreadPool::resolve_thread_count("", hw), 8);
+  // Valid values pass through.
+  EXPECT_EQ(ThreadPool::resolve_thread_count("1", hw), 1);
+  EXPECT_EQ(ThreadPool::resolve_thread_count("4", hw), 4);
+  EXPECT_EQ(ThreadPool::resolve_thread_count("17", hw), 17);
+  // Non-positive -> hardware default, never a dead or negative pool.
+  EXPECT_EQ(ThreadPool::resolve_thread_count("0", hw), 8);
+  EXPECT_EQ(ThreadPool::resolve_thread_count("-3", hw), 8);
+  // Malformed -> hardware default, not atoi()'s silent prefix parse.
+  EXPECT_EQ(ThreadPool::resolve_thread_count("abc", hw), 8);
+  EXPECT_EQ(ThreadPool::resolve_thread_count("4x", hw), 8);
+  EXPECT_EQ(ThreadPool::resolve_thread_count("3.5", hw), 8);
+  // Absurd values clamp to the hard cap instead of spawning them.
+  EXPECT_EQ(ThreadPool::resolve_thread_count("1000000", hw),
+            ThreadPool::kMaxThreads);
+  EXPECT_EQ(
+      ThreadPool::resolve_thread_count("99999999999999999999999999", hw), 8);
+  // Unknown hardware (0) falls back to a single thread.
+  EXPECT_EQ(ThreadPool::resolve_thread_count(nullptr, 0), 1);
+  EXPECT_EQ(ThreadPool::resolve_thread_count("bad", 0), 1);
 }
 
 TEST(ThreadPool, SubmitRuns) {
