@@ -263,6 +263,128 @@ void emit_perf_json() {
         static_cast<long long>(N), static_cast<long long>(C), threads,
         flops / sec / 1e9, flops / sec_ref / 1e9, sec_ref / sec);
   }
+  {
+    // Batched continuous-query pipeline: decoder decode, end-to-end
+    // predict, and predict_with_derivatives throughput (queries/sec) at
+    // batch 1 and batch 8. The batch-8 predict/derivs lines also report
+    // the equivalent 8-iteration batch-1 loop and the batched speedup —
+    // the acceptance metric for the batched refactor.
+    const std::int64_t NB = 8, Q = 512, QD = 128;
+    Rng rng(23);
+    core::MFNConfig cfg = core::MFNConfig::small_default();
+    core::MeshfreeFlowNet model(cfg, rng);
+    model.set_training(false);
+
+    Tensor lr8 = Tensor::randn(Shape{NB, 4, 4, 8, 8}, rng, 0.5f);
+    auto fill_coords = [&rng](Tensor& c) {
+      float* p = c.data();
+      const std::int64_t rows = c.numel() / 3;
+      for (std::int64_t b = 0; b < rows; ++b) {
+        p[b * 3 + 0] = static_cast<float>(rng.uniform(0.0, 3.0));
+        p[b * 3 + 1] = static_cast<float>(rng.uniform(0.0, 7.0));
+        p[b * 3 + 2] = static_cast<float>(rng.uniform(0.0, 7.0));
+      }
+    };
+    Tensor coords8(Shape{NB, Q, 3});
+    fill_coords(coords8);
+    Tensor dcoords8(Shape{NB, QD, 3});
+    fill_coords(dcoords8);
+
+    // per-sample views for the batch-1 loop (slabs are contiguous)
+    std::vector<Tensor> lr1(static_cast<std::size_t>(NB));
+    std::vector<Tensor> coords1(static_cast<std::size_t>(NB));
+    std::vector<Tensor> dcoords1(static_cast<std::size_t>(NB));
+    const std::int64_t patch_elems = 4 * 4 * 8 * 8;
+    for (std::int64_t s = 0; s < NB; ++s) {
+      Tensor p = Tensor::uninitialized(Shape{1, 4, 4, 8, 8});
+      std::copy(lr8.data() + s * patch_elems,
+                lr8.data() + (s + 1) * patch_elems, p.data());
+      lr1[static_cast<std::size_t>(s)] = p;
+      Tensor c = Tensor::uninitialized(Shape{Q, 3});
+      std::copy(coords8.data() + s * Q * 3, coords8.data() + (s + 1) * Q * 3,
+                c.data());
+      coords1[static_cast<std::size_t>(s)] = c;
+      Tensor dc = Tensor::uninitialized(Shape{QD, 3});
+      std::copy(dcoords8.data() + s * QD * 3,
+                dcoords8.data() + (s + 1) * QD * 3, dc.data());
+      dcoords1[static_cast<std::size_t>(s)] = dc;
+    }
+
+    ad::NoGradGuard guard;
+    ad::Var latent1 = model.encode(lr1[0]);
+    ad::Var latent8 = model.encode(lr8);
+
+    // decoder-only decode at batch 1 and 8
+    model.decoder().decode(latent8, coords8);  // warm up
+    const double dec1 = time_best_of(7, [&] {
+      benchmark::DoNotOptimize(model.decoder().decode(latent1, coords1[0]));
+    });
+    const double dec8 = time_best_of(7, [&] {
+      benchmark::DoNotOptimize(model.decoder().decode(latent8, coords8));
+    });
+    std::printf(
+        "{\"mfn_perf\":\"decode\",\"batch\":1,\"queries\":%lld,"
+        "\"threads\":%d,\"qps\":%.0f}\n",
+        static_cast<long long>(Q), threads, static_cast<double>(Q) / dec1);
+    std::printf(
+        "{\"mfn_perf\":\"decode\",\"batch\":%lld,\"queries\":%lld,"
+        "\"threads\":%d,\"qps\":%.0f}\n",
+        static_cast<long long>(NB), static_cast<long long>(Q), threads,
+        static_cast<double>(NB * Q) / dec8);
+
+    // end-to-end predict: batched vs an NB-iteration batch-1 loop
+    model.predict(lr8, coords8);  // warm up
+    const double pred1 = time_best_of(7, [&] {
+      benchmark::DoNotOptimize(model.predict(lr1[0], coords1[0]));
+    });
+    const double pred8 = time_best_of(7, [&] {
+      benchmark::DoNotOptimize(model.predict(lr8, coords8));
+    });
+    const double pred_loop = time_best_of(7, [&] {
+      for (std::int64_t s = 0; s < NB; ++s)
+        benchmark::DoNotOptimize(
+            model.predict(lr1[static_cast<std::size_t>(s)],
+                          coords1[static_cast<std::size_t>(s)]));
+    });
+    std::printf(
+        "{\"mfn_perf\":\"predict\",\"batch\":1,\"queries\":%lld,"
+        "\"threads\":%d,\"qps\":%.0f}\n",
+        static_cast<long long>(Q), threads, static_cast<double>(Q) / pred1);
+    std::printf(
+        "{\"mfn_perf\":\"predict\",\"batch\":%lld,\"queries\":%lld,"
+        "\"threads\":%d,\"qps\":%.0f,\"loop_qps\":%.0f,"
+        "\"batched_speedup_vs_loop\":%.2f}\n",
+        static_cast<long long>(NB), static_cast<long long>(Q), threads,
+        static_cast<double>(NB * Q) / pred8,
+        static_cast<double>(NB * Q) / pred_loop, pred_loop / pred8);
+
+    // derivative bundle (equation-loss path)
+    model.predict_with_derivatives(lr8, dcoords8);  // warm up
+    const double drv1 = time_best_of(5, [&] {
+      benchmark::DoNotOptimize(
+          model.predict_with_derivatives(lr1[0], dcoords1[0]));
+    });
+    const double drv8 = time_best_of(5, [&] {
+      benchmark::DoNotOptimize(model.predict_with_derivatives(lr8, dcoords8));
+    });
+    const double drv_loop = time_best_of(5, [&] {
+      for (std::int64_t s = 0; s < NB; ++s)
+        benchmark::DoNotOptimize(model.predict_with_derivatives(
+            lr1[static_cast<std::size_t>(s)],
+            dcoords1[static_cast<std::size_t>(s)]));
+    });
+    std::printf(
+        "{\"mfn_perf\":\"predict_derivs\",\"batch\":1,\"queries\":%lld,"
+        "\"threads\":%d,\"qps\":%.0f}\n",
+        static_cast<long long>(QD), threads, static_cast<double>(QD) / drv1);
+    std::printf(
+        "{\"mfn_perf\":\"predict_derivs\",\"batch\":%lld,\"queries\":%lld,"
+        "\"threads\":%d,\"qps\":%.0f,\"loop_qps\":%.0f,"
+        "\"batched_speedup_vs_loop\":%.2f}\n",
+        static_cast<long long>(NB), static_cast<long long>(QD), threads,
+        static_cast<double>(NB * QD) / drv8,
+        static_cast<double>(NB * QD) / drv_loop, drv_loop / drv8);
+  }
 }
 
 }  // namespace

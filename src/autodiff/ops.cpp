@@ -6,6 +6,7 @@
 #include "backend/sgemm.h"
 #include "common/error.h"
 #include "tensor/tensor_ops.h"
+#include "threading/thread_pool.h"
 
 namespace mfn::ad {
 namespace {
@@ -382,6 +383,133 @@ Var gather_voxels(const Var& grid, const std::vector<VoxelIndex>& idx) {
       const std::int64_t base = nn * C * slab + (d * H + h) * W + w;
       for (std::int64_t c = 0; c < C; ++c)
         pg[base + c * slab] += po[b * C + c];
+    }
+  });
+}
+
+Var gather_voxels_concat(const Tensor& coords, const Var& grid,
+                         const std::vector<VoxelIndex>& idx) {
+  MFN_CHECK(grid.value().ndim() == 5,
+            "gather_voxels_concat expects (N,C,D,H,W)");
+  MFN_CHECK(coords.ndim() == 2 &&
+                coords.dim(0) == static_cast<std::int64_t>(idx.size()),
+            "gather_voxels_concat coords must be (B, K) with one row per "
+            "index, got "
+                << coords.shape().str() << " for " << idx.size()
+                << " indices");
+  const std::int64_t N = grid.dim(0), C = grid.dim(1), D = grid.dim(2),
+                     H = grid.dim(3), W = grid.dim(4);
+  const std::int64_t K = coords.dim(1);
+  const auto B = static_cast<std::int64_t>(idx.size());
+  const std::int64_t width = K + C;
+  Tensor out = Tensor::uninitialized(Shape{B, width});
+  {
+    const float* pc = coords.data();
+    const float* pg = grid.value().data();
+    float* po = out.data();
+    const std::int64_t slab = D * H * W;
+    // validate serially (MFN_CHECK throws; keep that out of the pool)
+    for (std::int64_t b = 0; b < B; ++b) {
+      const auto [n, d, h, w] = idx[static_cast<std::size_t>(b)];
+      MFN_CHECK(n >= 0 && n < N && d >= 0 && d < D && h >= 0 && h < H &&
+                    w >= 0 && w < W,
+                "gather_voxels_concat index out of range at row " << b);
+    }
+    parallel_for(
+        B,
+        [&](std::int64_t begin, std::int64_t end) {
+          for (std::int64_t b = begin; b < end; ++b) {
+            const auto [n, d, h, w] = idx[static_cast<std::size_t>(b)];
+            const std::int64_t base = n * C * slab + (d * H + h) * W + w;
+            float* row = po + b * width;
+            for (std::int64_t k = 0; k < K; ++k) row[k] = pc[b * K + k];
+            for (std::int64_t c = 0; c < C; ++c)
+              row[K + c] = pg[base + c * slab];
+          }
+        },
+        /*grain=*/256);
+  }
+  auto indices = std::make_shared<std::vector<VoxelIndex>>(idx);
+  return make_op(std::move(out), {grid}, [indices, K, C, D, H, W](Node& n) {
+    if (!n.parents[0]->requires_grad) return;
+    Tensor& g = n.parents[0]->ensure_grad();
+    float* pg = g.data();
+    const float* po = n.grad.data();
+    const std::int64_t slab = D * H * W;
+    const std::int64_t width = K + C;
+    const auto B = static_cast<std::int64_t>(indices->size());
+    for (std::int64_t b = 0; b < B; ++b) {
+      const auto [nn, d, h, w] = (*indices)[static_cast<std::size_t>(b)];
+      const std::int64_t base = nn * C * slab + (d * H + h) * W + w;
+      for (std::int64_t c = 0; c < C; ++c)
+        pg[base + c * slab] += po[b * width + K + c];
+    }
+  });
+}
+
+Var blend_corners(const Var& mat, const Var& w, int corners) {
+  MFN_CHECK(corners >= 1, "blend_corners needs corners >= 1");
+  MFN_CHECK(mat.value().ndim() == 2 && w.value().ndim() == 2 &&
+                w.dim(1) == 1 && w.dim(0) == mat.dim(0) &&
+                mat.dim(0) % corners == 0,
+            "blend_corners expects mat (J*B, C) and w (J*B, 1), got "
+                << mat.shape().str() << " and " << w.shape().str());
+  const std::int64_t JB = mat.dim(0), C = mat.dim(1);
+  const std::int64_t J = corners;
+  const std::int64_t B = JB / J;
+  Tensor out = Tensor::uninitialized(Shape{B, C});
+  {
+    const float* pm = mat.value().data();
+    const float* pw = w.value().data();
+    float* po = out.data();
+    parallel_for(
+        B,
+        [&](std::int64_t begin, std::int64_t end) {
+          for (std::int64_t b = begin; b < end; ++b) {
+            float* row = po + b * C;
+            const float* m0 = pm + b * C;
+            for (std::int64_t c = 0; c < C; ++c)
+              row[c] = pw[b] * m0[c];
+            for (std::int64_t j = 1; j < J; ++j) {
+              const float wj = pw[j * B + b];
+              const float* mj = pm + (j * B + b) * C;
+              for (std::int64_t c = 0; c < C; ++c) row[c] += wj * mj[c];
+            }
+          }
+        },
+        /*grain=*/256);
+  }
+  return make_op(std::move(out), {mat, w}, [J, B, C](Node& n) {
+    const float* pg = n.grad.data();
+    if (n.parents[0]->requires_grad) {
+      Tensor& gm = n.parents[0]->ensure_grad();
+      float* p = gm.data();
+      const float* pw = n.parents[1]->value.data();
+      parallel_for(
+          B,
+          [&](std::int64_t begin, std::int64_t end) {
+            for (std::int64_t b = begin; b < end; ++b)
+              for (std::int64_t j = 0; j < J; ++j) {
+                const float wj = pw[j * B + b];
+                float* row = p + (j * B + b) * C;
+                const float* g = pg + b * C;
+                for (std::int64_t c = 0; c < C; ++c) row[c] += wj * g[c];
+              }
+          },
+          /*grain=*/256);
+    }
+    if (n.parents[1]->requires_grad) {
+      Tensor& gw = n.parents[1]->ensure_grad();
+      float* p = gw.data();
+      const float* pm = n.parents[0]->value.data();
+      for (std::int64_t j = 0; j < J; ++j)
+        for (std::int64_t b = 0; b < B; ++b) {
+          const float* mj = pm + (j * B + b) * C;
+          const float* g = pg + b * C;
+          float acc = 0.0f;
+          for (std::int64_t c = 0; c < C; ++c) acc += mj[c] * g[c];
+          p[j * B + b] += acc;
+        }
     }
   });
 }

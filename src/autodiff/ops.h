@@ -72,4 +72,18 @@ Var batchnorm3d(const Var& x, const Var& gamma, const Var& beta, float eps,
 using VoxelIndex = std::array<std::int64_t, 4>;  // (n, d, h, w)
 Var gather_voxels(const Var& grid, const std::vector<VoxelIndex>& idx);
 
+/// Fused decoder-input assembly: result row b is [coords[b] | grid[idx[b]]]
+/// of width coords.dim(1) + C — the gather and the concat of the
+/// continuous-decoder hot path in one parallel pass and one allocation.
+/// `coords` is constant geometry; backward scatter-adds only the latent
+/// columns into the grid gradient.
+Var gather_voxels_concat(const Tensor& coords, const Var& grid,
+                         const std::vector<VoxelIndex>& idx);
+
+/// Fused trilinear corner blend: `mat` is (J*B, C) of per-corner rows
+/// (corner-major blocks, J = `corners`), `w` is (J*B, 1); returns (B, C)
+/// with out(b, c) = sum_j w[j*B + b] * mat[j*B + b][c]. Replaces the
+/// slice_rows/mul_colvec/add chain per corner with one parallel kernel.
+Var blend_corners(const Var& mat, const Var& w, int corners = 8);
+
 }  // namespace mfn::ad

@@ -2,8 +2,12 @@
 
 #include <cmath>
 
+#include <vector>
+
+#include "backend/sgemm.h"
 #include "common/error.h"
 #include "tensor/tensor_ops.h"
+#include "threading/thread_pool.h"
 
 namespace mfn::core {
 
@@ -23,101 +27,227 @@ ContinuousDecoder::ContinuousDecoder(DecoderConfig config, Rng& rng)
 // Corner layout: corner-major — rows [j*B, (j+1)*B) of every (8B, ...)
 // matrix belong to corner j, so per-corner blocks are contiguous
 // slice_rows targets. Corner j has offsets (jt, jz, jx) = bits of j.
+// Within a corner block rows are sample-major: row j*B + s*Q + q is
+// query q of latent sample s (B = N*Q total queries).
 struct ContinuousDecoder::CornerGeometry {
   std::int64_t B = 0;
   Tensor inputs_coords;                 // (8B, 3) relative coords
   std::vector<ad::VoxelIndex> voxels;   // (8B) gather indices
-  // trilinear weights and their coordinate derivatives, (B, 1) each
-  std::array<Tensor, 8> w;
-  std::array<std::array<Tensor, 3>, 8> dw;  // dw[j][k], k in {t,z,x}
+  // trilinear weights and their coordinate derivatives, stacked
+  // corner-major like the MLP rows: entry j*B + b is corner j of query b.
+  Tensor w;                  // (8B, 1)
+  std::array<Tensor, 3> dw;  // dw[k] (8B, 1), k in {t,z,x}
 };
 
 ContinuousDecoder::CornerGeometry ContinuousDecoder::make_corners(
     const ad::Var& latent, const Tensor& query_coords) const {
-  MFN_CHECK(latent.value().ndim() == 5 && latent.dim(0) == 1,
-            "latent grid must be (1, C, LT, LZ, LX)");
+  MFN_CHECK(latent.value().ndim() == 5 && latent.dim(0) >= 1,
+            "latent grid must be (N, C, LT, LZ, LX)");
   MFN_CHECK(latent.dim(1) == config_.latent_channels,
             "latent channels " << latent.dim(1) << " vs config "
                                << config_.latent_channels);
-  MFN_CHECK(query_coords.ndim() == 2 && query_coords.dim(1) == 3,
-            "query_coords must be (B, 3)");
+  const std::int64_t N = latent.dim(0);
+  std::int64_t Q = 0;
+  if (query_coords.ndim() == 2) {
+    MFN_CHECK(query_coords.dim(1) == 3, "query_coords must be (B, 3)");
+    MFN_CHECK(N == 1,
+              "2-D query_coords require a single-sample latent, got N="
+                  << N << "; pass (N, Q, 3) coords for batched decode");
+    Q = query_coords.dim(0);
+  } else {
+    MFN_CHECK(query_coords.ndim() == 3 && query_coords.dim(2) == 3,
+              "query_coords must be (B, 3) or (N, Q, 3), got "
+                  << query_coords.shape().str());
+    MFN_CHECK(query_coords.dim(0) == N,
+              "query batch " << query_coords.dim(0) << " vs latent batch "
+                             << N);
+    Q = query_coords.dim(1);
+  }
   const std::int64_t LT = latent.dim(2), LZ = latent.dim(3),
                      LX = latent.dim(4);
   MFN_CHECK(LT >= 2 && LZ >= 2 && LX >= 2,
             "latent grid too small for trilinear cells");
-  const std::int64_t B = query_coords.dim(0);
+  const std::int64_t B = N * Q;  // total (sample, query) pairs
 
   CornerGeometry geo;
   geo.B = B;
-  geo.inputs_coords = Tensor(Shape{8 * B, 3});
+  geo.inputs_coords = Tensor::uninitialized(Shape{8 * B, 3});
   geo.voxels.resize(static_cast<std::size_t>(8 * B));
-  for (int j = 0; j < 8; ++j) {
-    geo.w[static_cast<std::size_t>(j)] = Tensor(Shape{B, 1});
-    for (int k = 0; k < 3; ++k)
-      geo.dw[static_cast<std::size_t>(j)][static_cast<std::size_t>(k)] =
-          Tensor(Shape{B, 1});
-  }
+  geo.w = Tensor::uninitialized(Shape{8 * B, 1});
+  for (int k = 0; k < 3; ++k)
+    geo.dw[static_cast<std::size_t>(k)] =
+        Tensor::uninitialized(Shape{8 * B, 1});
 
+  // Both layouts store query b of sample s contiguously at flat row
+  // b = s*Q + q, so the fill reads q[b * 3 + k] either way. Each row is
+  // independent — this sits on the query hot path, so fill in parallel.
   const float* q = query_coords.data();
-  for (std::int64_t b = 0; b < B; ++b) {
-    // clamp into the valid cell range, pick the base corner
-    auto cellof = [](float v, std::int64_t n) {
-      double c = std::min(std::max(static_cast<double>(v), 0.0),
-                          static_cast<double>(n - 1));
-      auto base = static_cast<std::int64_t>(std::floor(c));
-      base = std::min(base, n - 2);
-      return std::pair<std::int64_t, double>(base, c - static_cast<double>(base));
-    };
-    const auto [t0, ft] = cellof(q[b * 3 + 0], LT);
-    const auto [z0, fz] = cellof(q[b * 3 + 1], LZ);
-    const auto [x0, fx] = cellof(q[b * 3 + 2], LX);
+  parallel_for(
+      B,
+      [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t b = begin; b < end; ++b) {
+          const std::int64_t n = b / Q;  // owning latent sample
+          // clamp into the valid cell range, pick the base corner
+          auto cellof = [](float v, std::int64_t size) {
+            double c = std::min(std::max(static_cast<double>(v), 0.0),
+                                static_cast<double>(size - 1));
+            auto base = static_cast<std::int64_t>(std::floor(c));
+            base = std::min(base, size - 2);
+            return std::pair<std::int64_t, double>(
+                base, c - static_cast<double>(base));
+          };
+          const auto [t0, ft] = cellof(q[b * 3 + 0], LT);
+          const auto [z0, fz] = cellof(q[b * 3 + 1], LZ);
+          const auto [x0, fx] = cellof(q[b * 3 + 2], LX);
 
-    for (int j = 0; j < 8; ++j) {
-      const int jt = (j >> 2) & 1, jz = (j >> 1) & 1, jx = j & 1;
-      const std::int64_t row = static_cast<std::int64_t>(j) * B + b;
-      // relative coordinate of the query w.r.t. this corner, cell units
-      geo.inputs_coords.data()[row * 3 + 0] = static_cast<float>(ft - jt);
-      geo.inputs_coords.data()[row * 3 + 1] = static_cast<float>(fz - jz);
-      geo.inputs_coords.data()[row * 3 + 2] = static_cast<float>(fx - jx);
-      geo.voxels[static_cast<std::size_t>(row)] = {0, t0 + jt, z0 + jz,
-                                                   x0 + jx};
-      // per-axis hat weights and their derivatives w.r.t. the coordinate
-      const double wt = jt ? ft : 1.0 - ft;
-      const double wz = jz ? fz : 1.0 - fz;
-      const double wx = jx ? fx : 1.0 - fx;
-      const double dwt = jt ? 1.0 : -1.0;
-      const double dwz = jz ? 1.0 : -1.0;
-      const double dwx = jx ? 1.0 : -1.0;
-      geo.w[static_cast<std::size_t>(j)].data()[b] =
-          static_cast<float>(wt * wz * wx);
-      geo.dw[static_cast<std::size_t>(j)][0].data()[b] =
-          static_cast<float>(dwt * wz * wx);
-      geo.dw[static_cast<std::size_t>(j)][1].data()[b] =
-          static_cast<float>(wt * dwz * wx);
-      geo.dw[static_cast<std::size_t>(j)][2].data()[b] =
-          static_cast<float>(wt * wz * dwx);
-    }
-  }
+          for (int j = 0; j < 8; ++j) {
+            const int jt = (j >> 2) & 1, jz = (j >> 1) & 1, jx = j & 1;
+            const std::int64_t row = static_cast<std::int64_t>(j) * B + b;
+            // relative coordinate of the query w.r.t. this corner, cell
+            // units
+            geo.inputs_coords.data()[row * 3 + 0] =
+                static_cast<float>(ft - jt);
+            geo.inputs_coords.data()[row * 3 + 1] =
+                static_cast<float>(fz - jz);
+            geo.inputs_coords.data()[row * 3 + 2] =
+                static_cast<float>(fx - jx);
+            geo.voxels[static_cast<std::size_t>(row)] = {n, t0 + jt, z0 + jz,
+                                                         x0 + jx};
+            // per-axis hat weights and their derivatives w.r.t. the
+            // coordinate
+            const double wt = jt ? ft : 1.0 - ft;
+            const double wz = jz ? fz : 1.0 - fz;
+            const double wx = jx ? fx : 1.0 - fx;
+            const double dwt = jt ? 1.0 : -1.0;
+            const double dwz = jz ? 1.0 : -1.0;
+            const double dwx = jx ? 1.0 : -1.0;
+            geo.w.data()[row] = static_cast<float>(wt * wz * wx);
+            geo.dw[0].data()[row] = static_cast<float>(dwt * wz * wx);
+            geo.dw[1].data()[row] = static_cast<float>(wt * dwz * wx);
+            geo.dw[2].data()[row] = static_cast<float>(wt * wz * dwx);
+          }
+        }
+      },
+      /*grain=*/64);
   return geo;
 }
 
 ad::Var ContinuousDecoder::decode(const ad::Var& latent,
                                   const Tensor& query_coords) {
   CornerGeometry geo = make_corners(latent, query_coords);
+
+  if (ad::NoGradGuard::active())
+    return ad::Var(decode_streamed(latent.value(), geo),
+                   /*requires_grad=*/false);
+
+  // fused [coords | gathered latents] rows, (8B, 3 + C)
+  ad::Var h = ad::gather_voxels_concat(geo.inputs_coords, latent,
+                                       geo.voxels);
+  ad::Var y8 = mlp_->forward(h);  // (8B, out)
+  return ad::blend_corners(y8, ad::Var(geo.w, /*requires_grad=*/false));
+}
+
+Tensor ContinuousDecoder::decode_streamed(const Tensor& latent,
+                                          const CornerGeometry& geo) const {
   const std::int64_t B = geo.B;
+  const std::int64_t C = config_.latent_channels;
+  const std::int64_t in0 = 3 + C;
+  const std::int64_t out_ch = config_.out_channels;
+  const std::int64_t D = latent.dim(2), H = latent.dim(3),
+                     W = latent.dim(4);
+  const std::int64_t slab = D * H * W;
 
-  ad::Var latents = ad::gather_voxels(latent, geo.voxels);  // (8B, C)
-  ad::Var coords(geo.inputs_coords, /*requires_grad=*/false);
-  ad::Var h = ad::concat({coords, latents}, 1);  // (8B, 3 + C)
-  ad::Var y8 = mlp_->forward(h);                 // (8B, out)
+  const auto& layers = mlp_->layers();
+  std::int64_t wmax = in0;
+  for (const auto& fc : layers)
+    wmax = std::max(wmax, fc->out_features());
 
-  ad::Var out;
-  for (int j = 0; j < 8; ++j) {
-    ad::Var yj = ad::slice_rows(y8, j * B, (j + 1) * B);
-    ad::Var wj(geo.w[static_cast<std::size_t>(j)], false);
-    ad::Var term = ad::mul_colvec(yj, wj);
-    out = out.defined() ? ad::add(out, term) : term;
-  }
+  Tensor out = Tensor::uninitialized(Shape{B, out_ch});
+  const float* pl = latent.data();
+  const float* pc = geo.inputs_coords.data();
+  const float* pw = geo.w.data();
+  float* po = out.data();
+
+  // Fixed ~256-query sub-blocks keep a block's activations
+  // (8 * 256 rows x wmax) inside L2 regardless of how parallel_for carves
+  // the range (its grain is only a lower bound on chunk size), and bound
+  // the per-worker thread_local scratch.
+  constexpr std::int64_t kBlockQueries = 256;
+  parallel_for(
+      B,
+      [&](std::int64_t c0, std::int64_t c1) {
+        thread_local std::vector<float> buf_a, buf_b;
+        buf_a.resize(static_cast<std::size_t>(8 * kBlockQueries * wmax));
+        buf_b.resize(static_cast<std::size_t>(8 * kBlockQueries * wmax));
+
+        for (std::int64_t q0 = c0; q0 < c1; q0 += kBlockQueries) {
+          const std::int64_t q1 = std::min(q0 + kBlockQueries, c1);
+          const std::int64_t nb = q1 - q0, rows = 8 * nb;
+          float* cur = buf_a.data();
+          float* nxt = buf_b.data();
+
+          // assemble [coords | gathered latent] rows, corner-major
+          // within the block
+          for (int j = 0; j < 8; ++j)
+            for (std::int64_t b = q0; b < q1; ++b) {
+              const std::int64_t src = static_cast<std::int64_t>(j) * B + b;
+              float* r = cur + (static_cast<std::int64_t>(j) * nb +
+                                (b - q0)) * in0;
+              r[0] = pc[src * 3 + 0];
+              r[1] = pc[src * 3 + 1];
+              r[2] = pc[src * 3 + 2];
+              const auto [n, d, h, w] =
+                  geo.voxels[static_cast<std::size_t>(src)];
+              const std::int64_t base = n * C * slab + (d * H + h) * W + w;
+              for (std::int64_t c = 0; c < C; ++c)
+                r[3 + c] = pl[base + c * slab];
+            }
+
+          std::int64_t win = in0;
+          for (std::size_t li = 0; li < layers.size(); ++li) {
+            const nn::Linear& fc = *layers[li];
+            const Tensor& wt = fc.weight().value();  // (wout, win)
+            const std::int64_t wout = fc.out_features();
+            if (fc.has_bias())
+              backend::sgemm_bias_cols(backend::Trans::kNo,
+                                       backend::Trans::kYes, rows, wout,
+                                       win, 1.0f, cur, wt.data(), 0.0f,
+                                       fc.bias().value().data(), nxt);
+            else
+              backend::sgemm(backend::Trans::kNo, backend::Trans::kYes,
+                             rows, wout, win, 1.0f, cur, wt.data(), 0.0f,
+                             nxt);
+            if (li + 1 < layers.size()) {
+              switch (mlp_->activation()) {
+                case nn::Activation::kSoftplus:
+                  softplus_inplace(nxt, rows * wout);
+                  break;
+                case nn::Activation::kTanh:
+                  tanh_inplace(nxt, rows * wout);
+                  break;
+                case nn::Activation::kReLU:
+                  relu_inplace(nxt, rows * wout);
+                  break;
+              }
+            }
+            std::swap(cur, nxt);
+            win = wout;
+          }
+
+          // trilinear blend of the 8 corner rows into the output block
+          for (std::int64_t b = q0; b < q1; ++b) {
+            float* r = po + b * out_ch;
+            for (std::int64_t c = 0; c < out_ch; ++c) r[c] = 0.0f;
+            for (int j = 0; j < 8; ++j) {
+              const float wj = pw[static_cast<std::int64_t>(j) * B + b];
+              const float* y = cur + (static_cast<std::int64_t>(j) * nb +
+                                      (b - q0)) * win;
+              for (std::int64_t c = 0; c < out_ch; ++c) r[c] += wj * y[c];
+            }
+          }
+        }
+      },
+      /*grain=*/kBlockQueries);
   return out;
 }
 
@@ -128,9 +258,9 @@ DecodeDerivs ContinuousDecoder::decode_with_derivatives(
   const std::int64_t in_dim = 3 + config_.latent_channels;
 
   // --- forward-mode streams through the MLP ---
-  ad::Var latents = ad::gather_voxels(latent, geo.voxels);
-  ad::Var coords(geo.inputs_coords, false);
-  ad::Var h = ad::concat({coords, latents}, 1);  // value stream
+  // value stream input: fused [coords | gathered latents], (8B, 3 + C)
+  ad::Var h = ad::gather_voxels_concat(geo.inputs_coords, latent,
+                                       geo.voxels);
 
   // tangent seeds: d(input)/d(coord k) = e_k on the coordinate columns
   std::array<ad::Var, 3> tan;
@@ -197,41 +327,24 @@ DecodeDerivs ContinuousDecoder::decode_with_derivatives(
   // value:   sum_j w_j y_j
   // d/dk:    sum_j (dw_j/dk) y_j + w_j (dy_j/dk)
   // d2/dk2:  sum_j 2 (dw_j/dk)(dy_j/dk) + w_j (d2y_j/dk2)   [d2w/dk2 = 0]
+  // Each sum over the 8 corners is one fused blend_corners kernel.
+  ad::Var w(geo.w, false);
+  ad::Var dwt(geo.dw[0], false), dwz(geo.dw[1], false),
+      dwx(geo.dw[2], false);
   DecodeDerivs out;
-  auto accum = [](ad::Var& acc, ad::Var term) {
-    acc = acc.defined() ? ad::add(acc, term) : term;
-  };
-  for (int j = 0; j < 8; ++j) {
-    ad::Var yj = ad::slice_rows(h, j * B, (j + 1) * B);
-    std::array<ad::Var, 3> tj;
-    for (int k = 0; k < 3; ++k)
-      tj[static_cast<std::size_t>(k)] = ad::slice_rows(
-          tan[static_cast<std::size_t>(k)], j * B, (j + 1) * B);
-    ad::Var cz = ad::slice_rows(curv[0], j * B, (j + 1) * B);
-    ad::Var cx = ad::slice_rows(curv[1], j * B, (j + 1) * B);
-
-    ad::Var wj(geo.w[static_cast<std::size_t>(j)], false);
-    std::array<ad::Var, 3> dwj;
-    for (int k = 0; k < 3; ++k)
-      dwj[static_cast<std::size_t>(k)] =
-          ad::Var(geo.dw[static_cast<std::size_t>(j)]
-                        [static_cast<std::size_t>(k)],
-                  false);
-
-    accum(out.value, ad::mul_colvec(yj, wj));
-    accum(out.d_dt, ad::add(ad::mul_colvec(yj, dwj[0]),
-                            ad::mul_colvec(tj[0], wj)));
-    accum(out.d_dz, ad::add(ad::mul_colvec(yj, dwj[1]),
-                            ad::mul_colvec(tj[1], wj)));
-    accum(out.d_dx, ad::add(ad::mul_colvec(yj, dwj[2]),
-                            ad::mul_colvec(tj[2], wj)));
-    accum(out.d2_dz2,
-          ad::add(ad::mul_scalar(ad::mul_colvec(tj[1], dwj[1]), 2.0f),
-                  ad::mul_colvec(cz, wj)));
-    accum(out.d2_dx2,
-          ad::add(ad::mul_scalar(ad::mul_colvec(tj[2], dwj[2]), 2.0f),
-                  ad::mul_colvec(cx, wj)));
-  }
+  out.value = ad::blend_corners(h, w);
+  out.d_dt = ad::add(ad::blend_corners(h, dwt),
+                     ad::blend_corners(tan[0], w));
+  out.d_dz = ad::add(ad::blend_corners(h, dwz),
+                     ad::blend_corners(tan[1], w));
+  out.d_dx = ad::add(ad::blend_corners(h, dwx),
+                     ad::blend_corners(tan[2], w));
+  out.d2_dz2 =
+      ad::add(ad::mul_scalar(ad::blend_corners(tan[1], dwz), 2.0f),
+              ad::blend_corners(curv[0], w));
+  out.d2_dx2 =
+      ad::add(ad::mul_scalar(ad::blend_corners(tan[2], dwx), 2.0f),
+              ad::blend_corners(curv[1], w));
   return out;
 }
 

@@ -38,7 +38,9 @@ struct DecoderConfig {
 };
 
 /// Value + first/second coordinate derivatives of the decoded field at the
-/// query points, all (B, out_channels) and all in LR-index units.
+/// query points, all (B, out_channels) and all in LR-index units. For
+/// batched queries B = N*Q with sample-major rows (rows [s*Q, (s+1)*Q)
+/// belong to latent sample s).
 struct DecodeDerivs {
   ad::Var value;
   ad::Var d_dt, d_dz, d_dx;
@@ -49,11 +51,16 @@ class ContinuousDecoder : public nn::Module {
  public:
   ContinuousDecoder(DecoderConfig config, Rng& rng);
 
-  /// Decode values only. `latent` is (1, C, LT, LZ, LX); `query_coords` is
-  /// (B, 3) continuous indices into that grid. Returns (B, out_channels).
+  /// Decode values only. `latent` is (N, C, LT, LZ, LX); `query_coords` is
+  /// either (B, 3) continuous indices into that grid (requires N == 1) or
+  /// (N, Q, 3) with one query block per latent sample. Returns
+  /// (B, out_channels) resp. (N*Q, out_channels) with sample-major rows.
+  /// All (sample, query) pairs run through the shared MLP as one wide
+  /// SGEMM-backed forward.
   ad::Var decode(const ad::Var& latent, const Tensor& query_coords);
 
   /// Decode with forward-mode first and second coordinate derivatives.
+  /// Accepts the same batched/unbatched query layouts as decode().
   DecodeDerivs decode_with_derivatives(const ad::Var& latent,
                                        const Tensor& query_coords);
 
@@ -65,6 +72,13 @@ class ContinuousDecoder : public nn::Module {
   struct CornerGeometry;
   CornerGeometry make_corners(const ad::Var& latent,
                               const Tensor& query_coords) const;
+
+  /// No-grad inference kernel: streams query blocks through
+  /// gather -> MLP -> blend entirely in per-worker scratch (cache-blocked,
+  /// one pool dispatch per decode, nested-serial GEMM per block). Used by
+  /// decode() whenever no tape is being built.
+  Tensor decode_streamed(const Tensor& latent,
+                         const CornerGeometry& geo) const;
 
   DecoderConfig config_;
   std::unique_ptr<nn::MLP> mlp_;

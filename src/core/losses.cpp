@@ -18,10 +18,13 @@ RBConstants RBConstants::from_ra_pr(double Ra, double Pr) {
 }
 
 ad::Var prediction_loss(const ad::Var& pred, const Tensor& target) {
-  MFN_CHECK(pred.shape() == target.shape(),
+  Tensor t2 = target;
+  if (target.ndim() == 3)  // batched (N, Q, C) stack -> (N*Q, C) rows
+    t2 = target.reshape(Shape{target.dim(0) * target.dim(1), target.dim(2)});
+  MFN_CHECK(pred.shape() == t2.shape(),
             "prediction_loss shapes " << pred.shape().str() << " vs "
                                       << target.shape().str());
-  ad::Var t(target, /*requires_grad=*/false);
+  ad::Var t(t2, /*requires_grad=*/false);
   return ad::mean(ad::abs(ad::sub(pred, t)));
 }
 

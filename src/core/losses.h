@@ -33,7 +33,10 @@ struct EquationLossConfig {
   data::NormStats stats;
 };
 
-/// Mean absolute error between predictions and (constant) targets, (B, C).
+/// Mean absolute error between predictions and (constant) targets. `pred`
+/// is (B, C); `target` is (B, C) or a batched (N, Q, C) stack with
+/// N*Q == B (sample-major rows, as produced by the batched predict). The
+/// mean reduces over all N*Q rows.
 ad::Var prediction_loss(const ad::Var& pred, const Tensor& target);
 
 /// PDE residuals at the query points; each is a (B, 1) Var. `total` is the

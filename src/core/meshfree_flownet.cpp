@@ -31,9 +31,9 @@ MeshfreeFlowNet::MeshfreeFlowNet(MFNConfig config, Rng& rng)
 }
 
 ad::Var MeshfreeFlowNet::encode(const Tensor& lr_patch) {
-  MFN_CHECK(lr_patch.ndim() == 5 && lr_patch.dim(0) == 1 &&
+  MFN_CHECK(lr_patch.ndim() == 5 && lr_patch.dim(0) >= 1 &&
                 lr_patch.dim(1) == config_.unet.in_channels,
-            "lr_patch must be (1, " << config_.unet.in_channels
+            "lr_patch must be (N, " << config_.unet.in_channels
                                     << ", LT, LZ, LX), got "
                                     << lr_patch.shape().str());
   return encoder_->forward(ad::Var(lr_patch, /*requires_grad=*/false));

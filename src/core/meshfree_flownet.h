@@ -22,14 +22,17 @@ class MeshfreeFlowNet : public nn::Module {
  public:
   MeshfreeFlowNet(MFNConfig config, Rng& rng);
 
-  /// LR patch (1, 4, LT, LZ, LX) -> latent context grid Var
-  /// (1, nc, LT, LZ, LX).
+  /// LR patches (N, 4, LT, LZ, LX) -> latent context grid Var
+  /// (N, nc, LT, LZ, LX). N >= 1 (minibatch of patches).
   ad::Var encode(const Tensor& lr_patch);
 
-  /// Full forward: values at query coords, (B, 4) normalized.
+  /// Full forward: values at query coords. `query_coords` is (B, 3)
+  /// (requires a single-patch input) or (N, Q, 3) with one query block per
+  /// patch; the result is (B, 4) resp. (N*Q, 4) with sample-major rows.
   ad::Var predict(const Tensor& lr_patch, const Tensor& query_coords);
 
   /// Forward with the coordinate-derivative bundle for the equation loss.
+  /// Accepts the same batched/unbatched query layouts as predict().
   DecodeDerivs predict_with_derivatives(const Tensor& lr_patch,
                                         const Tensor& query_coords);
 

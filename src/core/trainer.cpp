@@ -6,6 +6,28 @@
 
 namespace mfn::core {
 
+StepLoss batched_step_loss(MeshfreeFlowNet& model,
+                           const data::BatchedSample& batch,
+                           const EquationLossConfig& eq_config,
+                           double gamma) {
+  StepLoss out;
+  if (gamma > 0.0) {
+    DecodeDerivs d = model.predict_with_derivatives(batch.lr_patches,
+                                                    batch.query_coords);
+    ad::Var lp = prediction_loss(d.value, batch.targets);
+    EquationResiduals res = equation_loss(d, eq_config);
+    out.pred = lp.value().item();
+    out.eq = res.total.value().item();
+    out.loss =
+        ad::add(lp, ad::mul_scalar(res.total, static_cast<float>(gamma)));
+  } else {
+    out.loss = prediction_loss(
+        model.predict(batch.lr_patches, batch.query_coords), batch.targets);
+    out.pred = out.loss.value().item();
+  }
+  return out;
+}
+
 Trainer::Trainer(MeshfreeFlowNet& model,
                  std::vector<const data::PatchSampler*> samplers,
                  EquationLossConfig eq_config, TrainerConfig config)
@@ -17,6 +39,7 @@ Trainer::Trainer(MeshfreeFlowNet& model,
       rng_(config.seed * 0x51ED2701ull + 77ull) {
   MFN_CHECK(!samplers_.empty(), "Trainer needs at least one sampler");
   MFN_CHECK(config_.gamma >= 0.0, "gamma must be non-negative");
+  MFN_CHECK(config_.batch_size >= 1, "batch_size must be >= 1");
 }
 
 Trainer::Trainer(MeshfreeFlowNet& model, const data::PatchSampler& sampler,
@@ -31,33 +54,20 @@ EpochStats Trainer::run_epoch() {
   for (int b = 0; b < config_.batches_per_epoch; ++b) {
     const auto si = static_cast<std::size_t>(
         rng_.uniform_int(0, static_cast<std::int64_t>(samplers_.size())));
-    data::SampleBatch batch = samplers_[si]->sample(rng_);
+    data::BatchedSample batch =
+        samplers_[si]->sample_batch(config_.batch_size, rng_);
 
     optimizer_.zero_grad();
-    ad::Var loss;
-    double pred_v = 0.0, eq_v = 0.0;
-    if (config_.gamma > 0.0) {
-      DecodeDerivs d = model_->predict_with_derivatives(batch.lr_patch,
-                                                        batch.query_coords);
-      ad::Var lp = prediction_loss(d.value, batch.target);
-      EquationResiduals res = equation_loss(d, eq_config_);
-      pred_v = lp.value().item();
-      eq_v = res.total.value().item();
-      loss = ad::add(lp, ad::mul_scalar(res.total,
-                                        static_cast<float>(config_.gamma)));
-    } else {
-      ad::Var pred = model_->predict(batch.lr_patch, batch.query_coords);
-      loss = prediction_loss(pred, batch.target);
-      pred_v = loss.value().item();
-    }
-    ad::backward(loss);
+    StepLoss step = batched_step_loss(*model_, batch, eq_config_,
+                                      config_.gamma);
+    ad::backward(step.loss);
     if (config_.grad_clip > 0.0)
       optim::clip_grad_norm(optimizer_.params(), config_.grad_clip);
     optimizer_.step();
 
-    stats.total_loss += loss.value().item();
-    stats.pred_loss += pred_v;
-    stats.eq_loss += eq_v;
+    stats.total_loss += step.loss.value().item();
+    stats.pred_loss += step.pred;
+    stats.eq_loss += step.eq;
   }
   const double n = static_cast<double>(config_.batches_per_epoch);
   stats.total_loss /= n;

@@ -14,8 +14,12 @@ namespace mfn::core {
 
 struct TrainerConfig {
   int epochs = 20;
-  /// Patches (each with sampler.queries_per_patch points) per epoch.
+  /// Optimization steps (minibatches) per epoch.
   int batches_per_epoch = 12;
+  /// Patches per minibatch: each Adam step runs on a stacked
+  /// (batch_size, C, lt, lz, lx) input with batch_size *
+  /// sampler.queries_per_patch query rows.
+  int batch_size = 1;
   /// Equation-loss weight gamma (paper's ablation: gamma* = 0.0125).
   double gamma = 0.0125;
   optim::AdamConfig adam{.lr = 1e-3};
@@ -33,6 +37,21 @@ struct EpochStats {
   double eq_loss = 0.0;
   double wall_seconds = 0.0;
 };
+
+/// Loss of one (possibly batched) training forward: L = Lp + gamma * Le,
+/// with both terms reduced over all N*Q query rows of the minibatch. This
+/// is the single step used by Trainer, dist::train_effective_batch, and
+/// dist::train_data_parallel.
+struct StepLoss {
+  ad::Var loss;        ///< scalar total, ready for ad::backward
+  double pred = 0.0;   ///< prediction-term value
+  double eq = 0.0;     ///< equation-term value (0 when gamma == 0)
+};
+
+StepLoss batched_step_loss(MeshfreeFlowNet& model,
+                           const data::BatchedSample& batch,
+                           const EquationLossConfig& eq_config,
+                           double gamma);
 
 class Trainer {
  public:

@@ -81,12 +81,10 @@ std::array<double, 3> PatchSampler::lr_cell_size() const {
 
 namespace {
 
-/// Copy an LR sub-volume into a (1, C, lt, lz, lx) tensor.
-Tensor extract_patch(const Grid4D& lr, std::int64_t t0, std::int64_t z0,
-                     std::int64_t x0, std::int64_t lt, std::int64_t lz,
-                     std::int64_t lx) {
-  Tensor out(Shape{1, lr.channels(), lt, lz, lx});
-  float* dst = out.data();
+/// Copy an LR sub-volume into a (C, lt, lz, lx) slab at `dst`.
+void extract_patch_into(const Grid4D& lr, std::int64_t t0, std::int64_t z0,
+                        std::int64_t x0, std::int64_t lt, std::int64_t lz,
+                        std::int64_t lx, float* dst) {
   const float* src = lr.data.data();
   const std::int64_t sz = lr.nz() * lr.nx();
   for (std::int64_t c = 0; c < lr.channels(); ++c)
@@ -96,49 +94,84 @@ Tensor extract_patch(const Grid4D& lr, std::int64_t t0, std::int64_t z0,
           dst[((c * lt + t) * lz + z) * lx + x] =
               src[(c * lr.nt() + t0 + t) * sz + (z0 + z) * lr.nx() +
                   (x0 + x)];
+}
+
+/// Copy an LR sub-volume into a (1, C, lt, lz, lx) tensor.
+Tensor extract_patch(const Grid4D& lr, std::int64_t t0, std::int64_t z0,
+                     std::int64_t x0, std::int64_t lt, std::int64_t lz,
+                     std::int64_t lx) {
+  Tensor out(Shape{1, lr.channels(), lt, lz, lx});
+  extract_patch_into(lr, t0, z0, x0, lt, lz, lx, out.data());
   return out;
 }
 
 }  // namespace
 
-SampleBatch PatchSampler::sample(Rng& rng) const {
+BatchedSample PatchSampler::sample_batch(std::int64_t n, Rng& rng,
+                                         bool with_hr) const {
+  MFN_CHECK(n >= 1, "sample_batch needs n >= 1, got " << n);
   const Grid4D& lr = pair_->lr_norm;
   const Grid4D& hr = pair_->hr_norm;
   const std::int64_t lt = config_.patch_nt, lz = config_.patch_nz,
                      lx = config_.patch_nx;
-  const std::int64_t t0 = rng.uniform_int(0, lr.nt() - lt + 1);
-  const std::int64_t z0 = rng.uniform_int(0, lr.nz() - lz + 1);
-  const std::int64_t x0 = rng.uniform_int(0, lr.nx() - lx + 1);
+  const std::int64_t C = lr.channels();
+  const std::int64_t Q = config_.queries_per_patch;
+  const std::int64_t ht = lt * pair_->time_factor,
+                     hz = lz * pair_->space_factor,
+                     hx = lx * pair_->space_factor;
 
-  SampleBatch batch;
-  batch.lr_patch = extract_patch(lr, t0, z0, x0, lt, lz, lx);
-  batch.hr_patch = extract_patch(
-      hr, t0 * pair_->time_factor, z0 * pair_->space_factor,
-      x0 * pair_->space_factor, lt * pair_->time_factor,
-      lz * pair_->space_factor, lx * pair_->space_factor);
+  BatchedSample batch;
+  batch.lr_patches = Tensor(Shape{n, C, lt, lz, lx});
+  if (with_hr) batch.hr_patches = Tensor(Shape{n, C, ht, hz, hx});
+  batch.query_coords = Tensor(Shape{n, Q, 3});
+  batch.targets = Tensor(Shape{n, Q, static_cast<std::int64_t>(kNumChannels)});
 
-  const std::int64_t B = config_.queries_per_patch;
-  batch.query_coords = Tensor(Shape{B, 3});
-  batch.target = Tensor(Shape{B, static_cast<std::int64_t>(kNumChannels)});
   const double ft = static_cast<double>(pair_->time_factor);
   const double fs = static_cast<double>(pair_->space_factor);
-  for (std::int64_t b = 0; b < B; ++b) {
-    // continuous position within the patch, in LR-index units
-    const double pt = rng.uniform(0.0, static_cast<double>(lt - 1));
-    const double pz = rng.uniform(0.0, static_cast<double>(lz - 1));
-    const double px = rng.uniform(0.0, static_cast<double>(lx - 1));
-    batch.query_coords.at({b, 0}) = static_cast<float>(pt);
-    batch.query_coords.at({b, 1}) = static_cast<float>(pz);
-    batch.query_coords.at({b, 2}) = static_cast<float>(px);
-    // map patch-local LR coords to HR fractional indices (box-filter
-    // center alignment): hr = (lr_global + 1/2) * f - 1/2
-    const double hrt = (static_cast<double>(t0) + pt + 0.5) * ft - 0.5;
-    const double hrz = (static_cast<double>(z0) + pz + 0.5) * fs - 0.5;
-    const double hrx = (static_cast<double>(x0) + px + 0.5) * fs - 0.5;
-    const auto v = hr.sample_trilinear(hrt, hrz, hrx);
-    for (int c = 0; c < kNumChannels; ++c)
-      batch.target.at({b, c}) = v[static_cast<std::size_t>(c)];
+  for (std::int64_t s = 0; s < n; ++s) {
+    const std::int64_t t0 = rng.uniform_int(0, lr.nt() - lt + 1);
+    const std::int64_t z0 = rng.uniform_int(0, lr.nz() - lz + 1);
+    const std::int64_t x0 = rng.uniform_int(0, lr.nx() - lx + 1);
+    extract_patch_into(lr, t0, z0, x0, lt, lz, lx,
+                       batch.lr_patches.data() + s * C * lt * lz * lx);
+    if (with_hr)
+      extract_patch_into(hr, t0 * pair_->time_factor,
+                         z0 * pair_->space_factor, x0 * pair_->space_factor,
+                         ht, hz, hx,
+                         batch.hr_patches.data() + s * C * ht * hz * hx);
+
+    float* qc = batch.query_coords.data() + s * Q * 3;
+    float* tg = batch.targets.data() + s * Q * kNumChannels;
+    for (std::int64_t b = 0; b < Q; ++b) {
+      // continuous position within the patch, in LR-index units
+      const double pt = rng.uniform(0.0, static_cast<double>(lt - 1));
+      const double pz = rng.uniform(0.0, static_cast<double>(lz - 1));
+      const double px = rng.uniform(0.0, static_cast<double>(lx - 1));
+      qc[b * 3 + 0] = static_cast<float>(pt);
+      qc[b * 3 + 1] = static_cast<float>(pz);
+      qc[b * 3 + 2] = static_cast<float>(px);
+      // map patch-local LR coords to HR fractional indices (box-filter
+      // center alignment): hr = (lr_global + 1/2) * f - 1/2
+      const double hrt = (static_cast<double>(t0) + pt + 0.5) * ft - 0.5;
+      const double hrz = (static_cast<double>(z0) + pz + 0.5) * fs - 0.5;
+      const double hrx = (static_cast<double>(x0) + px + 0.5) * fs - 0.5;
+      const auto v = hr.sample_trilinear(hrt, hrz, hrx);
+      for (int c = 0; c < kNumChannels; ++c)
+        tg[b * kNumChannels + c] = v[static_cast<std::size_t>(c)];
+    }
   }
+  return batch;
+}
+
+SampleBatch PatchSampler::sample(Rng& rng) const {
+  BatchedSample b = sample_batch(1, rng, /*with_hr=*/true);
+  SampleBatch batch;
+  batch.lr_patch = b.lr_patches;
+  batch.hr_patch = b.hr_patches;
+  batch.query_coords = b.query_coords.reshape(
+      Shape{b.queries(), 3});
+  batch.target = b.targets.reshape(
+      Shape{b.queries(), static_cast<std::int64_t>(kNumChannels)});
   return batch;
 }
 

@@ -39,7 +39,26 @@ struct SRPair {
 
 SRPair make_sr_pair(const Grid4D& hr, int time_factor, int space_factor);
 
-/// One training batch: an LR input patch plus point queries inside it.
+/// A minibatch of N training samples, stacked along the leading axis.
+/// Rows of any (N*Q, C) matrix derived from it are sample-major: rows
+/// [s*Q, (s+1)*Q) belong to sample s.
+struct BatchedSample {
+  Tensor lr_patches;    ///< (N, C, lt, lz, lx), normalized
+  /// (N, Q, 3) query positions as continuous LR-grid indices (t, z, x),
+  /// each within [0, dim-1] of its patch.
+  Tensor query_coords;
+  Tensor targets;       ///< (N, Q, C) normalized HR values at the queries
+  /// (N, C, lt*ft, lz*fs, lx*fs) normalized HR blocks covering the LR
+  /// patches — the dense supervision target for the convolutional
+  /// Baseline II.
+  Tensor hr_patches;
+
+  std::int64_t batch() const { return lr_patches.dim(0); }
+  std::int64_t queries() const { return query_coords.dim(1); }
+};
+
+/// One training sample: an LR input patch plus point queries inside it.
+/// Thin single-sample (N == 1) view over BatchedSample's storage.
 struct SampleBatch {
   Tensor lr_patch;      ///< (1, C, lt, lz, lx), normalized
   /// (B, 3) query positions as continuous LR-grid indices (t, z, x),
@@ -65,6 +84,15 @@ class PatchSampler {
  public:
   PatchSampler(const SRPair& pair, PatchSamplerConfig config);
 
+  /// Draw `n` independent random patches with queries_per_patch query
+  /// points each, stacked into (N, ...) tensors. `with_hr` also fills
+  /// hr_patches (the dense baseline target, a space_factor^2*time_factor
+  /// larger copy the point-query training path never reads); it defaults
+  /// off to keep the minibatch hot path allocation-lean.
+  BatchedSample sample_batch(std::int64_t n, Rng& rng,
+                             bool with_hr = false) const;
+
+  /// Single-sample convenience wrapper around sample_batch(1, rng).
   SampleBatch sample(Rng& rng) const;
 
   /// Deterministic batch covering a regular grid of query points in a

@@ -15,8 +15,9 @@ DataParallelStats train_data_parallel(
     const DataParallelConfig& config) {
   const int W = config.world_size;
   MFN_CHECK(W >= 1, "world size must be >= 1");
-  const int steps_per_epoch =
-      std::max(1, config.patches_per_epoch / std::max(W, 1));
+  MFN_CHECK(config.batch_size >= 1, "batch_size must be >= 1");
+  const int steps_per_epoch = std::max(
+      1, config.patches_per_epoch / std::max(W * config.batch_size, 1));
 
   // Build replicas with identical weights.
   std::vector<std::unique_ptr<core::MeshfreeFlowNet>> replicas;
@@ -44,25 +45,13 @@ DataParallelStats train_data_parallel(
       for (int e = 0; e < config.epochs; ++e) {
         double loss_sum = 0.0;
         for (int s = 0; s < steps_per_epoch; ++s) {
-          data::SampleBatch batch = sampler.sample(rng);
+          data::BatchedSample batch =
+              sampler.sample_batch(config.batch_size, rng);
           opt.zero_grad();
-          ad::Var loss;
-          if (config.gamma > 0.0) {
-            core::DecodeDerivs d = model.predict_with_derivatives(
-                batch.lr_patch, batch.query_coords);
-            ad::Var lp = core::prediction_loss(d.value, batch.target);
-            core::EquationResiduals res =
-                core::equation_loss(d, eq_config);
-            loss = ad::add(
-                lp, ad::mul_scalar(res.total,
-                                   static_cast<float>(config.gamma)));
-          } else {
-            loss = core::prediction_loss(
-                model.predict(batch.lr_patch, batch.query_coords),
-                batch.target);
-          }
-          ad::backward(loss);
-          loss_sum += loss.value().item();
+          core::StepLoss step = core::batched_step_loss(
+              model, batch, eq_config, config.gamma);
+          ad::backward(step.loss);
+          loss_sum += step.loss.value().item();
 
           // synchronous gradient averaging (the DDP all-reduce)
           std::vector<Tensor*> grads;
@@ -88,8 +77,8 @@ DataParallelStats train_data_parallel(
                               [static_cast<std::size_t>(e)];
     stats.epoch_loss.push_back(acc / W);
   }
-  const double total_samples =
-      static_cast<double>(config.epochs) * steps_per_epoch * W;
+  const double total_samples = static_cast<double>(config.epochs) *
+                               steps_per_epoch * W * config.batch_size;
   stats.samples_per_second = total_samples / stats.wall_seconds;
 
   reference.copy_state_from(*replicas[0]);
@@ -112,30 +101,15 @@ std::vector<double> train_effective_batch(
     double loss_sum = 0.0;
     for (int s = 0; s < steps_per_epoch; ++s) {
       opt.zero_grad();
-      double step_loss = 0.0;
-      // accumulate W worker batches -> identical to averaged DDP gradients
-      for (int r = 0; r < world_size; ++r) {
-        data::SampleBatch batch = sampler.sample(rng);
-        ad::Var loss;
-        if (gamma > 0.0) {
-          core::DecodeDerivs d = model.predict_with_derivatives(
-              batch.lr_patch, batch.query_coords);
-          ad::Var lp = core::prediction_loss(d.value, batch.target);
-          loss = ad::add(
-              lp, ad::mul_scalar(core::equation_loss(d, eq_config).total,
-                                 static_cast<float>(gamma)));
-        } else {
-          loss = core::prediction_loss(
-              model.predict(batch.lr_patch, batch.query_coords),
-              batch.target);
-        }
-        // scale so accumulated gradient equals the W-average
-        loss = ad::mul_scalar(loss, 1.0f / static_cast<float>(world_size));
-        ad::backward(loss);
-        step_loss += loss.value().item();
-      }
+      // One true minibatch of W worker patches: the losses reduce over all
+      // W * queries_per_patch rows, so the gradient equals the W-average
+      // the serial replay used to accumulate.
+      data::BatchedSample batch = sampler.sample_batch(world_size, rng);
+      core::StepLoss step =
+          core::batched_step_loss(model, batch, eq_config, gamma);
+      ad::backward(step.loss);
       opt.step();
-      loss_sum += step_loss;
+      loss_sum += step.loss.value().item();
     }
     epoch_loss.push_back(loss_sum / steps_per_epoch);
   }

@@ -23,6 +23,10 @@ struct DataParallelConfig {
   int epochs = 4;
   /// Global samples (patches) per epoch; each worker gets 1/world of them.
   int patches_per_epoch = 16;
+  /// Patches per worker per step: every worker runs one batched forward on
+  /// a (batch_size, ...) stack, so the effective global batch is
+  /// world_size * batch_size patches.
+  int batch_size = 1;
   double gamma = 0.0;
   optim::AdamConfig adam{.lr = 1e-3};
   std::uint64_t seed = 0;
@@ -42,10 +46,11 @@ DataParallelStats train_data_parallel(
     const core::EquationLossConfig& eq_config,
     const DataParallelConfig& config);
 
-/// Emulate W-way synchronous data parallelism on a single model by
-/// gradient accumulation over W batches per step (mathematically identical
-/// update sequence; used for the Fig. 7b/7c convergence curves at world
-/// sizes beyond the machine's core count).
+/// Emulate W-way synchronous data parallelism on a single model with one
+/// true minibatch step over a (W, ...) patch stack per update (the same
+/// averaged-gradient semantics the serial W-batch replay used to emulate,
+/// now a single wide forward/backward; used for the Fig. 7b/7c convergence
+/// curves at world sizes beyond the machine's core count).
 std::vector<double> train_effective_batch(
     core::MeshfreeFlowNet& model, const data::PatchSampler& sampler,
     const core::EquationLossConfig& eq_config, int world_size, int epochs,

@@ -48,6 +48,13 @@ Tensor tanh(const Tensor& a);
 /// 1 where a > 0 else 0 (relu mask).
 Tensor gt_zero_mask(const Tensor& a);
 
+/// In-place activation passes on raw buffers. Serial by design: for
+/// block-streamed kernels that run inside pool workers and manage their
+/// own parallelism (e.g. the decoder's no-grad fast path).
+void relu_inplace(float* p, std::int64_t n);
+void softplus_inplace(float* p, std::int64_t n);
+void tanh_inplace(float* p, std::int64_t n);
+
 // ----- reductions -----
 float sum(const Tensor& a);
 float mean(const Tensor& a);

@@ -5,11 +5,34 @@
 #include <cstdlib>
 #include <memory>
 
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
 #include "common/error.h"
 
 namespace mfn {
 namespace {
 thread_local bool t_in_worker = false;
+
+/// Keep multi-megabyte tensor buffers on the heap free lists instead of
+/// round-tripping through mmap/munmap. Batched training/inference
+/// allocates and frees the same large intermediates every step; glibc's
+/// default dynamic mmap threshold (<= 32 MiB) hands them back to the
+/// kernel on free, so every reallocation pays fresh page faults and
+/// page zeroing — measurably slower than the compute on wide minibatch
+/// shapes. Runs once, before the first pool (and hence the first kernel).
+/// This mutates the process-wide allocator and can raise steady-state RSS
+/// by up to the trim threshold; hosts embedding libmfn for light work can
+/// opt out with MFN_NO_MALLOC_TUNING=1.
+void tune_allocator_for_large_buffers() {
+#if defined(__GLIBC__)
+  const char* off = std::getenv("MFN_NO_MALLOC_TUNING");
+  if (off != nullptr && *off != '\0' && *off != '0') return;
+  mallopt(M_MMAP_THRESHOLD, 256 << 20);
+  mallopt(M_TRIM_THRESHOLD, 256 << 20);
+#endif
+}
 }  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
@@ -73,6 +96,11 @@ int ThreadPool::resolve_thread_count(const char* env_value, unsigned hardware) {
 }
 
 ThreadPool& ThreadPool::global() {
+  static const bool allocator_tuned = [] {
+    tune_allocator_for_large_buffers();
+    return true;
+  }();
+  (void)allocator_tuned;
   static ThreadPool pool(resolve_thread_count(
       std::getenv("MFN_NUM_THREADS"), std::thread::hardware_concurrency()));
   return pool;

@@ -5,9 +5,10 @@
 //   mfn info     --data data.grid
 //   mfn train    --data data.grid --out model.ckpt [--dt 4] [--ds 4]
 //                [--gamma 0.0125] [--epochs 50] [--batches 16] [--lr 3e-3]
-//                [--ra 1e6] [--pr 1] [--resume model.ckpt]
+//                [--batch 4] [--queries 384] [--ra 1e6] [--pr 1]
+//                [--resume model.ckpt]
 //   mfn eval     --data data.grid --model model.ckpt [--dt 4] [--ds 4]
-//                [--ra 1e6] [--pr 1]
+//                [--batch 8] [--queries 384] [--ra 1e6] [--pr 1]
 //   mfn superres --data data.grid --model model.ckpt --out pred.grid
 //                [--dt 4] [--ds 4] [--nt N] [--nz N] [--nx N]
 //
@@ -21,6 +22,7 @@
 #include <string>
 
 #include "common/error.h"
+#include "common/stopwatch.h"
 #include "core/checkpoint.h"
 #include "core/evaluation.h"
 #include "core/losses.h"
@@ -137,7 +139,8 @@ int cmd_train(const Args& args) {
   pcfg.patch_nt = std::min<std::int64_t>(4, pair.lr.nt());
   pcfg.patch_nz = std::min<std::int64_t>(8, pair.lr.nz());
   pcfg.patch_nx = std::min<std::int64_t>(8, pair.lr.nx());
-  pcfg.queries_per_patch = 384;
+  pcfg.queries_per_patch = args.integer("queries", 384);
+  MFN_CHECK(pcfg.queries_per_patch >= 1, "--queries must be >= 1");
   data::PatchSampler sampler(pair, pcfg);
 
   core::EquationLossConfig eq;
@@ -149,6 +152,7 @@ int cmd_train(const Args& args) {
   core::TrainerConfig tcfg;
   tcfg.epochs = static_cast<int>(args.integer("epochs", 50));
   tcfg.batches_per_epoch = static_cast<int>(args.integer("batches", 16));
+  tcfg.batch_size = static_cast<int>(args.integer("batch", 4));
   tcfg.gamma = args.num("gamma", 0.0125);
   tcfg.adam.lr = args.num("lr", 3e-3);
   tcfg.lr_decay = 0.97;
@@ -174,11 +178,14 @@ int cmd_train(const Args& args) {
   }
 
   std::printf("training: %lld parameters, gamma=%.4f, %d epochs x %d "
-              "batches\n",
+              "minibatches x %d patches (%lld queries/patch)\n",
               static_cast<long long>(model.num_parameters()), tcfg.gamma,
-              tcfg.epochs, tcfg.batches_per_epoch);
+              tcfg.epochs, tcfg.batches_per_epoch, tcfg.batch_size,
+              static_cast<long long>(pcfg.queries_per_patch));
+  double train_seconds = 0.0;
   for (int e = 0; e < tcfg.epochs; ++e) {
     auto stats = trainer.run_epoch();
+    train_seconds += stats.wall_seconds;
     ck.history.push_back(stats);
     if (e % 5 == 0 || e + 1 == tcfg.epochs)
       std::printf("  epoch %3d  loss=%.4f (pred %.4f eq %.4f) [%.1fs]\n",
@@ -186,6 +193,14 @@ int cmd_train(const Args& args) {
                   stats.eq_loss, stats.wall_seconds);
   }
   ck.epoch = start_epoch + tcfg.epochs;
+  if (train_seconds > 0.0) {
+    const double patches = static_cast<double>(tcfg.epochs) *
+                           tcfg.batches_per_epoch * tcfg.batch_size;
+    std::printf("throughput: %.1f patches/sec, %.0f queries/sec\n",
+                patches / train_seconds,
+                patches * static_cast<double>(pcfg.queries_per_patch) /
+                    train_seconds);
+  }
 
   const std::string out = args.required("out");
   optim::Adam opt_for_save(model.parameters(), tcfg.adam);
@@ -209,6 +224,39 @@ int cmd_eval(const Args& args) {
   const double nu =
       core::RBConstants::from_ra_pr(args.num("ra", 1e6), args.num("pr", 1.0))
           .r_star;
+
+  // Measured batched continuous-query throughput: one minibatch of
+  // --batch patches x --queries points through the full predict path.
+  {
+    const auto batch = std::max<long>(args.integer("batch", 8), 1);
+    data::PatchSamplerConfig pcfg;
+    pcfg.patch_nt = std::min<std::int64_t>(4, pair.lr.nt());
+    pcfg.patch_nz = std::min<std::int64_t>(8, pair.lr.nz());
+    pcfg.patch_nx = std::min<std::int64_t>(8, pair.lr.nx());
+    pcfg.queries_per_patch = std::max<std::int64_t>(
+        args.integer("queries", 384), 1);
+    data::PatchSampler sampler(pair, pcfg);
+    Rng rng(3);
+    data::BatchedSample sample = sampler.sample_batch(batch, rng);
+    ad::NoGradGuard no_grad;
+    model->set_training(false);
+    model->predict(sample.lr_patches, sample.query_coords);  // warm up
+    double best = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+      Stopwatch sw;
+      model->predict(sample.lr_patches, sample.query_coords);
+      best = std::min(best, sw.seconds());
+    }
+    const double queries =
+        static_cast<double>(sample.batch() * sample.queries());
+    std::printf(
+        "throughput: batch %lld x %lld queries -> %.1f patches/sec, "
+        "%.0f queries/sec\n",
+        static_cast<long long>(sample.batch()),
+        static_cast<long long>(sample.queries()),
+        static_cast<double>(sample.batch()) / best, queries / best);
+  }
+
   auto report = core::evaluate_model(*model, pair, nu);
   std::printf("%s\n", metrics::format_report_header("model").c_str());
   std::printf("%s\n", metrics::format_report_row(args.required("model"),
