@@ -5,12 +5,15 @@
 // out in DESIGN.md Sec. 5).
 #include <benchmark/benchmark.h>
 
+#include "autodiff/variable.h"
+#include "backend/simd.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "core/decoder.h"
 #include "core/meshfree_flownet.h"
 #include "distributed/allreduce.h"
 #include "fft/fft.h"
+#include "optim/adam.h"
 #include "solver/rb_solver.h"
 #include "tensor/nn_kernels.h"
 #include "tensor/tensor_ops.h"
@@ -210,8 +213,28 @@ double time_best_of(int reps, const std::function<void()>& fn) {
   return best;
 }
 
+// Measure fn both ways through the runtime dispatch seam: vector tier as
+// configured, then pinned to the scalar reference. Restores the entry
+// force_scalar state, so a run under MFN_FORCE_SCALAR=1 reports 1.0x.
+struct SimdVsScalar {
+  double sec, sec_scalar;
+};
+SimdVsScalar time_simd_vs_scalar(int reps, const std::function<void()>& fn) {
+  const bool was_forced = mfn::simd::force_scalar();
+  SimdVsScalar r;
+  fn();  // warm up (allocations, pool)
+  r.sec = time_best_of(reps, fn);
+  mfn::simd::set_force_scalar(true);
+  fn();
+  r.sec_scalar = time_best_of(reps, fn);
+  mfn::simd::set_force_scalar(was_forced);
+  return r;
+}
+
 void emit_perf_json() {
   const int threads = ThreadPool::global().size();
+  std::printf("{\"mfn_perf\":\"simd\",\"tier\":\"%s\",\"width\":%d}\n",
+              simd::active_tier(), simd::kWidth);
   {
     // GEMM: square matmul at a training-representative size.
     const std::int64_t n = 384;
@@ -384,6 +407,71 @@ void emit_perf_json() {
         static_cast<long long>(NB), static_cast<long long>(QD), threads,
         static_cast<double>(NB * QD) / drv8,
         static_cast<double>(NB * QD) / drv_loop, drv_loop / drv8);
+  }
+  {
+    // Activation maps (GB/s of tensor traffic) and loss reductions, SIMD
+    // vs the scalar reference through the runtime dispatch seam.
+    const std::int64_t n = 1 << 22;
+    Rng rng(31);
+    Tensor x = Tensor::randn(Shape{n}, rng, 2.0f);
+    Tensor gy = Tensor::randn(Shape{n}, rng);
+    auto emit_map = [&](const char* op, double bytes_per_elem,
+                        const std::function<void()>& fn) {
+      const SimdVsScalar t = time_simd_vs_scalar(5, fn);
+      const double bytes = bytes_per_elem * static_cast<double>(n);
+      std::printf(
+          "{\"mfn_perf\":\"activation\",\"op\":\"%s\",\"n\":%lld,"
+          "\"threads\":%d,\"gbps\":%.2f,\"scalar_gbps\":%.2f,"
+          "\"speedup_vs_scalar\":%.2f}\n",
+          op, static_cast<long long>(n), threads, bytes / t.sec / 1e9,
+          bytes / t.sec_scalar / 1e9, t.sec_scalar / t.sec);
+    };
+    emit_map("softplus", 8.0,
+             [&] { benchmark::DoNotOptimize(softplus(x)); });
+    emit_map("tanh", 8.0, [&] { benchmark::DoNotOptimize(tanh(x)); });
+    emit_map("softplus_grad", 12.0,
+             [&] { benchmark::DoNotOptimize(softplus_grad(x, gy)); });
+    auto emit_red = [&](const char* op, const std::function<void()>& fn) {
+      const SimdVsScalar t = time_simd_vs_scalar(5, fn);
+      const double bytes = 4.0 * static_cast<double>(n);
+      std::printf(
+          "{\"mfn_perf\":\"reduction\",\"op\":\"%s\",\"n\":%lld,"
+          "\"threads\":%d,\"gbps\":%.2f,\"scalar_gbps\":%.2f,"
+          "\"speedup_vs_scalar\":%.2f}\n",
+          op, static_cast<long long>(n), threads, bytes / t.sec / 1e9,
+          bytes / t.sec_scalar / 1e9, t.sec_scalar / t.sec);
+    };
+    emit_red("sum", [&] { benchmark::DoNotOptimize(sum(x)); });
+    emit_red("sum_abs", [&] { benchmark::DoNotOptimize(sum_abs(x)); });
+    emit_red("sum_squares",
+             [&] { benchmark::DoNotOptimize(sum_squares(x)); });
+  }
+  {
+    // Fused parallel Adam step at a UNet-ish parameter count: 8 tensors
+    // of 200k elements. Rate is parameter elements updated per second
+    // (the step sweeps param/grad/m/v, ~28 bytes per element).
+    const std::int64_t per = 200000;
+    const int np = 8;
+    Rng rng(33);
+    std::vector<ad::Var> store;
+    store.reserve(static_cast<std::size_t>(np));
+    std::vector<ad::Var*> params;
+    for (int i = 0; i < np; ++i) {
+      store.emplace_back(Tensor::randn(Shape{per}, rng, 0.1f), true);
+      Tensor& g = store.back().mutable_grad();
+      add_(g, Tensor::randn(Shape{per}, rng, 0.01f));
+    }
+    for (auto& v : store) params.push_back(&v);
+    optim::Adam opt(params, optim::AdamConfig{});
+    const SimdVsScalar t =
+        time_simd_vs_scalar(7, [&] { opt.step(); });
+    const double elems = static_cast<double>(per) * np;
+    std::printf(
+        "{\"mfn_perf\":\"adam_step\",\"params\":%lld,\"threads\":%d,"
+        "\"melems_per_sec\":%.1f,\"scalar_melems_per_sec\":%.1f,"
+        "\"speedup_vs_scalar\":%.2f}\n",
+        static_cast<long long>(elems), threads, elems / t.sec / 1e6,
+        elems / t.sec_scalar / 1e6, t.sec_scalar / t.sec);
   }
 }
 

@@ -77,33 +77,30 @@ Var neg(const Var& a) { return mul_scalar(a, -1.0f); }
 
 Var relu(const Var& a) {
   return make_op(mfn::relu(a.value()), {a}, [](Node& n) {
-    Tensor mask = mfn::gt_zero_mask(n.parents[0]->value);
-    n.parents[0]->accumulate(mfn::mul(n.grad, mask));
+    n.parents[0]->accumulate(
+        mfn::relu_grad(n.parents[0]->value, n.grad));
   });
 }
 
 Var softplus(const Var& a) {
   return make_op(mfn::softplus(a.value()), {a}, [](Node& n) {
-    // d softplus / dx = sigmoid(x)
+    // d softplus / dx = sigmoid(x), fused with the upstream grad
     n.parents[0]->accumulate(
-        mfn::mul(n.grad, mfn::sigmoid(n.parents[0]->value)));
+        mfn::softplus_grad(n.parents[0]->value, n.grad));
   });
 }
 
 Var sigmoid(const Var& a) {
   Tensor s = mfn::sigmoid(a.value());
   return make_op(s, {a}, [s](Node& n) {
-    // s * (1 - s)
-    Tensor ds = mfn::mul(s, mfn::add_scalar(mfn::neg(s), 1.0f));
-    n.parents[0]->accumulate(mfn::mul(n.grad, ds));
+    n.parents[0]->accumulate(mfn::sigmoid_grad(s, n.grad));  // g * s * (1-s)
   });
 }
 
 Var tanh(const Var& a) {
   Tensor t = mfn::tanh(a.value());
   return make_op(t, {a}, [t](Node& n) {
-    Tensor dt = mfn::add_scalar(mfn::neg(mfn::mul(t, t)), 1.0f);
-    n.parents[0]->accumulate(mfn::mul(n.grad, dt));
+    n.parents[0]->accumulate(mfn::tanh_grad(t, n.grad));  // g * (1 - t^2)
   });
 }
 
@@ -116,7 +113,8 @@ Var exp(const Var& a) {
 
 Var abs(const Var& a) {
   return make_op(mfn::abs(a.value()), {a}, [](Node& n) {
-    n.parents[0]->accumulate(mfn::mul(n.grad, mfn::sign(n.parents[0]->value)));
+    n.parents[0]->accumulate(
+        mfn::abs_grad(n.parents[0]->value, n.grad));  // g * sign(x)
   });
 }
 

@@ -1,22 +1,33 @@
 #include "backend/sgemm.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "backend/simd.h"
 #include "common/error.h"
 #include "threading/thread_pool.h"
 
 namespace mfn::backend {
 namespace {
 
-// Register-tile footprint, sized to the widest vector unit the build
-// targets. The microkernel accumulator is MR x NR floats and must stay in
-// registers for the k-loop to sustain MR fused multiply-adds per B load.
-#if defined(__AVX512F__)
+// Register-tile footprint, tied to the SIMD tier (backend/simd.h): NR is
+// two vector registers wide, so the microkernel holds an MR x 2 grid of
+// vector accumulators plus one broadcast and two B loads in registers.
+//   avx512: 8 x (2 x 16) -> 16 zmm accumulators of 32
+//   avx2:   6 x (2 x 8)  -> 12 ymm accumulators of 16
+//   sse2:   4 x (2 x 4)  ->  8 xmm accumulators of 16
+// The scalar tier keeps the smallest tile; its accumulator array is what
+// the compiler can still hold in registers without spilling.
+#if defined(MFN_SIMD_TIER_AVX512)
 constexpr int kMR = 8, kNR = 32;
-#elif defined(__AVX__)
+#elif defined(MFN_SIMD_TIER_AVX2)
 constexpr int kMR = 6, kNR = 16;
 #else
 constexpr int kMR = 4, kNR = 8;
+#endif
+#if MFN_SIMD_HAS_VECTOR
+static_assert(kNR == 2 * simd::kWidth,
+              "microkernel assumes an NR tile of two vector registers");
 #endif
 
 // Cache-block sizes: an MC x KC block of packed A should sit in L2 while a
@@ -193,10 +204,12 @@ inline void write_tile(const float* acc, float* c, std::int64_t ldc, int mr,
   }
 }
 
-// MR x NR microkernel over a packed A panel and packed B panel.
-void micro_kernel(std::int64_t kc, const float* ap, const float* bp, float* c,
-                  std::int64_t ldc, int mr, int nr, float beta,
-                  const float* rb, const float* cb) {
+// Scalar-reference MR x NR microkernel over packed A and B panels. Kept as
+// the in-tree oracle behind simd::enabled(): the parity tests pin it via
+// simd::set_force_scalar and compare against the FMA kernels below.
+void micro_kernel_scalar(std::int64_t kc, const float* ap, const float* bp,
+                         float* c, std::int64_t ldc, int mr, int nr,
+                         float beta, const float* rb, const float* cb) {
   float acc[kMR * kNR];
   for (int x = 0; x < kMR * kNR; ++x) acc[x] = 0.0f;
   for (std::int64_t k = 0; k < kc; ++k) {
@@ -210,14 +223,14 @@ void micro_kernel(std::int64_t kc, const float* ap, const float* bp, float* c,
   write_tile<kMR, kNR>(acc, c, ldc, mr, nr, beta, rb, cb);
 }
 
-// Microkernel reading B directly (row-major, leading dimension ldb) instead
-// of from a packed panel. Used by the short-M path below where packing B
-// would cost more than it saves.
+// Scalar-reference direct-B microkernel (row-major B, leading dimension
+// ldb). Used by the short-M path where packing B costs more than it saves.
 template <int TMR, int TNR>
-void micro_kernel_direct_b(std::int64_t K, const float* ap, const float* b,
-                           std::int64_t ldb, float* c, std::int64_t ldc,
-                           int mr, int nr, float beta, const float* rb,
-                           const float* cb) {
+void micro_kernel_direct_b_scalar(std::int64_t K, const float* ap,
+                                  const float* b, std::int64_t ldb, float* c,
+                                  std::int64_t ldc, int mr, int nr,
+                                  float beta, const float* rb,
+                                  const float* cb) {
   float acc[TMR * TNR];
   for (int x = 0; x < TMR * TNR; ++x) acc[x] = 0.0f;
   if (nr == TNR) {
@@ -241,6 +254,217 @@ void micro_kernel_direct_b(std::int64_t K, const float* ap, const float* b,
     }
   }
   write_tile<TMR, TNR>(acc, c, ldc, mr, nr, beta, rb, cb);
+}
+
+#if MFN_SIMD_HAS_VECTOR
+
+namespace sv = mfn::simd;
+
+// The register tile as vectors: kMR rows x 2 vector columns.
+constexpr int kNV = kNR / sv::kWidth;  // == 2
+
+// Vector writeback from the spilled accumulator buffer (kMR x kNR floats,
+// written once after the k-loop — 2*kMR stores against ~kc*kMR*2 FMAs):
+// C = acc + beta * C (+ bias) on the live mr x nr corner. Full-width
+// columns go through plain loads/stores; the ragged N tail is masked, so
+// no lane outside the tile is ever read or written.
+inline void write_tile_simd(const float* acc, float* c, std::int64_t ldc,
+                            int mr, int nr, float beta, const float* rb,
+                            const float* cb) {
+  const sv::VF vbeta = sv::vset1(beta);
+  for (int i = 0; i < mr; ++i) {
+    float* crow = c + i * ldc;
+    const sv::VF rbias = rb ? sv::vset1(rb[i]) : sv::vzero();
+    for (int jv = 0; jv < kNV; ++jv) {
+      const int j0 = jv * sv::kWidth;
+      const int lanes = nr - j0;
+      if (lanes <= 0) break;
+      sv::VF r = sv::vloadu(acc + i * kNR + j0);
+      if (cb != nullptr) {
+        const sv::VF cbias = lanes >= sv::kWidth
+                                 ? sv::vloadu(cb + j0)
+                                 : sv::vload_partial(cb + j0, lanes);
+        r = sv::vadd(r, cbias);
+      }
+      if (rb != nullptr) r = sv::vadd(r, rbias);
+      if (lanes >= sv::kWidth) {
+        if (beta != 0.0f) r = sv::vfma(vbeta, sv::vloadu(crow + j0), r);
+        sv::vstoreu(crow + j0, r);
+      } else {
+        if (beta != 0.0f)
+          r = sv::vfma(vbeta, sv::vload_partial(crow + j0, lanes), r);
+        sv::vstore_partial(crow + j0, r, lanes);
+      }
+    }
+  }
+}
+
+// Shared FMA tile loop for both microkernels. The accumulators are NAMED
+// locals, not an array: GCC will not scalar-replace an array whose address
+// escapes (even into an inlined lambda), and a memory-resident accumulator
+// turns every FMA into load+fma+store — the spill this PR removes. Rows
+// past kMR are compiled out by if constexpr. `loadb(k, b0, b1)` produces
+// the two B vectors for step k; it is inlined, so each caller's load
+// strategy (packed panel, direct row, masked tail) costs nothing extra.
+// On exit the live tile is spilled once to `buf` (kMR x kNR, row-major)
+// for the writeback — 2*kMR stores against kc*kMR*2 loop FMAs.
+template <typename LoadB>
+inline void fma_tile(std::int64_t kc, const float* ap, LoadB&& loadb,
+                     float* buf) {
+  sv::VF c00 = sv::vzero(), c01 = sv::vzero(), c10 = sv::vzero(),
+         c11 = sv::vzero(), c20 = sv::vzero(), c21 = sv::vzero(),
+         c30 = sv::vzero(), c31 = sv::vzero(), c40 = sv::vzero(),
+         c41 = sv::vzero(), c50 = sv::vzero(), c51 = sv::vzero(),
+         c60 = sv::vzero(), c61 = sv::vzero(), c70 = sv::vzero(),
+         c71 = sv::vzero();
+  for (std::int64_t k = 0; k < kc; ++k) {
+    const float* a = ap + k * kMR;
+    sv::VF b0, b1;
+    loadb(k, b0, b1);
+    sv::VF ai;
+    ai = sv::vset1(a[0]);
+    c00 = sv::vfma(ai, b0, c00);
+    c01 = sv::vfma(ai, b1, c01);
+    ai = sv::vset1(a[1]);
+    c10 = sv::vfma(ai, b0, c10);
+    c11 = sv::vfma(ai, b1, c11);
+    ai = sv::vset1(a[2]);
+    c20 = sv::vfma(ai, b0, c20);
+    c21 = sv::vfma(ai, b1, c21);
+    ai = sv::vset1(a[3]);
+    c30 = sv::vfma(ai, b0, c30);
+    c31 = sv::vfma(ai, b1, c31);
+    if constexpr (kMR > 4) {
+      ai = sv::vset1(a[4]);
+      c40 = sv::vfma(ai, b0, c40);
+      c41 = sv::vfma(ai, b1, c41);
+      ai = sv::vset1(a[5]);
+      c50 = sv::vfma(ai, b0, c50);
+      c51 = sv::vfma(ai, b1, c51);
+    }
+    if constexpr (kMR > 6) {
+      ai = sv::vset1(a[6]);
+      c60 = sv::vfma(ai, b0, c60);
+      c61 = sv::vfma(ai, b1, c61);
+      ai = sv::vset1(a[7]);
+      c70 = sv::vfma(ai, b0, c70);
+      c71 = sv::vfma(ai, b1, c71);
+    }
+  }
+  constexpr int W = sv::kWidth;
+  sv::vstoreu(buf + 0 * kNR, c00);
+  sv::vstoreu(buf + 0 * kNR + W, c01);
+  sv::vstoreu(buf + 1 * kNR, c10);
+  sv::vstoreu(buf + 1 * kNR + W, c11);
+  sv::vstoreu(buf + 2 * kNR, c20);
+  sv::vstoreu(buf + 2 * kNR + W, c21);
+  sv::vstoreu(buf + 3 * kNR, c30);
+  sv::vstoreu(buf + 3 * kNR + W, c31);
+  if constexpr (kMR > 4) {
+    sv::vstoreu(buf + 4 * kNR, c40);
+    sv::vstoreu(buf + 4 * kNR + W, c41);
+    sv::vstoreu(buf + 5 * kNR, c50);
+    sv::vstoreu(buf + 5 * kNR + W, c51);
+  }
+  if constexpr (kMR > 6) {
+    sv::vstoreu(buf + 6 * kNR, c60);
+    sv::vstoreu(buf + 6 * kNR + W, c61);
+    sv::vstoreu(buf + 7 * kNR, c70);
+    sv::vstoreu(buf + 7 * kNR + W, c71);
+  }
+  // rows compiled out in the narrow tiers are set-but-unused
+  (void)c40, (void)c41, (void)c50, (void)c51;
+  (void)c60, (void)c61, (void)c70, (void)c71;
+}
+
+// Explicit-FMA microkernel over packed panels: per k step, one broadcast
+// per A row against two B vector loads, kMR x 2 independent FMA chains —
+// enough to cover FMA latency on every tier without spilling.
+void micro_kernel_simd(std::int64_t kc, const float* ap, const float* bp,
+                       float* c, std::int64_t ldc, int mr, int nr, float beta,
+                       const float* rb, const float* cb) {
+  alignas(64) float buf[kMR * kNR];
+  fma_tile(kc, ap,
+           [bp](std::int64_t k, sv::VF& b0, sv::VF& b1) {
+             b0 = sv::vloadu(bp + k * kNR);
+             b1 = sv::vloadu(bp + k * kNR + sv::kWidth);
+           },
+           buf);
+  write_tile_simd(buf, c, ldc, mr, nr, beta, rb, cb);
+}
+
+// Explicit-FMA direct-B microkernel. The full-width case streams two
+// unaligned loads per B row; the ragged case masks the tail load so the
+// kernel never reads past row end.
+void micro_kernel_direct_b_simd(std::int64_t K, const float* ap,
+                                const float* b, std::int64_t ldb, float* c,
+                                std::int64_t ldc, int mr, int nr, float beta,
+                                const float* rb, const float* cb) {
+  alignas(64) float buf[kMR * kNR];
+  if (nr == kNR) {
+    fma_tile(K, ap,
+             [b, ldb](std::int64_t k, sv::VF& b0, sv::VF& b1) {
+               const float* bk = b + k * ldb;
+               __builtin_prefetch(bk + 4 * ldb, 0, 3);
+               b0 = sv::vloadu(bk);
+               b1 = sv::vloadu(bk + sv::kWidth);
+             },
+             buf);
+  } else if (nr > sv::kWidth) {
+    // First vector is full width, only the second is masked.
+    const int l1 = nr - sv::kWidth;
+    fma_tile(K, ap,
+             [b, ldb, l1](std::int64_t k, sv::VF& b0, sv::VF& b1) {
+               const float* bk = b + k * ldb;
+               b0 = sv::vloadu(bk);
+               b1 = sv::vload_partial(bk + sv::kWidth, l1);
+             },
+             buf);
+  } else {
+    fma_tile(K, ap,
+             [b, ldb, nr](std::int64_t k, sv::VF& b0, sv::VF& b1) {
+               b0 = sv::vload_partial(b + k * ldb, nr);
+               b1 = sv::vzero();
+             },
+             buf);
+  }
+  write_tile_simd(buf, c, ldc, mr, nr, beta, rb, cb);
+}
+
+#endif  // MFN_SIMD_HAS_VECTOR
+
+// Dispatch seam: vector kernels when the build has them and the runtime
+// scalar override is off, scalar reference otherwise. The branch costs one
+// relaxed atomic load per ~2*kc*MR*NR flops of kernel work.
+inline void micro_kernel(std::int64_t kc, const float* ap, const float* bp,
+                         float* c, std::int64_t ldc, int mr, int nr,
+                         float beta, const float* rb, const float* cb) {
+#if MFN_SIMD_HAS_VECTOR
+  if (simd::enabled()) {
+    micro_kernel_simd(kc, ap, bp, c, ldc, mr, nr, beta, rb, cb);
+    return;
+  }
+#endif
+  micro_kernel_scalar(kc, ap, bp, c, ldc, mr, nr, beta, rb, cb);
+}
+
+template <int TMR, int TNR>
+inline void micro_kernel_direct_b(std::int64_t K, const float* ap,
+                                  const float* b, std::int64_t ldb, float* c,
+                                  std::int64_t ldc, int mr, int nr,
+                                  float beta, const float* rb,
+                                  const float* cb) {
+#if MFN_SIMD_HAS_VECTOR
+  if constexpr (TMR == kMR && TNR == kNR) {
+    if (simd::enabled()) {
+      micro_kernel_direct_b_simd(K, ap, b, ldb, c, ldc, mr, nr, beta, rb,
+                                 cb);
+      return;
+    }
+  }
+#endif
+  micro_kernel_direct_b_scalar<TMR, TNR>(K, ap, b, ldb, c, ldc, mr, nr, beta,
+                                         rb, cb);
 }
 
 // Short-M products (conv3d's F x L GEMMs: a handful of row panels over a

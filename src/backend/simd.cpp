@@ -1,0 +1,41 @@
+#include "backend/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <string_view>
+
+namespace mfn::simd {
+namespace {
+
+bool env_force_scalar() {
+  const char* e = std::getenv("MFN_FORCE_SCALAR");
+  if (e == nullptr || e[0] == '\0') return false;
+  // "0", "false", "off", "no" (any case) leave vector paths on; anything
+  // else pins the scalar reference paths.
+  const std::string_view v(e);
+  if (v == "0") return false;
+  auto eq_ci = [&](const char* w) {
+    if (v.size() != std::char_traits<char>::length(w)) return false;
+    for (std::size_t i = 0; i < v.size(); ++i)
+      if ((v[i] | 0x20) != w[i]) return false;
+    return true;
+  };
+  return !(eq_ci("false") || eq_ci("off") || eq_ci("no"));
+}
+
+std::atomic<bool>& flag() {
+  static std::atomic<bool> f{env_force_scalar()};
+  return f;
+}
+
+}  // namespace
+
+bool force_scalar() noexcept {
+  return flag().load(std::memory_order_relaxed);
+}
+
+void set_force_scalar(bool v) noexcept {
+  flag().store(v, std::memory_order_relaxed);
+}
+
+}  // namespace mfn::simd

@@ -1,8 +1,10 @@
 #include "optim/optimizer.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "tensor/tensor_ops.h"
+#include "threading/thread_pool.h"
 
 namespace mfn::optim {
 
@@ -10,13 +12,35 @@ void Optimizer::zero_grad() {
   for (auto* p : params_) p->zero_grad();
 }
 
+void for_each_grad_chunk(
+    const std::vector<ad::Var*>& params, std::int64_t chunk_elems,
+    const std::function<void(std::size_t, std::int64_t, std::int64_t)>& fn) {
+  struct Chunk {
+    std::size_t param;
+    std::int64_t begin, end;
+  };
+  std::vector<Chunk> chunks;
+  chunks.reserve(params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (!params[i]->has_grad()) continue;
+    const std::int64_t n = params[i]->numel();
+    for (std::int64_t b = 0; b < n; b += chunk_elems)
+      chunks.push_back({i, b, std::min<std::int64_t>(b + chunk_elems, n)});
+  }
+  parallel_for(static_cast<std::int64_t>(chunks.size()),
+               [&](std::int64_t c0, std::int64_t c1) {
+                 for (std::int64_t c = c0; c < c1; ++c) {
+                   const Chunk& ch = chunks[static_cast<std::size_t>(c)];
+                   fn(ch.param, ch.begin, ch.end);
+                 }
+               });
+}
+
 double clip_grad_norm(const std::vector<ad::Var*>& params, double max_norm) {
   double sq = 0.0;
   for (auto* p : params) {
     if (!p->has_grad()) continue;
-    const float* g = p->grad().data();
-    for (std::int64_t i = 0; i < p->numel(); ++i)
-      sq += static_cast<double>(g[i]) * g[i];
+    sq += static_cast<double>(sum_squares(p->grad()));
   }
   const double norm = std::sqrt(sq);
   if (norm > max_norm && norm > 0.0) {

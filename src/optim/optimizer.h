@@ -1,6 +1,8 @@
 // Optimizer interface plus gradient utilities.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "autodiff/variable.h"
@@ -32,5 +34,19 @@ class Optimizer {
 /// Scale gradients so their global L2 norm is at most `max_norm`.
 /// Returns the pre-clip norm.
 double clip_grad_norm(const std::vector<ad::Var*>& params, double max_norm);
+
+/// Default element-chunk size for for_each_grad_chunk: small enough that a
+/// UNet's conv kernels split across workers, large enough that an Adam
+/// update's ~28 bytes/element of traffic dwarfs the dispatch cost.
+inline constexpr std::int64_t kGradChunkElems = 1 << 15;
+
+/// Run fn(param_index, begin, end) over `chunk_elems`-sized element ranges
+/// of every parameter that currently has a gradient, in parallel across
+/// the pool. Chunks of one tensor never overlap, so fn may update
+/// param/grad/state storage for its range without synchronization. Both
+/// Adam and SGD drive their per-parameter updates through this.
+void for_each_grad_chunk(
+    const std::vector<ad::Var*>& params, std::int64_t chunk_elems,
+    const std::function<void(std::size_t, std::int64_t, std::int64_t)>& fn);
 
 }  // namespace mfn::optim

@@ -1,8 +1,66 @@
 #include "optim/sgd.h"
 
+#include "backend/simd.h"
 #include "tensor/tensor_ops.h"
 
 namespace mfn::optim {
+namespace {
+
+// Fused momentum update for one chunk: vel = mom * vel + g; p -= lr * vel.
+// One pass over the three streams instead of the scale_/add_/add_ triple
+// (three full sweeps) the serial implementation did.
+void sgd_momentum_chunk(float* p, const float* g, float* vel, std::int64_t n,
+                        float lr, float mom) {
+  if (simd::enabled()) {
+    namespace sv = mfn::simd;
+    const sv::VF vmom = sv::vset1(mom);
+    const sv::VF vneg_lr = sv::vset1(-lr);
+    constexpr int W = sv::kWidth;
+    std::int64_t j = 0;
+    for (; j + W <= n; j += W) {
+      const sv::VF vj =
+          sv::vfma(vmom, sv::vloadu(vel + j), sv::vloadu(g + j));
+      sv::vstoreu(vel + j, vj);
+      sv::vstoreu(p + j, sv::vfma(vneg_lr, vj, sv::vloadu(p + j)));
+    }
+    const int tail = static_cast<int>(n - j);
+    if (tail > 0) {
+      const sv::VF vj = sv::vfma(vmom, sv::vload_partial(vel + j, tail),
+                                 sv::vload_partial(g + j, tail));
+      sv::vstore_partial(vel + j, vj, tail);
+      sv::vstore_partial(
+          p + j, sv::vfma(vneg_lr, vj, sv::vload_partial(p + j, tail)),
+          tail);
+    }
+    return;
+  }
+  for (std::int64_t j = 0; j < n; ++j) {
+    vel[j] = mom * vel[j] + g[j];
+    p[j] -= lr * vel[j];
+  }
+}
+
+void sgd_plain_chunk(float* p, const float* g, std::int64_t n, float lr) {
+  if (simd::enabled()) {
+    namespace sv = mfn::simd;
+    const sv::VF vneg_lr = sv::vset1(-lr);
+    constexpr int W = sv::kWidth;
+    std::int64_t j = 0;
+    for (; j + W <= n; j += W)
+      sv::vstoreu(p + j,
+                  sv::vfma(vneg_lr, sv::vloadu(g + j), sv::vloadu(p + j)));
+    const int tail = static_cast<int>(n - j);
+    if (tail > 0)
+      sv::vstore_partial(p + j,
+                         sv::vfma(vneg_lr, sv::vload_partial(g + j, tail),
+                                  sv::vload_partial(p + j, tail)),
+                         tail);
+    return;
+  }
+  for (std::int64_t j = 0; j < n; ++j) p[j] -= lr * g[j];
+}
+
+}  // namespace
 
 SGD::SGD(std::vector<ad::Var*> params, double lr, double momentum)
     : Optimizer(std::move(params)), momentum_(momentum) {
@@ -15,17 +73,20 @@ SGD::SGD(std::vector<ad::Var*> params, double lr, double momentum)
 }
 
 void SGD::step() {
-  for (std::size_t i = 0; i < params_.size(); ++i) {
-    ad::Var* p = params_[i];
-    if (!p->has_grad()) continue;
-    if (momentum_ != 0.0) {
-      scale_(velocity_[i], static_cast<float>(momentum_));
-      add_(velocity_[i], p->grad());
-      add_(p->value(), velocity_[i], static_cast<float>(-lr_));
-    } else {
-      add_(p->value(), p->grad(), static_cast<float>(-lr_));
-    }
-  }
+  const float lr = static_cast<float>(lr_);
+  const float mom = static_cast<float>(momentum_);
+  // Same chunking as Adam: parallel across parameter tensors and across
+  // element ranges within large tensors.
+  for_each_grad_chunk(
+      params_, kGradChunkElems,
+      [&](std::size_t i, std::int64_t b, std::int64_t e) {
+        float* p = params_[i]->value().data() + b;
+        const float* g = params_[i]->grad().data() + b;
+        if (momentum_ != 0.0)
+          sgd_momentum_chunk(p, g, velocity_[i].data() + b, e - b, lr, mom);
+        else
+          sgd_plain_chunk(p, g, e - b, lr);
+      });
 }
 
 }  // namespace mfn::optim

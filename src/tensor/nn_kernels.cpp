@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "backend/sgemm.h"
+#include "backend/simd.h"
 #include "backend/workspace.h"
 #include "common/error.h"
 #include "tensor/tensor_ops.h"
@@ -16,6 +17,124 @@ namespace {
 void check_5d(const Tensor& t, const char* what) {
   MFN_CHECK(t.ndim() == 5, what << " must be 5-D (N,C,D,H,W), got "
                                 << t.shape().str());
+}
+
+// ---- batchnorm slab kernels (SIMD with scalar reference fallback) --------
+// All four passes are straight sweeps over per-(sample, channel) slabs of
+// S spatial elements; the channel loop above them is the parallel axis.
+// Accumulators flush into doubles on the shared simd::kReduceFlushElems
+// policy, matching the tensor_ops reductions' parity behavior.
+
+/// sp += sum(p), spq += sum(p * q) over [0, n). Both batchnorm reductions
+/// are this shape: forward mean/var passes q == p (sum of squares),
+/// backward passes (gy, xhat).
+void bn_pair_sums(const float* p, const float* q, std::int64_t n, double& sp,
+                  double& spq) {
+  if (!simd::enabled()) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      sp += p[i];
+      spq += static_cast<double>(p[i]) * q[i];
+    }
+    return;
+  }
+  constexpr int W = simd::kWidth;
+  constexpr std::int64_t kFlush = simd::kReduceFlushElems;
+  for (std::int64_t base = 0; base < n; base += kFlush) {
+    const std::int64_t m = std::min<std::int64_t>(kFlush, n - base);
+    simd::VF a = simd::vzero(), apq = simd::vzero();
+    std::int64_t i = 0;
+    for (; i + W <= m; i += W) {
+      const simd::VF x = simd::vloadu(p + base + i);
+      a = simd::vadd(a, x);
+      apq = simd::vfma(x, simd::vloadu(q + base + i), apq);
+    }
+    const int tail = static_cast<int>(m - i);
+    if (tail > 0) {
+      const simd::VF x = simd::vload_partial(p + base + i, tail);
+      a = simd::vadd(a, x);
+      apq = simd::vfma(x, simd::vload_partial(q + base + i, tail), apq);
+    }
+    sp += static_cast<double>(simd::vhsum(a));
+    spq += static_cast<double>(simd::vhsum(apq));
+  }
+}
+
+/// xh = (s - mu) * inv;  o = g * xh + b.
+void bn_normalize(const float* s, float* xh, float* o, std::int64_t n,
+                  float mu, float inv, float g, float b) {
+  if (!simd::enabled()) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      xh[i] = (s[i] - mu) * inv;
+      o[i] = g * xh[i] + b;
+    }
+    return;
+  }
+  constexpr int W = simd::kWidth;
+  const simd::VF vmu = simd::vset1(mu), vinv = simd::vset1(inv);
+  const simd::VF vg = simd::vset1(g), vb = simd::vset1(b);
+  std::int64_t i = 0;
+  for (; i + W <= n; i += W) {
+    const simd::VF x = simd::vmul(simd::vsub(simd::vloadu(s + i), vmu), vinv);
+    simd::vstoreu(xh + i, x);
+    simd::vstoreu(o + i, simd::vfma(vg, x, vb));
+  }
+  const int tail = static_cast<int>(n - i);
+  if (tail > 0) {
+    const simd::VF x = simd::vmul(
+        simd::vsub(simd::vload_partial(s + i, tail), vmu), vinv);
+    simd::vstore_partial(xh + i, x, tail);
+    simd::vstore_partial(o + i, simd::vfma(vg, x, vb), tail);
+  }
+}
+
+/// o = g * ((s - mu) * inv) + b (eval mode; no xhat saved).
+void bn_eval_normalize(const float* s, float* o, std::int64_t n, float mu,
+                       float inv, float g, float b) {
+  if (!simd::enabled()) {
+    for (std::int64_t i = 0; i < n; ++i) o[i] = g * (s[i] - mu) * inv + b;
+    return;
+  }
+  constexpr int W = simd::kWidth;
+  const simd::VF vmu = simd::vset1(mu), vinv = simd::vset1(inv);
+  const simd::VF vg = simd::vset1(g), vb = simd::vset1(b);
+  std::int64_t i = 0;
+  for (; i + W <= n; i += W) {
+    const simd::VF x = simd::vmul(simd::vsub(simd::vloadu(s + i), vmu), vinv);
+    simd::vstoreu(o + i, simd::vfma(vg, x, vb));
+  }
+  const int tail = static_cast<int>(n - i);
+  if (tail > 0) {
+    const simd::VF x = simd::vmul(
+        simd::vsub(simd::vload_partial(s + i, tail), vmu), vinv);
+    simd::vstore_partial(o + i, simd::vfma(vg, x, vb), tail);
+  }
+}
+
+/// gx = k * (M * gy - sg - xh * sgx).
+void bn_grad_gx(const float* gy, const float* xh, float* gx, std::int64_t n,
+                float k, float M, float sg, float sgx) {
+  if (!simd::enabled()) {
+    for (std::int64_t i = 0; i < n; ++i)
+      gx[i] = k * (M * gy[i] - sg - xh[i] * sgx);
+    return;
+  }
+  constexpr int W = simd::kWidth;
+  const simd::VF vk = simd::vset1(k), vM = simd::vset1(M);
+  const simd::VF vsg = simd::vset1(sg), vsgx = simd::vset1(sgx);
+  std::int64_t i = 0;
+  for (; i + W <= n; i += W) {
+    const simd::VF t = simd::vsub(
+        simd::vsub(simd::vmul(vM, simd::vloadu(gy + i)), vsg),
+        simd::vmul(simd::vloadu(xh + i), vsgx));
+    simd::vstoreu(gx + i, simd::vmul(vk, t));
+  }
+  const int tail = static_cast<int>(n - i);
+  if (tail > 0) {
+    const simd::VF t = simd::vsub(
+        simd::vsub(simd::vmul(vM, simd::vload_partial(gy + i, tail)), vsg),
+        simd::vmul(simd::vload_partial(xh + i, tail), vsgx));
+    simd::vstore_partial(gx + i, simd::vmul(vk, t), tail);
+  }
 }
 
 std::int64_t out_size(std::int64_t in, std::int64_t k, std::int64_t s,
@@ -611,13 +730,9 @@ BatchNorm3dResult batchnorm3d_forward(const Tensor& x, const Tensor& gamma,
   parallel_for(C, [&](std::int64_t c0, std::int64_t c1) {
     for (std::int64_t c = c0; c < c1; ++c) {
       double acc = 0.0, acc2 = 0.0;
-      for (std::int64_t n = 0; n < N; ++n) {
-        const float* s = px + (n * C + c) * S;
-        for (std::int64_t i = 0; i < S; ++i) {
-          acc += s[i];
-          acc2 += static_cast<double>(s[i]) * s[i];
-        }
-      }
+      for (std::int64_t n = 0; n < N; ++n)
+        bn_pair_sums(px + (n * C + c) * S, px + (n * C + c) * S, S, acc,
+                     acc2);
       const double mu = acc / static_cast<double>(M);
       const double var =
           std::max(acc2 / static_cast<double>(M) - mu * mu, 0.0);
@@ -627,13 +742,10 @@ BatchNorm3dResult batchnorm3d_forward(const Tensor& x, const Tensor& gamma,
       res.invstd.data()[c] = inv;
       const float g = gamma.data()[c], b = beta.data()[c];
       for (std::int64_t n = 0; n < N; ++n) {
-        const float* s = px + (n * C + c) * S;
-        float* xh = res.xhat.data() + (n * C + c) * S;
-        float* o = res.out.data() + (n * C + c) * S;
-        for (std::int64_t i = 0; i < S; ++i) {
-          xh[i] = (s[i] - static_cast<float>(mu)) * inv;
-          o[i] = g * xh[i] + b;
-        }
+        const std::int64_t base = (n * C + c) * S;
+        bn_normalize(px + base, res.xhat.data() + base,
+                     res.out.data() + base, S, static_cast<float>(mu), inv,
+                     g, b);
       }
     }
   });
@@ -654,9 +766,8 @@ Tensor batchnorm3d_eval(const Tensor& x, const Tensor& gamma,
     const float mu = running_mean.data()[c];
     const float g = gamma.data()[c], b = beta.data()[c];
     for (std::int64_t n = 0; n < N; ++n) {
-      const float* s = px + (n * C + c) * S;
-      float* o = po + (n * C + c) * S;
-      for (std::int64_t i = 0; i < S; ++i) o[i] = g * (s[i] - mu) * inv + b;
+      const std::int64_t base = (n * C + c) * S;
+      bn_eval_normalize(px + base, po + base, S, mu, inv, g, b);
     }
   }
   return out;
@@ -680,10 +791,7 @@ BatchNorm3dGrads batchnorm3d_backward(const BatchNorm3dResult& saved,
       double sum_gy = 0.0, sum_gy_xhat = 0.0;
       for (std::int64_t n = 0; n < N; ++n) {
         const std::int64_t base = (n * C + c) * S;
-        for (std::int64_t i = 0; i < S; ++i) {
-          sum_gy += pgy[base + i];
-          sum_gy_xhat += static_cast<double>(pgy[base + i]) * pxh[base + i];
-        }
+        bn_pair_sums(pgy + base, pxh + base, S, sum_gy, sum_gy_xhat);
       }
       grads.gbeta.data()[c] = static_cast<float>(sum_gy);
       grads.ggamma.data()[c] = static_cast<float>(sum_gy_xhat);
@@ -692,12 +800,9 @@ BatchNorm3dGrads batchnorm3d_backward(const BatchNorm3dResult& saved,
       const float k = g * inv / static_cast<float>(M);
       for (std::int64_t n = 0; n < N; ++n) {
         const std::int64_t base = (n * C + c) * S;
-        float* gx = grads.gx.data() + base;
-        for (std::int64_t i = 0; i < S; ++i) {
-          gx[i] = k * (static_cast<float>(M) * pgy[base + i] -
-                       static_cast<float>(sum_gy) -
-                       pxh[base + i] * static_cast<float>(sum_gy_xhat));
-        }
+        bn_grad_gx(pgy + base, pxh + base, grads.gx.data() + base, S, k,
+                   static_cast<float>(M), static_cast<float>(sum_gy),
+                   static_cast<float>(sum_gy_xhat));
       }
     }
   });

@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "backend/sgemm.h"
+#include "backend/simd.h"
 #include "common/error.h"
 #include "threading/thread_pool.h"
 
@@ -157,7 +158,215 @@ inline float fast_tanhf(float x) {
   return ax < 0.625f ? ts : (x >= 0.0f ? tl : -tl);
 }
 
+// ---- SIMD dispatch helpers ------------------------------------------------
+// Each hot elementwise/reduction kernel has a vector body (written against
+// backend/simd.h) and a scalar reference in mfn::scalar_ref. simd::enabled()
+// picks between them per raw-buffer range; the Tensor-level ops split large
+// tensors across the pool first (kMapGrain blocks) so the batch axis stays
+// the source of parallelism.
+
+/// y[i] = vf(x[i]) over [0, n) with a masked ragged tail.
+template <typename VFn>
+inline void vmap1(const float* x, float* y, std::int64_t n, VFn&& vf) {
+  constexpr int W = simd::kWidth;
+  std::int64_t i = 0;
+  for (; i + W <= n; i += W) simd::vstoreu(y + i, vf(simd::vloadu(x + i)));
+  const int tail = static_cast<int>(n - i);
+  if (tail > 0)
+    simd::vstore_partial(y + i, vf(simd::vload_partial(x + i, tail)), tail);
+}
+
+/// out[i] = vf(a[i], b[i]) over [0, n) with a masked ragged tail.
+template <typename VFn>
+inline void vmap2(const float* a, const float* b, float* out, std::int64_t n,
+                  VFn&& vf) {
+  constexpr int W = simd::kWidth;
+  std::int64_t i = 0;
+  for (; i + W <= n; i += W)
+    simd::vstoreu(out + i, vf(simd::vloadu(a + i), simd::vloadu(b + i)));
+  const int tail = static_cast<int>(n - i);
+  if (tail > 0)
+    simd::vstore_partial(out + i,
+                         vf(simd::vload_partial(a + i, tail),
+                            simd::vload_partial(b + i, tail)),
+                         tail);
+}
+
+using Ref1 = void (*)(const float*, float*, std::int64_t);
+using Ref2 = void (*)(const float*, const float*, float*, std::int64_t);
+
+template <typename VFn>
+Tensor map_unary_simd(const Tensor& a, Ref1 sref, VFn&& vf) {
+  Tensor out = Tensor::uninitialized(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  parallel_for(
+      a.numel(),
+      [&](std::int64_t begin, std::int64_t end) {
+        if (simd::enabled())
+          vmap1(pa + begin, po + begin, end - begin, vf);
+        else
+          sref(pa + begin, po + begin, end - begin);
+      },
+      kMapGrain);
+  return out;
+}
+
+template <typename VFn>
+Tensor map_binary_simd(const Tensor& a, const Tensor& b, const char* op,
+                       Ref2 sref, VFn&& vf) {
+  check_same_shape(a, b, op);
+  Tensor out = Tensor::uninitialized(a.shape());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  parallel_for(
+      a.numel(),
+      [&](std::int64_t begin, std::int64_t end) {
+        if (simd::enabled())
+          vmap2(pa + begin, pb + begin, po + begin, end - begin, vf);
+        else
+          sref(pa + begin, pb + begin, po + begin, end - begin);
+      },
+      kMapGrain);
+  return out;
+}
+
+// Deterministic parallel reduction: one partial per fixed kMapGrain block
+// regardless of thread count or scheduling, then a serial combine in block
+// order — so results don't wobble with MFN_NUM_THREADS.
+template <typename BlockF>
+double reduce_blocks(const float* p, std::int64_t n, BlockF&& bf) {
+  const std::int64_t nblocks = (n + kMapGrain - 1) / kMapGrain;
+  if (nblocks <= 1) return n > 0 ? bf(p, n) : 0.0;
+  std::vector<double> partials(static_cast<std::size_t>(nblocks));
+  parallel_for(nblocks, [&](std::int64_t b0, std::int64_t b1) {
+    for (std::int64_t b = b0; b < b1; ++b) {
+      const std::int64_t begin = b * kMapGrain;
+      partials[static_cast<std::size_t>(b)] =
+          bf(p + begin, std::min<std::int64_t>(kMapGrain, n - begin));
+    }
+  });
+  double acc = 0.0;
+  for (double d : partials) acc += d;
+  return acc;
+}
+
+// Vector block reductions: four independent accumulators (covers FMA/add
+// latency), flushed into a double every simd::kReduceFlushElems elements
+// (the shared flush policy), masked ragged tail.
+template <typename StepF>
+inline double vreduce_sum(const float* p, std::int64_t n, StepF&& step) {
+  constexpr int W = simd::kWidth;
+  constexpr std::int64_t kFlush = simd::kReduceFlushElems;
+  double total = 0.0;
+  for (std::int64_t base = 0; base < n; base += kFlush) {
+    const std::int64_t m = std::min<std::int64_t>(kFlush, n - base);
+    const float* q = p + base;
+    simd::VF a0 = simd::vzero(), a1 = simd::vzero(), a2 = simd::vzero(),
+             a3 = simd::vzero();
+    std::int64_t i = 0;
+    for (; i + 4 * W <= m; i += 4 * W) {
+      a0 = step(a0, simd::vloadu(q + i));
+      a1 = step(a1, simd::vloadu(q + i + W));
+      a2 = step(a2, simd::vloadu(q + i + 2 * W));
+      a3 = step(a3, simd::vloadu(q + i + 3 * W));
+    }
+    for (; i + W <= m; i += W) a0 = step(a0, simd::vloadu(q + i));
+    const int tail = static_cast<int>(m - i);
+    if (tail > 0) a0 = step(a0, simd::vload_partial(q + i, tail));
+    total += static_cast<double>(simd::vhsum(
+        simd::vadd(simd::vadd(a0, a1), simd::vadd(a2, a3))));
+  }
+  return total;
+}
+
 }  // namespace
+
+// ---- scalar reference kernels ---------------------------------------------
+
+namespace scalar_ref {
+
+void softplus(const float* x, float* y, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float v = x[i];
+    y[i] = std::max(v, 0.0f) + fast_log1pf(fast_expf(-std::fabs(v)));
+  }
+}
+
+void sigmoid(const float* x, float* y, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float v = x[i];
+    const float e = fast_expf(-std::fabs(v));  // in (0, 1]
+    const float s = e / (1.0f + e);            // sigmoid(-|v|)
+    y[i] = v >= 0.0f ? 1.0f - s : s;
+  }
+}
+
+void tanh(const float* x, float* y, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) y[i] = fast_tanhf(x[i]);
+}
+
+void relu(const float* x, float* y, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) y[i] = x[i] > 0.0f ? x[i] : 0.0f;
+}
+
+void softplus_grad(const float* x, const float* gy, float* gx,
+                   std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float v = x[i];
+    const float e = fast_expf(-std::fabs(v));
+    const float s = e / (1.0f + e);
+    gx[i] = gy[i] * (v >= 0.0f ? 1.0f - s : s);
+  }
+}
+
+void sigmoid_grad(const float* y, const float* gy, float* gx,
+                  std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) gx[i] = gy[i] * y[i] * (1.0f - y[i]);
+}
+
+void tanh_grad(const float* y, const float* gy, float* gx, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) gx[i] = gy[i] * (1.0f - y[i] * y[i]);
+}
+
+void relu_grad(const float* x, const float* gy, float* gx, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) gx[i] = x[i] > 0.0f ? gy[i] : 0.0f;
+}
+
+void abs_grad(const float* x, const float* gy, float* gx, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float s = x[i] > 0.0f ? 1.0f : (x[i] < 0.0f ? -1.0f : 0.0f);
+    gx[i] = gy[i] * s;
+  }
+}
+
+double sum(const float* p, std::int64_t n) {
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) acc += p[i];
+  return acc;
+}
+
+double sum_abs(const float* p, std::int64_t n) {
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) acc += std::fabs(p[i]);
+  return acc;
+}
+
+double sum_squares(const float* p, std::int64_t n) {
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < n; ++i)
+    acc += static_cast<double>(p[i]) * p[i];
+  return acc;
+}
+
+float max_abs(const float* p, std::int64_t n) {
+  float m = 0.0f;
+  for (std::int64_t i = 0; i < n; ++i) m = std::max(m, std::fabs(p[i]));
+  return m;
+}
+
+}  // namespace scalar_ref
 
 Tensor add(const Tensor& a, const Tensor& b) {
   return map_binary(a, b, "add", [](float x, float y) { return x + y; });
@@ -185,12 +394,24 @@ void add_(Tensor& a, const Tensor& b, float alpha) {
   float* pa = a.data();
   const float* pb = b.data();
   const std::int64_t n = a.numel();
+  if (simd::enabled()) {
+    const simd::VF va = simd::vset1(alpha);
+    vmap2(pa, pb, pa, n, [va](simd::VF x, simd::VF y) {
+      return simd::vfma(va, y, x);
+    });
+    return;
+  }
   for (std::int64_t i = 0; i < n; ++i) pa[i] += alpha * pb[i];
 }
 
 void scale_(Tensor& a, float s) {
   float* pa = a.data();
   const std::int64_t n = a.numel();
+  if (simd::enabled()) {
+    const simd::VF vs = simd::vset1(s);
+    vmap1(pa, pa, n, [vs](simd::VF x) { return simd::vmul(x, vs); });
+    return;
+  }
   for (std::int64_t i = 0; i < n; ++i) pa[i] *= s;
 }
 
@@ -241,26 +462,71 @@ Tensor square(const Tensor& a) {
 }
 
 Tensor relu(const Tensor& a) {
-  return map_unary(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+  return map_unary_simd(a, scalar_ref::relu, [](simd::VF x) {
+    return simd::vmax(x, simd::vzero());
+  });
 }
 
 Tensor softplus(const Tensor& a) {
   // Stable branch-free form: log(1 + e^x) = max(x, 0) + log1p(e^-|x|).
-  return map_unary(a, [](float x) {
-    return std::max(x, 0.0f) + fast_log1pf(fast_expf(-std::fabs(x)));
-  });
+  return map_unary_simd(a, scalar_ref::softplus,
+                        [](simd::VF x) { return simd::v_softplus(x); });
 }
 
 Tensor sigmoid(const Tensor& a) {
-  return map_unary(a, [](float x) {
-    const float e = fast_expf(-std::fabs(x));  // in (0, 1]
-    const float s = e / (1.0f + e);            // sigmoid(-|x|)
-    return x >= 0.0f ? 1.0f - s : s;
-  });
+  return map_unary_simd(a, scalar_ref::sigmoid,
+                        [](simd::VF x) { return simd::v_sigmoid(x); });
 }
 
 Tensor tanh(const Tensor& a) {
-  return map_unary(a, [](float x) { return fast_tanhf(x); });
+  return map_unary_simd(a, scalar_ref::tanh,
+                        [](simd::VF x) { return simd::v_tanh(x); });
+}
+
+Tensor softplus_grad(const Tensor& x, const Tensor& gy) {
+  // d softplus / dx = sigmoid(x)
+  return map_binary_simd(x, gy, "softplus_grad", scalar_ref::softplus_grad,
+                         [](simd::VF xv, simd::VF gv) {
+                           return simd::vmul(gv, simd::v_sigmoid(xv));
+                         });
+}
+
+Tensor sigmoid_grad(const Tensor& y, const Tensor& gy) {
+  return map_binary_simd(y, gy, "sigmoid_grad", scalar_ref::sigmoid_grad,
+                         [](simd::VF yv, simd::VF gv) {
+                           const simd::VF one_minus =
+                               simd::vsub(simd::vset1(1.0f), yv);
+                           return simd::vmul(gv, simd::vmul(yv, one_minus));
+                         });
+}
+
+Tensor tanh_grad(const Tensor& y, const Tensor& gy) {
+  return map_binary_simd(y, gy, "tanh_grad", scalar_ref::tanh_grad,
+                         [](simd::VF yv, simd::VF gv) {
+                           const simd::VF d = simd::vsub(
+                               simd::vset1(1.0f), simd::vmul(yv, yv));
+                           return simd::vmul(gv, d);
+                         });
+}
+
+Tensor relu_grad(const Tensor& x, const Tensor& gy) {
+  return map_binary_simd(x, gy, "relu_grad", scalar_ref::relu_grad,
+                         [](simd::VF xv, simd::VF gv) {
+                           return simd::vselect(
+                               simd::vcmp_gt(xv, simd::vzero()), gv,
+                               simd::vzero());
+                         });
+}
+
+Tensor abs_grad(const Tensor& x, const Tensor& gy) {
+  return map_binary_simd(
+      x, gy, "abs_grad", scalar_ref::abs_grad,
+      [](simd::VF xv, simd::VF gv) {
+        const simd::VF z = simd::vzero();
+        return simd::vselect(simd::vcmp_gt(xv, z), gv,
+                             simd::vselect(simd::vcmp_lt(xv, z),
+                                           simd::vneg(gv), z));
+      });
 }
 
 Tensor gt_zero_mask(const Tensor& a) {
@@ -268,26 +534,68 @@ Tensor gt_zero_mask(const Tensor& a) {
 }
 
 void relu_inplace(float* p, std::int64_t n) {
-  for (std::int64_t i = 0; i < n; ++i) p[i] = p[i] > 0.0f ? p[i] : 0.0f;
+  if (simd::enabled()) {
+    vmap1(p, p, n,
+          [](simd::VF x) { return simd::vmax(x, simd::vzero()); });
+    return;
+  }
+  scalar_ref::relu(p, p, n);
 }
 
 void softplus_inplace(float* p, std::int64_t n) {
-  for (std::int64_t i = 0; i < n; ++i) {
-    const float x = p[i];
-    p[i] = std::max(x, 0.0f) + fast_log1pf(fast_expf(-std::fabs(x)));
+  if (simd::enabled()) {
+    vmap1(p, p, n, [](simd::VF x) { return simd::v_softplus(x); });
+    return;
   }
+  scalar_ref::softplus(p, p, n);
 }
 
 void tanh_inplace(float* p, std::int64_t n) {
-  for (std::int64_t i = 0; i < n; ++i) p[i] = fast_tanhf(p[i]);
+  if (simd::enabled()) {
+    vmap1(p, p, n, [](simd::VF x) { return simd::v_tanh(x); });
+    return;
+  }
+  scalar_ref::tanh(p, p, n);
 }
 
 float sum(const Tensor& a) {
   const float* pa = a.data();
   const std::int64_t n = a.numel();
-  double acc = 0.0;
-  for (std::int64_t i = 0; i < n; ++i) acc += pa[i];
-  return static_cast<float>(acc);
+  if (simd::enabled())
+    return static_cast<float>(reduce_blocks(pa, n, [](const float* p,
+                                                      std::int64_t m) {
+      return vreduce_sum(p, m,
+                         [](simd::VF acc, simd::VF x) {
+                           return simd::vadd(acc, x);
+                         });
+    }));
+  return static_cast<float>(reduce_blocks(pa, n, scalar_ref::sum));
+}
+
+float sum_abs(const Tensor& a) {
+  const float* pa = a.data();
+  const std::int64_t n = a.numel();
+  if (simd::enabled())
+    return static_cast<float>(reduce_blocks(pa, n, [](const float* p,
+                                                      std::int64_t m) {
+      return vreduce_sum(p, m,
+                         [](simd::VF acc, simd::VF x) {
+                           return simd::vadd(acc, simd::vabs(x));
+                         });
+    }));
+  return static_cast<float>(reduce_blocks(pa, n, scalar_ref::sum_abs));
+}
+
+float sum_squares(const Tensor& a) {
+  const float* pa = a.data();
+  const std::int64_t n = a.numel();
+  if (simd::enabled())
+    return static_cast<float>(reduce_blocks(pa, n, [](const float* p,
+                                                      std::int64_t m) {
+      return vreduce_sum(
+          p, m, [](simd::VF acc, simd::VF x) { return simd::vfma(x, x, acc); });
+    }));
+  return static_cast<float>(reduce_blocks(pa, n, scalar_ref::sum_squares));
 }
 
 float mean(const Tensor& a) {
@@ -310,9 +618,16 @@ float max_value(const Tensor& a) {
 float max_abs(const Tensor& a) {
   const float* pa = a.data();
   const std::int64_t n = a.numel();
-  float m = 0.0f;
-  for (std::int64_t i = 0; i < n; ++i) m = std::max(m, std::fabs(pa[i]));
-  return m;
+  if (!simd::enabled()) return scalar_ref::max_abs(pa, n);
+  constexpr int W = simd::kWidth;
+  simd::VF m = simd::vzero();
+  std::int64_t i = 0;
+  for (; i + W <= n; i += W)
+    m = simd::vmax(m, simd::vabs(simd::vloadu(pa + i)));
+  const int tail = static_cast<int>(n - i);
+  if (tail > 0)
+    m = simd::vmax(m, simd::vabs(simd::vload_partial(pa + i, tail)));
+  return simd::vhmax(m);
 }
 
 Tensor sum_axis0(const Tensor& a) {
@@ -321,10 +636,23 @@ Tensor sum_axis0(const Tensor& a) {
   Tensor out(Shape{n});
   const float* pa = a.data();
   float* po = out.data();
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* row = pa + i * n;
-    for (std::int64_t j = 0; j < n; ++j) po[j] += row[j];
-  }
+  // Parallel over disjoint column ranges (each worker owns its slice of
+  // the output row); the inner column loop is the vector axis.
+  parallel_for(
+      n,
+      [&](std::int64_t c0, std::int64_t c1) {
+        for (std::int64_t i = 0; i < m; ++i) {
+          const float* row = pa + i * n;
+          if (simd::enabled())
+            vmap2(po + c0, row + c0, po + c0, c1 - c0,
+                  [](simd::VF acc, simd::VF x) {
+                    return simd::vadd(acc, x);
+                  });
+          else
+            for (std::int64_t j = c0; j < c1; ++j) po[j] += row[j];
+        }
+      },
+      /*grain=*/4096);
   return out;
 }
 

@@ -55,14 +55,55 @@ void relu_inplace(float* p, std::int64_t n);
 void softplus_inplace(float* p, std::int64_t n);
 void tanh_inplace(float* p, std::int64_t n);
 
+// ----- fused activation backward maps -----
+// One pass over (value, upstream grad) instead of an activation-derivative
+// tensor plus a mul; the autodiff layer routes its backward rules here.
+/// gy * sigmoid(x) (d softplus / dx), from the forward *input* x.
+Tensor softplus_grad(const Tensor& x, const Tensor& gy);
+/// gy * y * (1 - y), from the forward *output* y = sigmoid(x).
+Tensor sigmoid_grad(const Tensor& y, const Tensor& gy);
+/// gy * (1 - y^2), from the forward *output* y = tanh(x).
+Tensor tanh_grad(const Tensor& y, const Tensor& gy);
+/// gy where x > 0, else 0.
+Tensor relu_grad(const Tensor& x, const Tensor& gy);
+/// gy * sign(x).
+Tensor abs_grad(const Tensor& x, const Tensor& gy);
+
 // ----- reductions -----
 float sum(const Tensor& a);
 float mean(const Tensor& a);
 float min_value(const Tensor& a);
 float max_value(const Tensor& a);
 float max_abs(const Tensor& a);
+/// sum |a_i| (L1 losses / residual norms).
+float sum_abs(const Tensor& a);
+/// sum a_i^2 (MSE / gradient norms).
+float sum_squares(const Tensor& a);
 /// Column sums of a 2-D (m,n) tensor -> shape (n). Used for bias gradients.
 Tensor sum_axis0(const Tensor& a);
+
+// ----- scalar reference kernels (the in-tree SIMD oracle) -----
+// Plain serial loops over raw buffers, sharing the polynomial
+// transcendentals with the vector paths. The dispatching ops above fall
+// back to these under simd::force_scalar(); the parity tests in
+// tests/test_simd_kernels.cpp compare against them directly.
+namespace scalar_ref {
+void softplus(const float* x, float* y, std::int64_t n);
+void sigmoid(const float* x, float* y, std::int64_t n);
+void tanh(const float* x, float* y, std::int64_t n);
+void relu(const float* x, float* y, std::int64_t n);
+void softplus_grad(const float* x, const float* gy, float* gx,
+                   std::int64_t n);
+void sigmoid_grad(const float* y, const float* gy, float* gx,
+                  std::int64_t n);
+void tanh_grad(const float* y, const float* gy, float* gx, std::int64_t n);
+void relu_grad(const float* x, const float* gy, float* gx, std::int64_t n);
+void abs_grad(const float* x, const float* gy, float* gx, std::int64_t n);
+double sum(const float* p, std::int64_t n);
+double sum_abs(const float* p, std::int64_t n);
+double sum_squares(const float* p, std::int64_t n);
+float max_abs(const float* p, std::int64_t n);
+}  // namespace scalar_ref
 
 // ----- 2-D linear algebra -----
 /// (m,k) x (k,n) -> (m,n).

@@ -21,6 +21,7 @@
 #include <map>
 #include <string>
 
+#include "backend/simd.h"
 #include "common/error.h"
 #include "common/stopwatch.h"
 #include "core/checkpoint.h"
@@ -285,7 +286,10 @@ int cmd_superres(const Args& args) {
 int usage() {
   std::fprintf(stderr,
                "usage: mfn <simulate|info|train|eval|superres> [--flag "
-               "value]...\n(see the header of tools/mfn_cli.cpp)\n");
+               "value]...\n(see the header of tools/mfn_cli.cpp)\n"
+               "simd: %s tier, vector width %d "
+               "(MFN_FORCE_SCALAR=1 pins the scalar reference paths)\n",
+               simd::active_tier(), simd::kWidth);
   return 2;
 }
 
@@ -294,6 +298,10 @@ int usage() {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
+  // Every perf figure a run logs (train/eval throughput) is attributable
+  // to the ISA it actually executed on.
+  std::printf("mfn: simd tier %s (vector width %d)\n", simd::active_tier(),
+              simd::kWidth);
   try {
     Args args(argc, argv, 2);
     if (cmd == "simulate") return cmd_simulate(args);
