@@ -7,10 +7,14 @@
 
 #include "autodiff/variable.h"
 #include "backend/simd.h"
+#include "backend/workspace.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "core/decoder.h"
+#include "core/losses.h"
 #include "core/meshfree_flownet.h"
+#include "core/trainer.h"
+#include "data/dataset.h"
 #include "distributed/allreduce.h"
 #include "fft/fft.h"
 #include "optim/adam.h"
@@ -287,6 +291,100 @@ void emit_perf_json() {
         flops / sec / 1e9, flops / sec_ref / 1e9, sec_ref / sec);
   }
   {
+    // Implicit-GEMM conv3d (pack-from-volume, no CKxL column matrix) vs
+    // the PR 3 im2col path, forward and backward, at the training shape
+    // (batch 4, UNet level-0 geometry).
+    const std::int64_t N = 4, C = 16, F = 16;
+    Rng rng(24);
+    Tensor x = Tensor::randn(Shape{N, C, 4, 16, 16}, rng);
+    Tensor w = Tensor::randn(Shape{F, C, 3, 3, 3}, rng, 0.2f);
+    Tensor b = Tensor::zeros(Shape{F});
+    Conv3dSpec spec;
+    const Shape out = conv3d_output_shape(x.shape(), w.shape(), spec);
+    const double flops = 2.0 * static_cast<double>(out.numel()) *
+                         static_cast<double>(C) * 27.0;
+    Tensor gy = Tensor::randn(out, rng);
+    conv3d_forward(x, w, b, spec);  // warm up
+    conv3d_forward_im2col(x, w, b, spec);
+    double sec = 1e300, sec_im2col = 1e300;
+    double bsec = 1e300, bsec_im2col = 1e300;
+    for (int r = 0; r < 9; ++r) {
+      {
+        Stopwatch sw;
+        benchmark::DoNotOptimize(conv3d_forward(x, w, b, spec));
+        sec = std::min(sec, sw.seconds());
+      }
+      {
+        Stopwatch sw;
+        benchmark::DoNotOptimize(conv3d_forward_im2col(x, w, b, spec));
+        sec_im2col = std::min(sec_im2col, sw.seconds());
+      }
+      {
+        Stopwatch sw;
+        benchmark::DoNotOptimize(conv3d_backward(x, w, true, spec, gy));
+        bsec = std::min(bsec, sw.seconds());
+      }
+      {
+        Stopwatch sw;
+        benchmark::DoNotOptimize(
+            conv3d_backward_im2col(x, w, true, spec, gy));
+        bsec_im2col = std::min(bsec_im2col, sw.seconds());
+      }
+    }
+    std::printf(
+        "{\"mfn_perf\":\"conv3d_implicit\",\"batch\":%lld,\"channels\":%lld,"
+        "\"threads\":%d,\"gflops\":%.3f,\"im2col_gflops\":%.3f,"
+        "\"speedup_vs_im2col\":%.2f,\"bwd_speedup_vs_im2col\":%.2f}\n",
+        static_cast<long long>(N), static_cast<long long>(C), threads,
+        flops / sec / 1e9, flops / sec_im2col / 1e9, sec_im2col / sec,
+        bsec_im2col / bsec);
+  }
+  {
+    // Fused conv -> batchnorm(eval) -> ReLU epilogue vs the unfused
+    // three-pass chain. gbps_saved is the output traffic the fusion
+    // avoids — 4 extra passes over the output tensor (BN read+write, ReLU
+    // read+write) — expressed as a rate at the fused runtime.
+    const std::int64_t N = 4, C = 16, F = 16;
+    Rng rng(25);
+    Tensor x = Tensor::randn(Shape{N, C, 4, 16, 16}, rng);
+    Tensor w = Tensor::randn(Shape{F, C, 3, 3, 3}, rng, 0.2f);
+    Conv3dSpec spec;
+    Tensor gamma = Tensor::randn(Shape{F}, rng, 0.1f);
+    Tensor beta = Tensor::randn(Shape{F}, rng, 0.1f);
+    Tensor mean = Tensor::randn(Shape{F}, rng, 0.1f);
+    Tensor var = Tensor::full(Shape{F}, 1.0f);
+    ConvEpilogue ep;
+    ep.scale = Tensor::uninitialized(Shape{F});
+    ep.shift = Tensor::uninitialized(Shape{F});
+    for (std::int64_t f = 0; f < F; ++f) {
+      const float s =
+          gamma.data()[f] / std::sqrt(var.data()[f] + 1e-5f);
+      ep.scale.data()[f] = s;
+      ep.shift.data()[f] = beta.data()[f] - mean.data()[f] * s;
+    }
+    ep.relu = true;
+    auto fused = [&] {
+      benchmark::DoNotOptimize(conv3d_forward_fused(x, w, spec, ep));
+    };
+    auto unfused = [&] {
+      Tensor y = conv3d_forward(x, w, Tensor(), spec);
+      y = batchnorm3d_eval(y, gamma, beta, mean, var, 1e-5f);
+      benchmark::DoNotOptimize(relu(y));
+    };
+    fused();
+    unfused();
+    const double sec_f = time_best_of(7, fused);
+    const double sec_u = time_best_of(7, unfused);
+    const Shape out = conv3d_output_shape(x.shape(), w.shape(), spec);
+    const double saved_bytes = 4.0 * static_cast<double>(out.numel()) * 4.0;
+    std::printf(
+        "{\"mfn_perf\":\"conv3d_fused_ep\",\"batch\":%lld,\"channels\":%lld,"
+        "\"threads\":%d,\"sec_fused\":%.6f,\"sec_unfused\":%.6f,"
+        "\"speedup\":%.2f,\"gbps_saved\":%.2f}\n",
+        static_cast<long long>(N), static_cast<long long>(C), threads,
+        sec_f, sec_u, sec_u / sec_f, saved_bytes / sec_f / 1e9);
+  }
+  {
     // Batched continuous-query pipeline: decoder decode, end-to-end
     // predict, and predict_with_derivatives throughput (queries/sec) at
     // batch 1 and batch 8. The batch-8 predict/derivs lines also report
@@ -472,6 +570,64 @@ void emit_perf_json() {
         "\"speedup_vs_scalar\":%.2f}\n",
         static_cast<long long>(elems), threads, elems / t.sec / 1e6,
         elems / t.sec_scalar / 1e6, t.sec_scalar / t.sec);
+  }
+  {
+    // End-to-end training step (forward + equation loss + backward + Adam)
+    // on a synthetic minibatch: patches/sec, plus the caching allocator's
+    // per-step counters once shapes have warmed — tensor_allocs_per_step
+    // is what the step *would* malloc without the cache,
+    // heap_allocs_per_step is what it actually mallocs, and
+    // alloc_reduction is their ratio (the >= 10x acceptance metric).
+    Rng rng(41);
+    core::MFNConfig cfg = core::MFNConfig::small_default();
+    core::MeshfreeFlowNet model(cfg, rng);
+    model.set_training(true);
+    const std::int64_t NB = 4, Q = 384;
+    Tensor lr = Tensor::randn(Shape{NB, 4, 4, 8, 8}, rng, 0.5f);
+    Tensor coords(Shape{NB, Q, 3});
+    {
+      float* p = coords.data();
+      for (std::int64_t r = 0; r < NB * Q; ++r) {
+        p[r * 3 + 0] = static_cast<float>(rng.uniform(0.0, 3.0));
+        p[r * 3 + 1] = static_cast<float>(rng.uniform(0.0, 7.0));
+        p[r * 3 + 2] = static_cast<float>(rng.uniform(0.0, 7.0));
+      }
+    }
+    data::BatchedSample batch;
+    batch.lr_patches = lr;
+    batch.query_coords = coords;
+    batch.targets = Tensor::randn(Shape{NB, Q, 4}, rng, 0.5f);
+    core::EquationLossConfig eq;
+    eq.constants = core::RBConstants::from_ra_pr(1e5, 1.0);
+    eq.cell_size = {0.1, 0.125, 0.25};
+    optim::Adam opt(model.parameters(), optim::AdamConfig{});
+    auto step = [&] {
+      opt.zero_grad();
+      core::StepLoss s =
+          core::batched_step_loss(model, batch, eq, /*gamma=*/0.0125);
+      ad::backward(s.loss);
+      opt.step();
+      backend::CachingAllocator::instance().next_step();
+    };
+    for (int r = 0; r < 3; ++r) step();  // warm the bucket cache
+    const backend::CachingAllocator::Stats s0 =
+        backend::CachingAllocator::instance().stats();
+    const double sec = time_best_of(5, step);
+    const backend::CachingAllocator::Stats s1 =
+        backend::CachingAllocator::instance().stats();
+    const double steps_run = static_cast<double>(s1.steps - s0.steps);
+    const double allocs_per_step =
+        static_cast<double>(s1.allocs - s0.allocs) / steps_run;
+    const double heap_per_step =
+        static_cast<double>(s1.heap_allocs - s0.heap_allocs) / steps_run;
+    std::printf(
+        "{\"mfn_perf\":\"train_step\",\"batch\":%lld,\"queries\":%lld,"
+        "\"threads\":%d,\"patches_per_sec\":%.1f,"
+        "\"tensor_allocs_per_step\":%.0f,\"heap_allocs_per_step\":%.0f,"
+        "\"alloc_reduction\":%.1f}\n",
+        static_cast<long long>(NB), static_cast<long long>(Q), threads,
+        static_cast<double>(NB) / sec, allocs_per_step, heap_per_step,
+        allocs_per_step / std::max(heap_per_step, 1.0));
   }
 }
 

@@ -195,7 +195,8 @@ Var slice_cols(const Var& a, std::int64_t begin, std::int64_t end) {
   MFN_CHECK(0 <= begin && begin < end && end <= k,
             "slice_cols [" << begin << "," << end << ") of " << k);
   const std::int64_t w = end - begin;
-  Tensor out(Shape{m, w});
+  // Fully covered by the row copies below — no zero-fill needed.
+  Tensor out = Tensor::uninitialized(Shape{m, w});
   {
     const float* pa = a.value().data();
     float* po = out.data();
@@ -218,7 +219,8 @@ Var slice_rows(const Var& a, std::int64_t begin, std::int64_t end) {
   MFN_CHECK(0 <= begin && begin < end && end <= m,
             "slice_rows [" << begin << "," << end << ") of " << m);
   const std::int64_t rows = end - begin;
-  Tensor out(Shape{rows, k});
+  // Fully covered by the block copy below — no zero-fill needed.
+  Tensor out = Tensor::uninitialized(Shape{rows, k});
   std::copy(a.value().data() + begin * k, a.value().data() + end * k,
             out.data());
   return make_op(std::move(out), {a}, [begin, rows, k](Node& n) {
@@ -234,7 +236,8 @@ Var mul_colvec(const Var& a, const Var& v) {
   const std::int64_t m = a.dim(0), cols = a.dim(1);
   MFN_CHECK(v.numel() == m, "mul_colvec v numel " << v.numel() << " vs rows "
                                                   << m);
-  Tensor out(a.shape());
+  // Every (i, j) is written by the scaling loop — no zero-fill needed.
+  Tensor out = Tensor::uninitialized(a.shape());
   {
     const float* pa = a.value().data();
     const float* pv = v.value().data();
@@ -246,7 +249,8 @@ Var mul_colvec(const Var& a, const Var& v) {
   return make_op(std::move(out), {a, v}, [m, cols](Node& n) {
     const float* pg = n.grad.data();
     if (n.parents[0]->requires_grad) {
-      Tensor ga(n.parents[0]->value.shape());
+      // Fully written below before accumulate — no zero-fill needed.
+      Tensor ga = Tensor::uninitialized(n.parents[0]->value.shape());
       const float* pv = n.parents[1]->value.data();
       float* pga = ga.data();
       for (std::int64_t i = 0; i < m; ++i)
@@ -255,7 +259,8 @@ Var mul_colvec(const Var& a, const Var& v) {
       n.parents[0]->accumulate(ga);
     }
     if (n.parents[1]->requires_grad) {
-      Tensor gv(n.parents[1]->value.shape());
+      // Every row's dot product is written — no zero-fill needed.
+      Tensor gv = Tensor::uninitialized(n.parents[1]->value.shape());
       const float* pa = n.parents[0]->value.data();
       float* pgv = gv.data();
       for (std::int64_t i = 0; i < m; ++i) {
@@ -357,7 +362,8 @@ Var gather_voxels(const Var& grid, const std::vector<VoxelIndex>& idx) {
   const std::int64_t N = grid.dim(0), C = grid.dim(1), D = grid.dim(2),
                      H = grid.dim(3), W = grid.dim(4);
   const auto B = static_cast<std::int64_t>(idx.size());
-  Tensor out(Shape{B, C});
+  // Every (b, c) is written by the gather loop — no zero-fill needed.
+  Tensor out = Tensor::uninitialized(Shape{B, C});
   const float* pg = grid.value().data();
   float* po = out.data();
   const std::int64_t slab = D * H * W;

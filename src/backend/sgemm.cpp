@@ -40,14 +40,39 @@ constexpr std::int64_t kNC = 2048;
 // than it saves; use direct loops.
 constexpr std::int64_t kSmallFlops = 32 * 1024;
 
-// Optional fused epilogue: after the product lands in C, add row_bias[i]
-// (broadcast along the row, e.g. conv3d per-filter bias) and/or col_bias[j]
-// (broadcast down the column, e.g. linear per-feature bias). Pointers are
-// global — indexed by the absolute row/column of C — and may be null.
+// Optional fused epilogue: after the product (plus beta * C) lands in a
+// tile, apply t -> act(row_scale[i] * t + row_bias[i] + col_bias[j]).
+// row_scale/row_bias fold conv3d's per-filter bias and batchnorm(eval)
+// affine; col_bias is the linear layers' per-feature bias; act is the
+// post-conv activation. Pointers are global — indexed by the absolute
+// row/column of C — and may be null (identity scale / zero bias).
 struct Epilogue {
+  const float* row_scale = nullptr;
   const float* row_bias = nullptr;
   const float* col_bias = nullptr;
+  bool relu = false;
 };
+
+// Per-tile view of the epilogue: pointers pre-offset to the tile's rows and
+// columns. Only populated on the final k-accumulation pass, so the fused
+// write-back fires exactly once per element.
+struct TileEp {
+  const float* rs = nullptr;
+  const float* rb = nullptr;
+  const float* cb = nullptr;
+  bool relu = false;
+  bool any() const { return rs != nullptr || rb != nullptr ||
+                            cb != nullptr || relu; }
+};
+
+inline TileEp tile_ep(const Epilogue& ep, std::int64_t i, std::int64_t j) {
+  TileEp te;
+  te.rs = ep.row_scale ? ep.row_scale + i : nullptr;
+  te.rb = ep.row_bias ? ep.row_bias + i : nullptr;
+  te.cb = ep.col_bias ? ep.col_bias + j : nullptr;
+  te.relu = ep.relu;
+  return te;
+}
 
 struct StrideA {
   std::int64_t rs, cs;  // op(A)(i,k) = A[i*rs + k*cs]
@@ -63,16 +88,20 @@ StrideA strides_b(Trans t, std::int64_t K, std::int64_t N) {
   return t == Trans::kNo ? StrideA{N, 1} : StrideA{1, K};
 }
 
+// Post-pass form of the epilogue for the unpacked (small / skinny) paths:
+// C already holds alpha * AB + beta * C.
 void apply_epilogue(float* C, std::int64_t M, std::int64_t N,
                     const Epilogue& ep) {
-  if (ep.row_bias == nullptr && ep.col_bias == nullptr) return;
+  if (ep.row_scale == nullptr && ep.row_bias == nullptr &&
+      ep.col_bias == nullptr && !ep.relu)
+    return;
   for (std::int64_t i = 0; i < M; ++i) {
     float* crow = C + i * N;
+    const float rs = ep.row_scale ? ep.row_scale[i] : 1.0f;
     const float rb = ep.row_bias ? ep.row_bias[i] : 0.0f;
-    if (ep.col_bias) {
-      for (std::int64_t j = 0; j < N; ++j) crow[j] += rb + ep.col_bias[j];
-    } else if (rb != 0.0f) {
-      for (std::int64_t j = 0; j < N; ++j) crow[j] += rb;
+    for (std::int64_t j = 0; j < N; ++j) {
+      float v = rs * crow[j] + rb + (ep.col_bias ? ep.col_bias[j] : 0.0f);
+      crow[j] = ep.relu ? std::max(v, 0.0f) : v;
     }
   }
 }
@@ -142,6 +171,23 @@ void pack_a(const float* A, StrideA sa, std::int64_t i0, std::int64_t mc,
   }
 }
 
+// Pack the single NR-column panel op(B)[pc:pc+kc, j0:j0+cols] k-major into
+// dst (dst[k*NR + c]); columns past `cols` are zero-filled.
+void pack_b_panel(const float* B, StrideA sb, std::int64_t pc,
+                  std::int64_t kc, std::int64_t j0, std::int64_t cols,
+                  float* dst) {
+  for (std::int64_t k = 0; k < kc; ++k) {
+    const float* src = B + (pc + k) * sb.rs + j0 * sb.cs;
+    if (sb.cs == 1) {
+      for (std::int64_t c = 0; c < cols; ++c) dst[k * kNR + c] = src[c];
+    } else {
+      for (std::int64_t c = 0; c < cols; ++c)
+        dst[k * kNR + c] = src[c * sb.cs];
+    }
+    for (std::int64_t c = cols; c < kNR; ++c) dst[k * kNR + c] = 0.0f;
+  }
+}
+
 // Pack op(B)[pc:pc+kc, 0:N] into NR-column panels, k-major within a panel
 // (Bp[p*kc*NR + k*NR + c]); columns past N are zero-filled.
 void pack_b(const float* B, StrideA sb, std::int64_t pc, std::int64_t kc,
@@ -151,28 +197,19 @@ void pack_b(const float* B, StrideA sb, std::int64_t pc, std::int64_t kc,
     for (std::int64_t p = p0; p < p1; ++p) {
       const std::int64_t j0 = p * kNR;
       const std::int64_t cols = std::min<std::int64_t>(kNR, N - j0);
-      float* dst = Bp + p * kc * kNR;
-      for (std::int64_t k = 0; k < kc; ++k) {
-        const float* src = B + (pc + k) * sb.rs + j0 * sb.cs;
-        if (sb.cs == 1) {
-          for (std::int64_t c = 0; c < cols; ++c) dst[k * kNR + c] = src[c];
-        } else {
-          for (std::int64_t c = 0; c < cols; ++c)
-            dst[k * kNR + c] = src[c * sb.cs];
-        }
-        for (std::int64_t c = cols; c < kNR; ++c) dst[k * kNR + c] = 0.0f;
-      }
+      pack_b_panel(B, sb, pc, kc, j0, cols, Bp + p * kc * kNR);
     }
   });
 }
 
-// Shared writeback for both microkernels: C = acc + beta * C (+ bias) on
-// the live mr x nr corner. `rb`/`cb` are pre-offset to this tile, may be
-// null, and must only be non-null on the final accumulation pass.
+// Shared writeback for both microkernels on the live mr x nr corner:
+//   t = acc + beta * C;  C = act(rs * t + rb + cb)
+// The epilogue view is pre-offset to this tile and only populated on the
+// final accumulation pass.
 template <int TMR, int TNR>
 inline void write_tile(const float* acc, float* c, std::int64_t ldc, int mr,
-                       int nr, float beta, const float* rb, const float* cb) {
-  if (rb == nullptr && cb == nullptr) {
+                       int nr, float beta, const TileEp& ep) {
+  if (!ep.any()) {
     if (mr == TMR && nr == TNR) {
       if (beta == 0.0f) {
         for (int i = 0; i < TMR; ++i)
@@ -195,11 +232,14 @@ inline void write_tile(const float* acc, float* c, std::int64_t ldc, int mr,
     return;
   }
   for (int i = 0; i < mr; ++i) {
-    const float rbias = rb ? rb[i] : 0.0f;
+    const float rscale = ep.rs ? ep.rs[i] : 1.0f;
+    const float rbias = ep.rb ? ep.rb[i] : 0.0f;
     for (int j = 0; j < nr; ++j) {
       float* cc = c + i * ldc + j;
-      const float bias = rbias + (cb ? cb[j] : 0.0f);
-      *cc = acc[i * TNR + j] + bias + (beta == 0.0f ? 0.0f : beta * *cc);
+      const float t =
+          acc[i * TNR + j] + (beta == 0.0f ? 0.0f : beta * *cc);
+      const float v = rscale * t + rbias + (ep.cb ? ep.cb[j] : 0.0f);
+      *cc = ep.relu ? std::max(v, 0.0f) : v;
     }
   }
 }
@@ -209,7 +249,7 @@ inline void write_tile(const float* acc, float* c, std::int64_t ldc, int mr,
 // simd::set_force_scalar and compare against the FMA kernels below.
 void micro_kernel_scalar(std::int64_t kc, const float* ap, const float* bp,
                          float* c, std::int64_t ldc, int mr, int nr,
-                         float beta, const float* rb, const float* cb) {
+                         float beta, const TileEp& ep) {
   float acc[kMR * kNR];
   for (int x = 0; x < kMR * kNR; ++x) acc[x] = 0.0f;
   for (std::int64_t k = 0; k < kc; ++k) {
@@ -220,7 +260,7 @@ void micro_kernel_scalar(std::int64_t kc, const float* ap, const float* bp,
       for (int j = 0; j < kNR; ++j) acc[i * kNR + j] += ai * b[j];
     }
   }
-  write_tile<kMR, kNR>(acc, c, ldc, mr, nr, beta, rb, cb);
+  write_tile<kMR, kNR>(acc, c, ldc, mr, nr, beta, ep);
 }
 
 // Scalar-reference direct-B microkernel (row-major B, leading dimension
@@ -229,8 +269,7 @@ template <int TMR, int TNR>
 void micro_kernel_direct_b_scalar(std::int64_t K, const float* ap,
                                   const float* b, std::int64_t ldb, float* c,
                                   std::int64_t ldc, int mr, int nr,
-                                  float beta, const float* rb,
-                                  const float* cb) {
+                                  float beta, const TileEp& ep) {
   float acc[TMR * TNR];
   for (int x = 0; x < TMR * TNR; ++x) acc[x] = 0.0f;
   if (nr == TNR) {
@@ -253,7 +292,7 @@ void micro_kernel_direct_b_scalar(std::int64_t K, const float* ap,
       }
     }
   }
-  write_tile<TMR, TNR>(acc, c, ldc, mr, nr, beta, rb, cb);
+  write_tile<TMR, TNR>(acc, c, ldc, mr, nr, beta, ep);
 }
 
 #if MFN_SIMD_HAS_VECTOR
@@ -265,34 +304,40 @@ constexpr int kNV = kNR / sv::kWidth;  // == 2
 
 // Vector writeback from the spilled accumulator buffer (kMR x kNR floats,
 // written once after the k-loop — 2*kMR stores against ~kc*kMR*2 FMAs):
-// C = acc + beta * C (+ bias) on the live mr x nr corner. Full-width
-// columns go through plain loads/stores; the ragged N tail is masked, so
-// no lane outside the tile is ever read or written.
+//   t = acc + beta * C;  C = act(rs * t + rb + cb)
+// on the live mr x nr corner. Full-width columns go through plain
+// loads/stores; the ragged N tail is masked, so no lane outside the tile
+// is ever read or written.
 inline void write_tile_simd(const float* acc, float* c, std::int64_t ldc,
-                            int mr, int nr, float beta, const float* rb,
-                            const float* cb) {
+                            int mr, int nr, float beta, const TileEp& ep) {
   const sv::VF vbeta = sv::vset1(beta);
   for (int i = 0; i < mr; ++i) {
     float* crow = c + i * ldc;
-    const sv::VF rbias = rb ? sv::vset1(rb[i]) : sv::vzero();
+    const sv::VF rbias = ep.rb ? sv::vset1(ep.rb[i]) : sv::vzero();
+    const sv::VF rscale = ep.rs ? sv::vset1(ep.rs[i]) : sv::vzero();
     for (int jv = 0; jv < kNV; ++jv) {
       const int j0 = jv * sv::kWidth;
       const int lanes = nr - j0;
       if (lanes <= 0) break;
       sv::VF r = sv::vloadu(acc + i * kNR + j0);
-      if (cb != nullptr) {
+      if (beta != 0.0f) {
+        const sv::VF cv = lanes >= sv::kWidth
+                              ? sv::vloadu(crow + j0)
+                              : sv::vload_partial(crow + j0, lanes);
+        r = sv::vfma(vbeta, cv, r);
+      }
+      if (ep.rs != nullptr) r = sv::vmul(r, rscale);
+      if (ep.rb != nullptr) r = sv::vadd(r, rbias);
+      if (ep.cb != nullptr) {
         const sv::VF cbias = lanes >= sv::kWidth
-                                 ? sv::vloadu(cb + j0)
-                                 : sv::vload_partial(cb + j0, lanes);
+                                 ? sv::vloadu(ep.cb + j0)
+                                 : sv::vload_partial(ep.cb + j0, lanes);
         r = sv::vadd(r, cbias);
       }
-      if (rb != nullptr) r = sv::vadd(r, rbias);
+      if (ep.relu) r = sv::vmax(r, sv::vzero());
       if (lanes >= sv::kWidth) {
-        if (beta != 0.0f) r = sv::vfma(vbeta, sv::vloadu(crow + j0), r);
         sv::vstoreu(crow + j0, r);
       } else {
-        if (beta != 0.0f)
-          r = sv::vfma(vbeta, sv::vload_partial(crow + j0, lanes), r);
         sv::vstore_partial(crow + j0, r, lanes);
       }
     }
@@ -382,7 +427,7 @@ inline void fma_tile(std::int64_t kc, const float* ap, LoadB&& loadb,
 // enough to cover FMA latency on every tier without spilling.
 void micro_kernel_simd(std::int64_t kc, const float* ap, const float* bp,
                        float* c, std::int64_t ldc, int mr, int nr, float beta,
-                       const float* rb, const float* cb) {
+                       const TileEp& ep) {
   alignas(64) float buf[kMR * kNR];
   fma_tile(kc, ap,
            [bp](std::int64_t k, sv::VF& b0, sv::VF& b1) {
@@ -390,7 +435,7 @@ void micro_kernel_simd(std::int64_t kc, const float* ap, const float* bp,
              b1 = sv::vloadu(bp + k * kNR + sv::kWidth);
            },
            buf);
-  write_tile_simd(buf, c, ldc, mr, nr, beta, rb, cb);
+  write_tile_simd(buf, c, ldc, mr, nr, beta, ep);
 }
 
 // Explicit-FMA direct-B microkernel. The full-width case streams two
@@ -399,7 +444,7 @@ void micro_kernel_simd(std::int64_t kc, const float* ap, const float* bp,
 void micro_kernel_direct_b_simd(std::int64_t K, const float* ap,
                                 const float* b, std::int64_t ldb, float* c,
                                 std::int64_t ldc, int mr, int nr, float beta,
-                                const float* rb, const float* cb) {
+                                const TileEp& ep) {
   alignas(64) float buf[kMR * kNR];
   if (nr == kNR) {
     fma_tile(K, ap,
@@ -428,7 +473,7 @@ void micro_kernel_direct_b_simd(std::int64_t K, const float* ap,
              },
              buf);
   }
-  write_tile_simd(buf, c, ldc, mr, nr, beta, rb, cb);
+  write_tile_simd(buf, c, ldc, mr, nr, beta, ep);
 }
 
 #endif  // MFN_SIMD_HAS_VECTOR
@@ -438,33 +483,31 @@ void micro_kernel_direct_b_simd(std::int64_t K, const float* ap,
 // relaxed atomic load per ~2*kc*MR*NR flops of kernel work.
 inline void micro_kernel(std::int64_t kc, const float* ap, const float* bp,
                          float* c, std::int64_t ldc, int mr, int nr,
-                         float beta, const float* rb, const float* cb) {
+                         float beta, const TileEp& ep) {
 #if MFN_SIMD_HAS_VECTOR
   if (simd::enabled()) {
-    micro_kernel_simd(kc, ap, bp, c, ldc, mr, nr, beta, rb, cb);
+    micro_kernel_simd(kc, ap, bp, c, ldc, mr, nr, beta, ep);
     return;
   }
 #endif
-  micro_kernel_scalar(kc, ap, bp, c, ldc, mr, nr, beta, rb, cb);
+  micro_kernel_scalar(kc, ap, bp, c, ldc, mr, nr, beta, ep);
 }
 
 template <int TMR, int TNR>
 inline void micro_kernel_direct_b(std::int64_t K, const float* ap,
                                   const float* b, std::int64_t ldb, float* c,
                                   std::int64_t ldc, int mr, int nr,
-                                  float beta, const float* rb,
-                                  const float* cb) {
+                                  float beta, const TileEp& ep) {
 #if MFN_SIMD_HAS_VECTOR
   if constexpr (TMR == kMR && TNR == kNR) {
     if (simd::enabled()) {
-      micro_kernel_direct_b_simd(K, ap, b, ldb, c, ldc, mr, nr, beta, rb,
-                                 cb);
+      micro_kernel_direct_b_simd(K, ap, b, ldb, c, ldc, mr, nr, beta, ep);
       return;
     }
   }
 #endif
   micro_kernel_direct_b_scalar<TMR, TNR>(K, ap, b, ldb, c, ldc, mr, nr, beta,
-                                         rb, cb);
+                                         ep);
 }
 
 // Short-M products (conv3d's F x L GEMMs: a handful of row panels over a
@@ -490,15 +533,13 @@ void gemm_short_m(std::int64_t M, std::int64_t N, std::int64_t K, float alpha,
           const std::int64_t j = s * kSNR;
           const int nr =
               static_cast<int>(std::min<std::int64_t>(kSNR, N - j));
-          const float* cb = ep.col_bias ? ep.col_bias + j : nullptr;
           for (std::int64_t p = 0; p < panels; ++p) {
             const int mr = static_cast<int>(
                 std::min<std::int64_t>(kSMR, M - p * kSMR));
-            const float* rb =
-                ep.row_bias ? ep.row_bias + p * kSMR : nullptr;
             micro_kernel_direct_b<kSMR, kSNR>(K, Ap + p * K * kSMR, B + j, N,
                                               C + p * kSMR * N + j, N, mr,
-                                              nr, beta, rb, cb);
+                                              nr, beta,
+                                              tile_ep(ep, p * kSMR, j));
           }
         }
       },
@@ -533,6 +574,7 @@ void sgemm_impl(Trans transa, Trans transb, std::int64_t M, std::int64_t N,
         [&](std::int64_t i0, std::int64_t i1) {
           Epilogue eps = ep;
           if (eps.row_bias != nullptr) eps.row_bias += i0;
+          if (eps.row_scale != nullptr) eps.row_scale += i0;
           small_gemm(sa, transb, i1 - i0, N, K, alpha, A + i0 * sa.rs, B,
                      beta, C + i0 * N, eps);
         },
@@ -586,22 +628,130 @@ void sgemm_impl(Trans transa, Trans transb, std::int64_t M, std::int64_t N,
             const float* bp = Bp + (j / kNR) * kc * kNR;
             const int nr = static_cast<int>(
                 std::min<std::int64_t>(kNR, N - j));
-            const float* cb =
-                last && ep.col_bias ? ep.col_bias + j : nullptr;
             for (std::int64_t i = i0; i < i1; i += kMR) {
               const float* ap = Ap + ((i - i0) / kMR) * kc * kMR;
               const int mr = static_cast<int>(
                   std::min<std::int64_t>(kMR, M - i));
-              const float* rb =
-                  last && ep.row_bias ? ep.row_bias + i : nullptr;
               micro_kernel(kc, ap, bp, C + i * N + j, N, mr, nr, eff_beta,
-                           rb, cb);
+                           last ? tile_ep(ep, i, j) : TileEp{});
             }
           }
           wsl.release(m);
         });
     ws->release(outer);  // Bp for the next k-block reuses the same storage
   }
+}
+
+// Implicit-GEMM driver: same blocking as sgemm_impl, but op(B) panels are
+// produced by the caller's pack callback instead of read from a dense
+// matrix. Panels are packed privately per worker (one kc x NR sliver per
+// thread, L1-resident) rather than shared per k-block — the whole point is
+// that no K x N B matrix ever exists.
+void sgemm_packed_b_impl(Trans transa, std::int64_t M, std::int64_t N,
+                         std::int64_t K, float alpha, const float* A,
+                         const PackBSource& bsrc, float beta, float* C,
+                         const Epilogue& ep, Workspace* ws) {
+  MFN_CHECK(M >= 0 && N >= 0 && K >= 0, "sgemm_packed_b negative dims");
+  MFN_CHECK(bsrc.fn != nullptr, "sgemm_packed_b needs a pack callback");
+  if (M == 0 || N == 0) return;
+  const StrideA sa = strides_a(transa, M, K);
+  if (K == 0 || alpha == 0.0f) {
+    scale_c(C, M, N, beta);
+    apply_epilogue(C, M, N, ep);
+    return;
+  }
+  if (ws == nullptr) ws = &local_workspace();
+  const Workspace::Mark outer = ws->mark();
+
+  // Same adaptive k-blocking as the dense path; A is packed whole per
+  // k-block (M is small for the conv consumers — the filter count).
+  std::int64_t kc_max = kKC;
+  if (M <= 2 * kMC) kc_max = 2 * kKC;
+  if (K <= kc_max + kc_max / 2) kc_max = std::max<std::int64_t>(K, 1);
+
+  const std::int64_t ma_panels = (M + kMR - 1) / kMR;
+  const std::int64_t nb_panels = (N + kNR - 1) / kNR;
+  for (std::int64_t pc = 0; pc < K; pc += kc_max) {
+    const std::int64_t kc = std::min<std::int64_t>(kc_max, K - pc);
+    const bool first = pc == 0;
+    const bool last = pc + kc >= K;
+    const float eff_beta = first ? beta : 1.0f;
+    float* Ap = ws->alloc(static_cast<std::size_t>(ma_panels * kc * kMR));
+    pack_a<kMR>(A, sa, 0, M, pc, kc, alpha, Ap);
+    parallel_for(
+        nb_panels,
+        [&](std::int64_t s0, std::int64_t s1) {
+          Workspace& wsl = local_workspace();
+          const Workspace::Mark m = wsl.mark();
+          float* Bp = wsl.alloc(static_cast<std::size_t>(kc * kNR));
+          for (std::int64_t s = s0; s < s1; ++s) {
+            const std::int64_t j = s * kNR;
+            const int nr =
+                static_cast<int>(std::min<std::int64_t>(kNR, N - j));
+            bsrc.fn(bsrc.ctx, pc, kc, j, nr, kNR, Bp);
+            for (std::int64_t i = 0; i < M; i += kMR) {
+              const int mr = static_cast<int>(
+                  std::min<std::int64_t>(kMR, M - i));
+              micro_kernel(kc, Ap + (i / kMR) * kc * kMR, Bp, C + i * N + j,
+                           N, mr, nr, eff_beta,
+                           last ? tile_ep(ep, i, j) : TileEp{});
+            }
+          }
+          wsl.release(m);
+        },
+        /*grain=*/1);
+    ws->release(outer);
+  }
+}
+
+// Strip driver: compute the product one NR-column strip at a time into a
+// resident M x NR scratch and hand each strip to the sink. Serial over
+// strips by contract (sinks scatter into overlapping destinations).
+void sgemm_col_strips_impl(Trans transa, Trans transb, std::int64_t M,
+                           std::int64_t N, std::int64_t K, float alpha,
+                           const float* A, const float* B,
+                           const StripSink& sink, Workspace* ws) {
+  MFN_CHECK(M >= 0 && N >= 0 && K >= 0, "sgemm_col_strips negative dims");
+  MFN_CHECK(sink.fn != nullptr, "sgemm_col_strips needs a sink");
+  if (M == 0 || N == 0) return;
+  if (ws == nullptr) ws = &local_workspace();
+  const Workspace::Mark outer = ws->mark();
+  float* strip = ws->alloc(static_cast<std::size_t>(M * kNR));
+  if (K == 0 || alpha == 0.0f) {
+    std::fill(strip, strip + M * kNR, 0.0f);
+    for (std::int64_t j = 0; j < N; j += kNR) {
+      const int nr = static_cast<int>(std::min<std::int64_t>(kNR, N - j));
+      sink.fn(sink.ctx, j, nr, strip, kNR);
+    }
+    ws->release(outer);
+    return;
+  }
+  const StrideA sa = strides_a(transa, M, K);
+  const StrideA sb = strides_b(transb, K, N);
+  const std::int64_t ma_panels = (M + kMR - 1) / kMR;
+  // A packed whole (k-major within row panels), so k-blocks index into it.
+  float* Ap = ws->alloc(static_cast<std::size_t>(ma_panels * K * kMR));
+  pack_a<kMR>(A, sa, 0, M, 0, K, alpha, Ap);
+  std::int64_t kc_max = 2 * kKC;
+  if (K <= kc_max + kc_max / 2) kc_max = K;
+  float* Bp = ws->alloc(
+      static_cast<std::size_t>(std::min<std::int64_t>(kc_max, K) * kNR));
+  for (std::int64_t j = 0; j < N; j += kNR) {
+    const int nr = static_cast<int>(std::min<std::int64_t>(kNR, N - j));
+    for (std::int64_t pc = 0; pc < K; pc += kc_max) {
+      const std::int64_t kc = std::min<std::int64_t>(kc_max, K - pc);
+      const float eff_beta = pc == 0 ? 0.0f : 1.0f;
+      pack_b_panel(B, sb, pc, kc, j, nr, Bp);
+      for (std::int64_t i = 0; i < M; i += kMR) {
+        const int mr =
+            static_cast<int>(std::min<std::int64_t>(kMR, M - i));
+        micro_kernel(kc, Ap + (i / kMR) * K * kMR + pc * kMR, Bp,
+                     strip + i * kNR, kNR, mr, nr, eff_beta, TileEp{});
+      }
+    }
+    sink.fn(sink.ctx, j, nr, strip, kNR);
+  }
+  ws->release(outer);
 }
 
 }  // namespace
@@ -628,6 +778,194 @@ void sgemm_bias_cols(Trans transa, Trans transb, std::int64_t M,
   Epilogue ep;
   ep.col_bias = bias;
   sgemm_impl(transa, transb, M, N, K, alpha, A, B, beta, C, ep, ws);
+}
+
+namespace {
+
+Epilogue to_internal(const SgemmEpilogue& ep) {
+  Epilogue e;
+  e.row_scale = ep.row_scale;
+  e.row_bias = ep.row_bias;
+  e.col_bias = ep.col_bias;
+  e.relu = ep.act == Act::kRelu;
+  return e;
+}
+
+}  // namespace
+
+void sgemm_ep(Trans transa, Trans transb, std::int64_t M, std::int64_t N,
+              std::int64_t K, float alpha, const float* A, const float* B,
+              float beta, float* C, const SgemmEpilogue& ep, Workspace* ws) {
+  sgemm_impl(transa, transb, M, N, K, alpha, A, B, beta, C, to_internal(ep),
+             ws);
+}
+
+int sgemm_panel_width() { return kNR; }
+
+void sgemm_packed_b(Trans transa, std::int64_t M, std::int64_t N,
+                    std::int64_t K, float alpha, const float* A,
+                    const PackBSource& bsrc, float beta, float* C,
+                    const SgemmEpilogue& ep, Workspace* ws) {
+  sgemm_packed_b_impl(transa, M, N, K, alpha, A, bsrc, beta, C,
+                      to_internal(ep), ws);
+}
+
+void sgemm_col_strips(Trans transa, Trans transb, std::int64_t M,
+                      std::int64_t N, std::int64_t K, float alpha,
+                      const float* A, const float* B, const StripSink& sink,
+                      Workspace* ws) {
+  sgemm_col_strips_impl(transa, transb, M, N, K, alpha, A, B, sink, ws);
+}
+
+float* sgemm_pack_a_panels(std::int64_t M, std::int64_t K, float alpha,
+                           const float* A, Trans transa, Workspace* ws) {
+  MFN_CHECK(M >= 0 && K >= 0, "sgemm_pack_a_panels negative dims");
+  if (ws == nullptr) ws = &local_workspace();
+  const StrideA sa = strides_a(transa, M, K);
+  const std::int64_t panels = (M + kMR - 1) / kMR;
+  float* Ap = ws->alloc(static_cast<std::size_t>(panels * K * kMR));
+  pack_a<kMR>(A, sa, 0, M, 0, K, alpha, Ap);
+  return Ap;
+}
+
+void sgemm_browptr_tile(std::int64_t M, std::int64_t K, const float* Ap,
+                        const float* const* brows, std::int64_t boff,
+                        std::int64_t bdelta, int nr, float beta, float* C,
+                        std::int64_t ldc, const SgemmEpilogue& ep) {
+#if MFN_SIMD_HAS_VECTOR
+  MFN_CHECK(simd::enabled(),
+            "sgemm_browptr_tile requires the vector tier (callers route to "
+            "sgemm_packed_b under the scalar override)");
+  MFN_CHECK(nr >= 1 && nr <= kNR && ep.col_bias == nullptr,
+            "sgemm_browptr_tile tile contract violated (nr " << nr << ")");
+  const Epilogue e = to_internal(ep);
+  alignas(64) float buf[kMR * kNR];
+  for (std::int64_t i = 0; i < M; i += kMR) {
+    const int mr = static_cast<int>(std::min<std::int64_t>(kMR, M - i));
+    const float* ap = Ap + (i / kMR) * K * kMR;
+    if (nr == kNR) {
+      fma_tile(K, ap,
+               [brows, boff, bdelta](std::int64_t k, sv::VF& b0, sv::VF& b1) {
+                 const float* p = brows[k] + boff;
+                 b0 = sv::vloadu(p);
+                 b1 = sv::vloadu(p + bdelta);
+               },
+               buf);
+    } else if (nr > sv::kWidth) {
+      const int l1 = nr - sv::kWidth;
+      fma_tile(K, ap,
+               [brows, boff, bdelta, l1](std::int64_t k, sv::VF& b0,
+                                         sv::VF& b1) {
+                 const float* p = brows[k] + boff;
+                 b0 = sv::vloadu(p);
+                 b1 = sv::vload_partial(p + bdelta, l1);
+               },
+               buf);
+    } else if (nr == sv::kWidth) {
+      fma_tile(K, ap,
+               [brows, boff](std::int64_t k, sv::VF& b0, sv::VF& b1) {
+                 b0 = sv::vloadu(brows[k] + boff);
+                 b1 = sv::vzero();
+               },
+               buf);
+    } else {
+      fma_tile(K, ap,
+               [brows, boff, nr](std::int64_t k, sv::VF& b0, sv::VF& b1) {
+                 b0 = sv::vload_partial(brows[k] + boff, nr);
+                 b1 = sv::vzero();
+               },
+               buf);
+    }
+    write_tile_simd(buf, C + i * ldc, ldc, mr, nr, beta, tile_ep(e, i, 0));
+  }
+#else
+  (void)M;
+  (void)K;
+  (void)Ap;
+  (void)brows;
+  (void)boff;
+  (void)bdelta;
+  (void)nr;
+  (void)beta;
+  (void)C;
+  (void)ldc;
+  (void)ep;
+  MFN_CHECK(false, "sgemm_browptr_tile requires a vector SIMD tier build");
+#endif
+}
+
+void sgemm_browptr_tile_rows(std::int64_t M, std::int64_t K, const float* Ap,
+                             const float* const* brows, std::int64_t boff,
+                             std::int64_t bdelta, int rowlen, int nrows,
+                             float beta, float* C, std::int64_t ldc,
+                             const SgemmEpilogue& ep) {
+#if MFN_SIMD_HAS_VECTOR
+  MFN_CHECK(simd::enabled(),
+            "sgemm_browptr_tile_rows requires the vector tier (callers "
+            "route to sgemm_packed_b under the scalar override)");
+  MFN_CHECK(rowlen >= 1 && rowlen <= sv::kWidth && nrows >= 1 &&
+                nrows <= 2 && ep.col_bias == nullptr,
+            "sgemm_browptr_tile_rows tile contract violated (rowlen "
+                << rowlen << ", nrows " << nrows << ")");
+  const Epilogue e = to_internal(ep);
+  alignas(64) float buf[kMR * kNR];
+  for (std::int64_t i = 0; i < M; i += kMR) {
+    const int mr = static_cast<int>(std::min<std::int64_t>(kMR, M - i));
+    const float* ap = Ap + (i / kMR) * K * kMR;
+    if (nrows == 2) {
+      fma_tile(K, ap,
+               [brows, boff, bdelta, rowlen](std::int64_t k, sv::VF& b0,
+                                             sv::VF& b1) {
+                 const float* p = brows[k] + boff;
+                 b0 = sv::vload_partial(p, rowlen);
+                 b1 = sv::vload_partial(p + bdelta, rowlen);
+               },
+               buf);
+    } else {
+      fma_tile(K, ap,
+               [brows, boff, rowlen](std::int64_t k, sv::VF& b0,
+                                     sv::VF& b1) {
+                 b0 = sv::vload_partial(brows[k] + boff, rowlen);
+                 b1 = sv::vzero();
+               },
+               buf);
+    }
+    // Store each accumulator vector's live rowlen lanes at its own output
+    // row; rows are contiguous in C (row r starts at col r * rowlen).
+    const TileEp te = tile_ep(e, i, 0);
+    for (int r = 0; r < mr; ++r) {
+      float* crow = C + (i + r) * ldc;
+      const float rscale = te.rs ? te.rs[r] : 1.0f;
+      const float rbias = te.rb ? te.rb[r] : 0.0f;
+      for (int v = 0; v < nrows; ++v) {
+        const float* acc = buf + r * kNR + v * sv::kWidth;
+        float* dst = crow + v * rowlen;
+        sv::VF t = sv::vload_partial(acc, rowlen);
+        if (beta != 0.0f)
+          t = sv::vfma(sv::vset1(beta), sv::vload_partial(dst, rowlen), t);
+        if (te.rs != nullptr) t = sv::vmul(t, sv::vset1(rscale));
+        if (te.rb != nullptr) t = sv::vadd(t, sv::vset1(rbias));
+        if (te.relu) t = sv::vmax(t, sv::vzero());
+        sv::vstore_partial(dst, t, rowlen);
+      }
+    }
+  }
+#else
+  (void)M;
+  (void)K;
+  (void)Ap;
+  (void)brows;
+  (void)boff;
+  (void)bdelta;
+  (void)rowlen;
+  (void)nrows;
+  (void)beta;
+  (void)C;
+  (void)ldc;
+  (void)ep;
+  MFN_CHECK(false,
+            "sgemm_browptr_tile_rows requires a vector SIMD tier build");
+#endif
 }
 
 }  // namespace mfn::backend

@@ -58,4 +58,119 @@ void sgemm_bias_cols(Trans transa, Trans transb, std::int64_t M,
                      const float* A, const float* B, float beta,
                      const float* bias, float* C, Workspace* ws = nullptr);
 
+// ------------------------------------------------------ fused epilogues --
+// Generalized write-back applied to every completed C tile (on the final
+// k-accumulation pass, so it fires exactly once per element):
+//
+//   t        = alpha * (op(A) op(B))(i,j) + beta * C(i,j)
+//   C(i,j)   = act( row_scale[i] * t + row_bias[i] + col_bias[j] )
+//
+// Null pointers mean identity (scale 1 / bias 0). conv3d folds
+// batchnorm(eval) into row_scale/row_bias and ReLU into `act`, so a
+// conv -> BN -> activation block writes its output tensor exactly once
+// instead of re-streaming it per op.
+
+enum class Act : std::uint8_t { kNone, kRelu };
+
+struct SgemmEpilogue {
+  const float* row_scale = nullptr;  // M entries
+  const float* row_bias = nullptr;   // M entries
+  const float* col_bias = nullptr;   // N entries
+  Act act = Act::kNone;
+};
+
+/// Dense GEMM with the fused epilogue above.
+void sgemm_ep(Trans transa, Trans transb, std::int64_t M, std::int64_t N,
+              std::int64_t K, float alpha, const float* A, const float* B,
+              float beta, float* C, const SgemmEpilogue& ep,
+              Workspace* ws = nullptr);
+
+// ------------------------------------------------------- pack-B seam ----
+// Implicit-GEMM support: instead of a dense B matrix, the caller supplies
+// a callback that packs op(B)[k0:k0+kc, j0:j0+cols] straight into the
+// backend's packed-panel layout. conv3d uses this to pack KCxNR slivers
+// directly from the padded input volume — the CKxL im2col column matrix
+// is never materialized.
+//
+// Contract for `fn`: dst is a kc x panel_width() sliver, k-major
+// (dst[k * ldp + c] = op(B)(k0 + k, j0 + c) with ldp == panel width);
+// columns in [cols, ldp) must be written 0 so ragged tails read as zero
+// lanes in the microkernel.
+struct PackBSource {
+  void (*fn)(void* ctx, std::int64_t k0, std::int64_t kc, std::int64_t j0,
+             int cols, int ldp, float* dst) = nullptr;
+  void* ctx = nullptr;
+};
+
+/// Panel width (NR) of the compiled microkernel tier — the `ldp` every
+/// PackBSource callback sees.
+int sgemm_panel_width();
+
+/// C(M,N) = alpha * op(A) * B + beta * C with B produced panel-by-panel by
+/// `bsrc` (epilogue as in sgemm_ep). A is dense; each worker packs its B
+/// panels into its own thread-local workspace, so the only B storage ever
+/// live is one KCxNR sliver per thread.
+void sgemm_packed_b(Trans transa, std::int64_t M, std::int64_t N,
+                    std::int64_t K, float alpha, const float* A,
+                    const PackBSource& bsrc, float beta, float* C,
+                    const SgemmEpilogue& ep = {}, Workspace* ws = nullptr);
+
+// ------------------------------------------------ row-pointer B tiles ---
+// Zero-pack implicit GEMM for "same-geometry" convolutions: op(B) row k is
+// a *shifted window* of a padded input volume, so instead of packing
+// anything the microkernel loads B vectors straight from `brows[k] + boff`
+// (first vector) and `brows[k] + boff + bdelta` (second vector). The
+// caller guarantees every full-width load is in bounds (masked tails for
+// ragged nr). Only meaningful on a vector SIMD tier with the runtime
+// scalar override off — callers route to sgemm_packed_b otherwise.
+
+/// Pack op(A) (M x K) whole, alpha-scaled, into kMR-row panels inside `ws`
+/// (caller owns the surrounding mark). The returned buffer feeds
+/// sgemm_browptr_tile across many column tiles — conv packs its weights
+/// once per call, not once per sample.
+float* sgemm_pack_a_panels(std::int64_t M, std::int64_t K, float alpha,
+                           const float* A, Trans transa, Workspace* ws);
+
+/// One column tile: C[0:M, 0:nr] (row-major, leading dimension ldc)
+///   = act(row_scale * (Ap . B + beta * C) + row_bias)
+/// with B(k, j) read from brows[k] + boff + (j < width ? j : bdelta + j -
+/// width) — two vector spans per row. nr <= sgemm_panel_width();
+/// ep.col_bias must be null. Requires a vector tier (see above).
+void sgemm_browptr_tile(std::int64_t M, std::int64_t K, const float* Ap,
+                        const float* const* brows, std::int64_t boff,
+                        std::int64_t bdelta, int nr, float beta, float* C,
+                        std::int64_t ldc, const SgemmEpilogue& ep = {});
+
+/// Two-row variant for outputs narrower than the vector width (e.g. 8-wide
+/// patch rows on a 16-lane tier): each of the (up to) two B vectors holds
+/// one masked `rowlen`-lane output row — row r at brows[k] + boff +
+/// r * bdelta — and the tile's nrows * rowlen columns are contiguous in C.
+/// Trades (kWidth - rowlen) idle lanes per vector for zero packing.
+void sgemm_browptr_tile_rows(std::int64_t M, std::int64_t K, const float* Ap,
+                             const float* const* brows, std::int64_t boff,
+                             std::int64_t bdelta, int rowlen, int nrows,
+                             float beta, float* C, std::int64_t ldc,
+                             const SgemmEpilogue& ep = {});
+
+// ----------------------------------------------------- strip consumer ---
+// Output seam for products whose result is scattered rather than stored:
+// the GEMM runs in column strips of panel_width() and hands each finished
+// strip to `fn` instead of writing a C matrix. conv3d_backward's dX path
+// consumes strips with a fused col2vol scatter, so the CKxL dcol matrix is
+// never materialized either. `strip` is M x panel_width() row-major
+// (ld == panel_width()); only columns [0, cols) are meaningful.
+struct StripSink {
+  void (*fn)(void* ctx, std::int64_t j0, int cols, const float* strip,
+             int ld) = nullptr;
+  void* ctx = nullptr;
+};
+
+/// Compute alpha * op(A) * op(B) strip-by-strip into `sink`. Runs serially
+/// over strips (consumers scatter into overlapping destinations; callers
+/// parallelize at a higher level, e.g. over the conv batch).
+void sgemm_col_strips(Trans transa, Trans transb, std::int64_t M,
+                      std::int64_t N, std::int64_t K, float alpha,
+                      const float* A, const float* B, const StripSink& sink,
+                      Workspace* ws = nullptr);
+
 }  // namespace mfn::backend

@@ -69,6 +69,10 @@ void set_force_scalar(bool v) noexcept;
 /// scalar references regardless of input length.
 inline constexpr std::int64_t kReduceFlushElems = 1 << 14;
 
+// vreduce is defined at the end of this header (it needs the tier's op
+// vocabulary); declared here so the policy and its canonical consumer
+// read together.
+
 // ---------------------------------------------------------------- AVX512 --
 #if defined(MFN_SIMD_TIER_AVX512)
 
@@ -561,6 +565,39 @@ inline VF v_sigmoid(VF x) {
   const VF e = v_exp(vneg(vabs(x)));
   const VF s = vdiv(e, vadd(vset1(1.0f), e));
   return vselect(vcmp_ge(x, vzero()), vsub(vset1(1.0f), s), s);
+}
+
+// ------------------------------------------------- blocked reductions ---
+/// The canonical blocked vector reduction over [0, n): four independent
+/// lane accumulators (covers FMA/add latency) advanced by
+/// `step(acc, loaded_vector)`, flushed into a double every
+/// kReduceFlushElems elements (the shared flush policy), masked ragged
+/// tail. Every sum-shaped reduction — tensor_ops' sum/sum_abs/sum_squares,
+/// the conv bias gradient — goes through this one loop so the policy has
+/// a single implementation. Callers gate on enabled() themselves.
+template <typename StepF>
+inline double vreduce(const float* p, std::int64_t n, StepF&& step) {
+  constexpr int W = kWidth;
+  constexpr std::int64_t kFlush = kReduceFlushElems;
+  double total = 0.0;
+  for (std::int64_t base = 0; base < n; base += kFlush) {
+    const std::int64_t m =
+        n - base < kFlush ? n - base : kFlush;
+    const float* q = p + base;
+    VF a0 = vzero(), a1 = vzero(), a2 = vzero(), a3 = vzero();
+    std::int64_t i = 0;
+    for (; i + 4 * W <= m; i += 4 * W) {
+      a0 = step(a0, vloadu(q + i));
+      a1 = step(a1, vloadu(q + i + W));
+      a2 = step(a2, vloadu(q + i + 2 * W));
+      a3 = step(a3, vloadu(q + i + 3 * W));
+    }
+    for (; i + W <= m; i += W) a0 = step(a0, vloadu(q + i));
+    const int tail = static_cast<int>(m - i);
+    if (tail > 0) a0 = step(a0, vload_partial(q + i, tail));
+    total += static_cast<double>(vhsum(vadd(vadd(a0, a1), vadd(a2, a3))));
+  }
+  return total;
 }
 
 }  // namespace mfn::simd

@@ -1,9 +1,43 @@
 #include "backend/workspace.h"
 
 #include <algorithm>
+#include <atomic>
+#include <mutex>
 #include <new>
 
+#include "common/error.h"
+
 namespace mfn::backend {
+
+namespace {
+
+// Registry of every thread's Workspace so workspace_stats() can aggregate
+// capacities/high-water marks. Guarded by ws_registry_mutex. Both objects
+// are intentionally never destroyed (still reachable from the static
+// pointers, so LeakSanitizer stays quiet): pool-worker thread_local
+// Workspaces unregister here while the ThreadPool static is being torn
+// down, which may be after any function-local static in this TU has died.
+std::mutex& ws_registry_mutex() {
+  static std::mutex* m = new std::mutex;
+  return *m;
+}
+std::vector<const Workspace*>& ws_registry() {
+  static auto* r = new std::vector<const Workspace*>;
+  return *r;
+}
+
+}  // namespace
+
+Workspace::Workspace() {
+  std::lock_guard<std::mutex> lock(ws_registry_mutex());
+  ws_registry().push_back(this);
+}
+
+Workspace::~Workspace() {
+  std::lock_guard<std::mutex> lock(ws_registry_mutex());
+  auto& r = ws_registry();
+  r.erase(std::remove(r.begin(), r.end(), this), r.end());
+}
 
 void Workspace::AlignedDeleter::operator()(float* p) const {
   ::operator delete[](p, std::align_val_t(64));
@@ -31,6 +65,10 @@ float* Workspace::alloc(std::size_t n) {
   }
   float* p = chunks_[cur_].data.get() + offset_;
   offset_ += n;
+  // Live footprint = all chunks before cur_ (fully committed) + offset_.
+  std::size_t used = offset_;
+  for (std::size_t i = 0; i < cur_; ++i) used += chunks_[i].size;
+  peak_ = std::max(peak_, used);
   return p;
 }
 
@@ -43,6 +81,208 @@ std::size_t Workspace::capacity() const {
 Workspace& local_workspace() {
   thread_local Workspace ws;
   return ws;
+}
+
+// --------------------------------------------------- caching allocator --
+namespace {
+
+// Buffers carry a 64-byte header (16 floats) holding their bucket index,
+// so release() recovers the bucket without a live-pointer registry and the
+// caller-visible payload stays 64-byte aligned.
+constexpr std::size_t kHeaderFloats = 16;
+constexpr int kNumBuckets = 40;          // 64 floats .. ~2^45 bytes
+constexpr std::size_t kMinBucketFloats = 64;
+
+struct CacheState {
+  std::mutex mu;
+  std::vector<float*> buckets[kNumBuckets];  // headered base pointers
+  std::uint64_t allocs = 0;
+  std::uint64_t heap_allocs = 0;
+  std::uint64_t steps = 0;
+  std::uint64_t allocs_at_step = 0;       // counters at last next_step()
+  std::uint64_t heap_allocs_at_step = 0;
+  std::uint64_t allocs_last_step = 0;
+  std::uint64_t heap_allocs_last_step = 0;
+  std::size_t bytes_in_use = 0;
+  std::size_t bytes_cached = 0;
+  std::size_t peak_bytes_in_use = 0;  // all-time, for stats only
+  std::size_t step_peak_bytes = 0;    // peak in-use since last next_step()
+};
+
+// Leaked on purpose so it outlives every static that might still release
+// a Tensor at exit (reachable from the static pointer, so LeakSanitizer
+// stays quiet). The cached blocks themselves are freed by
+// ~CachingAllocator, which runs while this state is still valid.
+CacheState& cache_state() {
+  static CacheState* s = new CacheState;
+  return *s;
+}
+
+// Flipped by ~CachingAllocator: afterwards release() bypasses the table
+// and frees directly, so tensors destroyed during static teardown in
+// another translation unit cannot touch a dead bucket table.
+std::atomic<bool> g_cache_alive{true};
+
+int bucket_index(std::size_t n) {
+  std::size_t cap = kMinBucketFloats;
+  int b = 0;
+  while (cap < n) {
+    cap <<= 1;
+    ++b;
+  }
+  MFN_CHECK(b < kNumBuckets,
+            "tensor allocation of " << n << " floats exceeds the bucket "
+                                       "table");
+  return b;
+}
+
+std::size_t bucket_floats(int b) { return kMinBucketFloats << b; }
+
+float* raw_alloc(std::size_t floats) {
+  return static_cast<float*>(
+      ::operator new[](floats * sizeof(float), std::align_val_t(64)));
+}
+
+void raw_free(float* base) {
+  ::operator delete[](base, std::align_val_t(64));
+}
+
+// Bucket index is stamped into the header as a float-safe small integer.
+void stamp_header(float* base, int b) {
+  base[0] = static_cast<float>(b);
+}
+int read_header(const float* base) { return static_cast<int>(base[0]); }
+
+}  // namespace
+
+CachingAllocator& CachingAllocator::instance() {
+  static CachingAllocator a;
+  return a;
+}
+
+CachingAllocator::~CachingAllocator() {
+  g_cache_alive.store(false, std::memory_order_release);
+  CacheState& s = cache_state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  for (auto& bucket : s.buckets) {
+    for (float* base : bucket) raw_free(base);
+    bucket.clear();
+  }
+  s.bytes_cached = 0;
+}
+
+float* CachingAllocator::alloc(std::size_t n) {
+  const int b = bucket_index(std::max(n, std::size_t{1}));
+  const std::size_t cap = bucket_floats(b);
+  CacheState& s = cache_state();
+  float* base = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    ++s.allocs;
+    s.bytes_in_use += cap * sizeof(float);
+    s.peak_bytes_in_use = std::max(s.peak_bytes_in_use, s.bytes_in_use);
+    s.step_peak_bytes = std::max(s.step_peak_bytes, s.bytes_in_use);
+    auto& bucket = s.buckets[b];
+    if (!bucket.empty()) {
+      base = bucket.back();
+      bucket.pop_back();
+      s.bytes_cached -= cap * sizeof(float);
+    } else {
+      ++s.heap_allocs;
+    }
+  }
+  if (base == nullptr) {
+    base = raw_alloc(kHeaderFloats + cap);
+    stamp_header(base, b);
+  }
+  return base + kHeaderFloats;
+}
+
+void CachingAllocator::release(float* p) noexcept {
+  if (p == nullptr) return;
+  float* base = p - kHeaderFloats;
+  if (!g_cache_alive.load(std::memory_order_acquire)) {
+    raw_free(base);
+    return;
+  }
+  const int b = read_header(base);
+  const std::size_t cap = bucket_floats(b);
+  CacheState& s = cache_state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.bytes_in_use -= cap * sizeof(float);
+  s.bytes_cached += cap * sizeof(float);
+  s.buckets[b].push_back(base);
+}
+
+void CachingAllocator::next_step() {
+  CacheState& s = cache_state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  ++s.steps;
+  s.allocs_last_step = s.allocs - s.allocs_at_step;
+  s.heap_allocs_last_step = s.heap_allocs - s.heap_allocs_at_step;
+  s.allocs_at_step = s.allocs;
+  s.heap_allocs_at_step = s.heap_allocs;
+  // Trim: cached bytes beyond 2x the *last step's* in-use peak are
+  // transient; hand them back, largest buckets first. Anchoring the budget
+  // to the per-step peak (reset below) rather than the all-time high-water
+  // mark means one oversized step inflates the cache for exactly one step
+  // instead of pinning memory for the rest of the run.
+  const std::size_t budget = 2 * s.step_peak_bytes;
+  s.step_peak_bytes = s.bytes_in_use;
+  for (int b = kNumBuckets - 1; b >= 0 && s.bytes_cached > budget; --b) {
+    auto& bucket = s.buckets[b];
+    const std::size_t cap = bucket_floats(b) * sizeof(float);
+    while (!bucket.empty() && s.bytes_cached > budget) {
+      raw_free(bucket.back());
+      bucket.pop_back();
+      s.bytes_cached -= cap;
+    }
+  }
+}
+
+CachingAllocator::Stats CachingAllocator::stats() const {
+  CacheState& s = cache_state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  Stats st;
+  st.allocs = s.allocs;
+  st.heap_allocs = s.heap_allocs;
+  st.allocs_last_step = s.allocs_last_step;
+  st.heap_allocs_last_step = s.heap_allocs_last_step;
+  st.steps = s.steps;
+  st.bytes_in_use = s.bytes_in_use;
+  st.bytes_cached = s.bytes_cached;
+  st.peak_bytes_in_use = s.peak_bytes_in_use;
+  return st;
+}
+
+void CachingAllocator::trim_all() {
+  CacheState& s = cache_state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  for (auto& bucket : s.buckets) {
+    for (float* base : bucket) raw_free(base);
+    bucket.clear();
+  }
+  s.bytes_cached = 0;
+}
+
+std::shared_ptr<float[]> cached_storage(std::size_t n) {
+  CachingAllocator& a = CachingAllocator::instance();
+  return std::shared_ptr<float[]>(a.alloc(n),
+                                  [](float* p) {
+                                    CachingAllocator::instance().release(p);
+                                  });
+}
+
+BackendMemoryStats workspace_stats() {
+  BackendMemoryStats out;
+  out.cache = CachingAllocator::instance().stats();
+  std::lock_guard<std::mutex> lock(ws_registry_mutex());
+  for (const Workspace* ws : ws_registry()) {
+    ++out.workspace_count;
+    out.workspace_capacity_floats += ws->capacity();
+    out.workspace_peak_floats += ws->peak();
+  }
+  return out;
 }
 
 }  // namespace mfn::backend

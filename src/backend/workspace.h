@@ -1,24 +1,30 @@
-// Reusable scratch arena for the execution backend.
+// Reusable scratch arena + caching tensor allocator for the execution
+// backend.
 //
-// Backend kernels (sgemm packing buffers, conv3d column matrices) need
-// large temporary buffers on every call. Allocating them per call dominates
-// small problem sizes and fragments the heap, so kernels bump-allocate from
-// a Workspace instead: memory is requested once, kept across calls, and
-// handed out in O(1).
+// Two allocation regimes live here:
 //
-// Contract:
-//  - alloc(n) returns a buffer of n floats, 64-byte aligned, valid until the
-//    owning mark is released (or reset() is called). Chunks never move, so
-//    earlier allocations stay valid while later ones are made.
-//  - mark()/release(mark) give stack discipline: a kernel takes a mark on
-//    entry and releases it on exit, returning the arena to its caller's
-//    state while keeping the capacity for the next call.
-//  - A Workspace is NOT thread-safe. Use one per thread; local_workspace()
-//    returns a thread-local instance (persistent pool workers reuse theirs
-//    across tasks, which is what kills the steady-state allocation cost).
+//  - Workspace: a bump arena for kernel-lifetime scratch (sgemm packing
+//    buffers, conv3d panel slivers). Memory is requested once, kept across
+//    calls, and handed out in O(1) with mark()/release() stack discipline.
+//    One instance per thread via local_workspace().
+//
+//  - CachingAllocator: a size-bucketed free-list for *tensor-lifetime*
+//    storage (op outputs, autodiff tape intermediates, gradients). Tensors
+//    outlive any single kernel call, so they cannot come from the bump
+//    arena; instead every Tensor buffer is drawn from (and returned to)
+//    power-of-two buckets, which drives the per-training-step heap
+//    allocation count to ~zero once shapes repeat. next_step() is the
+//    epoch hook the trainer calls once per optimizer step: it snapshots
+//    per-step hit/miss counters and trims the cache back toward the
+//    observed high-water mark so transient peaks are not held forever.
+//
+// workspace_stats() aggregates both (plus every thread's Workspace
+// high-water mark) for the CLI's --verbose report and the bench perf
+// lines.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -31,7 +37,8 @@ class Workspace {
     std::size_t offset = 0;
   };
 
-  Workspace() = default;
+  Workspace();
+  ~Workspace();
   Workspace(const Workspace&) = delete;
   Workspace& operator=(const Workspace&) = delete;
 
@@ -53,6 +60,9 @@ class Workspace {
   /// Total floats of backing storage currently held.
   std::size_t capacity() const;
 
+  /// High-water mark: most floats ever live at once in this arena.
+  std::size_t peak() const { return peak_; }
+
  private:
   struct AlignedDeleter {
     void operator()(float* p) const;
@@ -68,9 +78,73 @@ class Workspace {
   std::vector<Chunk> chunks_;
   std::size_t cur_ = 0;     // chunk currently being bumped
   std::size_t offset_ = 0;  // floats used in chunks_[cur_]
+  std::size_t peak_ = 0;    // max floats live at once
 };
 
 /// Per-thread arena shared by all backend kernels on this thread.
 Workspace& local_workspace();
+
+/// Size-bucketed caching allocator for tensor storage. Thread-safe: buffers
+/// may be allocated and released from any thread (tape closures run on pool
+/// workers). Buckets are powers of two, so a buffer freed at one shape is
+/// reusable by every later tensor that rounds to the same bucket.
+class CachingAllocator {
+ public:
+  struct Stats {
+    std::uint64_t allocs = 0;        // total requests served
+    std::uint64_t heap_allocs = 0;   // requests that hit ::operator new
+    std::uint64_t allocs_last_step = 0;
+    std::uint64_t heap_allocs_last_step = 0;
+    std::uint64_t steps = 0;         // next_step() calls so far
+    std::size_t bytes_in_use = 0;
+    std::size_t bytes_cached = 0;    // free-listed, ready for reuse
+    std::size_t peak_bytes_in_use = 0;
+  };
+
+  /// Process-wide instance (never torn down before the last Tensor:
+  /// release() after static destruction falls back to a plain delete).
+  static CachingAllocator& instance();
+
+  /// A buffer of >= n floats (64-byte aligned). Never null; n == 0 is
+  /// served from the smallest bucket.
+  float* alloc(std::size_t n);
+
+  /// Return a buffer obtained from alloc() to its bucket.
+  void release(float* p) noexcept;
+
+  /// Per-training-step epoch hook: snapshots the step's alloc/heap-alloc
+  /// counters (so steady-state behaviour is observable) and trims cached
+  /// bytes back toward twice the in-use high-water mark.
+  void next_step();
+
+  Stats stats() const;
+
+  /// Drop every cached (free) buffer. Used by tests to reset state.
+  void trim_all();
+
+ private:
+  // Stateless facade: the bucket table, lock, and counters are file-scope
+  // state in workspace.cpp so release() stays safe even after this
+  // singleton's destructor has run (static-destruction-order hazard when a
+  // static Tensor outlives the allocator).
+  CachingAllocator() = default;
+  ~CachingAllocator();
+};
+
+/// Tensor-storage entry point: shared buffer whose deleter returns the
+/// memory to the caching allocator.
+std::shared_ptr<float[]> cached_storage(std::size_t n);
+
+/// Aggregate view over the caching allocator and every thread's Workspace,
+/// for `mfn --verbose` and the bench perf lines. Call while backend
+/// kernels are quiescent: per-thread arena counters are read without
+/// synchronization.
+struct BackendMemoryStats {
+  CachingAllocator::Stats cache;
+  std::size_t workspace_count = 0;
+  std::size_t workspace_capacity_floats = 0;  // summed across threads
+  std::size_t workspace_peak_floats = 0;      // summed high-water marks
+};
+BackendMemoryStats workspace_stats();
 
 }  // namespace mfn::backend

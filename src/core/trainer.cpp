@@ -1,5 +1,6 @@
 #include "core/trainer.h"
 
+#include "backend/workspace.h"
 #include "common/error.h"
 #include "common/stopwatch.h"
 #include "optim/optimizer.h"
@@ -64,6 +65,10 @@ EpochStats Trainer::run_epoch() {
     if (config_.grad_clip > 0.0)
       optim::clip_grad_norm(optimizer_.params(), config_.grad_clip);
     optimizer_.step();
+    // Per-step allocator epoch: snapshots the step's tensor-alloc/heap
+    // counters and trims the cache toward its high-water mark, so the
+    // steady-state training step runs allocation-free and observably so.
+    backend::CachingAllocator::instance().next_step();
 
     stats.total_loss += step.loss.value().item();
     stats.pred_loss += step.pred;

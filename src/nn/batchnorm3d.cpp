@@ -15,6 +15,21 @@ BatchNorm3d::BatchNorm3d(std::int64_t channels, float eps, float momentum)
   running_var_ = register_buffer("running_var", Tensor::ones(Shape{channels}));
 }
 
+void BatchNorm3d::fold_eval_affine(Tensor* scale, Tensor* shift) const {
+  const std::int64_t C = gamma_.numel();
+  *scale = Tensor::uninitialized(Shape{C});
+  *shift = Tensor::uninitialized(Shape{C});
+  const float* pg = gamma_.value().data();
+  const float* pb = beta_.value().data();
+  const float* pm = running_mean_.data();
+  const float* pv = running_var_.data();
+  for (std::int64_t c = 0; c < C; ++c) {
+    const float s = pg[c] / std::sqrt(pv[c] + eps_);
+    scale->data()[c] = s;
+    shift->data()[c] = pb[c] - pm[c] * s;
+  }
+}
+
 ad::Var BatchNorm3d::forward(const ad::Var& x) {
   if (training()) {
     Tensor batch_mean, batch_var;
@@ -41,9 +56,10 @@ ad::Var BatchNorm3d::forward(const ad::Var& x) {
     const float* pgy = n.grad.data();
     const float* px = n.parents[0]->value.data();
     const float* pgam = n.parents[1]->value.data();
-    Tensor gx(xs);
-    Tensor ggam(Shape{C});
-    Tensor gbeta(Shape{C});
+    // All three are fully written by the channel loop — no zero-fill.
+    Tensor gx = Tensor::uninitialized(xs);
+    Tensor ggam = Tensor::uninitialized(Shape{C});
+    Tensor gbeta = Tensor::uninitialized(Shape{C});
     for (std::int64_t c = 0; c < C; ++c) {
       const float inv = 1.0f / std::sqrt(rv.data()[c] + eps);
       const float mu = rm.data()[c];

@@ -15,6 +15,13 @@ class BatchNorm3d : public Module {
   /// eval mode uses the stored running statistics.
   ad::Var forward(const ad::Var& x);
 
+  /// Fold the eval-mode normalization into a per-channel affine:
+  ///   y = scale * x + shift,  scale = gamma * invstd,
+  ///                           shift = beta - running_mean * scale.
+  /// This is the form the conv GEMM epilogue consumes
+  /// (conv3d_forward_fused), so conv -> BN(eval) costs no extra pass.
+  void fold_eval_affine(Tensor* scale, Tensor* shift) const;
+
   const Tensor& running_mean() const { return running_mean_; }
   const Tensor& running_var() const { return running_var_; }
 

@@ -2,7 +2,24 @@
 
 #include <algorithm>
 
+#include "tensor/tensor_ops.h"
+
 namespace mfn::nn {
+
+namespace {
+
+// Inference fast path: conv -> BN(eval) -> optional ReLU as one
+// implicit-GEMM call with the BN affine and activation folded into the
+// GEMM's write-back epilogue (see conv3d_forward_fused).
+Tensor fused_conv_bn(const Tensor& x, const Conv3d& conv,
+                     const BatchNorm3d& bn, bool relu) {
+  ConvEpilogue ep;
+  bn.fold_eval_affine(&ep.scale, &ep.shift);
+  ep.relu = relu;
+  return conv3d_forward_fused(x, conv.weight().value(), conv.spec(), ep);
+}
+
+}  // namespace
 
 ResBlock3d::ResBlock3d(std::int64_t in_channels, std::int64_t out_channels,
                        Rng& rng) {
@@ -35,6 +52,18 @@ ResBlock3d::ResBlock3d(std::int64_t in_channels, std::int64_t out_channels,
 }
 
 ad::Var ResBlock3d::forward(const ad::Var& x) {
+  if (!training() && ad::NoGradGuard::active()) {
+    // Inference: every conv -> BN(eval) -> ReLU collapses into the conv's
+    // fused epilogue, and the residual tail is one add_relu pass. No tape
+    // is being recorded (NoGradGuard), so plain tensors are safe.
+    Tensor h = fused_conv_bn(x.value(), *conv1_, *bn1_, /*relu=*/true);
+    h = fused_conv_bn(h, *conv2_, *bn2_, /*relu=*/true);
+    h = fused_conv_bn(h, *conv3_, *bn3_, /*relu=*/false);
+    const Tensor skip =
+        proj_ ? fused_conv_bn(x.value(), *proj_, *bn_proj_, /*relu=*/false)
+              : x.value();
+    return ad::Var(add_relu(h, skip));
+  }
   ad::Var h = ad::relu(bn1_->forward(conv1_->forward(x)));
   h = ad::relu(bn2_->forward(conv2_->forward(h)));
   h = bn3_->forward(conv3_->forward(h));

@@ -312,6 +312,349 @@ ColGeom make_geom(const Shape& xs, const Shape& ws, const Conv3dSpec& spec) {
   return g;
 }
 
+// Column-matrix extents (CK rows, L columns) with overflow guards: the
+// products below used to be silent int64 multiplies cast to size_t for
+// workspace sizing, which wraps for adversarial shapes. Every conv path
+// sizes itself through here.
+struct ColExtents {
+  std::int64_t CK, L;
+};
+
+ColExtents col_extents(const ColGeom& g) {
+  constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  auto checked_mul = [](std::int64_t a, std::int64_t b, const char* what) {
+    MFN_CHECK(a >= 0 && b >= 0 && (b == 0 || a <= kMax / b),
+              "conv3d sizing overflow in " << what << " (" << a << " * " << b
+                                           << ")");
+    return a * b;
+  };
+  ColExtents e;
+  e.CK = checked_mul(checked_mul(checked_mul(g.C, g.KD, "C*KD"), g.KH,
+                                 "C*KD*KH"),
+                     g.KW, "C*KD*KH*KW");
+  e.L = checked_mul(checked_mul(g.OD, g.OH, "OD*OH"), g.OW, "OD*OH*OW");
+  checked_mul(e.CK, e.L, "CK*L");
+  return e;
+}
+
+bool is_pointwise(const ColGeom& g) {
+  return g.KD == 1 && g.KH == 1 && g.KW == 1 && g.stride[0] == 1 &&
+         g.stride[1] == 1 && g.stride[2] == 1 && g.pad[0] == 0 &&
+         g.pad[1] == 0 && g.pad[2] == 0;
+}
+
+// Vectorized span sum for the conv bias gradient rows: the canonical
+// blocked reduction (simd::vreduce, the shared flush policy's single
+// implementation), scalar_ref::sum as the forced-scalar oracle path.
+double span_sum(const float* p, std::int64_t n) {
+  if (!simd::enabled()) return scalar_ref::sum(p, n);
+  return simd::vreduce(
+      p, n, [](simd::VF a, simd::VF x) { return simd::vadd(a, x); });
+}
+
+// ---------------------------------------------- implicit-GEMM conv3d -----
+// The im2col column matrix col(ck, l) is never built; instead these
+// callbacks produce (and consume) its panels on demand in the backend's
+// packed layout, straight from the (padded) input volume.
+
+// Decomposition of a flat ck row index into (channel, kd, kh, kw).
+struct CkCoord {
+  std::int64_t c, kd, kh, kw;
+};
+
+inline CkCoord ck_coord(const ColGeom& g, std::int64_t ck) {
+  const std::int64_t K3 = g.KD * g.KH * g.KW;
+  CkCoord o;
+  o.c = ck / K3;
+  const std::int64_t r = ck % K3;
+  o.kd = r / (g.KH * g.KW);
+  o.kh = (r / g.KW) % g.KH;
+  o.kw = r % g.KW;
+  return o;
+}
+
+// Advance a CkCoord to the next flat ck index without divides (odometer
+// carry over kw -> kh -> kd -> c).
+inline void ck_advance(const ColGeom& g, CkCoord& cc) {
+  if (++cc.kw < g.KW) return;
+  cc.kw = 0;
+  if (++cc.kh < g.KH) return;
+  cc.kh = 0;
+  if (++cc.kd < g.KD) return;
+  cc.kd = 0;
+  ++cc.c;
+}
+
+// The output-position range [j0, j0+cols) of a panel decomposed into runs
+// sharing one (od, oh) output row. Built once per panel (the only place
+// the pack/scatter loops divide), then every ck row replays the segments
+// with plain adds. d0/h0/w0 are the source coordinates at kernel offset
+// (0, 0, 0); within a segment w advances by stride[2] per column.
+struct LSeg {
+  int i;    // start offset within the panel
+  int len;  // run length
+  std::int64_t d0, h0, w0;
+};
+
+// At most one segment per output row touched; panel width <= 64 on every
+// tier, so 64 segments bound the worst case (OW == 1).
+int build_lsegs(const ColGeom& g, std::int64_t j0, int cols, LSeg* segs) {
+  const std::int64_t HW = g.OH * g.OW;
+  std::int64_t od = j0 / HW;
+  const std::int64_t rem = j0 % HW;
+  std::int64_t oh = rem / g.OW;
+  std::int64_t ow = rem % g.OW;
+  int n = 0, i = 0;
+  while (i < cols) {
+    const int len =
+        static_cast<int>(std::min<std::int64_t>(cols - i, g.OW - ow));
+    segs[n++] = {i, len, od * g.stride[0] - g.pad[0],
+                 oh * g.stride[1] - g.pad[1], ow * g.stride[2] - g.pad[2]};
+    i += len;
+    ow += len;
+    if (ow >= g.OW) {
+      ow = 0;
+      if (++oh >= g.OH) {
+        oh = 0;
+        ++od;
+      }
+    }
+  }
+  return n;
+}
+
+struct VolPanelCtx {
+  const float* x;  // one sample's (C, D, H, W) slab
+  float* gx;       // scatter destination for the dX sink (else null)
+  const ColGeom* g;
+};
+
+// PackBSource for the forward product W x col: pack
+// col[k0:k0+kc, j0:j0+cols] (rows = ck, columns = output positions l)
+// k-major into dst. Per row, each segment is a zero-prefix / contiguous
+// copy / zero-suffix over one input row (unit W-stride), so the hot path
+// is memcpy-shaped with no per-element bounds checks and no divides.
+void pack_vol_panel(void* ctx_, std::int64_t k0, std::int64_t kc,
+                    std::int64_t j0, int cols, int ldp, float* dst) {
+  const auto& ctx = *static_cast<const VolPanelCtx*>(ctx_);
+  const ColGeom& g = *ctx.g;
+  MFN_CHECK(ldp <= 64, "panel width " << ldp << " exceeds pack scratch");
+  LSeg segs[64];
+  const int nseg = build_lsegs(g, j0, cols, segs);
+  CkCoord cc = ck_coord(g, k0);
+  for (std::int64_t kk = 0; kk < kc; ++kk, ck_advance(g, cc)) {
+    const float* xc = ctx.x + cc.c * g.D * g.H * g.W;
+    float* drow = dst + kk * ldp;
+    for (int s = 0; s < nseg; ++s) {
+      const LSeg& sg = segs[s];
+      const std::int64_t d = sg.d0 + cc.kd;
+      const std::int64_t h = sg.h0 + cc.kh;
+      float* dp = drow + sg.i;
+      if (d < 0 || d >= g.D || h < 0 || h >= g.H) {
+        std::fill(dp, dp + sg.len, 0.0f);
+      } else if (g.stride[2] == 1) {
+        const std::int64_t w0 = sg.w0 + cc.kw;
+        // in-bounds t range: w0 + t in [0, W)
+        const std::int64_t lo = std::clamp<std::int64_t>(
+            -w0, 0, static_cast<std::int64_t>(sg.len));
+        const std::int64_t hi = std::clamp<std::int64_t>(
+            g.W - w0, 0, static_cast<std::int64_t>(sg.len));
+        std::fill(dp, dp + lo, 0.0f);
+        const float* src = xc + (d * g.H + h) * g.W + w0;
+        for (std::int64_t t = lo; t < hi; ++t) dp[t] = src[t];
+        std::fill(dp + hi, dp + sg.len, 0.0f);
+      } else {
+        const float* src = xc + (d * g.H + h) * g.W;
+        for (int t = 0; t < sg.len; ++t) {
+          const std::int64_t w = sg.w0 + t * g.stride[2] + cc.kw;
+          dp[t] = (w >= 0 && w < g.W) ? src[w] : 0.0f;
+        }
+      }
+    }
+    for (int t = cols; t < ldp; ++t) drow[t] = 0.0f;
+  }
+}
+
+// PackBSource for the weight-gradient product gy x col^T: pack
+// col^T[k0:k0+kc, j0:j0+cols] (rows = output positions l, columns = ck).
+// The per-column kernel-offset decomposition is hoisted out of the row
+// loop, and the row's output position advances odometer-style — the one
+// divide pair is at k0.
+void pack_volT_panel(void* ctx_, std::int64_t k0, std::int64_t kc,
+                     std::int64_t j0, int cols, int ldp, float* dst) {
+  const auto& ctx = *static_cast<const VolPanelCtx*>(ctx_);
+  const ColGeom& g = *ctx.g;
+  const std::int64_t HW = g.OH * g.OW;
+  CkCoord cc[64];
+  MFN_CHECK(ldp <= 64, "panel width " << ldp << " exceeds pack scratch");
+  for (int c = 0; c < cols; ++c) cc[c] = ck_coord(g, j0 + c);
+  std::int64_t od = k0 / HW;
+  const std::int64_t rem = k0 % HW;
+  std::int64_t oh = rem / g.OW;
+  std::int64_t ow = rem % g.OW;
+  for (std::int64_t kk = 0; kk < kc; ++kk) {
+    const std::int64_t d0 = od * g.stride[0] - g.pad[0];
+    const std::int64_t h0 = oh * g.stride[1] - g.pad[1];
+    const std::int64_t w0 = ow * g.stride[2] - g.pad[2];
+    float* drow = dst + kk * ldp;
+    for (int c = 0; c < cols; ++c) {
+      const std::int64_t d = d0 + cc[c].kd;
+      const std::int64_t h = h0 + cc[c].kh;
+      const std::int64_t w = w0 + cc[c].kw;
+      drow[c] = (d >= 0 && d < g.D && h >= 0 && h < g.H && w >= 0 &&
+                 w < g.W)
+                    ? ctx.x[((cc[c].c * g.D + d) * g.H + h) * g.W + w]
+                    : 0.0f;
+    }
+    for (int c = cols; c < ldp; ++c) drow[c] = 0.0f;
+    if (++ow >= g.OW) {
+      ow = 0;
+      if (++oh >= g.OH) {
+        oh = 0;
+        ++od;
+      }
+    }
+  }
+}
+
+// StripSink for the dX product W^T x gy: strip rows are ck, columns are
+// output positions [j0, j0+cols); scatter-accumulate each element into the
+// input-gradient volume (fused col2vol epilogue), reusing the panel's
+// segment decomposition. Runs serially over strips within a sample —
+// receptive fields of neighbouring strips overlap — while the batch loop
+// above provides the parallelism.
+void scatter_col_strip(void* ctx_, std::int64_t j0, int cols,
+                       const float* strip, int ld) {
+  const auto& ctx = *static_cast<const VolPanelCtx*>(ctx_);
+  const ColGeom& g = *ctx.g;
+  const std::int64_t CK = g.C * g.KD * g.KH * g.KW;
+  MFN_CHECK(cols <= 64, "strip width " << cols << " exceeds pack scratch");
+  LSeg segs[64];
+  const int nseg = build_lsegs(g, j0, cols, segs);
+  CkCoord cc = ck_coord(g, 0);
+  for (std::int64_t ck = 0; ck < CK; ++ck, ck_advance(g, cc)) {
+    float* xc = ctx.gx + cc.c * g.D * g.H * g.W;
+    const float* srow = strip + ck * ld;
+    for (int s = 0; s < nseg; ++s) {
+      const LSeg& sg = segs[s];
+      const std::int64_t d = sg.d0 + cc.kd;
+      const std::int64_t h = sg.h0 + cc.kh;
+      if (d < 0 || d >= g.D || h < 0 || h >= g.H) continue;
+      float* xrow = xc + (d * g.H + h) * g.W;
+      const float* sp = srow + sg.i;
+      if (g.stride[2] == 1) {
+        const std::int64_t w0 = sg.w0 + cc.kw;
+        const std::int64_t lo = std::clamp<std::int64_t>(
+            -w0, 0, static_cast<std::int64_t>(sg.len));
+        const std::int64_t hi = std::clamp<std::int64_t>(
+            g.W - w0, 0, static_cast<std::int64_t>(sg.len));
+        float* xw = xrow + w0;
+        for (std::int64_t t = lo; t < hi; ++t) xw[t] += sp[t];
+      } else {
+        for (int t = 0; t < sg.len; ++t) {
+          const std::int64_t w = sg.w0 + t * g.stride[2] + cc.kw;
+          if (w >= 0 && w < g.W) xrow[w] += sp[t];
+        }
+      }
+    }
+  }
+}
+
+// ------------------------------------ zero-pack same-geometry fast path --
+// For the dominant conv shape of the context network — stride 1 with
+// "same" padding, so output and input lattices coincide — every row of the
+// implicit column matrix is a *shifted window* of the zero-padded input
+// volume. Instead of packing anything, the microkernel reads its B vectors
+// directly from those windows (backend::sgemm_browptr_tile): the padded
+// volume is built once per sample (~1.4x the input, cache-resident) and
+// each voxel is then re-read from cache by up to KD*KH*KW kernel taps with
+// zero per-element pack or bounds cost. Vector tiers only; output rows
+// must be a multiple of the vector width so no B vector straddles the
+// row gap of the padded lattice.
+
+bool same_geometry(const ColGeom& g) {
+  return g.stride[0] == 1 && g.stride[1] == 1 && g.stride[2] == 1 &&
+         g.OD == g.D && g.OH == g.H && g.OW == g.W;
+}
+
+bool same_direct_ok(const ColGeom& g) {
+  // Full-width tiles need whole vectors per output row; narrower rows
+  // (e.g. 8-wide patches on a 16-lane tier) run the masked two-row tile
+  // variant instead. Rows that are neither leave the fast path.
+  return simd::kWidth > 1 && same_geometry(g) &&
+         (g.OW % simd::kWidth == 0 || g.OW < simd::kWidth);
+}
+
+// One sample: pad into workspace scratch, build the CK window pointers,
+// and sweep the output in panel-wide column tiles.
+void conv_same_direct_sample(const float* x, const float* Ap, std::int64_t F,
+                             const ColGeom& g,
+                             const backend::SgemmEpilogue& ep, float* out,
+                             backend::Workspace& ws) {
+  const std::int64_t Dp = g.D + g.KD - 1, Hp = g.H + g.KH - 1,
+                     Wp = g.W + g.KW - 1;
+  const std::int64_t slabp = Dp * Hp * Wp;
+  const std::int64_t CK = g.C * g.KD * g.KH * g.KW;
+  const std::int64_t L = g.OD * g.OH * g.OW;
+  const std::int64_t HW = g.OH * g.OW;
+  const backend::Workspace::Mark m = ws.mark();
+  float* xp = ws.alloc(static_cast<std::size_t>(g.C * slabp));
+  std::fill(xp, xp + g.C * slabp, 0.0f);
+  for (std::int64_t c = 0; c < g.C; ++c)
+    for (std::int64_t d = 0; d < g.D; ++d)
+      for (std::int64_t h = 0; h < g.H; ++h)
+        std::copy(x + ((c * g.D + d) * g.H + h) * g.W,
+                  x + ((c * g.D + d) * g.H + h + 1) * g.W,
+                  xp + c * slabp +
+                      ((d + g.pad[0]) * Hp + h + g.pad[1]) * Wp + g.pad[2]);
+  // Window base per ck row; persistent per thread so steady-state calls
+  // allocate nothing.
+  thread_local std::vector<const float*> brows;
+  brows.resize(static_cast<std::size_t>(CK));
+  std::size_t k = 0;
+  for (std::int64_t c = 0; c < g.C; ++c)
+    for (std::int64_t kd = 0; kd < g.KD; ++kd)
+      for (std::int64_t kh = 0; kh < g.KH; ++kh)
+        for (std::int64_t kw = 0; kw < g.KW; ++kw)
+          brows[k++] = xp + c * slabp + (kd * Hp + kh) * Wp + kw;
+  if (g.OW % simd::kWidth == 0) {
+    const int panel = backend::sgemm_panel_width();
+    for (std::int64_t l = 0; l < L; l += panel) {
+      const int nr = static_cast<int>(std::min<std::int64_t>(panel, L - l));
+      const std::int64_t od = l / HW, rem = l % HW;
+      const std::int64_t oh = rem / g.OW, ow = rem % g.OW;
+      const std::int64_t boff = (od * Hp + oh) * Wp + ow;
+      std::int64_t bdelta = 0;
+      if (nr > simd::kWidth) {
+        const std::int64_t l2 = l + simd::kWidth;
+        const std::int64_t od2 = l2 / HW, rem2 = l2 % HW;
+        bdelta = (od2 * Hp + rem2 / g.OW) * Wp + rem2 % g.OW - boff;
+      }
+      backend::sgemm_browptr_tile(F, CK, Ap, brows.data(), boff, bdelta, nr,
+                                  0.0f, out + l, L, ep);
+    }
+  } else {
+    // Narrow rows (OW < vector width): one masked output row per B vector,
+    // two rows per tile.
+    const int rowlen = static_cast<int>(g.OW);
+    for (std::int64_t l = 0; l < L; l += 2 * g.OW) {
+      const int nrows = L - l >= 2 * g.OW ? 2 : 1;
+      const std::int64_t od = l / HW;
+      const std::int64_t oh = (l % HW) / g.OW;
+      const std::int64_t boff = (od * Hp + oh) * Wp;
+      std::int64_t bdelta = 0;
+      if (nrows == 2) {
+        const std::int64_t l2 = l + g.OW;
+        bdelta = ((l2 / HW) * Hp + (l2 % HW) / g.OW) * Wp - boff;
+      }
+      backend::sgemm_browptr_tile_rows(F, CK, Ap, brows.data(), boff,
+                                       bdelta, rowlen, nrows, 0.0f, out + l,
+                                       L, ep);
+    }
+  }
+  ws.release(m);
+}
+
 }  // namespace
 
 Shape conv3d_output_shape(const Shape& input, const Shape& weight,
@@ -324,18 +667,102 @@ Shape conv3d_output_shape(const Shape& input, const Shape& weight,
   const ColGeom g = make_geom(input, weight, spec);
   MFN_CHECK(g.OD > 0 && g.OH > 0 && g.OW > 0,
             "conv3d output would be empty for input " << input.str());
+  col_extents(g);  // reject shapes whose CK * L sizing would wrap int64
   return Shape{input[0], weight[0], g.OD, g.OH, g.OW};
 }
 
-Tensor conv3d_forward(const Tensor& x, const Tensor& weight,
-                      const Tensor& bias, const Conv3dSpec& spec) {
+Tensor conv3d_forward_fused(const Tensor& x, const Tensor& weight,
+                            const Conv3dSpec& spec, const ConvEpilogue& fep) {
   check_5d(x, "conv3d input");
   check_5d(weight, "conv3d weight");
   const Shape out_shape = conv3d_output_shape(x.shape(), weight.shape(), spec);
   const ColGeom g = make_geom(x.shape(), weight.shape(), spec);
   const std::int64_t N = x.dim(0), F = weight.dim(0);
-  const std::int64_t CK = g.C * g.KD * g.KH * g.KW;
-  const std::int64_t L = g.OD * g.OH * g.OW;
+  const ColExtents ext = col_extents(g);
+  const std::int64_t CK = ext.CK, L = ext.L;
+  if (fep.scale.defined())
+    MFN_CHECK(fep.scale.numel() == F,
+              "conv3d epilogue scale shape " << fep.scale.shape().str());
+  if (fep.shift.defined())
+    MFN_CHECK(fep.shift.numel() == F,
+              "conv3d epilogue shift shape " << fep.shift.shape().str());
+
+  // Every element of `out` is written by the per-sample GEMMs (beta = 0,
+  // epilogue fused), so skip the zero-fill.
+  Tensor out = Tensor::uninitialized(out_shape);
+  const float* pw = weight.data();  // (F, CK) viewed flat
+  const float* px = x.data();
+  float* pout = out.data();
+  const std::int64_t in_slab = g.C * g.D * g.H * g.W;
+
+  backend::SgemmEpilogue ep;
+  ep.row_scale = fep.scale.defined() ? fep.scale.data() : nullptr;
+  ep.row_bias = fep.shift.defined() ? fep.shift.data() : nullptr;
+  ep.act = fep.relu ? backend::Act::kRelu : backend::Act::kNone;
+
+  const bool pointwise = is_pointwise(g);
+  const bool same_direct =
+      !pointwise && simd::enabled() && same_direct_ok(g);
+  backend::Workspace& ws0 = backend::local_workspace();
+  const backend::Workspace::Mark m0 = ws0.mark();
+  // For the zero-pack path the (alpha-scaled) weight panels are packed
+  // once per call and shared read-only by every batch worker.
+  const float* Ap = same_direct
+                        ? backend::sgemm_pack_a_panels(
+                              F, CK, 1.0f, pw, backend::Trans::kNo, &ws0)
+                        : nullptr;
+  // One task per sample; the GEMM reads shifted windows of the sample's
+  // padded volume (zero-pack fast path), streams KCxNR slivers packed on
+  // the fly (general geometry), or reads the volume as the B matrix
+  // directly (pointwise convs) — in every case the batch loop is
+  // allocation-free and race-free. For N == 1 the loop runs inline on the
+  // caller and the GEMM parallelizes internally instead.
+  parallel_for(
+      N,
+      [&](std::int64_t n0, std::int64_t n1) {
+        backend::Workspace& ws = backend::local_workspace();
+        for (std::int64_t n = n0; n < n1; ++n) {
+          float* po = pout + n * F * L;
+          if (pointwise) {
+            // col == x for a 1x1x1 stride-1 pad-0 conv: dense GEMM on the
+            // slab, no packing seam needed.
+            backend::sgemm_ep(backend::Trans::kNo, backend::Trans::kNo, F, L,
+                              CK, 1.0f, pw, px + n * in_slab, 0.0f, po, ep,
+                              &ws);
+          } else if (same_direct) {
+            conv_same_direct_sample(px + n * in_slab, Ap, F, g, ep, po, ws);
+          } else {
+            VolPanelCtx ctx{px + n * in_slab, nullptr, &g};
+            backend::PackBSource src{&pack_vol_panel, &ctx};
+            backend::sgemm_packed_b(backend::Trans::kNo, F, L, CK, 1.0f, pw,
+                                    src, 0.0f, po, ep, &ws);
+          }
+        }
+      },
+      /*grain=*/1);
+  ws0.release(m0);
+  return out;
+}
+
+Tensor conv3d_forward(const Tensor& x, const Tensor& weight,
+                      const Tensor& bias, const Conv3dSpec& spec) {
+  if (bias.defined())
+    MFN_CHECK(bias.ndim() == 1 && bias.dim(0) == weight.dim(0),
+              "conv3d bias shape " << bias.shape().str());
+  ConvEpilogue ep;
+  ep.shift = bias;
+  return conv3d_forward_fused(x, weight, spec, ep);
+}
+
+Tensor conv3d_forward_im2col(const Tensor& x, const Tensor& weight,
+                             const Tensor& bias, const Conv3dSpec& spec) {
+  check_5d(x, "conv3d input");
+  check_5d(weight, "conv3d weight");
+  const Shape out_shape = conv3d_output_shape(x.shape(), weight.shape(), spec);
+  const ColGeom g = make_geom(x.shape(), weight.shape(), spec);
+  const std::int64_t N = x.dim(0), F = weight.dim(0);
+  const ColExtents ext = col_extents(g);
+  const std::int64_t CK = ext.CK, L = ext.L;
   if (bias.defined())
     MFN_CHECK(bias.ndim() == 1 && bias.dim(0) == F,
               "conv3d bias shape " << bias.shape().str());
@@ -377,13 +804,167 @@ Tensor conv3d_forward(const Tensor& x, const Tensor& weight,
   return out;
 }
 
+namespace {
+
+// Shared tail of both backward paths: reduce the per-worker weight/bias
+// partials into the output gradients.
+void reduce_grad_partials(Conv3dGrads& grads, const Tensor& gw_part,
+                          const Tensor& gb_part, int W, std::int64_t F,
+                          std::int64_t CK, bool had_bias) {
+  float* pgw = grads.gweight.data();
+  for (int w = 0; w < W; ++w) {
+    const float* part = gw_part.data() + static_cast<std::size_t>(w) *
+                                             static_cast<std::size_t>(F * CK);
+    for (std::int64_t i = 0; i < F * CK; ++i) pgw[i] += part[i];
+  }
+  if (had_bias) {
+    float* pgb = grads.gbias.data();
+    for (int w = 0; w < W; ++w) {
+      const float* part = gb_part.data() +
+                          static_cast<std::size_t>(w) *
+                              static_cast<std::size_t>(F);
+      for (std::int64_t f = 0; f < F; ++f) pgb[f] += part[f];
+    }
+  }
+}
+
+}  // namespace
+
 Conv3dGrads conv3d_backward(const Tensor& x, const Tensor& weight,
                             bool had_bias, const Conv3dSpec& spec,
                             const Tensor& gy) {
   const ColGeom g = make_geom(x.shape(), weight.shape(), spec);
   const std::int64_t N = x.dim(0), F = weight.dim(0);
-  const std::int64_t CK = g.C * g.KD * g.KH * g.KW;
-  const std::int64_t L = g.OD * g.OH * g.OW;
+  const ColExtents ext = col_extents(g);
+  const std::int64_t CK = ext.CK, L = ext.L;
+  const bool pointwise = is_pointwise(g);
+  const bool same_direct =
+      !pointwise && simd::enabled() && same_direct_ok(g);
+
+  Conv3dGrads grads;
+  // The pointwise and zero-pack dX paths fully overwrite every slab with
+  // beta = 0 GEMMs; the general strip path scatter-accumulates and needs
+  // the zero fill.
+  grads.gx = (pointwise || same_direct) ? Tensor::uninitialized(x.shape())
+                                        : Tensor::zeros(x.shape());
+  grads.gweight = Tensor::zeros(weight.shape());
+  if (had_bias) grads.gbias = Tensor::zeros(Shape{F});
+
+  const float* pw = weight.data();  // (F, CK) viewed flat
+  const float* px = x.data();
+  const float* pgy = gy.data();
+  const std::int64_t in_slab = g.C * g.D * g.H * g.W;
+
+  // dX on the zero-pack path is itself a same-geometry conv: gx =
+  // conv(gy, W~) with W~(c, f, kd, kh, kw) = W(f, c, KD-1-kd, KH-1-kh,
+  // KW-1-kw) (the transposed, spatially-flipped kernel) under the same
+  // stride/padding. Build W~ and its packed panels once per call.
+  Tensor wflip;
+  const float* Apb = nullptr;
+  ColGeom gb{};
+  backend::Workspace& ws0 = backend::local_workspace();
+  const backend::Workspace::Mark m0 = ws0.mark();
+  if (same_direct) {
+    const std::int64_t KD = g.KD, KH = g.KH, KW = g.KW;
+    wflip = Tensor::uninitialized(Shape{g.C, F, KD, KH, KW});
+    float* pf = wflip.data();
+    for (std::int64_t f = 0; f < F; ++f)
+      for (std::int64_t c = 0; c < g.C; ++c)
+        for (std::int64_t kd = 0; kd < KD; ++kd)
+          for (std::int64_t kh = 0; kh < KH; ++kh)
+            for (std::int64_t kw = 0; kw < KW; ++kw)
+              pf[((((c * F + f) * KD + KD - 1 - kd) * KH + KH - 1 - kh) *
+                      KW +
+                  KW - 1 - kw)] =
+                  pw[(((f * g.C + c) * KD + kd) * KH + kh) * KW + kw];
+    gb = make_geom(gy.shape(), wflip.shape(), spec);
+    Apb = backend::sgemm_pack_a_panels(g.C, F * KD * KH * KW, 1.0f,
+                                       wflip.data(), backend::Trans::kNo,
+                                       &ws0);
+  }
+
+  // gx is per-sample (disjoint slabs), but gweight/gbias sum over the
+  // batch: give every potential worker its own zeroed partial and reduce
+  // after the parallel region. parallel_for_indexed hands out at most
+  // min(pool size, chunks) + 1 slots, so small batches never pay for a
+  // large pool's worth of partials. The partials are Tensors so their
+  // storage cycles through the caching allocator with every other
+  // training-step intermediate.
+  const int W = static_cast<int>(std::min<std::int64_t>(
+      max_parallel_workers(), N + 1));
+  Tensor gw_part = Tensor::zeros(Shape{W, F * CK});
+  Tensor gb_part = had_bias ? Tensor::zeros(Shape{W, F}) : Tensor();
+
+  parallel_for_indexed(
+      N,
+      [&](int worker, std::int64_t n0, std::int64_t n1) {
+        backend::Workspace& ws = backend::local_workspace();
+        float* gw = gw_part.data() +
+                    static_cast<std::size_t>(worker) *
+                        static_cast<std::size_t>(F * CK);
+        for (std::int64_t n = n0; n < n1; ++n) {
+          const backend::Workspace::Mark m = ws.mark();
+          const float* gy_n = pgy + n * F * L;  // (F, L), no copy
+          if (pointwise) {
+            // col == x: both products are dense GEMMs on the slabs.
+            backend::sgemm(backend::Trans::kNo, backend::Trans::kYes, F, CK,
+                           L, 1.0f, gy_n, px + n * in_slab, 1.0f, gw, &ws);
+            backend::sgemm(backend::Trans::kYes, backend::Trans::kNo, CK, L,
+                           F, 1.0f, pw, gy_n, 0.0f,
+                           grads.gx.data() + n * in_slab, &ws);
+          } else if (same_direct) {
+            // Hybrid fast path: dW wants the whole column matrix L times
+            // per filter row anyway, and the plane-copy vol2col beats a
+            // per-element window gather for it — so dW keeps im2col. dX is
+            // a same-geometry conv of gy with the flipped kernel through
+            // the zero-pack window path, so the dcol matrix and its
+            // col2vol round trip never exist.
+            float* col = ws.alloc(static_cast<std::size_t>(CK * L));
+            vol2col(px + n * in_slab, g, col);
+            backend::sgemm(backend::Trans::kNo, backend::Trans::kYes, F, CK,
+                           L, 1.0f, gy_n, col, 1.0f, gw, &ws);
+            conv_same_direct_sample(gy_n, Apb, g.C, gb, {},
+                                    grads.gx.data() + n * in_slab, ws);
+          } else {
+            VolPanelCtx ctx{px + n * in_slab,
+                            grads.gx.data() + n * in_slab, &g};
+            // dW_partial += gy_n * col^T: the transposed column operand is
+            // packed straight from the volume (beta = 1 accumulation).
+            backend::PackBSource srcT{&pack_volT_panel, &ctx};
+            backend::sgemm_packed_b(backend::Trans::kNo, F, CK, L, 1.0f,
+                                    gy_n, srcT, 1.0f, gw, {}, &ws);
+            // dX_n = col2vol(W^T * gy_n), one NR-column strip at a time
+            // with the scatter fused behind each strip — dcol never
+            // exists.
+            backend::StripSink sink{&scatter_col_strip, &ctx};
+            backend::sgemm_col_strips(backend::Trans::kYes,
+                                      backend::Trans::kNo, CK, L, F, 1.0f,
+                                      pw, gy_n, sink, &ws);
+          }
+          if (had_bias) {
+            float* gb = gb_part.data() +
+                        static_cast<std::size_t>(worker) *
+                            static_cast<std::size_t>(F);
+            for (std::int64_t f = 0; f < F; ++f)
+              gb[f] += static_cast<float>(span_sum(gy_n + f * L, L));
+          }
+          ws.release(m);
+        }
+      },
+      /*grain=*/1);
+
+  ws0.release(m0);
+  reduce_grad_partials(grads, gw_part, gb_part, W, F, CK, had_bias);
+  return grads;
+}
+
+Conv3dGrads conv3d_backward_im2col(const Tensor& x, const Tensor& weight,
+                                   bool had_bias, const Conv3dSpec& spec,
+                                   const Tensor& gy) {
+  const ColGeom g = make_geom(x.shape(), weight.shape(), spec);
+  const std::int64_t N = x.dim(0), F = weight.dim(0);
+  const ColExtents ext = col_extents(g);
+  const std::int64_t CK = ext.CK, L = ext.L;
 
   Conv3dGrads grads;
   grads.gx = Tensor::zeros(x.shape());
@@ -395,20 +976,10 @@ Conv3dGrads conv3d_backward(const Tensor& x, const Tensor& weight,
   const float* pgy = gy.data();
   const std::int64_t in_slab = g.C * g.D * g.H * g.W;
 
-  // gx is per-sample (disjoint slabs), but gweight/gbias sum over the
-  // batch: give every potential worker its own zeroed partial and reduce
-  // after the parallel region. parallel_for_indexed hands out at most
-  // min(pool size, chunks) + 1 slots, so small batches never pay for a
-  // large pool's worth of partials.
   const int W = static_cast<int>(std::min<std::int64_t>(
       max_parallel_workers(), N + 1));
-  std::vector<float> gw_part(static_cast<std::size_t>(W) *
-                                 static_cast<std::size_t>(F * CK),
-                             0.0f);
-  std::vector<float> gb_part(
-      had_bias ? static_cast<std::size_t>(W) * static_cast<std::size_t>(F)
-               : 0,
-      0.0f);
+  Tensor gw_part = Tensor::zeros(Shape{W, F * CK});
+  Tensor gb_part = had_bias ? Tensor::zeros(Shape{W, F}) : Tensor();
 
   parallel_for_indexed(
       N,
@@ -434,32 +1005,15 @@ Conv3dGrads conv3d_backward(const Tensor& x, const Tensor& weight,
             float* gb = gb_part.data() +
                         static_cast<std::size_t>(worker) *
                             static_cast<std::size_t>(F);
-            for (std::int64_t f = 0; f < F; ++f) {
-              double acc = 0.0;
-              for (std::int64_t l = 0; l < L; ++l) acc += gy_n[f * L + l];
-              gb[f] += static_cast<float>(acc);
-            }
+            for (std::int64_t f = 0; f < F; ++f)
+              gb[f] += static_cast<float>(span_sum(gy_n + f * L, L));
           }
           ws.release(m);
         }
       },
       /*grain=*/1);
 
-  float* pgw = grads.gweight.data();
-  for (int w = 0; w < W; ++w) {
-    const float* part = gw_part.data() + static_cast<std::size_t>(w) *
-                                             static_cast<std::size_t>(F * CK);
-    for (std::int64_t i = 0; i < F * CK; ++i) pgw[i] += part[i];
-  }
-  if (had_bias) {
-    float* pgb = grads.gbias.data();
-    for (int w = 0; w < W; ++w) {
-      const float* part = gb_part.data() +
-                          static_cast<std::size_t>(w) *
-                              static_cast<std::size_t>(F);
-      for (std::int64_t f = 0; f < F; ++f) pgb[f] += part[f];
-    }
-  }
+  reduce_grad_partials(grads, gw_part, gb_part, W, F, CK, had_bias);
   return grads;
 }
 
@@ -596,7 +1150,8 @@ MaxPool3dResult maxpool3d_forward(const Tensor& x, Dims3 kernel) {
                                                         << kw << "]");
   const std::int64_t OD = D / kd, OH = H / kh, OW = W / kw;
   MaxPool3dResult res;
-  res.out = Tensor(Shape{N, C, OD, OH, OW});
+  // Every output voxel is written by the pooling loop — no zero-fill.
+  res.out = Tensor::uninitialized(Shape{N, C, OD, OH, OW});
   res.argmax.resize(static_cast<std::size_t>(N * C * OD * OH * OW));
 
   const float* px = x.data();
@@ -720,11 +1275,13 @@ BatchNorm3dResult batchnorm3d_forward(const Tensor& x, const Tensor& gamma,
   MFN_CHECK(M > 0, "batchnorm over empty batch");
 
   BatchNorm3dResult res;
-  res.out = Tensor(x.shape());
-  res.xhat = Tensor(x.shape());
-  res.invstd = Tensor(Shape{C});
-  res.batch_mean = Tensor(Shape{C});
-  res.batch_var = Tensor(Shape{C});
+  // The per-channel loop writes every element of all five tensors — no
+  // zero-fill needed.
+  res.out = Tensor::uninitialized(x.shape());
+  res.xhat = Tensor::uninitialized(x.shape());
+  res.invstd = Tensor::uninitialized(Shape{C});
+  res.batch_mean = Tensor::uninitialized(Shape{C});
+  res.batch_var = Tensor::uninitialized(Shape{C});
 
   const float* px = x.data();
   parallel_for(C, [&](std::int64_t c0, std::int64_t c1) {
@@ -758,7 +1315,8 @@ Tensor batchnorm3d_eval(const Tensor& x, const Tensor& gamma,
   check_5d(x, "batchnorm input");
   const std::int64_t N = x.dim(0), C = x.dim(1),
                      S = x.dim(2) * x.dim(3) * x.dim(4);
-  Tensor out(x.shape());
+  // Every slab is normalized below — no zero-fill needed.
+  Tensor out = Tensor::uninitialized(x.shape());
   const float* px = x.data();
   float* po = out.data();
   for (std::int64_t c = 0; c < C; ++c) {
@@ -780,9 +1338,10 @@ BatchNorm3dGrads batchnorm3d_backward(const BatchNorm3dResult& saved,
   const std::int64_t M = N * S;
 
   BatchNorm3dGrads grads;
-  grads.gx = Tensor(xs);
-  grads.ggamma = Tensor(Shape{C});
-  grads.gbeta = Tensor(Shape{C});
+  // The per-channel loop writes every element of all three — no zero-fill.
+  grads.gx = Tensor::uninitialized(xs);
+  grads.ggamma = Tensor::uninitialized(Shape{C});
+  grads.gbeta = Tensor::uninitialized(Shape{C});
 
   const float* pxh = saved.xhat.data();
   const float* pgy = gy.data();

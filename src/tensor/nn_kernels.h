@@ -27,11 +27,30 @@ struct Conv3dSpec {
 Shape conv3d_output_shape(const Shape& input, const Shape& weight,
                           const Conv3dSpec& spec);
 
-/// y = conv3d(x, w) + b. `bias` may be undefined (no bias).
-/// Parallelized over the batch: each sample's vol2col + GEMM runs as an
-/// independent task with per-worker scratch from the backend Workspace,
-/// and the bias add is fused into the GEMM write-back (beta = 1 over
-/// bias-initialized output rows).
+/// Fused per-filter write-back applied as the conv GEMM's epilogue:
+///   y(f, l) = act( scale[f] * conv(f, l) + shift[f] )
+/// scale/shift are (F) tensors (undefined = identity / zero). This is how
+/// a conv -> batchnorm(eval) -> ReLU block collapses to one output pass:
+/// scale = gamma * invstd, shift = beta - mean * scale, relu = true. A
+/// plain bias is shift alone.
+struct ConvEpilogue {
+  Tensor scale;
+  Tensor shift;
+  bool relu = false;
+};
+
+/// Implicit-GEMM forward: y = act(scale * conv3d(x, w) + shift). KCxNR
+/// slivers of the im2col operand are packed straight from the padded input
+/// volume into the backend's panel format (backend::sgemm_packed_b), so no
+/// CKxL column matrix is ever materialized. 1x1x1/stride-1/pad-0 convs
+/// skip packing entirely (the column matrix *is* the input) and run a
+/// dense GEMM over the sample slab. Parallelized over the batch with
+/// per-worker workspace scratch.
+Tensor conv3d_forward_fused(const Tensor& x, const Tensor& weight,
+                            const Conv3dSpec& spec, const ConvEpilogue& ep);
+
+/// y = conv3d(x, w) + b. `bias` may be undefined (no bias). Thin wrapper
+/// over conv3d_forward_fused (bias is the shift term of the epilogue).
 Tensor conv3d_forward(const Tensor& x, const Tensor& weight,
                       const Tensor& bias, const Conv3dSpec& spec);
 
@@ -41,11 +60,25 @@ struct Conv3dGrads {
   Tensor gbias;   // (F); undefined when forward had no bias
 };
 
-/// Batch-parallel like conv3d_forward; weight/bias gradients accumulate
-/// into per-worker partials (GEMM beta = 1) that are reduced at the end.
+/// Implicit-GEMM backward, batch-parallel with per-worker weight/bias
+/// partials reduced at the end. dW packs the transposed column operand
+/// straight from the volume; dX runs W^T x gy in NR-column strips
+/// (backend::sgemm_col_strips) with a fused col2vol scatter per strip, so
+/// neither the CKxL column matrix nor the dcol matrix exists. The bias
+/// gradient row sums go through the vectorized reduction kernels.
 Conv3dGrads conv3d_backward(const Tensor& x, const Tensor& weight,
                             bool had_bias, const Conv3dSpec& spec,
                             const Tensor& gy);
+
+/// The PR 3 im2col paths (materialized CKxL column matrix + dense GEMM).
+/// Kept as the implicit-GEMM comparison baseline for parity tests and the
+/// bench_micro_ops implicit-vs-im2col perf line; the model never calls
+/// these.
+Tensor conv3d_forward_im2col(const Tensor& x, const Tensor& weight,
+                             const Tensor& bias, const Conv3dSpec& spec);
+Conv3dGrads conv3d_backward_im2col(const Tensor& x, const Tensor& weight,
+                                   bool had_bias, const Conv3dSpec& spec,
+                                   const Tensor& gy);
 
 /// Seed (v0) serial-batch implementations with naive per-sample GEMM
 /// loops. Kept solely as the comparison baseline for parity tests and the

@@ -2,15 +2,19 @@
 
 #include <algorithm>
 
+#include "backend/workspace.h"
 #include "common/error.h"
 
 namespace mfn {
 
 namespace {
 
+// All tensor storage — op outputs, autodiff tape intermediates, gradients
+// — is drawn from the backend's size-bucketed caching allocator, so a
+// training step whose shapes repeat performs ~zero heap allocations in
+// steady state (see backend/workspace.h).
 std::shared_ptr<float[]> alloc_storage(std::int64_t numel) {
-  return std::shared_ptr<float[]>(
-      new float[static_cast<std::size_t>(numel)]);
+  return backend::cached_storage(static_cast<std::size_t>(numel));
 }
 
 }  // namespace

@@ -252,33 +252,12 @@ double reduce_blocks(const float* p, std::int64_t n, BlockF&& bf) {
   return acc;
 }
 
-// Vector block reductions: four independent accumulators (covers FMA/add
-// latency), flushed into a double every simd::kReduceFlushElems elements
-// (the shared flush policy), masked ragged tail.
+// Blocked vector reductions route through the canonical simd::vreduce
+// loop (backend/simd.h), the single implementation of the shared flush
+// policy.
 template <typename StepF>
 inline double vreduce_sum(const float* p, std::int64_t n, StepF&& step) {
-  constexpr int W = simd::kWidth;
-  constexpr std::int64_t kFlush = simd::kReduceFlushElems;
-  double total = 0.0;
-  for (std::int64_t base = 0; base < n; base += kFlush) {
-    const std::int64_t m = std::min<std::int64_t>(kFlush, n - base);
-    const float* q = p + base;
-    simd::VF a0 = simd::vzero(), a1 = simd::vzero(), a2 = simd::vzero(),
-             a3 = simd::vzero();
-    std::int64_t i = 0;
-    for (; i + 4 * W <= m; i += 4 * W) {
-      a0 = step(a0, simd::vloadu(q + i));
-      a1 = step(a1, simd::vloadu(q + i + W));
-      a2 = step(a2, simd::vloadu(q + i + 2 * W));
-      a3 = step(a3, simd::vloadu(q + i + 3 * W));
-    }
-    for (; i + W <= m; i += W) a0 = step(a0, simd::vloadu(q + i));
-    const int tail = static_cast<int>(m - i);
-    if (tail > 0) a0 = step(a0, simd::vload_partial(q + i, tail));
-    total += static_cast<double>(simd::vhsum(
-        simd::vadd(simd::vadd(a0, a1), simd::vadd(a2, a3))));
-  }
-  return total;
+  return simd::vreduce(p, n, static_cast<StepF&&>(step));
 }
 
 }  // namespace
@@ -370,6 +349,13 @@ float max_abs(const float* p, std::int64_t n) {
 
 Tensor add(const Tensor& a, const Tensor& b) {
   return map_binary(a, b, "add", [](float x, float y) { return x + y; });
+}
+
+Tensor add_relu(const Tensor& a, const Tensor& b) {
+  // Exact arithmetic (max(x+y, 0)) either way, so no scalar-oracle seam is
+  // needed; the residual tail streams its output once instead of add+relu.
+  return map_binary(a, b, "add_relu",
+                    [](float x, float y) { return std::max(x + y, 0.0f); });
 }
 
 Tensor sub(const Tensor& a, const Tensor& b) {

@@ -20,6 +20,9 @@ Tensor mul(const Tensor& a, const Tensor& b);
 Tensor div(const Tensor& a, const Tensor& b);
 /// a + alpha * b.
 Tensor add_scaled(const Tensor& a, const Tensor& b, float alpha);
+/// relu(a + b) in one pass — the residual-block tail (skip add + final
+/// activation) without re-streaming the sum.
+Tensor add_relu(const Tensor& a, const Tensor& b);
 
 // ----- in-place (used by optimizers / gradient accumulation) -----
 /// a += alpha * b.

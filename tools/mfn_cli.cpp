@@ -14,7 +14,9 @@
 //
 // The network architecture is the library's bench-scale default; training
 // state (weights + Adam moments + history) round-trips through --out /
-// --resume checkpoints.
+// --resume checkpoints. Any command accepts `--verbose 1` to print the
+// backend memory report (caching-allocator hit rates, workspace arena
+// high-water marks) after it finishes.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,6 +24,7 @@
 #include <string>
 
 #include "backend/simd.h"
+#include "backend/workspace.h"
 #include "common/error.h"
 #include "common/stopwatch.h"
 #include "core/checkpoint.h"
@@ -72,6 +75,40 @@ class Args {
   std::map<std::string, std::string> kv_;
   std::map<std::string, bool> required_;
 };
+
+// --verbose 1: backend memory report after the command — caching-allocator
+// hit rates plus the per-thread Workspace arena high-water marks
+// (backend::workspace_stats()).
+void print_backend_stats() {
+  const backend::BackendMemoryStats s = backend::workspace_stats();
+  const auto mib = [](std::size_t b) {
+    return static_cast<double>(b) / (1024.0 * 1024.0);
+  };
+  std::printf(
+      "backend memory: tensor cache %llu allocs (%llu heap, %.1f%% cached), "
+      "%.1f MiB in use / %.1f MiB cached / %.1f MiB peak\n",
+      static_cast<unsigned long long>(s.cache.allocs),
+      static_cast<unsigned long long>(s.cache.heap_allocs),
+      s.cache.allocs
+          ? 100.0 * static_cast<double>(s.cache.allocs - s.cache.heap_allocs) /
+                static_cast<double>(s.cache.allocs)
+          : 0.0,
+      mib(s.cache.bytes_in_use), mib(s.cache.bytes_cached),
+      mib(s.cache.peak_bytes_in_use));
+  if (s.cache.steps > 0)
+    std::printf(
+        "backend memory: last step %llu tensor allocs, %llu heap allocs "
+        "(%llu steps)\n",
+        static_cast<unsigned long long>(s.cache.allocs_last_step),
+        static_cast<unsigned long long>(s.cache.heap_allocs_last_step),
+        static_cast<unsigned long long>(s.cache.steps));
+  std::printf(
+      "backend memory: %llu workspace arenas, %.1f MiB capacity, "
+      "%.1f MiB high-water\n",
+      static_cast<unsigned long long>(s.workspace_count),
+      mib(s.workspace_capacity_floats * sizeof(float)),
+      mib(s.workspace_peak_floats * sizeof(float)));
+}
 
 core::MFNConfig cli_model_config() {
   core::MFNConfig cfg;
@@ -286,7 +323,8 @@ int cmd_superres(const Args& args) {
 int usage() {
   std::fprintf(stderr,
                "usage: mfn <simulate|info|train|eval|superres> [--flag "
-               "value]...\n(see the header of tools/mfn_cli.cpp)\n"
+               "value]... [--verbose 1]\n(see the header of "
+               "tools/mfn_cli.cpp)\n"
                "simd: %s tier, vector width %d "
                "(MFN_FORCE_SCALAR=1 pins the scalar reference paths)\n",
                simd::active_tier(), simd::kWidth);
@@ -304,12 +342,16 @@ int main(int argc, char** argv) {
               simd::kWidth);
   try {
     Args args(argc, argv, 2);
-    if (cmd == "simulate") return cmd_simulate(args);
-    if (cmd == "info") return cmd_info(args);
-    if (cmd == "train") return cmd_train(args);
-    if (cmd == "eval") return cmd_eval(args);
-    if (cmd == "superres") return cmd_superres(args);
-    return usage();
+    const bool verbose = args.integer("verbose", 0) != 0;
+    int rc = 2;
+    if (cmd == "simulate") rc = cmd_simulate(args);
+    else if (cmd == "info") rc = cmd_info(args);
+    else if (cmd == "train") rc = cmd_train(args);
+    else if (cmd == "eval") rc = cmd_eval(args);
+    else if (cmd == "superres") rc = cmd_superres(args);
+    else return usage();
+    if (verbose) print_backend_stats();
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "mfn %s: %s\n", cmd.c_str(), e.what());
     return 1;

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Diff two mfn_perf.jsonl files and fail on kernel regressions.
+
+Usage: perf_diff.py BASELINE.jsonl CURRENT.jsonl [--threshold 0.20]
+
+Each line is a JSON object with an "mfn_perf" kind plus metric fields.
+Lines are keyed by their kind and identifying fields (batch/op/size...),
+and every *higher-is-better* metric (gflops, qps, gbps, melems_per_sec,
+patches_per_sec, ...) present in both files is compared. A metric that
+drops by more than the threshold fails the diff; new lines and new
+metrics are reported but never fail (the baseline simply has no
+datapoint for them). Kernel lines that disappear entirely DO fail —
+that is the regression mode the perf job exists to catch.
+"""
+import argparse
+import json
+import sys
+
+# Metrics where larger is better; anything else (sec_*, *_per_step,
+# threads, sizes) is identifying or lower-is-better context we don't gate
+# on, except the explicit allocation counter below.
+RATE_METRICS = {
+    "gflops",
+    "qps",
+    "gbps",
+    "melems_per_sec",
+    "patches_per_sec",
+    "loop_qps",
+}
+# threads is identifying, not a metric: a 4-thread run must never be
+# diffed against a 1-thread baseline as if it were the same datapoint.
+ID_FIELDS = ("mfn_perf", "op", "batch", "channels", "queries", "m", "n",
+             "k", "params", "threads")
+
+
+def load(path):
+    lines = {}
+    with open(path) as f:
+        for raw in f:
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                obj = json.loads(raw)
+            except json.JSONDecodeError:
+                continue
+            if "mfn_perf" not in obj:
+                continue
+            key = tuple((k, obj[k]) for k in ID_FIELDS if k in obj)
+            lines[key] = obj
+    return lines
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=0.20,
+                    help="max fractional drop before failing (default 0.20)")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+    failures = []
+
+    for key, bobj in sorted(base.items()):
+        name = " ".join(f"{k}={v}" for k, v in key)
+        cobj = cur.get(key)
+        if cobj is None:
+            failures.append(f"MISSING: {name} emitted no line this run")
+            continue
+        for metric in sorted(RATE_METRICS & bobj.keys() & cobj.keys()):
+            b, c = float(bobj[metric]), float(cobj[metric])
+            if b <= 0:
+                continue
+            change = (c - b) / b
+            marker = ""
+            if change < -args.threshold:
+                failures.append(
+                    f"REGRESSION: {name} {metric} {b:.3g} -> {c:.3g} "
+                    f"({change:+.1%})")
+                marker = "  <-- FAIL"
+            print(f"{name}: {metric} {b:.3g} -> {c:.3g} ({change:+.1%})"
+                  f"{marker}")
+
+    for key in sorted(cur.keys() - base.keys()):
+        print("new line:", " ".join(f"{k}={v}" for k, v in key))
+
+    if failures:
+        print()
+        for f in failures:
+            print(f, file=sys.stderr)
+        return 1
+    print("\nperf diff OK (threshold {:.0%})".format(args.threshold))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
