@@ -1,9 +1,11 @@
 #include "core/checkpoint.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <fstream>
 
 #include "common/error.h"
+#include "tensor/serialize.h"
 
 namespace mfn::core {
 
@@ -31,9 +33,13 @@ void save_checkpoint(const std::string& path, nn::Module& model,
   MFN_CHECK(os.good(), "checkpoint write failed: " << path);
 }
 
-CheckpointData load_checkpoint(const std::string& path, nn::Module& model,
-                               optim::Adam& optimizer) {
-  std::ifstream is(path, std::ios::binary);
+namespace {
+
+// Shared prefix of both load paths: magic + epoch + history, then the
+// model parameters/buffers.
+CheckpointData read_header_and_model(std::ifstream& is,
+                                     const std::string& path,
+                                     nn::Module& model) {
   MFN_CHECK(is.is_open(), "cannot open checkpoint " << path);
   char magic[8];
   is.read(magic, sizeof(magic));
@@ -48,15 +54,42 @@ CheckpointData load_checkpoint(const std::string& path, nn::Module& model,
   MFN_CHECK(is.good() && n < (1u << 24), "corrupt checkpoint history");
   data.history.resize(n);
   for (auto& s : data.history) {
-    double row[4];
+    double row[4] = {0, 0, 0, 0};
     is.read(reinterpret_cast<char*>(row), sizeof(row));
+    MFN_CHECK(is.good(), "truncated checkpoint history in " << path);
     s.total_loss = row[0];
     s.pred_loss = row[1];
     s.eq_loss = row[2];
     s.wall_seconds = row[3];
   }
   model.load(is);
+  return data;
+}
+
+}  // namespace
+
+CheckpointData load_checkpoint(const std::string& path, nn::Module& model,
+                               optim::Adam& optimizer) {
+  std::ifstream is(path, std::ios::binary);
+  CheckpointData data = read_header_and_model(is, path, model);
   optimizer.load_state(is);
+  MFN_CHECK(is.good(), "checkpoint read failed: " << path);
+  return data;
+}
+
+CheckpointData load_checkpoint_weights(const std::string& path,
+                                       nn::Module& model) {
+  std::ifstream is(path, std::ios::binary);
+  CheckpointData data = read_header_and_model(is, path, model);
+  // Walk (and structurally validate) the Adam state without materializing
+  // it: the step counter plus one m and one v tensor per parameter. This
+  // is the mid-traffic hot-reload path — skipping avoids a transient 2x
+  // parameter-memory spike and the moment payload I/O.
+  std::int64_t t = 0;
+  is.read(reinterpret_cast<char*>(&t), sizeof(t));
+  MFN_CHECK(is.good(), "truncated optimizer state in " << path);
+  const std::size_t nparams = model.parameters().size();
+  for (std::size_t i = 0; i < 2 * nparams; ++i) skip_tensor(is);
   MFN_CHECK(is.good(), "checkpoint read failed: " << path);
   return data;
 }

@@ -26,4 +26,11 @@ void save_checkpoint(const std::string& path, nn::Module& model,
 CheckpointData load_checkpoint(const std::string& path, nn::Module& model,
                                optim::Adam& optimizer);
 
+/// Weights-only restore for inference (e.g. a serving engine hot reload):
+/// loads the model parameters/buffers from a full checkpoint and skips the
+/// optimizer records without materializing them (no transient 2x-parameter
+/// moment allocation mid-traffic). The checkpoint format is unchanged.
+CheckpointData load_checkpoint_weights(const std::string& path,
+                                       nn::Module& model);
+
 }  // namespace mfn::core

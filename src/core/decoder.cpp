@@ -169,19 +169,24 @@ Tensor ContinuousDecoder::decode_streamed(const Tensor& latent,
   float* po = out.data();
 
   // Fixed ~256-query sub-blocks keep a block's activations
-  // (8 * 256 rows x wmax) inside L2 regardless of how parallel_for carves
-  // the range (its grain is only a lower bound on chunk size), and bound
-  // the per-worker thread_local scratch.
+  // (8 * 256 rows x wmax) inside L2 and bound the per-worker thread_local
+  // scratch. The blocks are carved from the *global* [0, B) range (block i
+  // is [i*256, (i+1)*256) regardless of which worker runs it), never from
+  // parallel_for's chunk boundaries: chunking varies with MFN_NUM_THREADS,
+  // and the serving layer pins decode output bit-identical across pool
+  // sizes.
   constexpr std::int64_t kBlockQueries = 256;
+  const std::int64_t nblocks = (B + kBlockQueries - 1) / kBlockQueries;
   parallel_for(
-      B,
-      [&](std::int64_t c0, std::int64_t c1) {
+      nblocks,
+      [&](std::int64_t blk0, std::int64_t blk1) {
         thread_local std::vector<float> buf_a, buf_b;
         buf_a.resize(static_cast<std::size_t>(8 * kBlockQueries * wmax));
         buf_b.resize(static_cast<std::size_t>(8 * kBlockQueries * wmax));
 
-        for (std::int64_t q0 = c0; q0 < c1; q0 += kBlockQueries) {
-          const std::int64_t q1 = std::min(q0 + kBlockQueries, c1);
+        for (std::int64_t blk = blk0; blk < blk1; ++blk) {
+          const std::int64_t q0 = blk * kBlockQueries;
+          const std::int64_t q1 = std::min(q0 + kBlockQueries, B);
           const std::int64_t nb = q1 - q0, rows = 8 * nb;
           float* cur = buf_a.data();
           float* nxt = buf_b.data();
@@ -247,7 +252,7 @@ Tensor ContinuousDecoder::decode_streamed(const Tensor& latent,
           }
         }
       },
-      /*grain=*/kBlockQueries);
+      /*grain=*/1);
   return out;
 }
 

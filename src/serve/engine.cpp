@@ -1,0 +1,114 @@
+#include "serve/engine.h"
+
+#include "autodiff/variable.h"
+#include "common/error.h"
+#include "core/checkpoint.h"
+
+namespace mfn::serve {
+
+namespace {
+std::shared_ptr<const ModelSnapshot> make_snapshot(
+    std::unique_ptr<core::MeshfreeFlowNet> model, std::uint64_t version) {
+  MFN_CHECK(model != nullptr, "engine snapshot requires a model");
+  model->set_training(false);
+  auto snap = std::make_shared<ModelSnapshot>();
+  snap->model = std::move(model);
+  snap->version = version;
+  return snap;
+}
+}  // namespace
+
+InferenceEngine::InferenceEngine(
+    std::unique_ptr<core::MeshfreeFlowNet> model,
+    InferenceEngineConfig config)
+    : model_config_(model ? model->config() : core::MFNConfig{}),
+      cache_(config.cache_bytes),
+      batcher_(config.batcher) {
+  snapshot_ = make_snapshot(std::move(model), next_version_++);
+}
+
+InferenceEngine::~InferenceEngine() {
+  // Explicit for clarity: the batcher drains before snapshot_/cache_ die.
+  batcher_.shutdown();
+}
+
+std::shared_ptr<const ModelSnapshot> InferenceEngine::current_snapshot()
+    const {
+  std::lock_guard<std::mutex> lk(snapshot_mu_);
+  return snapshot_;
+}
+
+Tensor InferenceEngine::latent_for(
+    const std::shared_ptr<const ModelSnapshot>& snap, std::uint64_t patch_id,
+    const Tensor& lr_patch) {
+  const LatentKey key{snap->version, patch_id};
+  if (auto hit = cache_.get(key)) return *hit;
+  MFN_CHECK(lr_patch.defined() && lr_patch.ndim() == 5 &&
+                lr_patch.dim(0) == 1,
+            "lr_patch must be (1, C, lt, lz, lx), got "
+                << (lr_patch.defined() ? lr_patch.shape().str()
+                                       : std::string("<undefined>")));
+  // Encode outside the cache lock. Concurrent misses on one key may
+  // duplicate the encode; the puts are idempotent (identical values from
+  // identical weights), so the race costs work, never correctness.
+  ad::NoGradGuard no_grad;
+  Tensor latent = snap->model->encode(lr_patch).value();
+  cache_.put(key, latent);
+  return latent;
+}
+
+std::future<Tensor> InferenceEngine::query(std::uint64_t patch_id,
+                                           const Tensor& lr_patch,
+                                           const Tensor& query_coords) {
+  std::shared_ptr<const ModelSnapshot> snap = current_snapshot();
+  Tensor latent = latent_for(snap, patch_id, lr_patch);
+  return batcher_.submit(std::move(snap), std::move(latent), query_coords);
+}
+
+Tensor InferenceEngine::query_sync(std::uint64_t patch_id,
+                                   const Tensor& lr_patch,
+                                   const Tensor& query_coords) {
+  return query(patch_id, lr_patch, query_coords).get();
+}
+
+void InferenceEngine::prewarm(std::uint64_t patch_id,
+                              const Tensor& lr_patch) {
+  std::shared_ptr<const ModelSnapshot> snap = current_snapshot();
+  (void)latent_for(snap, patch_id, lr_patch);
+}
+
+void InferenceEngine::swap_model(
+    std::unique_ptr<core::MeshfreeFlowNet> model) {
+  std::uint64_t live;
+  {
+    std::lock_guard<std::mutex> lk(snapshot_mu_);
+    live = next_version_++;
+  }
+  // Build the snapshot (eval-mode walk over the module tree) outside the
+  // lock: readers must only ever block for the pointer copy below.
+  std::shared_ptr<const ModelSnapshot> snap =
+      make_snapshot(std::move(model), live);
+  {
+    std::lock_guard<std::mutex> lk(snapshot_mu_);
+    // Concurrent swaps may finish construction out of order; only a newer
+    // version may replace the published snapshot.
+    if (live > snapshot_->version) snapshot_ = std::move(snap);
+  }
+  // Latents keyed to retired snapshots can never be requested again (keys
+  // carry the version); reclaim their bytes for the new snapshot's grids.
+  cache_.drop_stale_versions(live);
+}
+
+void InferenceEngine::reload_from_checkpoint(const std::string& path) {
+  Rng rng(1);  // initialization is fully overwritten by the checkpoint
+  auto model = std::make_unique<core::MeshfreeFlowNet>(model_config_, rng);
+  core::load_checkpoint_weights(path, *model);
+  swap_model(std::move(model));
+}
+
+std::uint64_t InferenceEngine::snapshot_version() const {
+  std::lock_guard<std::mutex> lk(snapshot_mu_);
+  return snapshot_->version;
+}
+
+}  // namespace mfn::serve

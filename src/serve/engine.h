@@ -1,0 +1,111 @@
+// Thread-safe inference engine: immutable model snapshots with hot swap,
+// a latent-grid LRU cache, and a dynamic query batcher.
+//
+// The serving pipeline exploits the paper's split architecture end to end:
+//
+//   client threads ──▶ InferenceEngine::query(patch_id, lr_patch, coords)
+//                        │
+//                        ├─ snapshot: one shared_ptr read; the request is
+//                        │  pinned to that model for BOTH encode and
+//                        │  decode (hot swaps never produce mixed
+//                        │  responses)
+//                        ├─ LatentCache: (version, patch_id) -> latent
+//                        │  grid; misses run the Context Generation
+//                        │  Network once, hits skip it entirely
+//                        └─ QueryBatcher: coalesces the decode with other
+//                           clients' queries into one batched SGEMM
+//                           ──▶ std::future<Tensor> (Q, out_channels)
+//
+// Hot swap: swap_model()/reload_from_checkpoint() publish a new immutable
+// snapshot under a mutex; in-flight requests keep the old snapshot alive
+// through their shared_ptr and drain against it. Readers never block on a
+// swap beyond the pointer-copy critical section.
+//
+// All forwards run eval-mode + NoGradGuard, which is read-only on model
+// state (batch-norm uses running statistics, no tape is recorded), so any
+// number of threads may serve against one snapshot concurrently.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/meshfree_flownet.h"
+#include "serve/latent_cache.h"
+#include "serve/query_batcher.h"
+
+namespace mfn::serve {
+
+struct InferenceEngineConfig {
+  /// Latent cache byte budget (LRU-evicted past this).
+  std::size_t cache_bytes = 64u << 20;
+  QueryBatcherConfig batcher;
+};
+
+class InferenceEngine {
+ public:
+  /// Takes ownership of the model (switched to eval mode) as snapshot
+  /// version 1.
+  InferenceEngine(std::unique_ptr<core::MeshfreeFlowNet> model,
+                  InferenceEngineConfig config = {});
+  ~InferenceEngine();
+
+  InferenceEngine(const InferenceEngine&) = delete;
+  InferenceEngine& operator=(const InferenceEngine&) = delete;
+
+  /// Asynchronous continuous query: values of `coords` (Q, 3) inside the
+  /// patch `lr_patch` (1, C, lt, lz, lx). `patch_id` identifies the patch
+  /// content for latent caching — callers must not reuse an id for
+  /// different patch data. Thread-safe; blocks only on batcher
+  /// backpressure.
+  std::future<Tensor> query(std::uint64_t patch_id, const Tensor& lr_patch,
+                            const Tensor& query_coords);
+
+  /// Blocking convenience wrapper around query().get().
+  Tensor query_sync(std::uint64_t patch_id, const Tensor& lr_patch,
+                    const Tensor& query_coords);
+
+  /// Encode-and-cache without decoding (cache warming).
+  void prewarm(std::uint64_t patch_id, const Tensor& lr_patch);
+
+  /// Publish `model` (switched to eval mode) as a new snapshot; stale
+  /// cached latents are dropped eagerly. Traffic in flight finishes on the
+  /// old snapshot; requests submitted after the swap use the new one.
+  void swap_model(std::unique_ptr<core::MeshfreeFlowNet> model);
+
+  /// Hot reload: build a fresh model with this engine's architecture, load
+  /// the checkpoint's weights into it (core::load_checkpoint_weights), and
+  /// swap_model() it in — weights update mid-traffic without blocking
+  /// readers.
+  void reload_from_checkpoint(const std::string& path);
+
+  /// Version of the snapshot new requests will use (1 for the initial
+  /// model, +1 per swap).
+  std::uint64_t snapshot_version() const;
+
+  /// The architecture every snapshot of this engine shares.
+  const core::MFNConfig& model_config() const { return model_config_; }
+
+  LatentCache::Stats cache_stats() const { return cache_.stats(); }
+  QueryBatcher::Stats batcher_stats() const { return batcher_.stats(); }
+  LatentCache& cache() { return cache_; }
+  QueryBatcher& batcher() { return batcher_; }
+
+ private:
+  std::shared_ptr<const ModelSnapshot> current_snapshot() const;
+  Tensor latent_for(const std::shared_ptr<const ModelSnapshot>& snap,
+                    std::uint64_t patch_id, const Tensor& lr_patch);
+
+  core::MFNConfig model_config_;
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const ModelSnapshot> snapshot_;
+  std::uint64_t next_version_ = 1;
+  LatentCache cache_;
+  // Last member: destroyed (and therefore drained) first, while the
+  // snapshot and cache it references are still alive.
+  QueryBatcher batcher_;
+};
+
+}  // namespace mfn::serve

@@ -1,0 +1,113 @@
+#include "serve/latent_cache.h"
+
+#include "common/error.h"
+
+namespace mfn::serve {
+
+namespace {
+std::size_t payload_bytes(const Tensor& t) {
+  return static_cast<std::size_t>(t.numel()) * sizeof(float);
+}
+}  // namespace
+
+LatentCache::LatentCache(std::size_t byte_budget)
+    : byte_budget_(byte_budget) {
+  MFN_CHECK(byte_budget > 0, "latent cache byte budget must be positive");
+}
+
+std::optional<Tensor> LatentCache::get(const LatentKey& key) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);  // promote to MRU
+  return it->second->latent;
+}
+
+void LatentCache::put(const LatentKey& key, Tensor latent) {
+  MFN_CHECK(latent.defined(), "cannot cache an undefined latent");
+  const std::size_t bytes = payload_bytes(latent);
+  std::lock_guard<std::mutex> lk(mu_);
+  if (key.version < min_version_) {
+    // An encode that straddled a hot swap is finishing late: its snapshot
+    // was retired by drop_stale_versions, so inserting would waste budget
+    // on an entry no future lookup can reach.
+    ++invalidations_;
+    return;
+  }
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Refresh in place (same key re-encoded, e.g. racing misses).
+    bytes_in_use_ -= it->second->bytes;
+    it->second->latent = std::move(latent);
+    it->second->bytes = bytes;
+    bytes_in_use_ += bytes;
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    lru_.push_front(Entry{key, std::move(latent), bytes});
+    index_[key] = lru_.begin();
+    bytes_in_use_ += bytes;
+  }
+  evict_over_budget_locked();
+}
+
+bool LatentCache::contains(const LatentKey& key) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return index_.count(key) != 0;
+}
+
+void LatentCache::drop_stale_versions(std::uint64_t live_version) {
+  std::lock_guard<std::mutex> lk(mu_);
+  min_version_ = std::max(min_version_, live_version);
+  // Drop strictly-older entries (monotonic in min_version_): two swaps
+  // whose unlocked drop calls arrive out of order must never let the
+  // stale one wipe the newer snapshot's working set.
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->key.version < min_version_) {
+      bytes_in_use_ -= it->bytes;
+      ++invalidations_;
+      index_.erase(it->key);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void LatentCache::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  invalidations_ += lru_.size();
+  lru_.clear();
+  index_.clear();
+  bytes_in_use_ = 0;
+}
+
+LatentCache::Stats LatentCache::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.invalidations = invalidations_;
+  s.entries = lru_.size();
+  s.bytes_in_use = bytes_in_use_;
+  s.byte_budget = byte_budget_;
+  return s;
+}
+
+void LatentCache::evict_over_budget_locked() {
+  // Never evict down to zero entries: a single oversized latent is more
+  // useful cached than thrashing on every request.
+  while (bytes_in_use_ > byte_budget_ && lru_.size() > 1) {
+    const Entry& victim = lru_.back();
+    bytes_in_use_ -= victim.bytes;
+    ++evictions_;
+    index_.erase(victim.key);
+    lru_.pop_back();
+  }
+}
+
+}  // namespace mfn::serve

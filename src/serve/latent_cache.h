@@ -1,0 +1,118 @@
+// LRU cache over encoded Latent Context Grids, keyed by (snapshot version,
+// patch id).
+//
+// MeshfreeFlowNet's split architecture makes the latent grid the natural
+// serving cache line: the Context Generation Network encodes a patch once,
+// after which arbitrarily many continuous space-time queries decode against
+// the cached latent (paper Sec. 4). The realistic serving workload is many
+// small heterogeneous query batches against few hot latents, so the cache
+// is sized by a byte budget rather than an entry count: eviction walks the
+// LRU tail until the budget holds. Latent tensors draw their storage from
+// backend::CachingAllocator (every Tensor does), so an evicted grid's bytes
+// return to the allocator's free-list buckets and are immediately reusable
+// by the next encode — the cache never touches the raw heap.
+//
+// Keys carry the owning snapshot's version so a hot-swapped engine can
+// never blend an old snapshot's latent with a new snapshot's decoder:
+// stale versions stop being requested and age out of the LRU (or are
+// dropped eagerly via drop_stale_versions()).
+//
+// Thread-safe; all operations take one internal mutex.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "tensor/tensor.h"
+
+namespace mfn::serve {
+
+struct LatentKey {
+  std::uint64_t version = 0;  ///< model snapshot version
+  std::uint64_t patch = 0;    ///< caller-chosen patch id
+  bool operator==(const LatentKey& o) const {
+    return version == o.version && patch == o.patch;
+  }
+};
+
+struct LatentKeyHash {
+  std::size_t operator()(const LatentKey& k) const {
+    // splitmix64-style mix of the two words.
+    std::uint64_t h = k.version * 0x9E3779B97F4A7C15ull + k.patch;
+    h ^= h >> 30;
+    h *= 0xBF58476D1CE4E5B9ull;
+    h ^= h >> 27;
+    return static_cast<std::size_t>(h);
+  }
+};
+
+class LatentCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;      ///< dropped by the byte budget
+    std::uint64_t invalidations = 0;  ///< dropped by drop_stale_versions
+    std::uint64_t entries = 0;
+    std::size_t bytes_in_use = 0;
+    std::size_t byte_budget = 0;
+    double hit_rate() const {
+      const std::uint64_t total = hits + misses;
+      return total == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(total);
+    }
+  };
+
+  /// `byte_budget` bounds the summed latent payloads (entry bookkeeping is
+  /// not counted). A single latent larger than the budget is still cached
+  /// alone — the cache never refuses its only hot entry.
+  explicit LatentCache(std::size_t byte_budget);
+
+  /// Lookup; promotes the entry to most-recently-used. Counts a hit or a
+  /// miss.
+  std::optional<Tensor> get(const LatentKey& key);
+
+  /// Insert (or refresh) an entry, then evict LRU entries until the byte
+  /// budget holds. Does not count toward hits/misses. An entry older than
+  /// the last drop_stale_versions() call is dropped instead of inserted
+  /// (counted as an invalidation) — this closes the race where an encode
+  /// finishing after a hot swap would re-insert a dead latent.
+  void put(const LatentKey& key, Tensor latent);
+
+  /// True without promoting or counting — test/introspection helper.
+  bool contains(const LatentKey& key) const;
+
+  /// Drop every entry older than `live_version` (eager cleanup after a
+  /// hot swap; monotonic, so out-of-order calls from concurrent swaps are
+  /// harmless). Counted as invalidations, not evictions.
+  void drop_stale_versions(std::uint64_t live_version);
+
+  /// Drop everything (counters retained).
+  void clear();
+
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    LatentKey key;
+    Tensor latent;
+    std::size_t bytes = 0;
+  };
+
+  void evict_over_budget_locked();
+
+  mutable std::mutex mu_;
+  std::size_t byte_budget_;
+  std::uint64_t min_version_ = 0;  ///< floor set by drop_stale_versions
+  std::size_t bytes_in_use_ = 0;
+  std::uint64_t hits_ = 0, misses_ = 0, evictions_ = 0, invalidations_ = 0;
+  std::list<Entry> lru_;  // front = most recent, back = eviction candidate
+  std::unordered_map<LatentKey, std::list<Entry>::iterator, LatentKeyHash>
+      index_;
+};
+
+}  // namespace mfn::serve

@@ -1,0 +1,286 @@
+#include "serve/query_batcher.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "autodiff/variable.h"
+#include "common/error.h"
+
+namespace mfn::serve {
+
+QueryBatcher::QueryBatcher(QueryBatcherConfig config)
+    : config_(config) {
+  MFN_CHECK(config_.workers >= 1, "QueryBatcher needs >= 1 worker");
+  MFN_CHECK(config_.max_batch_rows >= 1,
+            "max_batch_rows must be >= 1, got " << config_.max_batch_rows);
+  MFN_CHECK(config_.max_queue_rows >= config_.max_batch_rows,
+            "max_queue_rows " << config_.max_queue_rows
+                              << " below max_batch_rows "
+                              << config_.max_batch_rows);
+  MFN_CHECK(config_.max_wait_us >= 0, "max_wait_us must be >= 0");
+  workers_.reserve(static_cast<std::size_t>(config_.workers));
+  for (int i = 0; i < config_.workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+QueryBatcher::~QueryBatcher() { shutdown(); }
+
+void QueryBatcher::shutdown() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_pending_.notify_all();
+  cv_capacity_.notify_all();
+  for (auto& w : workers_) w.join();
+  workers_.clear();
+}
+
+std::future<Tensor> QueryBatcher::submit(
+    std::shared_ptr<const ModelSnapshot> snapshot, Tensor latent,
+    Tensor coords) {
+  MFN_CHECK(snapshot != nullptr && snapshot->model != nullptr,
+            "submit requires a model snapshot");
+  MFN_CHECK(latent.defined() && latent.ndim() == 5 && latent.dim(0) == 1,
+            "latent must be a single-sample (1, C, LT, LZ, LX) grid");
+  MFN_CHECK(coords.defined() && coords.ndim() == 2 && coords.dim(1) == 3 &&
+                coords.dim(0) >= 1,
+            "coords must be (Q, 3) with Q >= 1");
+  Request req;
+  req.snapshot = std::move(snapshot);
+  req.latent = std::move(latent);
+  req.coords = std::move(coords);
+  std::future<Tensor> fut = req.promise.get_future();
+  const std::int64_t rows = req.coords.dim(0);
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_capacity_.wait(lk, [&] {
+      return stop_ || queued_rows_ + rows <= config_.max_queue_rows ||
+             queue_.empty();
+    });
+    MFN_CHECK(!stop_, "QueryBatcher is shut down");
+    queue_.push_back(std::move(req));
+    queued_rows_ += rows;
+    ++stats_.requests;
+    stats_.rows += static_cast<std::uint64_t>(rows);
+  }
+  cv_pending_.notify_one();
+  return fut;
+}
+
+void QueryBatcher::worker_loop() {
+  for (;;) {
+    std::vector<Request> batch;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_pending_.wait(lk, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      if (!stop_ && config_.max_wait_us > 0 &&
+          queued_rows_ < config_.max_batch_rows) {
+        // Sub-max batch: hold the batching window open from *now* so
+        // requests that trickle in while this worker was busy decoding
+        // the previous batch still coalesce (a window anchored at the
+        // oldest request's arrival is always already expired in
+        // closed-loop steady state, which fragments every batch).
+        const auto deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::microseconds(config_.max_wait_us);
+        cv_pending_.wait_until(lk, deadline, [&] {
+          return stop_ || queue_.empty() ||
+                 queued_rows_ >= config_.max_batch_rows;
+        });
+        if (queue_.empty()) {
+          if (stop_) return;
+          continue;  // another worker drained it while we waited
+        }
+      }
+      // Take whole requests until the row target is met. The first request
+      // is always taken, even if it alone exceeds max_batch_rows.
+      std::int64_t rows = 0;
+      while (!queue_.empty() &&
+             (batch.empty() ||
+              rows + queue_.front().coords.dim(0) <=
+                  config_.max_batch_rows)) {
+        rows += queue_.front().coords.dim(0);
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      queued_rows_ -= rows;
+      ++stats_.flushes;
+      stats_.max_flush_rows = std::max(stats_.max_flush_rows,
+                                       static_cast<std::uint64_t>(rows));
+    }
+    cv_capacity_.notify_all();
+    // Plan first, then account, then decode: clients unblock the moment
+    // their promise is set, and a stats() read right after future.get()
+    // must already see this flush's decode calls.
+    const std::vector<std::vector<std::size_t>> units =
+        plan_decode_units(batch);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stats_.decode_calls += units.size();
+    }
+    for (const auto& unit : units) execute_unit(batch, unit);
+  }
+}
+
+std::vector<std::vector<std::size_t>> QueryBatcher::plan_decode_units(
+    const std::vector<Request>& batch) {
+  // Partition by snapshot first (linear scan, arrival order preserved): a
+  // decode never spans two snapshots, so every response is computed
+  // wholly by one model even while the engine swaps mid-traffic.
+  std::vector<std::pair<const ModelSnapshot*, std::vector<std::size_t>>>
+      snaps;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const ModelSnapshot* snap = batch[i].snapshot.get();
+    std::vector<std::size_t>* members = nullptr;
+    for (auto& cand : snaps)
+      if (cand.first == snap) {
+        members = &cand.second;
+        break;
+      }
+    if (members == nullptr) {
+      snaps.emplace_back(snap, std::vector<std::size_t>{});
+      members = &snaps.back().second;
+    }
+    members->push_back(i);
+  }
+
+  // Within a snapshot, a single decoder call can serve either requests
+  // that share one latent (concatenated (B, 3) decode) or requests over
+  // several same-shape latents with equal query blocks (the stacked
+  // (N, Q, 3) batched decode). Anything ragged splits per distinct
+  // latent.
+  std::vector<std::vector<std::size_t>> units;
+  for (auto& [snap, members] : snaps) {
+    const Request& first = batch[members.front()];
+    const std::int64_t q0 = first.coords.dim(0);
+    bool stackable = true;  // equal Q, equal latent shape
+    bool multi_latent = false;
+    for (std::size_t m : members) {
+      stackable = stackable && batch[m].coords.dim(0) == q0 &&
+                  batch[m].latent.shape() == first.latent.shape();
+      multi_latent =
+          multi_latent || batch[m].latent.data() != first.latent.data();
+    }
+    if (!multi_latent || stackable) {
+      units.push_back(std::move(members));
+      continue;
+    }
+    std::vector<std::pair<const float*, std::vector<std::size_t>>> by_latent;
+    for (std::size_t m : members) {
+      const float* data = batch[m].latent.data();
+      std::vector<std::size_t>* sub = nullptr;
+      for (auto& cand : by_latent)
+        if (cand.first == data) {
+          sub = &cand.second;
+          break;
+        }
+      if (sub == nullptr) {
+        by_latent.emplace_back(data, std::vector<std::size_t>{});
+        sub = &by_latent.back().second;
+      }
+      sub->push_back(m);
+    }
+    for (auto& [data, sub] : by_latent) units.push_back(std::move(sub));
+  }
+  return units;
+}
+
+// Runs one planned unit through a single decoder call and fulfills its
+// promises. By construction a unit is either single-latent or a uniform
+// multi-latent stack.
+void QueryBatcher::execute_unit(std::vector<Request>& batch,
+                                const std::vector<std::size_t>& members) {
+  ad::NoGradGuard no_grad;
+  Request& first = batch[members.front()];
+  core::ContinuousDecoder& decoder = first.snapshot->model->decoder();
+
+  bool multi_latent = false;
+  for (std::size_t m : members)
+    multi_latent =
+        multi_latent || batch[m].latent.data() != first.latent.data();
+
+  std::size_t fulfilled = 0;
+  try {
+    if (members.size() == 1) {
+      // Single request: decode straight from/into its tensors, skipping
+      // the assemble/demux copies.
+      ad::Var latent(first.latent, /*requires_grad=*/false);
+      first.promise.set_value(
+          decoder.decode(latent, first.coords).value());
+      return;
+    }
+
+    if (!multi_latent) {
+      // One hot latent: concatenate all query rows into a single (B, 3)
+      // decode against it.
+      std::int64_t rows = 0;
+      for (std::size_t m : members) rows += batch[m].coords.dim(0);
+      Tensor coords = Tensor::uninitialized(Shape{rows, 3});
+      std::int64_t row = 0;
+      for (std::size_t m : members) {
+        const Tensor& c = batch[m].coords;
+        std::memcpy(coords.data() + row * 3, c.data(),
+                    static_cast<std::size_t>(c.numel()) * sizeof(float));
+        row += c.dim(0);
+      }
+      ad::Var latent(first.latent, /*requires_grad=*/false);
+      Tensor out = decoder.decode(latent, coords).value();
+      demux_rows(batch, members, out, &fulfilled);
+      return;
+    }
+
+    // Several hot latents of one shape with equal-sized query blocks (the
+    // canonical serving shape): stack one latent sample per request and
+    // run the decoder's batched (N, Q, 3) path — all N*Q*8 corner rows go
+    // through a single SGEMM-backed MLP forward instead of one decode per
+    // latent. The (N*Q, out) sample-major result demuxes by contiguous
+    // row ranges, exactly like the concatenated case.
+    const Tensor& l0 = first.latent;
+    const std::int64_t q0 = first.coords.dim(0);
+    const std::int64_t N = static_cast<std::int64_t>(members.size());
+    const std::int64_t slab = l0.numel();  // one (1, C, LT, LZ, LX) grid
+    Tensor latents = Tensor::uninitialized(
+        Shape{N, l0.dim(1), l0.dim(2), l0.dim(3), l0.dim(4)});
+    Tensor coords = Tensor::uninitialized(Shape{N, q0, 3});
+    std::int64_t s = 0;
+    for (std::size_t m : members) {
+      std::memcpy(latents.data() + s * slab, batch[m].latent.data(),
+                  static_cast<std::size_t>(slab) * sizeof(float));
+      std::memcpy(coords.data() + s * q0 * 3, batch[m].coords.data(),
+                  static_cast<std::size_t>(q0 * 3) * sizeof(float));
+      ++s;
+    }
+    ad::Var latent(latents, /*requires_grad=*/false);
+    Tensor out = decoder.decode(latent, coords).value();
+    demux_rows(batch, members, out, &fulfilled);
+  } catch (...) {
+    for (std::size_t k = fulfilled; k < members.size(); ++k)
+      batch[members[k]].promise.set_exception(std::current_exception());
+  }
+}
+
+void QueryBatcher::demux_rows(std::vector<Request>& batch,
+                              const std::vector<std::size_t>& members,
+                              const Tensor& out, std::size_t* fulfilled) {
+  const std::int64_t oc = out.dim(1);
+  std::int64_t row = 0;
+  for (std::size_t m : members) {
+    const std::int64_t q = batch[m].coords.dim(0);
+    Tensor slice = Tensor::uninitialized(Shape{q, oc});
+    std::memcpy(slice.data(), out.data() + row * oc,
+                static_cast<std::size_t>(q * oc) * sizeof(float));
+    batch[m].promise.set_value(std::move(slice));
+    ++*fulfilled;
+    row += q;
+  }
+}
+
+QueryBatcher::Stats QueryBatcher::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+}  // namespace mfn::serve

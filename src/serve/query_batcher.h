@@ -1,0 +1,142 @@
+// Dynamic query batcher: coalesces continuous-query requests from many
+// client threads into single batched decoder SGEMMs.
+//
+// Clients submit (snapshot, latent, coords) and get a future for the
+// decoded (Q, out_channels) values. Worker threads drain a bounded queue,
+// flushing when the pending row count reaches max_batch_rows or a
+// max_wait batching window (opened when a worker starts assembling a
+// batch) expires; each flush groups requests by (snapshot,
+// latent storage) — the serving workload is many small query batches
+// against few hot latents — and runs one ContinuousDecoder::decode call
+// per group, demultiplexing the result rows back to per-request promises.
+//
+// Correctness properties the test suite pins:
+//  - parity: coalescing never changes a request's values beyond float
+//    tolerance — decode computes each query row independently of which
+//    rows share its GEMM;
+//  - snapshot atomicity: a group never mixes snapshots, so every response
+//    is computed wholly by one model snapshot even while the engine
+//    hot-swaps mid-traffic;
+//  - determinism: the streamed decode kernel carves its blocks
+//    independently of MFN_NUM_THREADS, so a given coalesced batch yields
+//    bit-identical rows at any pool size.
+//
+// The decode itself parallelizes across the global ThreadPool (per-worker
+// Workspace / thread_local scratch inside decode_streamed); batcher
+// workers are plain threads, so concurrent flushes interleave safely on
+// the pool.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/meshfree_flownet.h"
+#include "tensor/tensor.h"
+
+namespace mfn::serve {
+
+/// Immutable model snapshot shared between the engine and in-flight
+/// requests. The model is logically const: serving only ever runs
+/// eval-mode no-grad forwards, which read weights/buffers without mutating
+/// them. A swap publishes a brand-new snapshot; the old one stays alive
+/// until its last in-flight request drains.
+struct ModelSnapshot {
+  std::unique_ptr<core::MeshfreeFlowNet> model;
+  std::uint64_t version = 0;
+};
+
+struct QueryBatcherConfig {
+  /// Decode worker threads draining the queue. One worker already keeps
+  /// the ThreadPool busy (decode parallelizes internally); more workers
+  /// overlap demux/assembly with compute.
+  int workers = 1;
+  /// Flush as soon as this many query rows are pending (the
+  /// throughput knob: bigger batches amortize SGEMM setup).
+  std::int64_t max_batch_rows = 4096;
+  /// Batching window for sub-max batches: when a worker finds fewer than
+  /// max_batch_rows pending it holds the flush open this long for more
+  /// arrivals (the latency knob). 0 flushes immediately — the right
+  /// setting for a single synchronous client, which can never have a
+  /// second request in flight to wait for.
+  std::int64_t max_wait_us = 100;
+  /// submit() blocks while this many rows are already queued
+  /// (backpressure toward the clients).
+  std::int64_t max_queue_rows = 1 << 20;
+};
+
+class QueryBatcher {
+ public:
+  struct Stats {
+    std::uint64_t requests = 0;       ///< submitted requests
+    std::uint64_t rows = 0;           ///< submitted query rows
+    std::uint64_t flushes = 0;        ///< batches drained from the queue
+    std::uint64_t decode_calls = 0;   ///< decoder invocations (groups)
+    std::uint64_t max_flush_rows = 0; ///< largest coalesced flush seen
+    /// Mean coalescing factor: requests per decoder invocation.
+    double requests_per_decode() const {
+      return decode_calls == 0
+                 ? 0.0
+                 : static_cast<double>(requests) /
+                       static_cast<double>(decode_calls);
+    }
+  };
+
+  explicit QueryBatcher(QueryBatcherConfig config);
+  ~QueryBatcher();  ///< drains the queue, then joins the workers
+
+  QueryBatcher(const QueryBatcher&) = delete;
+  QueryBatcher& operator=(const QueryBatcher&) = delete;
+
+  /// Enqueue a decode of `coords` (Q, 3) against `latent`
+  /// (1, C, LT, LZ, LX) under `snapshot`'s decoder. Blocks while the queue
+  /// is over max_queue_rows. The future resolves to (Q, out_channels)
+  /// values, or to the exception the decode threw.
+  std::future<Tensor> submit(std::shared_ptr<const ModelSnapshot> snapshot,
+                             Tensor latent, Tensor coords);
+
+  /// Stop accepting work, serve everything still queued, join workers.
+  /// Idempotent; the destructor calls it.
+  void shutdown();
+
+  Stats stats() const;
+  const QueryBatcherConfig& config() const { return config_; }
+
+ private:
+  struct Request {
+    std::shared_ptr<const ModelSnapshot> snapshot;
+    Tensor latent;
+    Tensor coords;
+    std::promise<Tensor> promise;
+  };
+
+  void worker_loop();
+  /// Split a drained batch into units, each servable by exactly one
+  /// decoder call (pure planning — no promises are touched, so the
+  /// worker can account stats before clients unblock).
+  static std::vector<std::vector<std::size_t>> plan_decode_units(
+      const std::vector<Request>& batch);
+  static void execute_unit(std::vector<Request>& batch,
+                           const std::vector<std::size_t>& members);
+  static void demux_rows(std::vector<Request>& batch,
+                         const std::vector<std::size_t>& members,
+                         const Tensor& out, std::size_t* fulfilled);
+
+  QueryBatcherConfig config_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_pending_;   // workers wait for work/flush
+  std::condition_variable cv_capacity_;  // submitters wait for room
+  std::deque<Request> queue_;
+  std::int64_t queued_rows_ = 0;
+  bool stop_ = false;
+  Stats stats_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mfn::serve

@@ -1,0 +1,126 @@
+#include "serve/serve_bench.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+
+namespace mfn::serve {
+
+namespace {
+
+Tensor random_coords(Rng& rng, std::int64_t q, std::int64_t nt,
+                     std::int64_t nz, std::int64_t nx) {
+  Tensor c = Tensor::uninitialized(Shape{q, 3});
+  float* p = c.data();
+  for (std::int64_t b = 0; b < q; ++b) {
+    p[b * 3 + 0] =
+        static_cast<float>(rng.uniform(0.0, static_cast<double>(nt - 1)));
+    p[b * 3 + 1] =
+        static_cast<float>(rng.uniform(0.0, static_cast<double>(nz - 1)));
+    p[b * 3 + 2] =
+        static_cast<float>(rng.uniform(0.0, static_cast<double>(nx - 1)));
+  }
+  return c;
+}
+
+}  // namespace
+
+ServeBenchResult run_serve_bench(InferenceEngine& engine,
+                                 const ServeBenchConfig& cfg) {
+  MFN_CHECK(cfg.clients >= 1, "serve bench needs >= 1 client");
+  MFN_CHECK(cfg.requests_per_client >= 1, "need >= 1 request per client");
+  MFN_CHECK(cfg.hot_patches >= 1, "need >= 1 hot patch");
+  MFN_CHECK(cfg.queries_per_request >= 1, "need >= 1 query per request");
+
+  const std::int64_t in_ch = engine.model_config().unet.in_channels;
+  Rng rng(cfg.seed);
+
+  // The hot latent working set. Ids are namespaced by snapshot version so
+  // back-to-back runs on one engine key the same content identically.
+  const std::uint64_t id_base = engine.snapshot_version() << 32;
+  std::vector<Tensor> patches;
+  patches.reserve(static_cast<std::size_t>(cfg.hot_patches));
+  for (int i = 0; i < cfg.hot_patches; ++i)
+    patches.push_back(Tensor::randn(
+        Shape{1, in_ch, cfg.patch_nt, cfg.patch_nz, cfg.patch_nx}, rng,
+        0.5f));
+
+  // Per-client query coordinates, pre-generated outside the timed loop.
+  std::vector<Tensor> client_coords;
+  client_coords.reserve(static_cast<std::size_t>(cfg.clients));
+  for (int c = 0; c < cfg.clients; ++c)
+    client_coords.push_back(random_coords(rng, cfg.queries_per_request,
+                                          cfg.patch_nt, cfg.patch_nz,
+                                          cfg.patch_nx));
+
+  if (cfg.warm_cache)
+    for (int i = 0; i < cfg.hot_patches; ++i)
+      engine.prewarm(id_base + static_cast<std::uint64_t>(i),
+                     patches[static_cast<std::size_t>(i)]);
+
+  const LatentCache::Stats cache0 = engine.cache_stats();
+  std::vector<std::vector<double>> latencies(
+      static_cast<std::size_t>(cfg.clients));
+
+  Stopwatch wall;
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<std::size_t>(cfg.clients));
+  for (int c = 0; c < cfg.clients; ++c) {
+    clients.emplace_back([&, c] {
+      auto& lat = latencies[static_cast<std::size_t>(c)];
+      lat.reserve(static_cast<std::size_t>(cfg.requests_per_client));
+      const Tensor& coords = client_coords[static_cast<std::size_t>(c)];
+      for (int m = 0; m < cfg.requests_per_client; ++m) {
+        // Stride clients across the hot set so concurrent requests both
+        // collide on shared latents (coalescing) and span several.
+        const int pid = (c + m) % cfg.hot_patches;
+        Stopwatch sw;
+        Tensor out = engine.query_sync(
+            id_base + static_cast<std::uint64_t>(pid),
+            patches[static_cast<std::size_t>(pid)], coords);
+        lat.push_back(sw.seconds() * 1e3);
+        MFN_CHECK(out.dim(0) == cfg.queries_per_request,
+                  "serve bench: short response");
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  const double seconds = wall.seconds();
+
+  ServeBenchResult res;
+  res.seconds = seconds;
+  res.requests = static_cast<std::uint64_t>(cfg.clients) *
+                 static_cast<std::uint64_t>(cfg.requests_per_client);
+  const double total_queries = static_cast<double>(res.requests) *
+                               static_cast<double>(cfg.queries_per_request);
+  res.qps = total_queries / seconds;
+  res.rps = static_cast<double>(res.requests) / seconds;
+
+  std::vector<double> all;
+  all.reserve(static_cast<std::size_t>(res.requests));
+  for (auto& lat : latencies) all.insert(all.end(), lat.begin(), lat.end());
+  std::sort(all.begin(), all.end());
+  if (!all.empty()) {
+    res.p50_ms = all[all.size() / 2];
+    res.p99_ms = all[(all.size() * 99) / 100 >= all.size()
+                         ? all.size() - 1
+                         : (all.size() * 99) / 100];
+    res.max_ms = all.back();
+  }
+
+  res.cache = engine.cache_stats();
+  res.batcher = engine.batcher_stats();
+  res.window_hits = res.cache.hits - cache0.hits;
+  res.window_misses = res.cache.misses - cache0.misses;
+  const std::uint64_t lookups = res.window_hits + res.window_misses;
+  res.hit_rate = lookups == 0
+                     ? 0.0
+                     : static_cast<double>(res.window_hits) /
+                           static_cast<double>(lookups);
+  return res;
+}
+
+}  // namespace mfn::serve

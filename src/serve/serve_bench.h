@@ -1,0 +1,55 @@
+// Closed-loop multi-client load generator for the inference engine.
+//
+// Models the serving workload the paper's split architecture is built for:
+// N client threads issue continuous-query requests against a small hot set
+// of patches (each client waits for its response before sending the next —
+// closed loop), so the engine sees many small heterogeneous query batches
+// against few cached latents. Used by the `mfn serve-bench` CLI subcommand
+// and the bench_micro_ops `mfn_perf` serve lines.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/engine.h"
+
+namespace mfn::serve {
+
+struct ServeBenchConfig {
+  int clients = 4;
+  int requests_per_client = 32;
+  std::int64_t queries_per_request = 256;
+  /// Distinct hot patches cycled by the clients (the latent working set).
+  int hot_patches = 8;
+  /// LR patch geometry (must satisfy the encoder's pooling divisibility).
+  std::int64_t patch_nt = 4, patch_nz = 8, patch_nx = 8;
+  std::uint64_t seed = 1234;
+  /// Pre-encode every hot patch before the timed window (steady-state
+  /// serving: the bench then measures a warm cache).
+  bool warm_cache = true;
+};
+
+struct ServeBenchResult {
+  double seconds = 0.0;
+  double qps = 0.0;         ///< query points decoded per second
+  double rps = 0.0;         ///< requests per second
+  double hit_rate = 0.0;    ///< latent cache hit rate over the timed window
+  /// Cache lookups inside the timed window only (prewarm encodes and any
+  /// earlier runs against the same engine excluded) — the counters
+  /// hit_rate is computed from.
+  std::uint64_t window_hits = 0, window_misses = 0;
+  double p50_ms = 0.0, p99_ms = 0.0, max_ms = 0.0;
+  std::uint64_t requests = 0;
+  LatentCache::Stats cache;      ///< cumulative engine counters at the end
+  QueryBatcher::Stats batcher;
+};
+
+/// Drive `engine` with cfg.clients closed-loop client threads and return
+/// aggregate throughput/latency/cache statistics. Synthesizes the hot
+/// patch set from cfg.seed with the engine's input-channel count; patch
+/// ids are offset by the engine's snapshot version so repeated runs
+/// against one engine still exercise the cache coherently.
+ServeBenchResult run_serve_bench(InferenceEngine& engine,
+                                 const ServeBenchConfig& cfg);
+
+}  // namespace mfn::serve

@@ -1,5 +1,6 @@
 #include "tensor/serialize.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <fstream>
 #include <vector>
@@ -25,7 +26,17 @@ void write_tensor(std::ostream& os, const Tensor& t) {
   MFN_CHECK(os.good(), "tensor write failed");
 }
 
-Tensor read_tensor(std::istream& is) {
+namespace {
+
+struct TensorHeader {
+  std::vector<std::int64_t> dims;
+  std::int64_t elems = 1;
+};
+
+// Parse and bound a tensor record's header. A corrupted stream must fail
+// with a clear error here, not feed a garbage element count into the
+// allocator (or overflow the numel product) downstream.
+TensorHeader read_tensor_header(std::istream& is) {
   char magic[4];
   is.read(magic, 4);
   MFN_CHECK(is.good() && std::equal(magic, magic + 4, kMagic),
@@ -33,17 +44,76 @@ Tensor read_tensor(std::istream& is) {
   std::uint32_t ndim = 0;
   is.read(reinterpret_cast<char*>(&ndim), sizeof(ndim));
   MFN_CHECK(is.good() && ndim <= 8, "bad tensor rank " << ndim);
-  std::vector<std::int64_t> dims(ndim);
-  for (auto& d : dims) {
+  TensorHeader h;
+  h.dims.resize(ndim);
+  constexpr std::int64_t kMaxElems = std::int64_t{1} << 40;
+  for (auto& d : h.dims) {
     is.read(reinterpret_cast<char*>(&d), sizeof(d));
-    MFN_CHECK(is.good() && d >= 0, "bad tensor dim");
+    MFN_CHECK(is.good() && d >= 0 && d <= kMaxElems, "bad tensor dim " << d);
+    if (d > 0) {
+      MFN_CHECK(h.elems <= kMaxElems / d,
+                "corrupt tensor header: element count overflows");
+      h.elems *= d;
+    } else {
+      h.elems = 0;
+    }
   }
-  Shape shape{std::move(dims)};
+  MFN_CHECK(h.elems <= kMaxElems,
+            "corrupt tensor header: " << h.elems << " elements");
+  // On seekable streams (all checkpoint/dataset files) also require the
+  // payload to fit in the bytes actually remaining: a dim corrupted to a
+  // "plausible" huge value must fail here with a clear error, not ask the
+  // allocator for gigabytes it will zero-fill before the read fails.
+  const std::istream::pos_type pos = is.tellg();
+  if (pos != std::istream::pos_type(-1)) {
+    is.seekg(0, std::ios::end);
+    const std::istream::pos_type end = is.tellg();
+    is.seekg(pos);
+    if (end != std::istream::pos_type(-1) && is.good()) {
+      const std::int64_t remaining = static_cast<std::int64_t>(end - pos);
+      MFN_CHECK(
+          h.elems <= remaining / static_cast<std::int64_t>(sizeof(float)),
+          "corrupt tensor header: " << h.elems << " elements exceed the "
+                                    << remaining
+                                    << " bytes left in the stream");
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+Tensor read_tensor(std::istream& is) {
+  TensorHeader h = read_tensor_header(is);
+  Shape shape{std::move(h.dims)};
   std::vector<float> values(static_cast<std::size_t>(shape.numel()));
   is.read(reinterpret_cast<char*>(values.data()),
           static_cast<std::streamsize>(values.size() * sizeof(float)));
   MFN_CHECK(is.good(), "tensor payload read failed");
   return Tensor::from_vector(std::move(shape), std::move(values));
+}
+
+void skip_tensor(std::istream& is) {
+  const TensorHeader h = read_tensor_header(is);
+  const std::int64_t bytes =
+      h.elems * static_cast<std::int64_t>(sizeof(float));
+  if (is.tellg() != std::istream::pos_type(-1)) {
+    // Seekable: the header check above proved the payload fits in the
+    // remaining bytes, so a relative seek lands in-bounds.
+    is.seekg(static_cast<std::streamoff>(bytes), std::ios::cur);
+    MFN_CHECK(is.good(), "tensor skip failed");
+    return;
+  }
+  // Non-seekable fallback: read and discard in bounded chunks.
+  char buf[1 << 16];
+  std::int64_t left = bytes;
+  while (left > 0) {
+    const std::int64_t n =
+        std::min<std::int64_t>(left, static_cast<std::int64_t>(sizeof(buf)));
+    is.read(buf, static_cast<std::streamsize>(n));
+    MFN_CHECK(is.good(), "tensor payload read failed");
+    left -= n;
+  }
 }
 
 void save_tensor(const std::string& path, const Tensor& t) {

@@ -13,6 +13,11 @@ namespace mfn {
 void write_tensor(std::ostream& os, const Tensor& t);
 Tensor read_tensor(std::istream& is);
 
+/// Validate a tensor record's header and advance the stream past its
+/// payload without allocating storage (weights-only checkpoint loads skip
+/// the optimizer state this way). Same corruption checks as read_tensor.
+void skip_tensor(std::istream& is);
+
 /// Convenience file round-trips (throw mfn::Error on I/O failure).
 void save_tensor(const std::string& path, const Tensor& t);
 Tensor load_tensor(const std::string& path);

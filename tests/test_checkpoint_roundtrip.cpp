@@ -1,0 +1,217 @@
+// Checkpoint robustness: save -> load must reproduce predictions
+// bit-identically on the full model, and damaged checkpoint files
+// (truncated, corrupted magic, corrupted tensor headers) must fail with a
+// clear mfn::Error — never UB, never a garbage-sized allocation.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "autodiff/variable.h"
+#include "common/error.h"
+#include "core/checkpoint.h"
+#include "core/meshfree_flownet.h"
+#include "optim/adam.h"
+
+namespace mfn {
+namespace {
+
+core::MFNConfig test_config() { return core::MFNConfig::small_default(); }
+
+Tensor fixed_patch() {
+  Rng rng(101);
+  return Tensor::randn(Shape{1, 4, 4, 8, 8}, rng, 0.5f);
+}
+
+Tensor fixed_coords(std::int64_t q = 96) {
+  Rng rng(102);
+  Tensor c = Tensor::uninitialized(Shape{q, 3});
+  for (std::int64_t b = 0; b < q; ++b) {
+    c.data()[b * 3 + 0] = static_cast<float>(rng.uniform(0.0, 3.0));
+    c.data()[b * 3 + 1] = static_cast<float>(rng.uniform(0.0, 7.0));
+    c.data()[b * 3 + 2] = static_cast<float>(rng.uniform(0.0, 7.0));
+  }
+  return c;
+}
+
+Tensor eval_predict(core::MeshfreeFlowNet& model) {
+  model.set_training(false);
+  ad::NoGradGuard no_grad;
+  return model.predict(fixed_patch(), fixed_coords()).value();
+}
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + name;
+}
+
+std::vector<char> read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  EXPECT_TRUE(is.is_open());
+  return std::vector<char>(std::istreambuf_iterator<char>(is),
+                           std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream os(path, std::ios::binary);
+  ASSERT_TRUE(os.is_open());
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// Writes a checkpoint with non-trivial state: one training-mode forward
+// perturbs the batch-norm running statistics away from init so buffer
+// serialization is actually exercised.
+std::string write_reference_checkpoint(const char* name, Tensor* want) {
+  Rng rng(7);
+  core::MeshfreeFlowNet model(test_config(), rng);
+  model.set_training(true);
+  (void)model.predict(fixed_patch(), fixed_coords(8));
+  *want = eval_predict(model);
+
+  optim::Adam opt(model.parameters());
+  core::CheckpointData data;
+  data.epoch = 3;
+  data.history.push_back(core::EpochStats{1.0, 0.5, 0.25, 2.0});
+  data.history.push_back(core::EpochStats{0.5, 0.25, 0.125, 2.0});
+  const std::string path = temp_path(name);
+  core::save_checkpoint(path, model, opt, data);
+  return path;
+}
+
+TEST(CheckpointRoundtrip, PredictionsAreBitIdentical) {
+  Tensor want;
+  const std::string path = write_reference_checkpoint("ckpt_rt.bin", &want);
+
+  // A differently-initialized model must reproduce the saved model
+  // bit-for-bit after load.
+  Rng rng(99);
+  core::MeshfreeFlowNet loaded(test_config(), rng);
+  optim::Adam opt(loaded.parameters());
+  const core::CheckpointData data =
+      core::load_checkpoint(path, loaded, opt);
+  EXPECT_EQ(data.epoch, 3);
+  ASSERT_EQ(data.history.size(), 2u);
+  EXPECT_EQ(data.history[1].total_loss, 0.5);
+
+  const Tensor got = eval_predict(loaded);
+  ASSERT_EQ(got.numel(), want.numel());
+  for (std::int64_t i = 0; i < got.numel(); ++i)
+    ASSERT_EQ(got.data()[i], want.data()[i]) << "prediction element " << i;
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointRoundtrip, WeightsOnlyLoadMatches) {
+  Tensor want;
+  const std::string path = write_reference_checkpoint("ckpt_w.bin", &want);
+  Rng rng(100);
+  core::MeshfreeFlowNet loaded(test_config(), rng);
+  const core::CheckpointData data =
+      core::load_checkpoint_weights(path, loaded);
+  EXPECT_EQ(data.epoch, 3);
+  const Tensor got = eval_predict(loaded);
+  for (std::int64_t i = 0; i < got.numel(); ++i)
+    ASSERT_EQ(got.data()[i], want.data()[i]) << "prediction element " << i;
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointRoundtrip, TruncatedFilesFailLoudly) {
+  Tensor want;
+  const std::string path = write_reference_checkpoint("ckpt_tr.bin", &want);
+  const std::vector<char> full = read_file(path);
+  ASSERT_GT(full.size(), 64u);
+
+  // Cut at the magic, inside the history, inside the tensor payloads, and
+  // just shy of complete: every prefix must throw, never crash or return
+  // a half-loaded model silently.
+  const std::size_t cuts[] = {0, 4, 11, 40, full.size() / 3,
+                              full.size() / 2, full.size() - 5};
+  for (const std::size_t cut : cuts) {
+    const std::string tpath = temp_path("ckpt_cut.bin");
+    write_file(tpath, std::vector<char>(full.begin(),
+                                        full.begin() +
+                                            static_cast<std::ptrdiff_t>(cut)));
+    Rng rng(5);
+    core::MeshfreeFlowNet model(test_config(), rng);
+    optim::Adam opt(model.parameters());
+    EXPECT_THROW(core::load_checkpoint(tpath, model, opt), mfn::Error)
+        << "no error for truncation at byte " << cut;
+    // The skip-based weights-only path must reject the same prefixes.
+    EXPECT_THROW(core::load_checkpoint_weights(tpath, model), mfn::Error)
+        << "weights-only load accepted truncation at byte " << cut;
+    std::remove(tpath.c_str());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointRoundtrip, CorruptedMagicFailsLoudly) {
+  Tensor want;
+  const std::string path = write_reference_checkpoint("ckpt_mg.bin", &want);
+  std::vector<char> bytes = read_file(path);
+  bytes[0] ^= 0x5A;  // break "MFNCKPT1"
+  const std::string bpath = temp_path("ckpt_badmagic.bin");
+  write_file(bpath, bytes);
+  Rng rng(5);
+  core::MeshfreeFlowNet model(test_config(), rng);
+  optim::Adam opt(model.parameters());
+  try {
+    core::load_checkpoint(bpath, model, opt);
+    FAIL() << "corrupted magic accepted";
+  } catch (const mfn::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("magic"), std::string::npos)
+        << "error should name the failed magic check: " << e.what();
+  }
+  std::remove(bpath.c_str());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointRoundtrip, CorruptedTensorHeaderFailsLoudlyNotOOM) {
+  Tensor want;
+  const std::string path = write_reference_checkpoint("ckpt_th.bin", &want);
+  const std::vector<char> good = read_file(path);
+
+  // Find the first embedded tensor record ("MFNT" magic) and smash its
+  // first dim: the loader must reject the header instead of asking the
+  // allocator for a garbage-sized buffer (or overflowing the element
+  // count into something small and reading out of bounds). Both an
+  // overflow-scale dim and a "plausible" multi-gigabyte one (well past
+  // the bytes remaining in the file) must throw.
+  std::size_t pos = std::string::npos;
+  for (std::size_t i = 8; i + 4 < good.size(); ++i)
+    if (good[i] == 'M' && good[i + 1] == 'F' && good[i + 2] == 'N' &&
+        good[i + 3] == 'T') {
+      pos = i;
+      break;
+    }
+  ASSERT_NE(pos, std::string::npos);
+  const std::size_t dim0 = pos + 4 + 4;  // magic + u32 ndim
+  ASSERT_LT(dim0 + 8, good.size());
+  for (const std::int64_t huge :
+       {std::int64_t{1} << 62, std::int64_t{1} << 30}) {
+    std::vector<char> bytes = good;
+    for (int b = 0; b < 8; ++b)
+      bytes[dim0 + static_cast<std::size_t>(b)] =
+          static_cast<char>((huge >> (8 * b)) & 0xFF);
+    const std::string bpath = temp_path("ckpt_baddim.bin");
+    write_file(bpath, bytes);
+    Rng rng(5);
+    core::MeshfreeFlowNet model(test_config(), rng);
+    optim::Adam opt(model.parameters());
+    EXPECT_THROW(core::load_checkpoint(bpath, model, opt), mfn::Error)
+        << "no error for corrupted dim " << huge;
+    std::remove(bpath.c_str());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointRoundtrip, MissingFileFailsLoudly) {
+  Rng rng(5);
+  core::MeshfreeFlowNet model(test_config(), rng);
+  optim::Adam opt(model.parameters());
+  EXPECT_THROW(
+      core::load_checkpoint(temp_path("no_such_ckpt.bin"), model, opt),
+      mfn::Error);
+}
+
+}  // namespace
+}  // namespace mfn

@@ -11,6 +11,16 @@
 //                [--batch 8] [--queries 384] [--ra 1e6] [--pr 1]
 //   mfn superres --data data.grid --model model.ckpt --out pred.grid
 //                [--dt 4] [--ds 4] [--nt N] [--nz N] [--nx N]
+//   mfn serve-bench [--model model.ckpt] [--clients 16] [--requests 64]
+//                [--queries 256] [--patches 8] [--cache-mb 64]
+//                [--max-batch 4096] [--max-wait-us 100] [--workers 1]
+//                [--seed 9]
+//
+// serve-bench drives the concurrent inference engine (latent cache +
+// query batcher, src/serve/) with a closed-loop multi-client load
+// generator and prints qps / latency / cache statistics plus a
+// machine-readable mfn_perf line. Without --model it serves a
+// randomly-initialized network — the serving data path is identical.
 //
 // The network architecture is the library's bench-scale default; training
 // state (weights + Adam moments + history) round-trips through --out /
@@ -34,6 +44,8 @@
 #include "core/trainer.h"
 #include "data/dataset.h"
 #include "metrics/comparison.h"
+#include "serve/serve_bench.h"
+#include "threading/thread_pool.h"
 
 namespace {
 
@@ -320,10 +332,75 @@ int cmd_superres(const Args& args) {
   return 0;
 }
 
+int cmd_serve_bench(const Args& args) {
+  Rng rng(static_cast<std::uint64_t>(args.integer("seed", 9)));
+  auto model = std::make_unique<core::MeshfreeFlowNet>(cli_model_config(),
+                                                       rng);
+  const std::string ckpt = args.str("model", "-");
+  if (ckpt != "-") {
+    core::load_checkpoint_weights(ckpt, *model);
+    std::printf("serving weights from %s\n", ckpt.c_str());
+  } else {
+    std::printf("serving a randomly-initialized model (no --model)\n");
+  }
+
+  serve::InferenceEngineConfig ecfg;
+  const long cache_mb = args.integer("cache-mb", 64);
+  MFN_CHECK(cache_mb >= 1, "--cache-mb must be >= 1, got " << cache_mb);
+  ecfg.cache_bytes = static_cast<std::size_t>(cache_mb) << 20;
+  ecfg.batcher.workers = static_cast<int>(args.integer("workers", 1));
+  ecfg.batcher.max_batch_rows = args.integer("max-batch", 4096);
+  ecfg.batcher.max_wait_us = args.integer("max-wait-us", 100);
+  serve::InferenceEngine engine(std::move(model), ecfg);
+
+  serve::ServeBenchConfig bcfg;
+  bcfg.clients = static_cast<int>(args.integer("clients", 16));
+  bcfg.requests_per_client = static_cast<int>(args.integer("requests", 64));
+  bcfg.queries_per_request = args.integer("queries", 256);
+  bcfg.hot_patches = static_cast<int>(args.integer("patches", 8));
+  bcfg.seed = static_cast<std::uint64_t>(args.integer("seed", 9));
+
+  std::printf(
+      "serve-bench: %d clients x %d requests x %lld queries, %d hot "
+      "patches, cache %lld MiB, max-batch %lld rows, max-wait %lld us\n",
+      bcfg.clients, bcfg.requests_per_client,
+      static_cast<long long>(bcfg.queries_per_request), bcfg.hot_patches,
+      static_cast<long long>(cache_mb),
+      static_cast<long long>(ecfg.batcher.max_batch_rows),
+      static_cast<long long>(ecfg.batcher.max_wait_us));
+
+  const serve::ServeBenchResult r = serve::run_serve_bench(engine, bcfg);
+  std::printf(
+      "throughput: %.0f queries/sec, %.1f requests/sec over %.2fs\n",
+      r.qps, r.rps, r.seconds);
+  std::printf("latency: p50 %.3f ms, p99 %.3f ms, max %.3f ms\n", r.p50_ms,
+              r.p99_ms, r.max_ms);
+  std::printf(
+      "cache: hit-rate %.3f (%llu hits / %llu misses in the timed window), "
+      "%llu evictions, %.1f MiB of %.1f MiB\n",
+      r.hit_rate, static_cast<unsigned long long>(r.window_hits),
+      static_cast<unsigned long long>(r.window_misses),
+      static_cast<unsigned long long>(r.cache.evictions),
+      static_cast<double>(r.cache.bytes_in_use) / (1024.0 * 1024.0),
+      static_cast<double>(r.cache.byte_budget) / (1024.0 * 1024.0));
+  std::printf(
+      "batcher: %llu flushes, %.1f requests coalesced per decode, largest "
+      "flush %llu rows\n",
+      static_cast<unsigned long long>(r.batcher.flushes),
+      r.batcher.requests_per_decode(),
+      static_cast<unsigned long long>(r.batcher.max_flush_rows));
+  std::printf(
+      "{\"mfn_perf\":\"serve\",\"clients\":%d,\"queries\":%lld,"
+      "\"threads\":%d,\"qps\":%.0f,\"hit_rate\":%.3f,\"p99_ms\":%.3f}\n",
+      bcfg.clients, static_cast<long long>(bcfg.queries_per_request),
+      ThreadPool::global().size(), r.qps, r.hit_rate, r.p99_ms);
+  return 0;
+}
+
 int usage() {
   std::fprintf(stderr,
-               "usage: mfn <simulate|info|train|eval|superres> [--flag "
-               "value]... [--verbose 1]\n(see the header of "
+               "usage: mfn <simulate|info|train|eval|superres|serve-bench> "
+               "[--flag value]... [--verbose 1]\n(see the header of "
                "tools/mfn_cli.cpp)\n"
                "simd: %s tier, vector width %d "
                "(MFN_FORCE_SCALAR=1 pins the scalar reference paths)\n",
@@ -349,6 +426,7 @@ int main(int argc, char** argv) {
     else if (cmd == "train") rc = cmd_train(args);
     else if (cmd == "eval") rc = cmd_eval(args);
     else if (cmd == "superres") rc = cmd_superres(args);
+    else if (cmd == "serve-bench") rc = cmd_serve_bench(args);
     else return usage();
     if (verbose) print_backend_stats();
     return rc;

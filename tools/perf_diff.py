@@ -26,11 +26,17 @@ RATE_METRICS = {
     "melems_per_sec",
     "patches_per_sec",
     "loop_qps",
+    # Serving: a cache hit-rate drop is a regression exactly like a
+    # throughput drop — it means encodes that used to be served from the
+    # latent cache are being recomputed.
+    "hit_rate",
 }
 # threads is identifying, not a metric: a 4-thread run must never be
 # diffed against a 1-thread baseline as if it were the same datapoint.
+# Likewise clients: the serve lines at 1/4/16 clients are three distinct
+# datapoints.
 ID_FIELDS = ("mfn_perf", "op", "batch", "channels", "queries", "m", "n",
-             "k", "params", "threads")
+             "k", "params", "threads", "clients")
 
 
 def load(path):
