@@ -8,8 +8,10 @@
 #include "autodiff/variable.h"
 #include "backend/simd.h"
 #include "backend/workspace.h"
+#include "common/error.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
+#include "core/decode_plan.h"
 #include "core/decoder.h"
 #include "core/losses.h"
 #include "core/meshfree_flownet.h"
@@ -507,6 +509,76 @@ void emit_perf_json() {
         static_cast<long long>(NB), static_cast<long long>(QD), threads,
         static_cast<double>(NB * QD) / drv8,
         static_cast<double>(NB * QD) / drv_loop, drv_loop / drv8);
+
+    // AOT snapshot prepack (the once-per-swap cost the plan path pays up
+    // front): weight clone + SGEMM panel packing + conv->BN folding.
+    auto snap = core::PreparedSnapshot::prepare(model, 1);
+    const double prep = time_best_of(7, [&] {
+      benchmark::DoNotOptimize(core::PreparedSnapshot::prepare(model, 1));
+    });
+    std::size_t packed_floats = 0;
+    for (const auto& layer : snap->layers())
+      packed_floats += layer.packed.size();
+    std::printf(
+        "{\"mfn_perf\":\"prepack\",\"layers\":%lld,\"packed_floats\":%lld,"
+        "\"threads\":%d,\"usec\":%.1f}\n",
+        static_cast<long long>(snap->layers().size()),
+        static_cast<long long>(packed_floats), threads, prep * 1e6);
+
+    // Compiled-plan replay vs the streamed tape decode it is bitwise
+    // identical to — the steady-state serving fast path. speedup >= 1.15
+    // at batch 8 is the acceptance metric for the plan subsystem. The two
+    // sides are timed in interleaved best-of windows so frequency drift
+    // between distant measurement windows cannot skew the ratio.
+    const Tensor lat1 = latent1.value();
+    const Tensor lat8 = latent8.value();
+    auto plan1 = core::DecodePlan::compile(
+        snap, core::PlanKey{1, 1, Q, lat1.dim(2), lat1.dim(3), lat1.dim(4)});
+    auto plan8 = core::DecodePlan::compile(
+        snap,
+        core::PlanKey{1, NB, Q, lat8.dim(2), lat8.dim(3), lat8.dim(4)});
+    MFN_CHECK(plan1 != nullptr && plan8 != nullptr,
+              "small_default decoder must be plannable");
+    auto interleaved_best = [&](const std::function<void()>& streamed,
+                                const std::function<void()>& planned) {
+      streamed();
+      planned();  // joint warm-up
+      std::pair<double, double> best{1e300, 1e300};
+      for (int r = 0; r < 9; ++r) {
+        Stopwatch sw;
+        streamed();
+        best.first = std::min(best.first, sw.seconds());
+        Stopwatch sp;
+        planned();
+        best.second = std::min(best.second, sp.seconds());
+      }
+      return best;
+    };
+    const auto [st1, pl1] = interleaved_best(
+        [&] {
+          benchmark::DoNotOptimize(
+              model.decoder().decode(latent1, coords1[0]));
+        },
+        [&] { benchmark::DoNotOptimize(plan1->execute(lat1, coords1[0])); });
+    const auto [st8, pl8] = interleaved_best(
+        [&] {
+          benchmark::DoNotOptimize(model.decoder().decode(latent8, coords8));
+        },
+        [&] { benchmark::DoNotOptimize(plan8->execute(lat8, coords8)); });
+    std::printf(
+        "{\"mfn_perf\":\"decode_plan\",\"batch\":1,\"queries\":%lld,"
+        "\"threads\":%d,\"qps\":%.0f,\"streamed_qps\":%.0f,"
+        "\"speedup_vs_streamed\":%.2f}\n",
+        static_cast<long long>(Q), threads,
+        static_cast<double>(Q) / pl1, static_cast<double>(Q) / st1,
+        st1 / pl1);
+    std::printf(
+        "{\"mfn_perf\":\"decode_plan\",\"batch\":%lld,\"queries\":%lld,"
+        "\"threads\":%d,\"qps\":%.0f,\"streamed_qps\":%.0f,"
+        "\"speedup_vs_streamed\":%.2f}\n",
+        static_cast<long long>(NB), static_cast<long long>(Q), threads,
+        static_cast<double>(NB * Q) / pl8,
+        static_cast<double>(NB * Q) / st8, st8 / pl8);
   }
   {
     // Activation maps (GB/s of tensor traffic) and loss reductions, SIMD

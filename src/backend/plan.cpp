@@ -1,0 +1,25 @@
+#include "backend/plan.h"
+
+#include "backend/sgemm.h"
+#include "common/error.h"
+
+namespace mfn::backend {
+
+void plan_exec_step(const PlanStep& step, std::int64_t rows, float* arena) {
+  switch (step.kernel) {
+    case PlanKernel::kGemmPrepacked:
+      sgemm_prepacked_nt(rows, step.n, step.k, arena + step.in, step.weights,
+                         step.packed, step.bias, arena + step.out);
+      return;
+    case PlanKernel::kActivation:
+      step.act_fn(arena + step.out, rows * step.n);
+      return;
+  }
+  MFN_CHECK(false, "plan_exec_step: unknown kernel tag");
+}
+
+void plan_run(const PlanProgram& prog, std::int64_t rows, float* arena) {
+  for (const PlanStep& step : prog.steps) plan_exec_step(step, rows, arena);
+}
+
+}  // namespace mfn::backend

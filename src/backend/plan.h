@@ -1,0 +1,58 @@
+// Flat replayable kernel programs for compiled inference plans.
+//
+// A PlanProgram is the backend half of a DecodePlan (core/decode_plan.h):
+// the per-shape compiler lowers a frozen model's math into a flat array of
+// PlanStep records — prepacked-weight GEMMs and in-place activations over
+// fixed float offsets carved from one scratch arena — and steady-state
+// replay is a single loop over that array. No op-graph traversal, no
+// shape-dependent dispatch beyond the kernel tag, no allocation: every
+// operand is either a persistent prepacked weight (owned by a
+// PreparedSnapshot) or an arena offset fixed at compile time.
+//
+// The PlanKernel tag + the prepacked weight pointers are the seam the
+// quantized weight tiers (int8/bf16 panels) plug into: a new tag with its
+// own packed format slots into plan_exec_step without touching the
+// compiler's shape logic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mfn::backend {
+
+enum class PlanKernel : std::uint8_t {
+  /// arena[out](rows, n) = arena[in](rows, k) . W^T + bias
+  /// W is the dense (n, k) layer weight; `packed` holds the same operand
+  /// prepacked via sgemm_prepack_b for the blocked path.
+  kGemmPrepacked,
+  /// In-place activation over arena[out][0 : rows * n] via `act_fn`.
+  kActivation,
+};
+
+struct PlanStep {
+  PlanKernel kernel = PlanKernel::kActivation;
+  std::int64_t in = 0;   // arena float offset of the input panel
+  std::int64_t out = 0;  // arena float offset of the output panel
+  std::int64_t n = 0;    // output width (gemm) / row width (activation)
+  std::int64_t k = 0;    // inner dimension (gemm only)
+  const float* weights = nullptr;  // dense (n, k) weight (gemm only)
+  const float* packed = nullptr;   // prepacked panels (gemm only)
+  const float* bias = nullptr;     // n-entry column bias (gemm; may be null)
+  void (*act_fn)(float*, std::int64_t) = nullptr;  // activation only
+};
+
+struct PlanProgram {
+  std::vector<PlanStep> steps;
+  /// Scratch floats one replay chunk needs; the driver carves this from
+  /// its thread-local workspace arena per chunk.
+  std::size_t arena_floats = 0;
+};
+
+/// Execute one step against `rows` live rows. `arena` is the chunk's
+/// scratch block; all step offsets index into it.
+void plan_exec_step(const PlanStep& step, std::int64_t rows, float* arena);
+
+/// Replay the whole program: a flat loop over steps.
+void plan_run(const PlanProgram& prog, std::int64_t rows, float* arena);
+
+}  // namespace mfn::backend

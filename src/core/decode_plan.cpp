@@ -1,0 +1,563 @@
+#include "core/decode_plan.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "backend/sgemm.h"
+#include "backend/workspace.h"
+#include "common/error.h"
+#include "tensor/tensor_ops.h"
+#include "threading/thread_pool.h"
+
+namespace mfn::core {
+
+namespace {
+
+// Value replay streams the same global 256-query blocks as
+// ContinuousDecoder::decode_streamed — the block size fixes the GEMM row
+// counts, so it is part of the bitwise-parity contract, not a tunable.
+constexpr std::int64_t kBlockQueries = 256;
+// The derivative replay carries 6 streams x 2 banks, so it runs smaller
+// blocks to keep the arena slice L2-resident. Tolerance-compared, so this
+// one IS a tunable.
+constexpr std::int64_t kDerivBlock = 64;
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Clamp a query coordinate into the valid cell range and split it into
+// (base corner, fraction). Byte-for-byte the math of make_corners'
+// `cellof` — double precision, floor, base clamp — so planned gather rows
+// and blend weights are bitwise identical to the tape geometry.
+inline std::pair<std::int64_t, double> cellof(float v, std::int64_t size) {
+  double c = std::min(std::max(static_cast<double>(v), 0.0),
+                      static_cast<double>(size - 1));
+  auto base = static_cast<std::int64_t>(std::floor(c));
+  base = std::min(base, size - 2);
+  return {base, c - static_cast<double>(base)};
+}
+
+}  // namespace
+
+// ------------------------------------------------------ PreparedSnapshot --
+
+std::shared_ptr<const PreparedSnapshot> PreparedSnapshot::prepare(
+    MeshfreeFlowNet& model, std::uint64_t version) {
+  model.set_training(false);
+  // Ahead-of-time eval folds (e.g. the encoder's conv->BN epilogue
+  // affines): every later encode serves them from cache.
+  model.prepare_inference();
+
+  std::shared_ptr<PreparedSnapshot> ps(new PreparedSnapshot());
+  ps->version_ = version;
+  const DecoderConfig& dc = model.decoder().config();
+  ps->latent_channels_ = dc.latent_channels;
+  ps->out_channels_ = dc.out_channels;
+  const nn::MLP& mlp = model.decoder().mlp();
+  ps->activation_ = mlp.activation();
+  ps->plannable_ = true;
+  for (const auto& fc : mlp.layers()) {
+    Layer layer;
+    layer.in = fc->in_features();
+    layer.out = fc->out_features();
+    const float* w = fc->weight().value().data();
+    layer.weight.assign(w, w + layer.out * layer.in);
+    if (fc->has_bias()) {
+      const float* b = fc->bias().value().data();
+      layer.bias.assign(b, b + layer.out);
+    }
+    if (layer.in <= backend::sgemm_prepacked_max_k()) {
+      layer.packed.resize(
+          backend::sgemm_prepack_b_floats(layer.in, layer.out));
+      backend::sgemm_prepack_b(backend::Trans::kYes, layer.in, layer.out,
+                               layer.weight.data(), layer.packed.data());
+    } else {
+      ps->plannable_ = false;  // beyond the single-k-block panel range
+    }
+    ps->layers_.push_back(std::move(layer));
+  }
+  return ps;
+}
+
+// ------------------------------------------------------------ DecodePlan --
+
+std::size_t PlanKeyHash::operator()(const PlanKey& k) const {
+  std::uint64_t h = splitmix64(k.version);
+  h = splitmix64(h ^ static_cast<std::uint64_t>(k.n));
+  h = splitmix64(h ^ static_cast<std::uint64_t>(k.q));
+  h = splitmix64(h ^ static_cast<std::uint64_t>(k.lt));
+  h = splitmix64(h ^ static_cast<std::uint64_t>(k.lz));
+  h = splitmix64(h ^ static_cast<std::uint64_t>(k.lx));
+  return static_cast<std::size_t>(h);
+}
+
+std::shared_ptr<const DecodePlan> DecodePlan::compile(
+    std::shared_ptr<const PreparedSnapshot> snap, const PlanKey& key) {
+  if (snap == nullptr || !snap->plannable()) return nullptr;
+  if (key.n < 1 || key.q < 1) return nullptr;
+  if (key.lt < 2 || key.lz < 2 || key.lx < 2) return nullptr;
+  const auto& layers = snap->layers();
+  if (layers.empty()) return nullptr;
+
+  std::shared_ptr<DecodePlan> plan(new DecodePlan());
+  plan->snap_ = std::move(snap);
+  plan->key_ = key;
+  plan->b_total_ = key.n * key.q;
+  plan->in0_ = 3 + plan->snap_->latent_channels();
+  plan->out_ch_ = plan->snap_->out_channels();
+  plan->slab_ = key.lt * key.lz * key.lx;
+  for (int j = 0; j < 8; ++j) {
+    const std::int64_t jt = (j >> 2) & 1, jz = (j >> 1) & 1, jx = j & 1;
+    plan->corner_delta_[j] = (jt * key.lz + jz) * key.lx + jx;
+  }
+
+  std::int64_t wmax = plan->in0_;
+  for (const auto& layer : layers) wmax = std::max(wmax, layer.out);
+  plan->wmax_ = wmax;
+
+  void (*act_fn)(float*, std::int64_t) = nullptr;
+  switch (plan->snap_->activation()) {
+    case nn::Activation::kSoftplus: act_fn = softplus_inplace; break;
+    case nn::Activation::kTanh: act_fn = tanh_inplace; break;
+    case nn::Activation::kReLU: act_fn = relu_inplace; break;
+  }
+
+  // Value arena: two ping-pong activation banks + the blend weight table.
+  const std::int64_t bank = 8 * kBlockQueries * wmax;
+  plan->off_in_ = 0;
+  plan->off_w_ = 2 * bank;
+  plan->prog_.arena_floats =
+      static_cast<std::size_t>(2 * bank + 8 * kBlockQueries);
+  std::int64_t cur = 0, nxt = bank;
+  for (std::size_t li = 0; li < layers.size(); ++li) {
+    const auto& layer = layers[li];
+    backend::PlanStep gemm;
+    gemm.kernel = backend::PlanKernel::kGemmPrepacked;
+    gemm.in = cur;
+    gemm.out = nxt;
+    gemm.n = layer.out;
+    gemm.k = layer.in;
+    gemm.weights = layer.weight.data();
+    gemm.packed = layer.packed.data();
+    gemm.bias = layer.bias.empty() ? nullptr : layer.bias.data();
+    plan->prog_.steps.push_back(gemm);
+    if (li + 1 < layers.size()) {
+      backend::PlanStep act;
+      act.kernel = backend::PlanKernel::kActivation;
+      act.out = nxt;
+      act.n = layer.out;
+      act.act_fn = act_fn;
+      plan->prog_.steps.push_back(act);
+    }
+    std::swap(cur, nxt);
+  }
+  plan->off_final_ = cur;
+  plan->nblocks_ = (plan->b_total_ + kBlockQueries - 1) / kBlockQueries;
+
+  // Derivative arena: 6 streams x 2 banks + the 4 geometry tables.
+  const std::int64_t dbank = 8 * kDerivBlock * wmax;
+  for (int s = 0; s < 6; ++s) {
+    plan->doff_stream_[s][0] = (2 * s) * dbank;
+    plan->doff_stream_[s][1] = (2 * s + 1) * dbank;
+  }
+  plan->doff_w_ = 12 * dbank;
+  plan->deriv_arena_floats_ =
+      static_cast<std::size_t>(12 * dbank + 4 * 8 * kDerivBlock);
+  plan->dnblocks_ = (plan->b_total_ + kDerivBlock - 1) / kDerivBlock;
+  return plan;
+}
+
+void DecodePlan::check_inputs(const Tensor& latent,
+                              const Tensor& query_coords) const {
+  MFN_CHECK(latent.ndim() == 5 && latent.dim(0) == key_.n &&
+                latent.dim(1) == snap_->latent_channels() &&
+                latent.dim(2) == key_.lt && latent.dim(3) == key_.lz &&
+                latent.dim(4) == key_.lx,
+            "decode plan: latent " << latent.shape().str()
+                                   << " does not match the compiled key");
+  if (query_coords.ndim() == 2) {
+    MFN_CHECK(query_coords.dim(1) == 3 && key_.n == 1 &&
+                  query_coords.dim(0) == key_.q,
+              "decode plan: (B, 3) coords " << query_coords.shape().str()
+                                            << " do not match the key");
+  } else {
+    MFN_CHECK(query_coords.ndim() == 3 && query_coords.dim(2) == 3 &&
+                  query_coords.dim(0) == key_.n &&
+                  query_coords.dim(1) == key_.q,
+              "decode plan: coords " << query_coords.shape().str()
+                                     << " do not match the compiled key");
+  }
+}
+
+Tensor DecodePlan::execute(const Tensor& latent,
+                           const Tensor& query_coords) const {
+  check_inputs(latent, query_coords);
+  Tensor out = Tensor::uninitialized(Shape{b_total_, out_ch_});
+  const float* pl = latent.data();
+  const float* pq = query_coords.data();
+  float* po = out.data();
+  // Same global-block carving as decode_streamed: block i is
+  // [i*256, (i+1)*256) of [0, B) no matter which worker runs it, so output
+  // bits are invariant under MFN_NUM_THREADS.
+  parallel_for(
+      nblocks_,
+      [&](std::int64_t blk0, std::int64_t blk1) {
+        backend::Workspace& ws = backend::local_workspace();
+        const backend::Workspace::Mark m = ws.mark();
+        float* arena = ws.alloc(prog_.arena_floats);
+        for (std::int64_t blk = blk0; blk < blk1; ++blk) {
+          const std::int64_t q0 = blk * kBlockQueries;
+          const std::int64_t q1 =
+              std::min(q0 + kBlockQueries, b_total_);
+          run_block(pl, pq, po, q0, q1, arena);
+        }
+        ws.release(m);
+      },
+      /*grain=*/1);
+  return out;
+}
+
+void DecodePlan::run_block(const float* latent, const float* coords,
+                           float* out, std::int64_t q0, std::int64_t q1,
+                           float* arena) const {
+  const std::int64_t nb = q1 - q0, rows = 8 * nb;
+  const std::int64_t C = snap_->latent_channels();
+  float* cur = arena + off_in_;
+  float* wblk = arena + off_w_;
+
+  // Fused single-pass gather: geometry (double math identical to
+  // make_corners), [coords | latent] rows, and blend weights, with no
+  // intermediate tensors and no per-query index recomputation beyond the
+  // three cellof splits.
+  for (std::int64_t b = q0; b < q1; ++b) {
+    const std::int64_t n = b / key_.q;
+    const auto [t0, ft] = cellof(coords[b * 3 + 0], key_.lt);
+    const auto [z0, fz] = cellof(coords[b * 3 + 1], key_.lz);
+    const auto [x0, fx] = cellof(coords[b * 3 + 2], key_.lx);
+    const std::int64_t base0 =
+        n * C * slab_ + (t0 * key_.lz + z0) * key_.lx + x0;
+    for (int j = 0; j < 8; ++j) {
+      const int jt = (j >> 2) & 1, jz = (j >> 1) & 1, jx = j & 1;
+      const std::int64_t row = static_cast<std::int64_t>(j) * nb + (b - q0);
+      float* r = cur + row * in0_;
+      r[0] = static_cast<float>(ft - jt);
+      r[1] = static_cast<float>(fz - jz);
+      r[2] = static_cast<float>(fx - jx);
+      const float* src = latent + base0 + corner_delta_[j];
+      for (std::int64_t c = 0; c < C; ++c) r[3 + c] = src[c * slab_];
+      const double wt = jt ? ft : 1.0 - ft;
+      const double wz = jz ? fz : 1.0 - fz;
+      const double wx = jx ? fx : 1.0 - fx;
+      wblk[row] = static_cast<float>(wt * wz * wx);
+    }
+  }
+
+  backend::plan_run(prog_, rows, arena);
+
+  // Trilinear blend, loop-for-loop the streamed tape blend.
+  const float* y0 = arena + off_final_;
+  for (std::int64_t b = q0; b < q1; ++b) {
+    float* r = out + b * out_ch_;
+    for (std::int64_t c = 0; c < out_ch_; ++c) r[c] = 0.0f;
+    for (int j = 0; j < 8; ++j) {
+      const std::int64_t row = static_cast<std::int64_t>(j) * nb + (b - q0);
+      const float wj = wblk[row];
+      const float* y = y0 + row * out_ch_;
+      for (std::int64_t c = 0; c < out_ch_; ++c) r[c] += wj * y[c];
+    }
+  }
+}
+
+PlannedDerivs DecodePlan::execute_derivatives(
+    const Tensor& latent, const Tensor& query_coords) const {
+  check_inputs(latent, query_coords);
+  PlannedDerivs out;
+  for (Tensor* t : {&out.value, &out.d_dt, &out.d_dz, &out.d_dx,
+                    &out.d2_dz2, &out.d2_dx2})
+    *t = Tensor::uninitialized(Shape{b_total_, out_ch_});
+  const float* pl = latent.data();
+  const float* pq = query_coords.data();
+  parallel_for(
+      dnblocks_,
+      [&](std::int64_t blk0, std::int64_t blk1) {
+        backend::Workspace& ws = backend::local_workspace();
+        const backend::Workspace::Mark m = ws.mark();
+        float* arena = ws.alloc(deriv_arena_floats_);
+        for (std::int64_t blk = blk0; blk < blk1; ++blk) {
+          const std::int64_t q0 = blk * kDerivBlock;
+          const std::int64_t q1 = std::min(q0 + kDerivBlock, b_total_);
+          run_deriv_block(pl, pq, out, q0, q1, arena);
+        }
+        ws.release(m);
+      },
+      /*grain=*/1);
+  return out;
+}
+
+void DecodePlan::run_deriv_block(const float* latent, const float* coords,
+                                 const PlannedDerivs& out, std::int64_t q0,
+                                 std::int64_t q1, float* arena) const {
+  const std::int64_t nb = q1 - q0, rows = 8 * nb;
+  const std::int64_t C = snap_->latent_channels();
+  const auto& layers = snap_->layers();
+  const nn::Activation act = snap_->activation();
+
+  // Streams: 0 = value, 1..3 = d/dt,z,x tangents, 4 = z-curvature,
+  // 5 = x-curvature. Each ping-pongs between two banks per layer.
+  float* cur[6];
+  float* nxt[6];
+  for (int s = 0; s < 6; ++s) {
+    cur[s] = arena + doff_stream_[s][0];
+    nxt[s] = arena + doff_stream_[s][1];
+  }
+  float* wq = arena + doff_w_;
+  float* dwt = wq + 8 * kDerivBlock;
+  float* dwz = dwt + 8 * kDerivBlock;
+  float* dwx = dwz + 8 * kDerivBlock;
+
+  for (std::int64_t b = q0; b < q1; ++b) {
+    const std::int64_t n = b / key_.q;
+    const auto [t0, ft] = cellof(coords[b * 3 + 0], key_.lt);
+    const auto [z0, fz] = cellof(coords[b * 3 + 1], key_.lz);
+    const auto [x0, fx] = cellof(coords[b * 3 + 2], key_.lx);
+    const std::int64_t base0 =
+        n * C * slab_ + (t0 * key_.lz + z0) * key_.lx + x0;
+    for (int j = 0; j < 8; ++j) {
+      const int jt = (j >> 2) & 1, jz = (j >> 1) & 1, jx = j & 1;
+      const std::int64_t row = static_cast<std::int64_t>(j) * nb + (b - q0);
+      float* r = cur[0] + row * in0_;
+      r[0] = static_cast<float>(ft - jt);
+      r[1] = static_cast<float>(fz - jz);
+      r[2] = static_cast<float>(fx - jx);
+      const float* src = latent + base0 + corner_delta_[j];
+      for (std::int64_t c = 0; c < C; ++c) r[3 + c] = src[c * slab_];
+      const double wt = jt ? ft : 1.0 - ft;
+      const double wz = jz ? fz : 1.0 - fz;
+      const double wx = jx ? fx : 1.0 - fx;
+      const double dt = jt ? 1.0 : -1.0;
+      const double dz = jz ? 1.0 : -1.0;
+      const double dx = jx ? 1.0 : -1.0;
+      wq[row] = static_cast<float>(wt * wz * wx);
+      dwt[row] = static_cast<float>(dt * wz * wx);
+      dwz[row] = static_cast<float>(wt * dz * wx);
+      dwx[row] = static_cast<float>(wt * wz * dx);
+    }
+  }
+
+  // f(z), f'(z), f''(z) for the forward-mode chain rule.
+  auto act_eval = [act](float z, float& f1, float& f2) -> float {
+    switch (act) {
+      case nn::Activation::kSoftplus: {
+        const float s = 1.0f / (1.0f + std::exp(-z));
+        f1 = s;
+        f2 = s * (1.0f - s);
+        return std::max(z, 0.0f) + std::log1p(std::exp(-std::fabs(z)));
+      }
+      case nn::Activation::kTanh: {
+        const float th = std::tanh(z);
+        f1 = 1.0f - th * th;
+        f2 = -2.0f * th * f1;
+        return th;
+      }
+      case nn::Activation::kReLU: {
+        f1 = z > 0.0f ? 1.0f : 0.0f;
+        f2 = 0.0f;
+        return z > 0.0f ? z : 0.0f;
+      }
+    }
+    f1 = f2 = 0.0f;
+    return z;
+  };
+
+  std::int64_t win = in0_;
+  for (std::size_t li = 0; li < layers.size(); ++li) {
+    const PreparedSnapshot::Layer& layer = layers[li];
+    const bool first = li == 0;
+    const bool last = li + 1 == layers.size();
+    const std::int64_t span = rows * layer.out;
+    backend::sgemm_prepacked_nt(
+        rows, layer.out, win, cur[0], layer.weight.data(),
+        layer.packed.data(),
+        layer.bias.empty() ? nullptr : layer.bias.data(), nxt[0]);
+    if (!first) {
+      for (int s = 1; s < 6; ++s)
+        backend::sgemm_prepacked_nt(rows, layer.out, win, cur[s],
+                                    layer.weight.data(), layer.packed.data(),
+                                    nullptr, nxt[s]);
+    }
+    if (first) {
+      // The layer-1 tangent of stream k is the constant broadcast of
+      // weight column k (the seed is e_k and curvature seeds are zero), so
+      // the five seed GEMMs are constant-folded away.
+      const float* w = layer.weight.data();
+      if (last) {  // single-layer MLP: linear output, no activation
+        for (std::int64_t i = 0; i < span; ++i) {
+          const std::int64_t o = i % layer.out;
+          nxt[1][i] = w[o * win + 0];
+          nxt[2][i] = w[o * win + 1];
+          nxt[3][i] = w[o * win + 2];
+          nxt[4][i] = 0.0f;
+          nxt[5][i] = 0.0f;
+        }
+      } else {
+        for (std::int64_t i = 0; i < span; ++i) {
+          const std::int64_t o = i % layer.out;
+          float f1, f2;
+          const float hv = act_eval(nxt[0][i], f1, f2);
+          const float wt = w[o * win + 0];
+          const float wz = w[o * win + 1];
+          const float wx = w[o * win + 2];
+          nxt[4][i] = f2 * wz * wz;  // curvature starts at f'' t^2
+          nxt[5][i] = f2 * wx * wx;
+          nxt[1][i] = f1 * wt;
+          nxt[2][i] = f1 * wz;
+          nxt[3][i] = f1 * wx;
+          nxt[0][i] = hv;
+        }
+      }
+    } else if (!last) {
+      for (std::int64_t i = 0; i < span; ++i) {
+        float f1, f2;
+        const float hv = act_eval(nxt[0][i], f1, f2);
+        // curvature before tangents: c' = f'' t^2 + f' c uses the
+        // pre-activation tangents
+        nxt[4][i] = f2 * nxt[2][i] * nxt[2][i] + f1 * nxt[4][i];
+        nxt[5][i] = f2 * nxt[3][i] * nxt[3][i] + f1 * nxt[5][i];
+        nxt[1][i] *= f1;
+        nxt[2][i] *= f1;
+        nxt[3][i] *= f1;
+        nxt[0][i] = hv;
+      }
+    }
+    for (int s = 0; s < 6; ++s) std::swap(cur[s], nxt[s]);
+    win = layer.out;
+  }
+
+  // Blends (see decode_with_derivatives): value = sum w y; first
+  // derivatives add dw y + w t; second derivatives are 2 dw t + w c.
+  // Tensor copies are shallow; non-const handles expose the mutable
+  // storage the caller allocated for this bundle.
+  Tensor tv = out.value, tt = out.d_dt, tz = out.d_dz, tx = out.d_dx,
+         tzz = out.d2_dz2, txx = out.d2_dx2;
+  float* pv = tv.data();
+  float* pt = tt.data();
+  float* pz = tz.data();
+  float* px = tx.data();
+  float* pzz = tzz.data();
+  float* pxx = txx.data();
+  for (std::int64_t b = q0; b < q1; ++b) {
+    const std::int64_t o0 = b * out_ch_;
+    for (std::int64_t c = 0; c < out_ch_; ++c) {
+      pv[o0 + c] = 0.0f;
+      pt[o0 + c] = 0.0f;
+      pz[o0 + c] = 0.0f;
+      px[o0 + c] = 0.0f;
+      pzz[o0 + c] = 0.0f;
+      pxx[o0 + c] = 0.0f;
+    }
+    for (int j = 0; j < 8; ++j) {
+      const std::int64_t row = static_cast<std::int64_t>(j) * nb + (b - q0);
+      const float w = wq[row];
+      const float dt = dwt[row], dz = dwz[row], dx = dwx[row];
+      const float* h = cur[0] + row * out_ch_;
+      const float* tt = cur[1] + row * out_ch_;
+      const float* tz = cur[2] + row * out_ch_;
+      const float* tx = cur[3] + row * out_ch_;
+      const float* cz = cur[4] + row * out_ch_;
+      const float* cx = cur[5] + row * out_ch_;
+      for (std::int64_t c = 0; c < out_ch_; ++c) {
+        pv[o0 + c] += w * h[c];
+        pt[o0 + c] += dt * h[c] + w * tt[c];
+        pz[o0 + c] += dz * h[c] + w * tz[c];
+        px[o0 + c] += dx * h[c] + w * tx[c];
+        pzz[o0 + c] += 2.0f * dz * tz[c] + w * cz[c];
+        pxx[o0 + c] += 2.0f * dx * tx[c] + w * cx[c];
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------- PlanCache --
+
+PlanCache::PlanCache(std::size_t max_entries)
+    : max_entries_(std::max<std::size_t>(max_entries, 1)) {}
+
+std::shared_ptr<const DecodePlan> PlanCache::get_or_compile(
+    const std::shared_ptr<const PreparedSnapshot>& snap, std::int64_t n,
+    std::int64_t q, std::int64_t lt, std::int64_t lz, std::int64_t lx) {
+  if (snap == nullptr) return nullptr;
+  const PlanKey key{snap->version(), n, q, lt, lz, lx};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      ++stats_.hits;
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return it->second->second;
+    }
+    ++stats_.misses;
+  }
+
+  // Compile outside the lock: a miss on one shape must not serialize
+  // replays (or other compiles) behind it.
+  std::shared_ptr<const DecodePlan> plan = DecodePlan::compile(snap, key);
+  if (plan == nullptr) return nullptr;  // unplannable: tape fallback
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.compiles;
+  if (key.version < min_version_) {
+    // A newer model was published while we compiled. The plan is still
+    // correct for the snapshot this request holds, but it must not enter
+    // the cache — later lookups would replay a superseded version.
+    ++stats_.invalidations;
+    return plan;
+  }
+  auto it = map_.find(key);
+  if (it != map_.end()) {  // lost a compile race: serve the cached one
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->second;
+  }
+  lru_.emplace_front(key, plan);
+  map_[key] = lru_.begin();
+  if (map_.size() > max_entries_) {
+    map_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  stats_.entries = map_.size();
+  return plan;
+}
+
+void PlanCache::drop_stale_versions(std::uint64_t live_version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (live_version <= min_version_) return;  // stale publisher raced ahead
+  min_version_ = live_version;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->first.version < min_version_) {
+      map_.erase(it->first);
+      it = lru_.erase(it);
+      ++stats_.invalidations;
+    } else {
+      ++it;
+    }
+  }
+  stats_.entries = map_.size();
+}
+
+void PlanCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  map_.clear();
+  stats_.entries = 0;
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace mfn::core

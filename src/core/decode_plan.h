@@ -1,0 +1,222 @@
+// Compiled decode plans: the serving fast path for the Continuous Decoding
+// Network.
+//
+// The steady-state serving workload is millions of identical-shape decodes
+// against a frozen model. The tape path re-walks the op graph, re-derives
+// corner geometry into intermediate tensors, and re-packs the decoder
+// weight panels inside every SGEMM. This module compiles that work away,
+// in two stages:
+//
+//  - PreparedSnapshot (once per swap_model / reload_from_checkpoint): an
+//    immutable, self-contained serving weight format. The decoder MLP's
+//    weights and biases are cloned out of the module tree and prepacked
+//    into persistent SGEMM panels (backend::sgemm_prepack_b), and the
+//    encoder's eval-mode conv->BN affines are folded ahead of time
+//    (Module::prepare_inference). Plans reference these buffers by
+//    pointer, so a cached plan stays valid even after the source model is
+//    hot-swapped away.
+//
+//  - DecodePlan (once per (snapshot version, N, Q, grid) shape, cached in
+//    a PlanCache LRU): lowers the no-grad decode into a flat
+//    backend::PlanProgram — fused corner gather, prepacked-weight GEMMs,
+//    in-place activations, trilinear blend — over fixed float offsets
+//    carved from the executing thread's workspace arena. Replay does zero
+//    graph traversal, zero dispatch branching, zero heap allocation, and
+//    zero per-call weight packing, and its value output is BITWISE
+//    identical to ContinuousDecoder::decode's streamed no-grad path at
+//    every thread count (same global 256-query blocking, same kernels,
+//    same accumulation order).
+//
+// execute_derivatives() covers predict_with_derivatives the same way with
+// a fused forward-mode (value, tangent, curvature) stream — no tape, no
+// per-call tensors — agreeing with the tape bundle to float tolerance
+// (its fused update loops round differently than the tape's separate
+// kernels, so exact bit equality is not pinned there).
+//
+// Shapes the compiler cannot lower (a decoder layer wider than the
+// prepacked panel range) return nullptr from compile(); callers fall back
+// to the tape path. The PreparedSnapshot layer format plus the
+// backend::PlanKernel tag is the seam the quantized weight tiers plug
+// into.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "backend/plan.h"
+#include "core/meshfree_flownet.h"
+#include "nn/mlp.h"
+#include "tensor/tensor.h"
+
+namespace mfn::core {
+
+/// Immutable serving weights for one published model version.
+class PreparedSnapshot {
+ public:
+  struct Layer {
+    std::int64_t in = 0, out = 0;
+    std::vector<float> weight;  // dense (out, in) clone
+    std::vector<float> bias;    // out entries; empty when the layer has none
+    std::vector<float> packed;  // sgemm_prepack_b panels (empty if too wide)
+  };
+
+  /// Freeze `model` for serving (set_training(false) +
+  /// Module::prepare_inference()) and clone + prepack its decoder MLP.
+  static std::shared_ptr<const PreparedSnapshot> prepare(
+      MeshfreeFlowNet& model, std::uint64_t version);
+
+  std::uint64_t version() const { return version_; }
+  const std::vector<Layer>& layers() const { return layers_; }
+  nn::Activation activation() const { return activation_; }
+  std::int64_t latent_channels() const { return latent_channels_; }
+  std::int64_t out_channels() const { return out_channels_; }
+  /// False when some layer exceeds the prepacked panel range — plans for
+  /// this snapshot cannot compile and callers stay on the tape path.
+  bool plannable() const { return plannable_; }
+
+ private:
+  PreparedSnapshot() = default;
+
+  std::uint64_t version_ = 0;
+  std::int64_t latent_channels_ = 0;
+  std::int64_t out_channels_ = 0;
+  nn::Activation activation_ = nn::Activation::kSoftplus;
+  std::vector<Layer> layers_;
+  bool plannable_ = false;
+};
+
+/// One concrete decode shape: snapshot version, query batch, latent grid.
+struct PlanKey {
+  std::uint64_t version = 0;
+  std::int64_t n = 0, q = 0;        // latent samples, queries per sample
+  std::int64_t lt = 0, lz = 0, lx = 0;  // latent grid extents
+  bool operator==(const PlanKey& o) const {
+    return version == o.version && n == o.n && q == o.q && lt == o.lt &&
+           lz == o.lz && lx == o.lx;
+  }
+};
+
+struct PlanKeyHash {
+  std::size_t operator()(const PlanKey& k) const;
+};
+
+/// Forward-mode derivative bundle decoded by a plan (plain tensors; the
+/// tape-producing DecodeDerivs stays the training-path type).
+struct PlannedDerivs {
+  Tensor value;
+  Tensor d_dt, d_dz, d_dx;
+  Tensor d2_dz2, d2_dx2;
+};
+
+class DecodePlan {
+ public:
+  /// Lower the decode for `key`'s shape against `snap`'s weights. Returns
+  /// nullptr when the shape cannot be lowered (see PreparedSnapshot::
+  /// plannable); callers must then take the tape path.
+  static std::shared_ptr<const DecodePlan> compile(
+      std::shared_ptr<const PreparedSnapshot> snap, const PlanKey& key);
+
+  /// Replay: values at the query points, (N*Q, out_channels). `latent` is
+  /// (N, C, LT, LZ, LX) matching the key; `query_coords` is (B, 3) or
+  /// (N, Q, 3) with B == N*Q rows either way. Bitwise identical to the
+  /// streamed tape decode at every MFN_NUM_THREADS.
+  Tensor execute(const Tensor& latent, const Tensor& query_coords) const;
+
+  /// Replay with exact forward-mode coordinate derivatives (the
+  /// predict_with_derivatives bundle). Matches the tape bundle to float
+  /// tolerance.
+  PlannedDerivs execute_derivatives(const Tensor& latent,
+                                    const Tensor& query_coords) const;
+
+  const PlanKey& key() const { return key_; }
+  const PreparedSnapshot& snapshot() const { return *snap_; }
+
+ private:
+  DecodePlan() = default;
+
+  void check_inputs(const Tensor& latent, const Tensor& query_coords) const;
+  void run_block(const float* latent, const float* coords, float* out,
+                 std::int64_t q0, std::int64_t q1, float* arena) const;
+  void run_deriv_block(const float* latent, const float* coords,
+                       const PlannedDerivs& out, std::int64_t q0,
+                       std::int64_t q1, float* arena) const;
+
+  std::shared_ptr<const PreparedSnapshot> snap_;
+  PlanKey key_;
+  std::int64_t b_total_ = 0;  // N * Q
+  std::int64_t in0_ = 0;      // 3 + latent channels
+  std::int64_t out_ch_ = 0;
+  std::int64_t wmax_ = 0;     // widest activation panel
+  std::int64_t slab_ = 0;     // latent channel stride: LT * LZ * LX
+  std::int64_t corner_delta_[8] = {};  // gather offset of corner j
+
+  // Value program: fixed offsets into one per-chunk arena.
+  backend::PlanProgram prog_;
+  std::int64_t off_in_ = 0;     // gather destination (first GEMM input)
+  std::int64_t off_final_ = 0;  // last GEMM output (blend source)
+  std::int64_t off_w_ = 0;      // trilinear weights, 8 * kBlock
+  std::int64_t nblocks_ = 0;
+
+  // Derivative replay: bank offsets for the 6 forward-mode streams
+  // (h, t0, t1, t2, cz, cx) x (A, B) plus the w/dw tables.
+  std::size_t deriv_arena_floats_ = 0;
+  std::int64_t doff_stream_[6][2] = {};
+  std::int64_t doff_w_ = 0;  // 4 tables of 8 * kDerivBlock (w, dwt, dwz, dwx)
+  std::int64_t dnblocks_ = 0;
+};
+
+/// Shape-keyed LRU of compiled plans, shared by the serving layer. Same
+/// keying discipline as LatentCache: the snapshot version is part of the
+/// key, a monotonic version floor makes a racing insert of a stale plan
+/// impossible, and hot-swap eagerly drops superseded versions.
+class PlanCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t compiles = 0;       // misses that produced a plan
+    std::uint64_t evictions = 0;      // LRU capacity drops
+    std::uint64_t invalidations = 0;  // stale-version entries dropped
+    std::size_t entries = 0;
+    double hit_rate() const {
+      const std::uint64_t total = hits + misses;
+      return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+    }
+  };
+
+  explicit PlanCache(std::size_t max_entries = 64);
+
+  /// Cached plan for the shape, compiling (outside the lock) on miss.
+  /// Returns nullptr for unplannable shapes — not cached, callers fall
+  /// back to the tape path. Plans for versions older than the newest
+  /// drop_stale_versions() floor are still returned (the caller holds that
+  /// snapshot and the math is correct) but never (re)inserted.
+  std::shared_ptr<const DecodePlan> get_or_compile(
+      const std::shared_ptr<const PreparedSnapshot>& snap, std::int64_t n,
+      std::int64_t q, std::int64_t lt, std::int64_t lz, std::int64_t lx);
+
+  /// Drop every plan compiled against a version older than `live_version`
+  /// and raise the insert floor (monotonic — late calls with older
+  /// versions cannot lower it).
+  void drop_stale_versions(std::uint64_t live_version);
+
+  void clear();
+  Stats stats() const;
+
+ private:
+  using Entry = std::pair<PlanKey, std::shared_ptr<const DecodePlan>>;
+
+  mutable std::mutex mu_;
+  std::size_t max_entries_;
+  std::uint64_t min_version_ = 0;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<PlanKey, std::list<Entry>::iterator, PlanKeyHash> map_;
+  Stats stats_;
+};
+
+}  // namespace mfn::core

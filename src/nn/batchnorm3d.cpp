@@ -16,6 +16,19 @@ BatchNorm3d::BatchNorm3d(std::int64_t channels, float eps, float momentum)
 }
 
 void BatchNorm3d::fold_eval_affine(Tensor* scale, Tensor* shift) const {
+  if (folded_scale_.defined()) {
+    *scale = folded_scale_;  // shared handles: no recompute, no allocation
+    *shift = folded_shift_;
+    return;
+  }
+  compute_fold(scale, shift);
+}
+
+void BatchNorm3d::on_prepare_inference() {
+  compute_fold(&folded_scale_, &folded_shift_);
+}
+
+void BatchNorm3d::compute_fold(Tensor* scale, Tensor* shift) const {
   const std::int64_t C = gamma_.numel();
   *scale = Tensor::uninitialized(Shape{C});
   *shift = Tensor::uninitialized(Shape{C});
@@ -32,6 +45,10 @@ void BatchNorm3d::fold_eval_affine(Tensor* scale, Tensor* shift) const {
 
 ad::Var BatchNorm3d::forward(const ad::Var& x) {
   if (training()) {
+    // The running statistics are about to move: drop any prepared fold so a
+    // later eval forward can't normalize with stale affines.
+    folded_scale_ = Tensor();
+    folded_shift_ = Tensor();
     Tensor batch_mean, batch_var;
     ad::Var out =
         ad::batchnorm3d(x, gamma_, beta_, eps_, &batch_mean, &batch_var);

@@ -20,15 +20,26 @@ class BatchNorm3d : public Module {
   ///                           shift = beta - running_mean * scale.
   /// This is the form the conv GEMM epilogue consumes
   /// (conv3d_forward_fused), so conv -> BN(eval) costs no extra pass.
+  /// After prepare_inference() the fold is served from a cached pair of
+  /// handles instead of being recomputed (and reallocated) per call.
   void fold_eval_affine(Tensor* scale, Tensor* shift) const;
 
   const Tensor& running_mean() const { return running_mean_; }
   const Tensor& running_var() const { return running_var_; }
 
+ protected:
+  /// Cache the folded affine ahead of serving (Module::prepare_inference).
+  void on_prepare_inference() override;
+
  private:
+  void compute_fold(Tensor* scale, Tensor* shift) const;
+
   float eps_, momentum_;
   ad::Var gamma_, beta_;
   Tensor running_mean_, running_var_;  // handles shared with buffers
+  // Folded eval affine, precomputed by prepare_inference(); undefined until
+  // then and re-cleared whenever a training forward moves the statistics.
+  Tensor folded_scale_, folded_shift_;
 };
 
 }  // namespace mfn::nn

@@ -43,6 +43,11 @@ void Module::set_training(bool training) {
   for (auto& [name, child] : children_) child->set_training(training);
 }
 
+void Module::prepare_inference() {
+  on_prepare_inference();
+  for (auto& [name, child] : children_) child->prepare_inference();
+}
+
 void Module::save(std::ostream& os) {
   for (auto& [name, p] : named_parameters()) write_tensor(os, p->value());
   for (auto& [name, b] : named_buffers()) write_tensor(os, *b);

@@ -36,6 +36,13 @@ class Module {
   void set_training(bool training);
   bool training() const { return training_; }
 
+  /// Freeze for serving: recursively lets every module precompute derived
+  /// eval-mode state (e.g. BatchNorm3d's folded conv epilogue affine) once,
+  /// ahead of time, instead of on every forward. Call after
+  /// set_training(false) and after the weights are final; a later training
+  /// forward invalidates the cached state automatically.
+  void prepare_inference();
+
   /// Binary checkpoint of parameters + buffers (order-based).
   void save(std::ostream& os);
   void load(std::istream& is);
@@ -48,6 +55,9 @@ class Module {
   ad::Var& register_parameter(const std::string& name, Tensor init);
   Tensor& register_buffer(const std::string& name, Tensor init);
   void register_module(const std::string& name, Module& child);
+
+  /// Hook for prepare_inference(); default does nothing.
+  virtual void on_prepare_inference() {}
 
  private:
   std::vector<std::pair<std::string, std::unique_ptr<ad::Var>>> params_;

@@ -8,12 +8,17 @@ namespace mfn::serve {
 
 namespace {
 std::shared_ptr<const ModelSnapshot> make_snapshot(
-    std::unique_ptr<core::MeshfreeFlowNet> model, std::uint64_t version) {
+    std::unique_ptr<core::MeshfreeFlowNet> model, std::uint64_t version,
+    std::shared_ptr<core::PlanCache> plans) {
   MFN_CHECK(model != nullptr, "engine snapshot requires a model");
-  model->set_training(false);
   auto snap = std::make_shared<ModelSnapshot>();
+  // prepare() freezes the model for serving (eval mode + folded conv->BN
+  // affines) and clones + prepacks the decoder weights the plan path
+  // replays against.
+  snap->prepared = core::PreparedSnapshot::prepare(*model, version);
   snap->model = std::move(model);
   snap->version = version;
+  snap->plans = std::move(plans);
   return snap;
 }
 }  // namespace
@@ -23,8 +28,9 @@ InferenceEngine::InferenceEngine(
     InferenceEngineConfig config)
     : model_config_(model ? model->config() : core::MFNConfig{}),
       cache_(config.cache_bytes),
+      plans_(std::make_shared<core::PlanCache>(config.plan_cache_entries)),
       batcher_(config.batcher) {
-  snapshot_ = make_snapshot(std::move(model), next_version_++);
+  snapshot_ = make_snapshot(std::move(model), next_version_++, plans_);
 }
 
 InferenceEngine::~InferenceEngine() {
@@ -87,7 +93,7 @@ void InferenceEngine::swap_model(
   // Build the snapshot (eval-mode walk over the module tree) outside the
   // lock: readers must only ever block for the pointer copy below.
   std::shared_ptr<const ModelSnapshot> snap =
-      make_snapshot(std::move(model), live);
+      make_snapshot(std::move(model), live, plans_);
   {
     std::lock_guard<std::mutex> lk(snapshot_mu_);
     // Concurrent swaps may finish construction out of order; only a newer
@@ -97,6 +103,10 @@ void InferenceEngine::swap_model(
   // Latents keyed to retired snapshots can never be requested again (keys
   // carry the version); reclaim their bytes for the new snapshot's grids.
   cache_.drop_stale_versions(live);
+  // Same discipline for compiled plans: the version is part of the plan
+  // key, so superseded-version plans are dead weight — drop them eagerly
+  // and raise the insert floor so a racing compile cannot resurrect one.
+  plans_->drop_stale_versions(live);
 }
 
 void InferenceEngine::reload_from_checkpoint(const std::string& path) {

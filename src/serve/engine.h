@@ -41,6 +41,8 @@ namespace mfn::serve {
 struct InferenceEngineConfig {
   /// Latent cache byte budget (LRU-evicted past this).
   std::size_t cache_bytes = 64u << 20;
+  /// Compiled decode-plan LRU capacity (shape-keyed; see core::PlanCache).
+  std::size_t plan_cache_entries = 64;
   QueryBatcherConfig batcher;
 };
 
@@ -90,8 +92,10 @@ class InferenceEngine {
 
   LatentCache::Stats cache_stats() const { return cache_.stats(); }
   QueryBatcher::Stats batcher_stats() const { return batcher_.stats(); }
+  core::PlanCache::Stats plan_stats() const { return plans_->stats(); }
   LatentCache& cache() { return cache_; }
   QueryBatcher& batcher() { return batcher_; }
+  core::PlanCache& plans() { return *plans_; }
 
  private:
   std::shared_ptr<const ModelSnapshot> current_snapshot() const;
@@ -103,6 +107,9 @@ class InferenceEngine {
   std::shared_ptr<const ModelSnapshot> snapshot_;
   std::uint64_t next_version_ = 1;
   LatentCache cache_;
+  // Shared by every snapshot (snapshots hold a shared_ptr so plan replay
+  // stays safe however long a retired snapshot lingers in flight).
+  std::shared_ptr<core::PlanCache> plans_;
   // Last member: destroyed (and therefore drained) first, while the
   // snapshot and cache it references are still alive.
   QueryBatcher batcher_;

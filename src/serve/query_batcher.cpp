@@ -51,6 +51,7 @@ std::future<Tensor> QueryBatcher::submit(
   req.snapshot = std::move(snapshot);
   req.latent = std::move(latent);
   req.coords = std::move(coords);
+  req.enqueued = std::chrono::steady_clock::now();
   std::future<Tensor> fut = req.promise.get_future();
   const std::int64_t rows = req.coords.dim(0);
   {
@@ -110,6 +111,13 @@ void QueryBatcher::worker_loop() {
       ++stats_.flushes;
       stats_.max_flush_rows = std::max(stats_.max_flush_rows,
                                        static_cast<std::uint64_t>(rows));
+      if (timing_capture_) {
+        const auto now = std::chrono::steady_clock::now();
+        for (const Request& r : batch)
+          timing_.queue_wait_ms.push_back(
+              std::chrono::duration<double, std::milli>(now - r.enqueued)
+                  .count());
+      }
     }
     cv_capacity_.notify_all();
     // Plan first, then account, then decode: clients unblock the moment
@@ -188,14 +196,43 @@ std::vector<std::vector<std::size_t>> QueryBatcher::plan_decode_units(
   return units;
 }
 
-// Runs one planned unit through a single decoder call and fulfills its
+// One unit's decode. Prefers replaying a cached DecodePlan — zero graph
+// traversal / dispatch / allocation / weight packing, bitwise identical to
+// the streamed tape decode — and falls back to the tape path when the
+// snapshot carries no prepared weights or the shape does not compile.
+Tensor QueryBatcher::decode_unit(const ModelSnapshot& snap,
+                                 const Tensor& latent, const Tensor& coords,
+                                 bool* planned) {
+  if (snap.plans != nullptr && snap.prepared != nullptr &&
+      snap.prepared->plannable()) {
+    std::int64_t n = 1, q = 0;
+    if (coords.ndim() == 2) {
+      q = coords.dim(0);
+    } else {
+      n = coords.dim(0);
+      q = coords.dim(1);
+    }
+    std::shared_ptr<const core::DecodePlan> plan =
+        snap.plans->get_or_compile(snap.prepared, n, q, latent.dim(2),
+                                   latent.dim(3), latent.dim(4));
+    if (plan != nullptr) {
+      *planned = true;
+      return plan->execute(latent, coords);
+    }
+  }
+  *planned = false;
+  ad::NoGradGuard no_grad;
+  ad::Var lv(latent, /*requires_grad=*/false);
+  return snap.model->decoder().decode(lv, coords).value();
+}
+
+// Runs one planned unit through a single decode and fulfills its
 // promises. By construction a unit is either single-latent or a uniform
 // multi-latent stack.
 void QueryBatcher::execute_unit(std::vector<Request>& batch,
                                 const std::vector<std::size_t>& members) {
-  ad::NoGradGuard no_grad;
   Request& first = batch[members.front()];
-  core::ContinuousDecoder& decoder = first.snapshot->model->decoder();
+  const ModelSnapshot& snap = *first.snapshot;
 
   bool multi_latent = false;
   for (std::size_t m : members)
@@ -203,13 +240,15 @@ void QueryBatcher::execute_unit(std::vector<Request>& batch,
         multi_latent || batch[m].latent.data() != first.latent.data();
 
   std::size_t fulfilled = 0;
+  bool planned = false;
   try {
     if (members.size() == 1) {
       // Single request: decode straight from/into its tensors, skipping
       // the assemble/demux copies.
-      ad::Var latent(first.latent, /*requires_grad=*/false);
-      first.promise.set_value(
-          decoder.decode(latent, first.coords).value());
+      const auto t0 = std::chrono::steady_clock::now();
+      Tensor out = decode_unit(snap, first.latent, first.coords, &planned);
+      account_decode(t0, planned);
+      first.promise.set_value(std::move(out));
       return;
     }
 
@@ -226,8 +265,9 @@ void QueryBatcher::execute_unit(std::vector<Request>& batch,
                     static_cast<std::size_t>(c.numel()) * sizeof(float));
         row += c.dim(0);
       }
-      ad::Var latent(first.latent, /*requires_grad=*/false);
-      Tensor out = decoder.decode(latent, coords).value();
+      const auto t0 = std::chrono::steady_clock::now();
+      Tensor out = decode_unit(snap, first.latent, coords, &planned);
+      account_decode(t0, planned);
       demux_rows(batch, members, out, &fulfilled);
       return;
     }
@@ -253,13 +293,27 @@ void QueryBatcher::execute_unit(std::vector<Request>& batch,
                   static_cast<std::size_t>(q0 * 3) * sizeof(float));
       ++s;
     }
-    ad::Var latent(latents, /*requires_grad=*/false);
-    Tensor out = decoder.decode(latent, coords).value();
+    const auto t0 = std::chrono::steady_clock::now();
+    Tensor out = decode_unit(snap, latents, coords, &planned);
+    account_decode(t0, planned);
     demux_rows(batch, members, out, &fulfilled);
   } catch (...) {
     for (std::size_t k = fulfilled; k < members.size(); ++k)
       batch[members[k]].promise.set_exception(std::current_exception());
   }
+}
+
+void QueryBatcher::account_decode(std::chrono::steady_clock::time_point t0,
+                                  bool planned) {
+  const auto t1 = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lk(mu_);
+  if (planned)
+    ++stats_.planned_decodes;
+  else
+    ++stats_.tape_decodes;
+  if (timing_capture_)
+    timing_.decode_ms.push_back(
+        std::chrono::duration<double, std::milli>(t1 - t0).count());
 }
 
 void QueryBatcher::demux_rows(std::vector<Request>& batch,
@@ -281,6 +335,19 @@ void QueryBatcher::demux_rows(std::vector<Request>& batch,
 QueryBatcher::Stats QueryBatcher::stats() const {
   std::lock_guard<std::mutex> lk(mu_);
   return stats_;
+}
+
+void QueryBatcher::set_timing_capture(bool on) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (on && !timing_capture_) timing_ = TimingSamples{};
+  timing_capture_ = on;
+}
+
+QueryBatcher::TimingSamples QueryBatcher::take_timing_samples() {
+  std::lock_guard<std::mutex> lk(mu_);
+  TimingSamples out = std::move(timing_);
+  timing_ = TimingSamples{};
+  return out;
 }
 
 }  // namespace mfn::serve

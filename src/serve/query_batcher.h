@@ -37,6 +37,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/decode_plan.h"
 #include "core/meshfree_flownet.h"
 #include "tensor/tensor.h"
 
@@ -50,6 +51,12 @@ namespace mfn::serve {
 struct ModelSnapshot {
   std::unique_ptr<core::MeshfreeFlowNet> model;
   std::uint64_t version = 0;
+  /// Prepacked serving weights for this version (self-contained: plans
+  /// compiled from it never dangle into the module tree).
+  std::shared_ptr<const core::PreparedSnapshot> prepared;
+  /// The engine's shared plan cache; null runs every decode on the tape
+  /// path (standalone batcher uses in tests).
+  std::shared_ptr<core::PlanCache> plans;
 };
 
 struct QueryBatcherConfig {
@@ -78,6 +85,8 @@ class QueryBatcher {
     std::uint64_t rows = 0;           ///< submitted query rows
     std::uint64_t flushes = 0;        ///< batches drained from the queue
     std::uint64_t decode_calls = 0;   ///< decoder invocations (groups)
+    std::uint64_t planned_decodes = 0;  ///< units served by plan replay
+    std::uint64_t tape_decodes = 0;     ///< units on the tape fallback
     std::uint64_t max_flush_rows = 0; ///< largest coalesced flush seen
     /// Mean coalescing factor: requests per decoder invocation.
     double requests_per_decode() const {
@@ -108,12 +117,27 @@ class QueryBatcher {
   Stats stats() const;
   const QueryBatcherConfig& config() const { return config_; }
 
+  /// Per-request queue wait and per-unit decode time, recorded while
+  /// timing capture is on. serve-bench splits its latency report with
+  /// these: end-to-end p99 includes the batching queue, which is NOT
+  /// decode latency.
+  struct TimingSamples {
+    std::vector<double> queue_wait_ms;  // one per drained request
+    std::vector<double> decode_ms;      // one per decode unit
+  };
+  /// Enable/disable sample capture (off by default — steady-state serving
+  /// should not grow sample vectors without a consumer).
+  void set_timing_capture(bool on);
+  /// Take and clear the captured samples.
+  TimingSamples take_timing_samples();
+
  private:
   struct Request {
     std::shared_ptr<const ModelSnapshot> snapshot;
     Tensor latent;
     Tensor coords;
     std::promise<Tensor> promise;
+    std::chrono::steady_clock::time_point enqueued;
   };
 
   void worker_loop();
@@ -122,8 +146,16 @@ class QueryBatcher {
   /// worker can account stats before clients unblock).
   static std::vector<std::vector<std::size_t>> plan_decode_units(
       const std::vector<Request>& batch);
-  static void execute_unit(std::vector<Request>& batch,
-                           const std::vector<std::size_t>& members);
+  void execute_unit(std::vector<Request>& batch,
+                    const std::vector<std::size_t>& members);
+  /// One unit's decode, routed through a cached DecodePlan replay when the
+  /// snapshot carries prepared weights and the shape compiles; tape path
+  /// otherwise. Sets *planned accordingly.
+  static Tensor decode_unit(const ModelSnapshot& snap, const Tensor& latent,
+                            const Tensor& coords, bool* planned);
+  /// Record one finished decode unit (started at `t0`) under mu_:
+  /// planned/tape counters, plus a decode_ms sample when capture is on.
+  void account_decode(std::chrono::steady_clock::time_point t0, bool planned);
   static void demux_rows(std::vector<Request>& batch,
                          const std::vector<std::size_t>& members,
                          const Tensor& out, std::size_t* fulfilled);
@@ -136,6 +168,8 @@ class QueryBatcher {
   std::int64_t queued_rows_ = 0;
   bool stop_ = false;
   Stats stats_;
+  bool timing_capture_ = false;
+  TimingSamples timing_;
   std::vector<std::thread> workers_;
 };
 

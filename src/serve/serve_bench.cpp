@@ -62,6 +62,11 @@ ServeBenchResult run_serve_bench(InferenceEngine& engine,
                      patches[static_cast<std::size_t>(i)]);
 
   const LatentCache::Stats cache0 = engine.cache_stats();
+  const core::PlanCache::Stats plans0 = engine.plan_stats();
+  // Capture per-request queue waits and per-unit decode times so the
+  // latency report can split end-to-end p99 (which includes the batching
+  // queue) from the decode itself.
+  engine.batcher().set_timing_capture(true);
   std::vector<std::vector<double>> latencies(
       static_cast<std::size_t>(cfg.clients));
 
@@ -99,20 +104,41 @@ ServeBenchResult run_serve_bench(InferenceEngine& engine,
   res.qps = total_queries / seconds;
   res.rps = static_cast<double>(res.requests) / seconds;
 
+  auto pct = [](std::vector<double>& v, std::size_t num, std::size_t den) {
+    if (v.empty()) return 0.0;
+    std::sort(v.begin(), v.end());
+    const std::size_t i = (v.size() * num) / den;
+    return v[i >= v.size() ? v.size() - 1 : i];
+  };
+
   std::vector<double> all;
   all.reserve(static_cast<std::size_t>(res.requests));
   for (auto& lat : latencies) all.insert(all.end(), lat.begin(), lat.end());
-  std::sort(all.begin(), all.end());
   if (!all.empty()) {
-    res.p50_ms = all[all.size() / 2];
-    res.p99_ms = all[(all.size() * 99) / 100 >= all.size()
-                         ? all.size() - 1
-                         : (all.size() * 99) / 100];
+    res.p50_ms = pct(all, 1, 2);
+    res.p99_ms = pct(all, 99, 100);
     res.max_ms = all.back();
   }
 
+  QueryBatcher::TimingSamples timing =
+      engine.batcher().take_timing_samples();
+  engine.batcher().set_timing_capture(false);
+  res.queue_p50_ms = pct(timing.queue_wait_ms, 1, 2);
+  res.queue_p99_ms = pct(timing.queue_wait_ms, 99, 100);
+  res.decode_p50_ms = pct(timing.decode_ms, 1, 2);
+  res.decode_p99_ms = pct(timing.decode_ms, 99, 100);
+
   res.cache = engine.cache_stats();
   res.batcher = engine.batcher_stats();
+  res.plans = engine.plan_stats();
+  res.window_plan_hits = res.plans.hits - plans0.hits;
+  res.window_plan_misses = res.plans.misses - plans0.misses;
+  const std::uint64_t plan_lookups =
+      res.window_plan_hits + res.window_plan_misses;
+  res.plan_hit_rate = plan_lookups == 0
+                          ? 0.0
+                          : static_cast<double>(res.window_plan_hits) /
+                                static_cast<double>(plan_lookups);
   res.window_hits = res.cache.hits - cache0.hits;
   res.window_misses = res.cache.misses - cache0.misses;
   const std::uint64_t lookups = res.window_hits + res.window_misses;

@@ -38,10 +38,21 @@ struct ServeBenchResult {
   /// earlier runs against the same engine excluded) — the counters
   /// hit_rate is computed from.
   std::uint64_t window_hits = 0, window_misses = 0;
+  /// End-to-end request latency: submit to response, INCLUDING the
+  /// batcher's coalescing queue wait. Not decode latency — see the split
+  /// percentiles below.
   double p50_ms = 0.0, p99_ms = 0.0, max_ms = 0.0;
+  /// The end-to-end latency split: time a request spent queued waiting to
+  /// coalesce vs time its decode unit actually spent decoding.
+  double queue_p50_ms = 0.0, queue_p99_ms = 0.0;
+  double decode_p50_ms = 0.0, decode_p99_ms = 0.0;
   std::uint64_t requests = 0;
   LatentCache::Stats cache;      ///< cumulative engine counters at the end
   QueryBatcher::Stats batcher;
+  core::PlanCache::Stats plans;  ///< decode-plan cache counters at the end
+  /// Plan cache lookups inside the timed window only.
+  std::uint64_t window_plan_hits = 0, window_plan_misses = 0;
+  double plan_hit_rate = 0.0;
 };
 
 /// Drive `engine` with cfg.clients closed-loop client threads and return

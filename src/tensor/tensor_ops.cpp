@@ -544,6 +544,14 @@ void tanh_inplace(float* p, std::int64_t n) {
   scalar_ref::tanh(p, p, n);
 }
 
+void sigmoid_map(const float* x, float* y, std::int64_t n) {
+  if (simd::enabled()) {
+    vmap1(x, y, n, [](simd::VF v) { return simd::v_sigmoid(v); });
+    return;
+  }
+  scalar_ref::sigmoid(x, y, n);
+}
+
 float sum(const Tensor& a) {
   const float* pa = a.data();
   const std::int64_t n = a.numel();

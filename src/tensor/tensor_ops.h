@@ -57,6 +57,9 @@ Tensor gt_zero_mask(const Tensor& a);
 void relu_inplace(float* p, std::int64_t n);
 void softplus_inplace(float* p, std::int64_t n);
 void tanh_inplace(float* p, std::int64_t n);
+/// y = sigmoid(x) on raw buffers (x == y allowed). Serial, same dispatch as
+/// the in-place passes; the derivative decode plan uses it for f'(z).
+void sigmoid_map(const float* x, float* y, std::int64_t n);
 
 // ----- fused activation backward maps -----
 // One pass over (value, upstream grad) instead of an activation-derivative

@@ -373,8 +373,14 @@ int cmd_serve_bench(const Args& args) {
   std::printf(
       "throughput: %.0f queries/sec, %.1f requests/sec over %.2fs\n",
       r.qps, r.rps, r.seconds);
-  std::printf("latency: p50 %.3f ms, p99 %.3f ms, max %.3f ms\n", r.p50_ms,
-              r.p99_ms, r.max_ms);
+  std::printf(
+      "latency (end-to-end, incl. batching queue): p50 %.3f ms, p99 %.3f "
+      "ms, max %.3f ms\n",
+      r.p50_ms, r.p99_ms, r.max_ms);
+  std::printf(
+      "latency split: queue-wait p50 %.3f ms / p99 %.3f ms, decode p50 "
+      "%.3f ms / p99 %.3f ms\n",
+      r.queue_p50_ms, r.queue_p99_ms, r.decode_p50_ms, r.decode_p99_ms);
   std::printf(
       "cache: hit-rate %.3f (%llu hits / %llu misses in the timed window), "
       "%llu evictions, %.1f MiB of %.1f MiB\n",
@@ -385,15 +391,27 @@ int cmd_serve_bench(const Args& args) {
       static_cast<double>(r.cache.byte_budget) / (1024.0 * 1024.0));
   std::printf(
       "batcher: %llu flushes, %.1f requests coalesced per decode, largest "
-      "flush %llu rows\n",
+      "flush %llu rows, %llu planned / %llu tape decodes\n",
       static_cast<unsigned long long>(r.batcher.flushes),
       r.batcher.requests_per_decode(),
-      static_cast<unsigned long long>(r.batcher.max_flush_rows));
+      static_cast<unsigned long long>(r.batcher.max_flush_rows),
+      static_cast<unsigned long long>(r.batcher.planned_decodes),
+      static_cast<unsigned long long>(r.batcher.tape_decodes));
+  std::printf(
+      "plan cache: hit-rate %.3f (%llu hits / %llu misses in the timed "
+      "window), %llu compiles, %llu entries\n",
+      r.plan_hit_rate, static_cast<unsigned long long>(r.window_plan_hits),
+      static_cast<unsigned long long>(r.window_plan_misses),
+      static_cast<unsigned long long>(r.plans.compiles),
+      static_cast<unsigned long long>(r.plans.entries));
   std::printf(
       "{\"mfn_perf\":\"serve\",\"clients\":%d,\"queries\":%lld,"
-      "\"threads\":%d,\"qps\":%.0f,\"hit_rate\":%.3f,\"p99_ms\":%.3f}\n",
+      "\"threads\":%d,\"qps\":%.0f,\"hit_rate\":%.3f,\"p99_ms\":%.3f,"
+      "\"queue_p99_ms\":%.3f,\"decode_p99_ms\":%.3f,"
+      "\"plan_hit_rate\":%.3f}\n",
       bcfg.clients, static_cast<long long>(bcfg.queries_per_request),
-      ThreadPool::global().size(), r.qps, r.hit_rate, r.p99_ms);
+      ThreadPool::global().size(), r.qps, r.hit_rate, r.p99_ms,
+      r.queue_p99_ms, r.decode_p99_ms, r.plan_hit_rate);
   return 0;
 }
 

@@ -7,10 +7,12 @@ Each line is a JSON object with an "mfn_perf" kind plus metric fields.
 Lines are keyed by their kind and identifying fields (batch/op/size...),
 and every *higher-is-better* metric (gflops, qps, gbps, melems_per_sec,
 patches_per_sec, ...) present in both files is compared. A metric that
-drops by more than the threshold fails the diff; new lines and new
-metrics are reported but never fail (the baseline simply has no
-datapoint for them). Kernel lines that disappear entirely DO fail —
-that is the regression mode the perf job exists to catch.
+drops by more than the threshold fails the diff; newly-added lines and
+newly-added metrics are listed as INFO and never fail or warn (the
+baseline simply has no datapoint for them — a freshly landed benchmark
+must not trip the gate that protects existing ones). Kernel lines that
+disappear entirely DO fail — that is the regression mode the perf job
+exists to catch.
 """
 import argparse
 import json
@@ -88,9 +90,15 @@ def main():
                 marker = "  <-- FAIL"
             print(f"{name}: {metric} {b:.3g} -> {c:.3g} ({change:+.1%})"
                   f"{marker}")
+        # Metrics the current run added to an existing line: informational
+        # only — the baseline has nothing to compare them against.
+        for metric in sorted(RATE_METRICS & (cobj.keys() - bobj.keys())):
+            print(f"INFO new metric: {name} {metric}={cobj[metric]}")
 
+    # Lines with no baseline datapoint at all (a benchmark added since the
+    # baseline was recorded): informational only, never a warning/failure.
     for key in sorted(cur.keys() - base.keys()):
-        print("new line:", " ".join(f"{k}={v}" for k, v in key))
+        print("INFO new line:", " ".join(f"{k}={v}" for k, v in key))
 
     if failures:
         print()
