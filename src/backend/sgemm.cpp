@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <utility>
 
 #include "backend/simd.h"
@@ -934,6 +935,525 @@ void sgemm_prepacked_nt(std::int64_t M, std::int64_t N, std::int64_t K,
         }
         wsl.release(m);
       });
+}
+
+// --------------------------------------- reduced-precision tiers (impl) --
+namespace {
+
+// fp32 -> bf16 with round-to-nearest-even (the "+0x7FFF + odd bit" trick);
+// bf16 -> fp32 is a lossless shift back into the high half.
+inline std::uint16_t float_to_bf16(float f) {
+  std::uint32_t u;
+  std::memcpy(&u, &f, sizeof(u));
+  u += 0x7FFFu + ((u >> 16) & 1u);
+  return static_cast<std::uint16_t>(u >> 16);
+}
+
+inline float bf16_to_float(std::uint16_t h) {
+  const std::uint32_t u = static_cast<std::uint32_t>(h) << 16;
+  float f;
+  std::memcpy(&f, &u, sizeof(f));
+  return f;
+}
+
+inline std::int64_t pad_even(std::int64_t k) { return (k + 1) & ~std::int64_t{1}; }
+
+// Round |v| <= 127 to the nearest integer (ties to even) without touching
+// the FP rounding mode: adding 1.5 * 2^23 lands in the ulp-1 range where
+// the add itself performs the rounding. Auto-vectorizes cleanly, and —
+// unlike lrintf — gives the same bits on every path.
+inline float rne_small(float v) { return (v + 12582912.0f) - 12582912.0f; }
+
+inline std::int32_t quantize_sym_i8(float x, float inv) {
+  float v = x * inv;
+  v = std::min(127.0f, std::max(-127.0f, v));
+  return static_cast<std::int32_t>(rne_small(v));
+}
+
+// Lane-0 extraction of the vector activation: evaluating the shared
+// simd::v_* polynomial on a broadcast register and reading one lane makes
+// the scalar int8 path produce bit-identical activations to the vector
+// epilogue within a build.
+inline float lane0(simd::VF v) {
+  float r;
+  simd::vstore_partial(&r, v, 1);
+  return r;
+}
+
+inline simd::VF fused_act_v(FusedAct act, simd::VF t) {
+  switch (act) {
+    case FusedAct::kRelu: return simd::vmax(t, simd::vzero());
+    case FusedAct::kTanh: return simd::v_tanh(t);
+    case FusedAct::kSoftplus: return simd::v_softplus(t);
+    case FusedAct::kNone: break;
+  }
+  return t;
+}
+
+inline float fused_act_s(FusedAct act, float t) {
+  if (act == FusedAct::kNone) return t;
+  return lane0(fused_act_v(act, simd::vset1(t)));
+}
+
+// ---- bf16 ----
+
+// Lockstep skinny-N kernel over the bf16 panel, mirroring
+// skinny_prepacked_cols: serial-k fmaf chains, widened B on the fly. Used
+// by BOTH the scalar and vector drivers at N <= 4 (the decoder's output
+// layer) — at these widths the lockstep walk beats a masked vector tile
+// and keeps the two paths bitwise identical there.
+template <int TN>
+void skinny_bf16_cols(std::int64_t M, std::int64_t K, const float* A,
+                      const std::uint16_t* Bp, const float* col_bias,
+                      float* C) {
+  for (std::int64_t i = 0; i < M; ++i) {
+    const float* arow = A + i * K;
+    float acc[TN];
+    for (int j = 0; j < TN; ++j) acc[j] = 0.0f;
+    const std::uint16_t* bp = Bp;
+    for (std::int64_t k = 0; k < K; ++k, bp += kNR) {
+      const float a = arow[k];
+      for (int j = 0; j < TN; ++j)
+        acc[j] = std::fmaf(a, bf16_to_float(bp[j]), acc[j]);
+    }
+    float* crow = C + i * TN;
+    for (int j = 0; j < TN; ++j)
+      crow[j] = col_bias ? acc[j] + col_bias[j] : acc[j];
+  }
+}
+
+void skinny_bf16_dispatch(std::int64_t M, std::int64_t N, std::int64_t K,
+                          const float* A, const std::uint16_t* Bp,
+                          const float* col_bias, float* C) {
+  switch (N) {
+    case 1: skinny_bf16_cols<1>(M, K, A, Bp, col_bias, C); break;
+    case 2: skinny_bf16_cols<2>(M, K, A, Bp, col_bias, C); break;
+    case 3: skinny_bf16_cols<3>(M, K, A, Bp, col_bias, C); break;
+    default: skinny_bf16_cols<4>(M, K, A, Bp, col_bias, C); break;
+  }
+}
+
+// Scalar-oracle bf16 microkernel over packed A / bf16 B panels. fmaf pins
+// each accumulation chain to the same per-lane order as the fused vector
+// tiers (bitwise on avx512/avx2; sse2's unfused vfma differs by one
+// rounding, covered by the parity tolerance).
+void micro_kernel_bf16_scalar(std::int64_t kc, const float* ap,
+                              const std::uint16_t* bp, float* c,
+                              std::int64_t ldc, int mr, int nr, float beta,
+                              const TileEp& ep) {
+  float acc[kMR * kNR];
+  for (int x = 0; x < kMR * kNR; ++x) acc[x] = 0.0f;
+  for (std::int64_t k = 0; k < kc; ++k) {
+    const float* a = ap + k * kMR;
+    const std::uint16_t* b = bp + k * kNR;
+    for (int i = 0; i < kMR; ++i) {
+      const float ai = a[i];
+      for (int j = 0; j < kNR; ++j)
+        acc[i * kNR + j] = std::fmaf(ai, bf16_to_float(b[j]), acc[i * kNR + j]);
+    }
+  }
+  write_tile<kMR, kNR>(acc, c, ldc, mr, nr, beta, ep);
+}
+
+#if MFN_SIMD_HAS_VECTOR
+
+// fma_tile with the B loads widening bf16 panels — the only change from
+// micro_kernel_simd is the loadb seam, so the accumulation order (and the
+// register tiling) is identical to the fp32 kernel.
+void micro_kernel_bf16_simd(std::int64_t kc, const float* ap,
+                            const std::uint16_t* bp, float* c,
+                            std::int64_t ldc, int mr, int nr, float beta,
+                            const TileEp& ep) {
+  alignas(64) float buf[kMR * kNR];
+  fma_tile(kc, ap,
+           [bp](std::int64_t k, sv::VF& b0, sv::VF& b1) {
+             b0 = sv::vload_bf16(bp + k * kNR);
+             b1 = sv::vload_bf16(bp + k * kNR + sv::kWidth);
+           },
+           buf);
+  write_tile_simd(buf, c, ldc, mr, nr, beta, ep);
+}
+
+#endif  // MFN_SIMD_HAS_VECTOR
+
+inline void micro_kernel_bf16(std::int64_t kc, const float* ap,
+                              const std::uint16_t* bp, float* c,
+                              std::int64_t ldc, int mr, int nr, float beta,
+                              const TileEp& ep) {
+#if MFN_SIMD_HAS_VECTOR
+  if (simd::enabled()) {
+    micro_kernel_bf16_simd(kc, ap, bp, c, ldc, mr, nr, beta, ep);
+    return;
+  }
+#endif
+  micro_kernel_bf16_scalar(kc, ap, bp, c, ldc, mr, nr, beta, ep);
+}
+
+// ---- int8 ----
+
+// Scalar int8 kernel over the dense (N, K) weights. The integer dot is
+// order-exact, and the dequant epilogue mirrors the vector path's float op
+// order exactly (acc -> * row_scale -> * col_scale -> + bias -> act), so
+// this path is bitwise identical to int8_rows_simd within a build.
+void int8_rows_scalar(std::int64_t rows, std::int64_t N, std::int64_t K,
+                      const std::int16_t* Aq, std::int64_t ldaq,
+                      const float* row_scales, const std::int8_t* Wdense,
+                      const float* col_scales, const float* col_bias,
+                      FusedAct act, float* C) {
+  for (std::int64_t i = 0; i < rows; ++i) {
+    const std::int16_t* aq = Aq + i * ldaq;
+    const float sa = row_scales[i];
+    float* crow = C + i * N;
+    for (std::int64_t j = 0; j < N; ++j) {
+      const std::int8_t* w = Wdense + j * K;
+      std::int32_t acc = 0;
+      for (std::int64_t k = 0; k < K; ++k)
+        acc += static_cast<std::int32_t>(aq[k]) *
+               static_cast<std::int32_t>(w[k]);
+      float t = static_cast<float>(acc) * sa;
+      t = t * col_scales[j];
+      if (col_bias != nullptr) t = t + col_bias[j];
+      crow[j] = fused_act_s(act, t);
+    }
+  }
+}
+
+#if MFN_SIMD_HAS_VECTOR
+
+// Rows per accumulator group in the vector int8 kernel: 6 rows x 2 panel
+// vectors = 12 independent int32 accumulator chains, enough to cover the
+// dpwssd latency x throughput product (~5 cycles x 2/cycle) that a 4-row
+// tile's 8 chains leave ~20% idle.
+constexpr std::int64_t kI8Rows = 6;
+// Row block: keep the active Aq slice L2-resident while sweeping the
+// column panels, instead of re-streaming all of Aq once per panel.
+constexpr std::int64_t kI8RowBlock = 512;
+
+// Vector int8 kernel: rows in groups of kI8Rows, each holding a
+// kI8Rows x kNR int32 accumulator tile in named VI registers. Per k-pair,
+// one full-register pmaddwd against each of the two panel vectors, with
+// the A pair broadcast to every lane. The pair-interleaved panel layout
+// puts column c's two k values in one int32 lane, so pmaddwd *is* the
+// two-step dot product. Accumulation is exact int32, so neither the group
+// height nor the block order can perturb the result.
+void int8_rows_simd(std::int64_t rows, std::int64_t N, std::int64_t K,
+                    const std::int16_t* Aq, std::int64_t ldaq,
+                    const float* row_scales, const std::int16_t* Bp,
+                    const float* col_scales, const float* col_bias,
+                    FusedAct act, float* C) {
+  const std::int64_t kpad = pad_even(K);
+  const std::int64_t npairs = kpad / 2;
+  constexpr int W = sv::kWidth;
+  for (std::int64_t ib = 0; ib < rows; ib += kI8RowBlock) {
+  const std::int64_t iend = std::min(rows, ib + kI8RowBlock);
+  for (std::int64_t j0 = 0; j0 < N; j0 += kNR) {
+    const std::int16_t* panel = Bp + (j0 / kNR) * kpad * kNR;
+    const int ncols = static_cast<int>(std::min<std::int64_t>(kNR, N - j0));
+    const int lanes0 = std::min(ncols, W);
+    const int lanes1 = ncols - W;  // <= 0 when the tile fits one register
+    for (std::int64_t i = ib; i < iend; i += kI8Rows) {
+      const std::int64_t nr_rows = std::min<std::int64_t>(kI8Rows, iend - i);
+      // Clamp the absent rows of a short group onto row i: their madds are
+      // computed and discarded (the epilogue skips r >= nr_rows), which is
+      // cheaper than a per-row branch in the hot loop.
+      const std::int16_t* a0 = Aq + i * ldaq;
+      const std::int16_t* a1 = Aq + (i + (nr_rows > 1 ? 1 : 0)) * ldaq;
+      const std::int16_t* a2 = Aq + (i + (nr_rows > 2 ? 2 : 0)) * ldaq;
+      const std::int16_t* a3 = Aq + (i + (nr_rows > 3 ? 3 : 0)) * ldaq;
+      const std::int16_t* a4 = Aq + (i + (nr_rows > 4 ? 4 : 0)) * ldaq;
+      const std::int16_t* a5 = Aq + (i + (nr_rows > 5 ? 5 : 0)) * ldaq;
+      sv::VI c00 = sv::vi_set1(0), c01 = sv::vi_set1(0),
+             c10 = sv::vi_set1(0), c11 = sv::vi_set1(0),
+             c20 = sv::vi_set1(0), c21 = sv::vi_set1(0),
+             c30 = sv::vi_set1(0), c31 = sv::vi_set1(0),
+             c40 = sv::vi_set1(0), c41 = sv::vi_set1(0),
+             c50 = sv::vi_set1(0), c51 = sv::vi_set1(0);
+      for (std::int64_t pp = 0; pp < npairs; ++pp) {
+        const std::int16_t* prow = panel + pp * 2 * kNR;
+        const sv::VI b0 = sv::vi_load16(prow);
+        const sv::VI b1 = sv::vi_load16(prow + 2 * W);
+        std::int32_t pairbits;
+        std::memcpy(&pairbits, a0 + 2 * pp, sizeof(pairbits));
+        sv::VI av = sv::vi_set1(pairbits);
+        c00 = sv::vi_madd16_acc(c00, av, b0);
+        c01 = sv::vi_madd16_acc(c01, av, b1);
+        std::memcpy(&pairbits, a1 + 2 * pp, sizeof(pairbits));
+        av = sv::vi_set1(pairbits);
+        c10 = sv::vi_madd16_acc(c10, av, b0);
+        c11 = sv::vi_madd16_acc(c11, av, b1);
+        std::memcpy(&pairbits, a2 + 2 * pp, sizeof(pairbits));
+        av = sv::vi_set1(pairbits);
+        c20 = sv::vi_madd16_acc(c20, av, b0);
+        c21 = sv::vi_madd16_acc(c21, av, b1);
+        std::memcpy(&pairbits, a3 + 2 * pp, sizeof(pairbits));
+        av = sv::vi_set1(pairbits);
+        c30 = sv::vi_madd16_acc(c30, av, b0);
+        c31 = sv::vi_madd16_acc(c31, av, b1);
+        std::memcpy(&pairbits, a4 + 2 * pp, sizeof(pairbits));
+        av = sv::vi_set1(pairbits);
+        c40 = sv::vi_madd16_acc(c40, av, b0);
+        c41 = sv::vi_madd16_acc(c41, av, b1);
+        std::memcpy(&pairbits, a5 + 2 * pp, sizeof(pairbits));
+        av = sv::vi_set1(pairbits);
+        c50 = sv::vi_madd16_acc(c50, av, b0);
+        c51 = sv::vi_madd16_acc(c51, av, b1);
+      }
+      // Dequant + bias + activation writeback. Outside the hot loop, so a
+      // small local array (one spill) is fine here.
+      const sv::VI acc[kI8Rows][2] = {{c00, c01}, {c10, c11}, {c20, c21},
+                                      {c30, c31}, {c40, c41}, {c50, c51}};
+      for (std::int64_t r = 0; r < nr_rows; ++r) {
+        const sv::VF sa = sv::vset1(row_scales[i + r]);
+        float* crow = C + (i + r) * N + j0;
+        {
+          sv::VF t = sv::vmul(sv::vcvtf(acc[r][0]), sa);
+          const sv::VF sb = lanes0 >= W
+                                ? sv::vloadu(col_scales + j0)
+                                : sv::vload_partial(col_scales + j0, lanes0);
+          t = sv::vmul(t, sb);
+          if (col_bias != nullptr) {
+            const sv::VF bb =
+                lanes0 >= W ? sv::vloadu(col_bias + j0)
+                            : sv::vload_partial(col_bias + j0, lanes0);
+            t = sv::vadd(t, bb);
+          }
+          t = fused_act_v(act, t);
+          if (lanes0 >= W) {
+            sv::vstoreu(crow, t);
+          } else {
+            sv::vstore_partial(crow, t, lanes0);
+          }
+        }
+        if (lanes1 > 0) {
+          sv::VF t = sv::vmul(sv::vcvtf(acc[r][1]), sa);
+          const sv::VF sb =
+              lanes1 >= W
+                  ? sv::vloadu(col_scales + j0 + W)
+                  : sv::vload_partial(col_scales + j0 + W, lanes1);
+          t = sv::vmul(t, sb);
+          if (col_bias != nullptr) {
+            const sv::VF bb =
+                lanes1 >= W
+                    ? sv::vloadu(col_bias + j0 + W)
+                    : sv::vload_partial(col_bias + j0 + W, lanes1);
+            t = sv::vadd(t, bb);
+          }
+          t = fused_act_v(act, t);
+          if (lanes1 >= W) {
+            sv::vstoreu(crow + W, t);
+          } else {
+            sv::vstore_partial(crow + W, t, lanes1);
+          }
+        }
+      }
+    }
+  }
+  }
+}
+
+#endif  // MFN_SIMD_HAS_VECTOR
+
+}  // namespace
+
+std::size_t sgemm_prepack_b_bf16_elems(std::int64_t K, std::int64_t N) {
+  return sgemm_prepack_b_floats(K, N);
+}
+
+void sgemm_prepack_b_bf16(Trans transb, std::int64_t K, std::int64_t N,
+                          const float* B, std::uint16_t* Bp) {
+  MFN_CHECK(K >= 1 && K <= sgemm_prepacked_max_k() && N >= 1,
+            "sgemm_prepack_b_bf16 operand outside panel range");
+  const StrideA sb = strides_b(transb, K, N);
+  const std::int64_t npanels = (N + kNR - 1) / kNR;
+  for (std::int64_t p = 0; p < npanels; ++p) {
+    const std::int64_t j0 = p * kNR;
+    const std::int64_t cols = std::min<std::int64_t>(kNR, N - j0);
+    std::uint16_t* dst = Bp + p * K * kNR;
+    for (std::int64_t k = 0; k < K; ++k) {
+      const float* src = B + k * sb.rs + j0 * sb.cs;
+      for (std::int64_t c = 0; c < cols; ++c)
+        dst[k * kNR + c] = float_to_bf16(src[c * sb.cs]);
+      for (std::int64_t c = cols; c < kNR; ++c) dst[k * kNR + c] = 0;
+    }
+  }
+}
+
+void sgemm_bf16_prepacked_nt(std::int64_t M, std::int64_t N, std::int64_t K,
+                             const float* A, const std::uint16_t* Bp,
+                             const float* col_bias, float* C) {
+  MFN_CHECK(M >= 0 && N >= 0, "sgemm_bf16_prepacked_nt negative dims");
+  MFN_CHECK(K >= 1 && K <= sgemm_prepacked_max_k(),
+            "sgemm_bf16_prepacked_nt K outside single-block panel range");
+  if (M == 0 || N == 0) return;
+  const StrideA sa{K, 1};
+  if (N <= 4) {
+    const std::int64_t grain = std::max<std::int64_t>(
+        1, kSmallFlops / std::max<std::int64_t>(N * K, 1));
+    parallel_for(
+        M,
+        [&](std::int64_t i0, std::int64_t i1) {
+          skinny_bf16_dispatch(i1 - i0, N, K, A + i0 * K, Bp, col_bias,
+                               C + i0 * N);
+        },
+        grain);
+    return;
+  }
+  Epilogue ep;
+  ep.col_bias = col_bias;
+  parallel_for_2d(
+      M, N, kMC, kNC,
+      [&](std::int64_t i0, std::int64_t i1, std::int64_t j0,
+          std::int64_t j1) {
+        Workspace& wsl = local_workspace();
+        const Workspace::Mark m = wsl.mark();
+        const std::int64_t mc = i1 - i0;
+        const std::int64_t ma_panels = (mc + kMR - 1) / kMR;
+        float* Ap = wsl.alloc(static_cast<std::size_t>(ma_panels * K * kMR));
+        pack_a<kMR>(A, sa, i0, mc, 0, K, 1.0f, Ap);
+        for (std::int64_t j = j0; j < j1; j += kNR) {
+          const std::uint16_t* bp = Bp + (j / kNR) * K * kNR;
+          const int nr =
+              static_cast<int>(std::min<std::int64_t>(kNR, N - j));
+          for (std::int64_t i = i0; i < i1; i += kMR) {
+            const float* ap = Ap + ((i - i0) / kMR) * K * kMR;
+            const int mr =
+                static_cast<int>(std::min<std::int64_t>(kMR, M - i));
+            micro_kernel_bf16(K, ap, bp, C + i * N + j, N, mr, nr, 0.0f,
+                              tile_ep(ep, i, j));
+          }
+        }
+        wsl.release(m);
+      });
+}
+
+std::size_t sgemm_prepack_b_int8_elems(std::int64_t K, std::int64_t N) {
+  const std::int64_t npanels = (N + kNR - 1) / kNR;
+  return static_cast<std::size_t>(npanels * pad_even(K) * kNR);
+}
+
+void sgemm_prepack_b_int8(Trans transb, std::int64_t K, std::int64_t N,
+                          const float* B, std::int16_t* Bp,
+                          std::int8_t* Wdense, float* col_scales) {
+  MFN_CHECK(K >= 1 && K <= sgemm_prepacked_max_k() && N >= 1,
+            "sgemm_prepack_b_int8 operand outside panel range");
+  const StrideA sb = strides_b(transb, K, N);
+  const std::int64_t kpad = pad_even(K);
+  // Per-output-column symmetric scales, then the dense int8 weights (the
+  // scalar oracle's operand).
+  for (std::int64_t j = 0; j < N; ++j) {
+    float maxabs = 0.0f;
+    for (std::int64_t k = 0; k < K; ++k)
+      maxabs = std::max(maxabs, std::fabs(B[k * sb.rs + j * sb.cs]));
+    col_scales[j] = maxabs / 127.0f;
+    const float inv = maxabs > 0.0f ? 127.0f / maxabs : 0.0f;
+    for (std::int64_t k = 0; k < K; ++k)
+      Wdense[j * K + k] = static_cast<std::int8_t>(
+          quantize_sym_i8(B[k * sb.rs + j * sb.cs], inv));
+  }
+  // Pair-interleaved panels from the dense weights: column c of panel p
+  // keeps its k-pair (2pp, 2pp+1) in adjacent int16 slots so a full-width
+  // pmaddwd computes both steps at once. Tail columns and the odd-K pad
+  // row are zero.
+  const std::int64_t npanels = (N + kNR - 1) / kNR;
+  for (std::int64_t p = 0; p < npanels; ++p) {
+    const std::int64_t j0 = p * kNR;
+    const std::int64_t cols = std::min<std::int64_t>(kNR, N - j0);
+    std::int16_t* dst = Bp + p * kpad * kNR;
+    for (std::int64_t pp = 0; pp < kpad / 2; ++pp) {
+      std::int16_t* row = dst + pp * 2 * kNR;
+      for (std::int64_t c = 0; c < kNR; ++c) {
+        const std::int64_t k0 = 2 * pp, k1 = 2 * pp + 1;
+        row[c * 2 + 0] =
+            c < cols ? static_cast<std::int16_t>(Wdense[(j0 + c) * K + k0])
+                     : std::int16_t{0};
+        row[c * 2 + 1] =
+            (c < cols && k1 < K)
+                ? static_cast<std::int16_t>(Wdense[(j0 + c) * K + k1])
+                : std::int16_t{0};
+      }
+    }
+  }
+}
+
+std::size_t quantize_rows_i16_elems(std::int64_t M, std::int64_t K) {
+  return static_cast<std::size_t>(M * pad_even(K));
+}
+
+void quantize_rows_i16(std::int64_t M, std::int64_t K, const float* A,
+                       std::int16_t* Aq, float* row_scales) {
+  MFN_CHECK(M >= 0 && K >= 1, "quantize_rows_i16 bad dims");
+  const std::int64_t kpad = pad_even(K);
+  // Vectorized, yet bitwise reproducible across SIMD tiers, forced-scalar
+  // builds, and thread counts: every per-element op below (fabs, mul by
+  // the precomputed reciprocal, clamp, the rne_small add/sub pair, and
+  // the truncating convert) is an exact IEEE-754 operation, and max is
+  // order-exact, so the lanes of the vector path compute the identical
+  // bits the scalar loop computes — there is nothing here for lane order
+  // or tier width to perturb.
+  namespace sv = simd;
+  constexpr int W = sv::kWidth;
+  const std::int64_t kvec = K - (K % W);
+  const sv::VF vmagic = sv::vset1(12582912.0f);  // 1.5 * 2^23 (rne_small)
+  const sv::VF vlo = sv::vset1(-127.0f), vhi = sv::vset1(127.0f);
+  for (std::int64_t i = 0; i < M; ++i) {
+    const float* arow = A + i * K;
+    std::int16_t* qrow = Aq + i * kpad;
+    float maxabs = 0.0f;
+    if (kvec > 0) {
+      sv::VF vm = sv::vzero();
+      for (std::int64_t k = 0; k < kvec; k += W)
+        vm = sv::vmax(vm, sv::vabs(sv::vloadu(arow + k)));
+      maxabs = sv::vhmax(vm);
+    }
+    for (std::int64_t k = kvec; k < K; ++k)
+      maxabs = std::max(maxabs, std::fabs(arow[k]));
+    row_scales[i] = maxabs / 127.0f;
+    const float inv = maxabs > 0.0f ? 127.0f / maxabs : 0.0f;
+    const sv::VF vinv = sv::vset1(inv);
+    for (std::int64_t k = 0; k < kvec; k += W) {
+      sv::VF v = sv::vmul(sv::vloadu(arow + k), vinv);
+      v = sv::vmin(vhi, sv::vmax(vlo, v));
+      v = sv::vsub(sv::vadd(v, vmagic), vmagic);
+      sv::vi_store16(qrow + k, sv::vcvtt(v));
+    }
+    for (std::int64_t k = kvec; k < K; ++k)
+      qrow[k] = static_cast<std::int16_t>(quantize_sym_i8(arow[k], inv));
+    if (kpad > K) qrow[K] = 0;
+  }
+}
+
+void sgemm_int8_prepacked_nt(std::int64_t M, std::int64_t N, std::int64_t K,
+                             const std::int16_t* Aq, const float* row_scales,
+                             const std::int16_t* Bp,
+                             const std::int8_t* Wdense,
+                             const float* col_scales, const float* col_bias,
+                             FusedAct act, float* C) {
+  MFN_CHECK(M >= 0 && N >= 0, "sgemm_int8_prepacked_nt negative dims");
+  MFN_CHECK(K >= 1 && K <= sgemm_prepacked_max_k(),
+            "sgemm_int8_prepacked_nt K outside single-block panel range");
+  if (M == 0 || N == 0) return;
+  const std::int64_t ldaq = pad_even(K);
+  const std::int64_t grain = std::max<std::int64_t>(
+      1, kSmallFlops / std::max<std::int64_t>(N * K, 1));
+  parallel_for(
+      M,
+      [&](std::int64_t i0, std::int64_t i1) {
+#if MFN_SIMD_HAS_VECTOR
+        if (simd::enabled()) {
+          int8_rows_simd(i1 - i0, N, K, Aq + i0 * ldaq, ldaq,
+                         row_scales + i0, Bp, col_scales, col_bias, act,
+                         C + i0 * N);
+          return;
+        }
+#endif
+        int8_rows_scalar(i1 - i0, N, K, Aq + i0 * ldaq, ldaq,
+                         row_scales + i0, Wdense, col_scales, col_bias, act,
+                         C + i0 * N);
+      },
+      grain);
+#if !MFN_SIMD_HAS_VECTOR
+  (void)Bp;
+#endif
 }
 
 void sgemm_packed_b(Trans transa, std::int64_t M, std::int64_t N,

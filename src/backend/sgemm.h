@@ -126,6 +126,87 @@ void sgemm_prepacked_nt(std::int64_t M, std::int64_t N, std::int64_t K,
                         const float* A, const float* Bdense,
                         const float* Bp, const float* col_bias, float* C);
 
+// ------------------------------------- reduced-precision prepacked tiers --
+// Two lower-precision weight formats behind the same prepacked seam, for
+// serve-time decode plans where the weights are frozen between hot-swaps:
+//
+//   bf16  — weights truncated (round-to-nearest-even) to bfloat16 panels,
+//           widened back to fp32 on load, fp32 FMA accumulation. Halves
+//           weight-panel bandwidth; per-weight relative error <= 2^-8.
+//   int8  — per-output-column symmetric int8 weights (fp32 scale per
+//           column, packed once), per-input-row dynamic symmetric int8
+//           activations (quantized at replay time), exact int32
+//           accumulation, fused dequant + bias + activation epilogue.
+//
+// Neither tier mirrors the fp32 small/skinny dense dispatch: there is no
+// bitwise-vs-fp32 contract here, only the documented error bounds. Both
+// are deterministic: for a fixed build and tier the result is bitwise
+// reproducible across thread counts (per-row/-tile accumulation order is
+// fixed), and the int8 tier is additionally bitwise identical between its
+// SIMD and forced-scalar paths (integer accumulation is order-exact and
+// the dequant epilogue mirrors the same float op order).
+
+/// Activation fused into the reduced-precision epilogues. kTanh/kSoftplus
+/// evaluate the shared simd::v_* polynomials on both paths.
+enum class FusedAct : std::uint8_t { kNone, kRelu, kTanh, kSoftplus };
+
+/// uint16 elements required for the bf16 panel prepack of op(B) (K x N).
+std::size_t sgemm_prepack_b_bf16_elems(std::int64_t K, std::int64_t N);
+
+/// Pack op(B)[0:K, 0:N] into bf16 panels at `Bp` (same panel geometry as
+/// sgemm_prepack_b, elements truncated to bf16 with round-to-nearest-even).
+/// B is (K,N) when transb == kNo, (N,K) when kYes. Requires K in
+/// [1, sgemm_prepacked_max_k()].
+void sgemm_prepack_b_bf16(Trans transb, std::int64_t K, std::int64_t N,
+                          const float* B, std::uint16_t* Bp);
+
+/// C(M,N) = act-free A . op(B) + col_bias[j] against bf16 panels.
+/// A is dense row-major (M, K); `col_bias` may be null.
+void sgemm_bf16_prepacked_nt(std::int64_t M, std::int64_t N, std::int64_t K,
+                             const float* A, const std::uint16_t* Bp,
+                             const float* col_bias, float* C);
+
+/// int16 elements required for the int8 pair-interleaved panel prepack of
+/// op(B) (K x N). (Weights are int8-valued but stored widened to int16 so
+/// the kernel's pmaddwd path needs no unpack.)
+std::size_t sgemm_prepack_b_int8_elems(std::int64_t K, std::int64_t N);
+
+/// Quantize op(B)[0:K, 0:N] to per-output-column symmetric int8:
+///   col_scales[j] = max_k |B(k,j)| / 127,  q(k,j) = round(B(k,j)/scale).
+/// Writes the pair-interleaved int16 panels to `Bp`
+/// (sgemm_prepack_b_int8_elems elements), the dense (N, K) int8 weights to
+/// `Wdense` (the scalar oracle path reads these), and the N fp32
+/// dequantization scales to `col_scales`. Requires K in
+/// [1, sgemm_prepacked_max_k()].
+void sgemm_prepack_b_int8(Trans transb, std::int64_t K, std::int64_t N,
+                          const float* B, std::int16_t* Bp,
+                          std::int8_t* Wdense, float* col_scales);
+
+/// int16 elements required for the quantized activation buffer of an
+/// (M, K) activation matrix (rows padded to even K).
+std::size_t quantize_rows_i16_elems(std::int64_t M, std::int64_t K);
+
+/// Per-row dynamic symmetric quantization of A (M, K) for the int8 tier:
+///   row_scales[i] = max_k |A(i,k)| / 127,  Aq(i,k) = round(A(i,k)/scale)
+/// with round-to-nearest-even, stored widened to int16, rows padded to
+/// even K with zeros (row stride = (K+1) & ~1). One shared scalar-order
+/// implementation — the quantized activations are bitwise identical on
+/// every execution path by construction.
+void quantize_rows_i16(std::int64_t M, std::int64_t K, const float* A,
+                       std::int16_t* Aq, float* row_scales);
+
+/// C(M,N) = act( (Aq . Wq)(i,j) * row_scales[i] * col_scales[j] +
+///               col_bias[j] )
+/// against panels/weights from sgemm_prepack_b_int8 and activations from
+/// quantize_rows_i16. int32 accumulation (exact at these K: |acc| <=
+/// sgemm_prepacked_max_k() * 127^2 << 2^31). `col_bias` may be null.
+void sgemm_int8_prepacked_nt(std::int64_t M, std::int64_t N, std::int64_t K,
+                             const std::int16_t* Aq, const float* row_scales,
+                             const std::int16_t* Bp,
+                             const std::int8_t* Wdense,
+                             const float* col_scales, const float* col_bias,
+                             FusedAct act, float* C);
+
 // ------------------------------------------------------- pack-B seam ----
 // Implicit-GEMM support: instead of a dense B matrix, the caller supplies
 // a callback that packs op(B)[k0:k0+kc, j0:j0+cols] straight into the

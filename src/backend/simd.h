@@ -197,6 +197,58 @@ inline float vhmax(VF a) {
   return m;
 }
 
+/// Load kWidth bf16 values (fp32 truncated to the upper 16 mantissa/exp
+/// bits) and widen to fp32: zero-extend to 32 bits, shift into the high
+/// half. Exact — bf16 -> fp32 is lossless.
+inline VF vload_bf16(const std::uint16_t* p) {
+  // maskz_ form: the plain cvtepu16 intrinsic trips GCC 12's
+  // -Wmaybe-uninitialized via _mm512_undefined_epi32 (PR105593).
+  const __m512i w = _mm512_maskz_cvtepu16_epi32(
+      static_cast<__mmask16>(0xFFFF),
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p)));
+  return {_mm512_castsi512_ps(
+      _mm512_maskz_slli_epi32(static_cast<__mmask16>(0xFFFF), w, 16))};
+}
+
+/// Load a full register of int16 pairs (2 * kWidth int16 values, each
+/// int32 lane holding a [lo, hi] pair) for the int8/int16 dot kernels.
+inline VI vi_load16(const std::int16_t* p) {
+  return {_mm512_loadu_si512(reinterpret_cast<const void*>(p))};
+}
+
+/// pmaddwd: per int32 lane, (int32)a.lo16 * b.lo16 + (int32)a.hi16 * b.hi16.
+inline VI vi_madd16(VI a, VI b) {
+#if defined(__AVX512BW__)
+  return {_mm512_madd_epi16(a.v, b.v)};
+#else
+  const __m256i lo =
+      _mm256_madd_epi16(_mm512_castsi512_si256(a.v),
+                        _mm512_castsi512_si256(b.v));
+  const __m256i hi = _mm256_madd_epi16(_mm512_extracti64x4_epi64(a.v, 1),
+                                       _mm512_extracti64x4_epi64(b.v, 1));
+  return {_mm512_inserti64x4(_mm512_castsi256_si512(lo), hi, 1)};
+#endif
+}
+
+/// acc + vi_madd16(a, b); uses VNNI's fused vpdpwssd when available (same
+/// wrapping int32 arithmetic, one uop).
+inline VI vi_madd16_acc(VI acc, VI a, VI b) {
+#if defined(__AVX512VNNI__)
+  return {_mm512_dpwssd_epi32(acc.v, a.v, b.v)};
+#else
+  return vi_add(acc, vi_madd16(a, b));
+#endif
+}
+
+/// Narrowing store of the kWidth int32 lanes as int16 (exact for the int8
+/// tier's |q| <= 127 quantized values). maskz_ form for the same GCC 12
+/// -Wmaybe-uninitialized reason as vload_bf16 (PR105593).
+inline void vi_store16(std::int16_t* p, VI a) {
+  _mm256_storeu_si256(
+      reinterpret_cast<__m256i*>(p),
+      _mm512_maskz_cvtepi32_epi16(static_cast<__mmask16>(0xFFFF), a.v));
+}
+
 // ------------------------------------------------------------------ AVX2 --
 #elif defined(MFN_SIMD_TIER_AVX2)
 
@@ -298,6 +350,33 @@ inline float vhmax(VF a) {
   return _mm_cvtss_f32(s);
 }
 
+/// Load kWidth bf16 values and widen to fp32 (exact).
+inline VF vload_bf16(const std::uint16_t* p) {
+  const __m256i w = _mm256_cvtepu16_epi32(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(p)));
+  return {_mm256_castsi256_ps(_mm256_slli_epi32(w, 16))};
+}
+
+/// Load a full register of int16 pairs (2 * kWidth int16 values).
+inline VI vi_load16(const std::int16_t* p) {
+  return {_mm256_loadu_si256(reinterpret_cast<const __m256i*>(p))};
+}
+
+/// pmaddwd: per int32 lane, (int32)a.lo16 * b.lo16 + (int32)a.hi16 * b.hi16.
+inline VI vi_madd16(VI a, VI b) { return {_mm256_madd_epi16(a.v, b.v)}; }
+
+inline VI vi_madd16_acc(VI acc, VI a, VI b) {
+  return vi_add(acc, vi_madd16(a, b));
+}
+
+/// Narrowing store of the kWidth int32 lanes as int16 (saturating pack —
+/// exact for the int8 tier's |q| <= 127 quantized values).
+inline void vi_store16(std::int16_t* p, VI a) {
+  const __m128i packed = _mm_packs_epi32(_mm256_castsi256_si128(a.v),
+                                         _mm256_extracti128_si256(a.v, 1));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(p), packed);
+}
+
 // ------------------------------------------------------------------ SSE2 --
 #elif defined(MFN_SIMD_TIER_SSE)
 
@@ -389,6 +468,33 @@ inline float vhmax(VF a) {
   return _mm_cvtss_f32(s);
 }
 
+/// Load kWidth bf16 values and widen to fp32 (exact): interleave a zero
+/// low half under each 16-bit pattern.
+inline VF vload_bf16(const std::uint16_t* p) {
+  const __m128i w =
+      _mm_loadl_epi64(reinterpret_cast<const __m128i*>(p));
+  return {_mm_castsi128_ps(_mm_unpacklo_epi16(_mm_setzero_si128(), w))};
+}
+
+/// Load a full register of int16 pairs (2 * kWidth int16 values).
+inline VI vi_load16(const std::int16_t* p) {
+  return {_mm_loadu_si128(reinterpret_cast<const __m128i*>(p))};
+}
+
+/// pmaddwd: per int32 lane, (int32)a.lo16 * b.lo16 + (int32)a.hi16 * b.hi16.
+inline VI vi_madd16(VI a, VI b) { return {_mm_madd_epi16(a.v, b.v)}; }
+
+inline VI vi_madd16_acc(VI acc, VI a, VI b) {
+  return vi_add(acc, vi_madd16(a, b));
+}
+
+/// Narrowing store of the kWidth int32 lanes as int16 (saturating pack —
+/// exact for the int8 tier's |q| <= 127 quantized values).
+inline void vi_store16(std::int16_t* p, VI a) {
+  _mm_storel_epi64(reinterpret_cast<__m128i*>(p),
+                   _mm_packs_epi32(a.v, a.v));
+}
+
 // ---------------------------------------------------------------- scalar --
 #else
 
@@ -462,6 +568,46 @@ inline VI vcasti(VF a) {
 
 inline float vhsum(VF a) { return a.v; }
 inline float vhmax(VF a) { return a.v; }
+
+/// Load one bf16 value and widen to fp32 (exact).
+inline VF vload_bf16(const std::uint16_t* p) {
+  const std::uint32_t u = static_cast<std::uint32_t>(*p) << 16;
+  float f;
+  std::memcpy(&f, &u, sizeof(f));
+  return {f};
+}
+
+/// Load one int16 pair into the single int32 lane (bitwise, like the
+/// vector tiers: lane = lo16 | hi16 << 16 on little-endian).
+inline VI vi_load16(const std::int16_t* p) {
+  std::int32_t i;
+  std::memcpy(&i, p, sizeof(i));
+  return {i};
+}
+
+/// pmaddwd on the single lane: (int32)a.lo16 * b.lo16 + (int32)a.hi16 *
+/// b.hi16 with sign-correct 16-bit extraction.
+inline VI vi_madd16(VI a, VI b) {
+  const auto lo = [](std::int32_t v) {
+    return static_cast<std::int32_t>(
+        static_cast<std::int16_t>(static_cast<std::uint32_t>(v) & 0xFFFFu));
+  };
+  const auto hi = [](std::int32_t v) {
+    return static_cast<std::int32_t>(
+        static_cast<std::int16_t>(static_cast<std::uint32_t>(v) >> 16));
+  };
+  return {lo(a.v) * lo(b.v) + hi(a.v) * hi(b.v)};
+}
+
+inline VI vi_madd16_acc(VI acc, VI a, VI b) {
+  return vi_add(acc, vi_madd16(a, b));
+}
+
+/// Narrowing store of the single int32 lane as int16 (exact for the int8
+/// tier's |q| <= 127 quantized values).
+inline void vi_store16(std::int16_t* p, VI a) {
+  *p = static_cast<std::int16_t>(a.v);
+}
 
 #endif
 

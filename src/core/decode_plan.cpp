@@ -75,6 +75,21 @@ std::shared_ptr<const PreparedSnapshot> PreparedSnapshot::prepare(
           backend::sgemm_prepack_b_floats(layer.in, layer.out));
       backend::sgemm_prepack_b(backend::Trans::kYes, layer.in, layer.out,
                                layer.weight.data(), layer.packed.data());
+      // Reduced-precision prepacks for the bf16/int8 plan tiers, built
+      // once here so replay pays zero quantization cost on the weights.
+      layer.packed_bf16.resize(
+          backend::sgemm_prepack_b_bf16_elems(layer.in, layer.out));
+      backend::sgemm_prepack_b_bf16(backend::Trans::kYes, layer.in,
+                                    layer.out, layer.weight.data(),
+                                    layer.packed_bf16.data());
+      layer.packed_i8.resize(
+          backend::sgemm_prepack_b_int8_elems(layer.in, layer.out));
+      layer.w8.resize(static_cast<std::size_t>(layer.out * layer.in));
+      layer.scales.resize(static_cast<std::size_t>(layer.out));
+      backend::sgemm_prepack_b_int8(backend::Trans::kYes, layer.in,
+                                    layer.out, layer.weight.data(),
+                                    layer.packed_i8.data(), layer.w8.data(),
+                                    layer.scales.data());
     } else {
       ps->plannable_ = false;  // beyond the single-k-block panel range
     }
@@ -92,6 +107,7 @@ std::size_t PlanKeyHash::operator()(const PlanKey& k) const {
   h = splitmix64(h ^ static_cast<std::uint64_t>(k.lt));
   h = splitmix64(h ^ static_cast<std::uint64_t>(k.lz));
   h = splitmix64(h ^ static_cast<std::uint64_t>(k.lx));
+  h = splitmix64(h ^ static_cast<std::uint64_t>(k.precision));
   return static_cast<std::size_t>(h);
 }
 
@@ -120,38 +136,96 @@ std::shared_ptr<const DecodePlan> DecodePlan::compile(
   plan->wmax_ = wmax;
 
   void (*act_fn)(float*, std::int64_t) = nullptr;
+  backend::FusedAct fact = backend::FusedAct::kNone;
   switch (plan->snap_->activation()) {
-    case nn::Activation::kSoftplus: act_fn = softplus_inplace; break;
-    case nn::Activation::kTanh: act_fn = tanh_inplace; break;
-    case nn::Activation::kReLU: act_fn = relu_inplace; break;
+    case nn::Activation::kSoftplus:
+      act_fn = softplus_inplace;
+      fact = backend::FusedAct::kSoftplus;
+      break;
+    case nn::Activation::kTanh:
+      act_fn = tanh_inplace;
+      fact = backend::FusedAct::kTanh;
+      break;
+    case nn::Activation::kReLU:
+      act_fn = relu_inplace;
+      fact = backend::FusedAct::kRelu;
+      break;
   }
 
   // Value arena: two ping-pong activation banks + the blend weight table.
+  // The int8 tier appends a quantized-activation block (int16 viewed
+  // through the float arena) and its per-row fp32 scales.
   const std::int64_t bank = 8 * kBlockQueries * wmax;
+  const std::int64_t rows_max = 8 * kBlockQueries;
   plan->off_in_ = 0;
   plan->off_w_ = 2 * bank;
-  plan->prog_.arena_floats =
-      static_cast<std::size_t>(2 * bank + 8 * kBlockQueries);
+  std::int64_t arena_floats = 2 * bank + rows_max;
+  std::int64_t qbuf_off = 0, qscale_off = 0;
+  if (key.precision == backend::Precision::kInt8) {
+    std::int64_t kpad_max = 0;
+    for (const auto& layer : layers)
+      kpad_max = std::max(kpad_max, (layer.in + 1) & ~std::int64_t{1});
+    qbuf_off = arena_floats;
+    const std::int64_t qbuf_floats = (rows_max * kpad_max + 1) / 2;
+    qscale_off = qbuf_off + qbuf_floats;
+    arena_floats = qscale_off + rows_max;
+  }
+  plan->prog_.arena_floats = static_cast<std::size_t>(arena_floats);
   std::int64_t cur = 0, nxt = bank;
   for (std::size_t li = 0; li < layers.size(); ++li) {
     const auto& layer = layers[li];
-    backend::PlanStep gemm;
-    gemm.kernel = backend::PlanKernel::kGemmPrepacked;
-    gemm.in = cur;
-    gemm.out = nxt;
-    gemm.n = layer.out;
-    gemm.k = layer.in;
-    gemm.weights = layer.weight.data();
-    gemm.packed = layer.packed.data();
-    gemm.bias = layer.bias.empty() ? nullptr : layer.bias.data();
-    plan->prog_.steps.push_back(gemm);
-    if (li + 1 < layers.size()) {
-      backend::PlanStep act;
-      act.kernel = backend::PlanKernel::kActivation;
-      act.out = nxt;
-      act.n = layer.out;
-      act.act_fn = act_fn;
-      plan->prog_.steps.push_back(act);
+    const bool last = li + 1 == layers.size();
+    switch (key.precision) {
+      case backend::Precision::kFp32:
+      case backend::Precision::kBf16: {
+        backend::PlanStep gemm;
+        if (key.precision == backend::Precision::kFp32) {
+          gemm.kernel = backend::PlanKernel::kGemmPrepacked;
+          gemm.weights = layer.weight.data();
+          gemm.packed = layer.packed.data();
+        } else {
+          gemm.kernel = backend::PlanKernel::kGemmBf16;
+          gemm.packed_b16 = layer.packed_bf16.data();
+        }
+        gemm.in = cur;
+        gemm.out = nxt;
+        gemm.n = layer.out;
+        gemm.k = layer.in;
+        gemm.bias = layer.bias.empty() ? nullptr : layer.bias.data();
+        plan->prog_.steps.push_back(gemm);
+        if (!last) {
+          backend::PlanStep act;
+          act.kernel = backend::PlanKernel::kActivation;
+          act.out = nxt;
+          act.n = layer.out;
+          act.act_fn = act_fn;
+          plan->prog_.steps.push_back(act);
+        }
+        break;
+      }
+      case backend::Precision::kInt8: {
+        backend::PlanStep quant;
+        quant.kernel = backend::PlanKernel::kQuantizeRows;
+        quant.in = cur;
+        quant.out = qbuf_off;
+        quant.aux = qscale_off;
+        quant.n = layer.in;
+        plan->prog_.steps.push_back(quant);
+        backend::PlanStep gemm;
+        gemm.kernel = backend::PlanKernel::kGemmInt8;
+        gemm.in = qbuf_off;
+        gemm.aux = qscale_off;
+        gemm.out = nxt;
+        gemm.n = layer.out;
+        gemm.k = layer.in;
+        gemm.packed_s8 = layer.packed_i8.data();
+        gemm.dense_s8 = layer.w8.data();
+        gemm.col_scale = layer.scales.data();
+        gemm.bias = layer.bias.empty() ? nullptr : layer.bias.data();
+        gemm.fact = last ? backend::FusedAct::kNone : fact;  // fused act
+        plan->prog_.steps.push_back(gemm);
+        break;
+      }
     }
     std::swap(cur, nxt);
   }
@@ -488,9 +562,10 @@ PlanCache::PlanCache(std::size_t max_entries)
 
 std::shared_ptr<const DecodePlan> PlanCache::get_or_compile(
     const std::shared_ptr<const PreparedSnapshot>& snap, std::int64_t n,
-    std::int64_t q, std::int64_t lt, std::int64_t lz, std::int64_t lx) {
+    std::int64_t q, std::int64_t lt, std::int64_t lz, std::int64_t lx,
+    backend::Precision precision) {
   if (snap == nullptr) return nullptr;
-  const PlanKey key{snap->version(), n, q, lt, lz, lx};
+  const PlanKey key{snap->version(), n, q, lt, lz, lx, precision};
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = map_.find(key);

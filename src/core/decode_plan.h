@@ -25,7 +25,11 @@
 //    zero per-call weight packing, and its value output is BITWISE
 //    identical to ContinuousDecoder::decode's streamed no-grad path at
 //    every thread count (same global 256-query blocking, same kernels,
-//    same accumulation order).
+//    same accumulation order). Plans compile per Precision tier: fp32
+//    keeps that bitwise pin; bf16/int8 replay the reduced-precision
+//    prepacked kernels (backend/sgemm.h) — still bitwise reproducible
+//    across thread counts, but vs the tape only within documented error
+//    bounds.
 //
 // execute_derivatives() covers predict_with_derivatives the same way with
 // a fused forward-mode (value, tangent, curvature) stream — no tape, no
@@ -63,6 +67,13 @@ class PreparedSnapshot {
     std::vector<float> weight;  // dense (out, in) clone
     std::vector<float> bias;    // out entries; empty when the layer has none
     std::vector<float> packed;  // sgemm_prepack_b panels (empty if too wide)
+    // Reduced-precision prepacks (empty when the layer is too wide, like
+    // `packed`): bf16 panels, int8 pair-interleaved panels + dense int8
+    // weights + per-output-column fp32 dequant scales.
+    std::vector<std::uint16_t> packed_bf16;
+    std::vector<std::int16_t> packed_i8;
+    std::vector<std::int8_t> w8;
+    std::vector<float> scales;
   };
 
   /// Freeze `model` for serving (set_training(false) +
@@ -90,14 +101,16 @@ class PreparedSnapshot {
   bool plannable_ = false;
 };
 
-/// One concrete decode shape: snapshot version, query batch, latent grid.
+/// One concrete decode shape: snapshot version, query batch, latent grid,
+/// decode precision tier (a plan is compiled per precision).
 struct PlanKey {
   std::uint64_t version = 0;
   std::int64_t n = 0, q = 0;        // latent samples, queries per sample
   std::int64_t lt = 0, lz = 0, lx = 0;  // latent grid extents
+  backend::Precision precision = backend::Precision::kFp32;
   bool operator==(const PlanKey& o) const {
     return version == o.version && n == o.n && q == o.q && lt == o.lt &&
-           lz == o.lz && lx == o.lx;
+           lz == o.lz && lx == o.lx && precision == o.precision;
   }
 };
 
@@ -123,8 +136,10 @@ class DecodePlan {
 
   /// Replay: values at the query points, (N*Q, out_channels). `latent` is
   /// (N, C, LT, LZ, LX) matching the key; `query_coords` is (B, 3) or
-  /// (N, Q, 3) with B == N*Q rows either way. Bitwise identical to the
-  /// streamed tape decode at every MFN_NUM_THREADS.
+  /// (N, Q, 3) with B == N*Q rows either way. fp32 plans are bitwise
+  /// identical to the streamed tape decode at every MFN_NUM_THREADS;
+  /// bf16/int8 plans are thread-count-invariant but match the tape only
+  /// within their tier's error bound.
   Tensor execute(const Tensor& latent, const Tensor& query_coords) const;
 
   /// Replay with exact forward-mode coordinate derivatives (the
@@ -198,7 +213,8 @@ class PlanCache {
   /// snapshot and the math is correct) but never (re)inserted.
   std::shared_ptr<const DecodePlan> get_or_compile(
       const std::shared_ptr<const PreparedSnapshot>& snap, std::int64_t n,
-      std::int64_t q, std::int64_t lt, std::int64_t lz, std::int64_t lx);
+      std::int64_t q, std::int64_t lt, std::int64_t lz, std::int64_t lx,
+      backend::Precision precision = backend::Precision::kFp32);
 
   /// Drop every plan compiled against a version older than `live_version`
   /// and raise the insert floor (monotonic — late calls with older

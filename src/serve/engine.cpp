@@ -9,16 +9,18 @@ namespace mfn::serve {
 namespace {
 std::shared_ptr<const ModelSnapshot> make_snapshot(
     std::unique_ptr<core::MeshfreeFlowNet> model, std::uint64_t version,
-    std::shared_ptr<core::PlanCache> plans) {
+    std::shared_ptr<core::PlanCache> plans,
+    backend::Precision decode_precision) {
   MFN_CHECK(model != nullptr, "engine snapshot requires a model");
   auto snap = std::make_shared<ModelSnapshot>();
   // prepare() freezes the model for serving (eval mode + folded conv->BN
-  // affines) and clones + prepacks the decoder weights the plan path
-  // replays against.
+  // affines) and clones + prepacks the decoder weights (all precision
+  // tiers) the plan path replays against.
   snap->prepared = core::PreparedSnapshot::prepare(*model, version);
   snap->model = std::move(model);
   snap->version = version;
   snap->plans = std::move(plans);
+  snap->decode_precision = decode_precision;
   return snap;
 }
 }  // namespace
@@ -27,10 +29,12 @@ InferenceEngine::InferenceEngine(
     std::unique_ptr<core::MeshfreeFlowNet> model,
     InferenceEngineConfig config)
     : model_config_(model ? model->config() : core::MFNConfig{}),
+      decode_precision_(config.decode_precision),
       cache_(config.cache_bytes),
       plans_(std::make_shared<core::PlanCache>(config.plan_cache_entries)),
       batcher_(config.batcher) {
-  snapshot_ = make_snapshot(std::move(model), next_version_++, plans_);
+  snapshot_ = make_snapshot(std::move(model), next_version_++, plans_,
+                            decode_precision_);
 }
 
 InferenceEngine::~InferenceEngine() {
@@ -63,18 +67,21 @@ Tensor InferenceEngine::latent_for(
   return latent;
 }
 
-std::future<Tensor> InferenceEngine::query(std::uint64_t patch_id,
-                                           const Tensor& lr_patch,
-                                           const Tensor& query_coords) {
+std::future<Tensor> InferenceEngine::query(
+    std::uint64_t patch_id, const Tensor& lr_patch,
+    const Tensor& query_coords,
+    std::optional<backend::Precision> precision) {
   std::shared_ptr<const ModelSnapshot> snap = current_snapshot();
   Tensor latent = latent_for(snap, patch_id, lr_patch);
-  return batcher_.submit(std::move(snap), std::move(latent), query_coords);
+  return batcher_.submit(std::move(snap), std::move(latent), query_coords,
+                         precision);
 }
 
 Tensor InferenceEngine::query_sync(std::uint64_t patch_id,
                                    const Tensor& lr_patch,
-                                   const Tensor& query_coords) {
-  return query(patch_id, lr_patch, query_coords).get();
+                                   const Tensor& query_coords,
+                                   std::optional<backend::Precision> precision) {
+  return query(patch_id, lr_patch, query_coords, precision).get();
 }
 
 void InferenceEngine::prewarm(std::uint64_t patch_id,
@@ -93,7 +100,7 @@ void InferenceEngine::swap_model(
   // Build the snapshot (eval-mode walk over the module tree) outside the
   // lock: readers must only ever block for the pointer copy below.
   std::shared_ptr<const ModelSnapshot> snap =
-      make_snapshot(std::move(model), live, plans_);
+      make_snapshot(std::move(model), live, plans_, decode_precision_);
   {
     std::lock_guard<std::mutex> lk(snapshot_mu_);
     // Concurrent swaps may finish construction out of order; only a newer

@@ -30,6 +30,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 
 #include "core/meshfree_flownet.h"
@@ -43,6 +44,10 @@ struct InferenceEngineConfig {
   std::size_t cache_bytes = 64u << 20;
   /// Compiled decode-plan LRU capacity (shape-keyed; see core::PlanCache).
   std::size_t plan_cache_entries = 64;
+  /// Default decode precision tier for every snapshot this engine
+  /// publishes. Requests may override per call; unplannable shapes and the
+  /// derivative bundle fall back to fp32 (counted in batcher_stats()).
+  backend::Precision decode_precision = backend::Precision::kFp32;
   QueryBatcherConfig batcher;
 };
 
@@ -62,12 +67,17 @@ class InferenceEngine {
   /// content for latent caching — callers must not reuse an id for
   /// different patch data. Thread-safe; blocks only on batcher
   /// backpressure.
-  std::future<Tensor> query(std::uint64_t patch_id, const Tensor& lr_patch,
-                            const Tensor& query_coords);
+  /// `precision` overrides the engine's default decode tier for this
+  /// request only.
+  std::future<Tensor> query(
+      std::uint64_t patch_id, const Tensor& lr_patch,
+      const Tensor& query_coords,
+      std::optional<backend::Precision> precision = std::nullopt);
 
   /// Blocking convenience wrapper around query().get().
   Tensor query_sync(std::uint64_t patch_id, const Tensor& lr_patch,
-                    const Tensor& query_coords);
+                    const Tensor& query_coords,
+                    std::optional<backend::Precision> precision = std::nullopt);
 
   /// Encode-and-cache without decoding (cache warming).
   void prewarm(std::uint64_t patch_id, const Tensor& lr_patch);
@@ -103,6 +113,8 @@ class InferenceEngine {
                     std::uint64_t patch_id, const Tensor& lr_patch);
 
   core::MFNConfig model_config_;
+  // Engine-level default decode tier, stamped into every snapshot.
+  backend::Precision decode_precision_ = backend::Precision::kFp32;
   mutable std::mutex snapshot_mu_;
   std::shared_ptr<const ModelSnapshot> snapshot_;
   std::uint64_t next_version_ = 1;

@@ -39,7 +39,7 @@ void QueryBatcher::shutdown() {
 
 std::future<Tensor> QueryBatcher::submit(
     std::shared_ptr<const ModelSnapshot> snapshot, Tensor latent,
-    Tensor coords) {
+    Tensor coords, std::optional<backend::Precision> precision) {
   MFN_CHECK(snapshot != nullptr && snapshot->model != nullptr,
             "submit requires a model snapshot");
   MFN_CHECK(latent.defined() && latent.ndim() == 5 && latent.dim(0) == 1,
@@ -48,6 +48,7 @@ std::future<Tensor> QueryBatcher::submit(
                 coords.dim(0) >= 1,
             "coords must be (Q, 3) with Q >= 1");
   Request req;
+  req.precision = precision.value_or(snapshot->decode_precision);
   req.snapshot = std::move(snapshot);
   req.latent = std::move(latent);
   req.coords = std::move(coords);
@@ -135,21 +136,23 @@ void QueryBatcher::worker_loop() {
 
 std::vector<std::vector<std::size_t>> QueryBatcher::plan_decode_units(
     const std::vector<Request>& batch) {
-  // Partition by snapshot first (linear scan, arrival order preserved): a
-  // decode never spans two snapshots, so every response is computed
-  // wholly by one model even while the engine swaps mid-traffic.
-  std::vector<std::pair<const ModelSnapshot*, std::vector<std::size_t>>>
-      snaps;
+  // Partition by (snapshot, precision) first (linear scan, arrival order
+  // preserved): a decode never spans two snapshots, so every response is
+  // computed wholly by one model even while the engine swaps mid-traffic;
+  // and a unit decodes at exactly one precision tier, so a request's
+  // values never depend on which tier its queue neighbors asked for.
+  using GroupKey = std::pair<const ModelSnapshot*, backend::Precision>;
+  std::vector<std::pair<GroupKey, std::vector<std::size_t>>> snaps;
   for (std::size_t i = 0; i < batch.size(); ++i) {
-    const ModelSnapshot* snap = batch[i].snapshot.get();
+    const GroupKey key{batch[i].snapshot.get(), batch[i].precision};
     std::vector<std::size_t>* members = nullptr;
     for (auto& cand : snaps)
-      if (cand.first == snap) {
+      if (cand.first == key) {
         members = &cand.second;
         break;
       }
     if (members == nullptr) {
-      snaps.emplace_back(snap, std::vector<std::size_t>{});
+      snaps.emplace_back(key, std::vector<std::size_t>{});
       members = &snaps.back().second;
     }
     members->push_back(i);
@@ -161,7 +164,7 @@ std::vector<std::vector<std::size_t>> QueryBatcher::plan_decode_units(
   // (N, Q, 3) batched decode). Anything ragged splits per distinct
   // latent.
   std::vector<std::vector<std::size_t>> units;
-  for (auto& [snap, members] : snaps) {
+  for (auto& [key, members] : snaps) {
     const Request& first = batch[members.front()];
     const std::int64_t q0 = first.coords.dim(0);
     bool stackable = true;  // equal Q, equal latent shape
@@ -196,13 +199,17 @@ std::vector<std::vector<std::size_t>> QueryBatcher::plan_decode_units(
   return units;
 }
 
-// One unit's decode. Prefers replaying a cached DecodePlan — zero graph
-// traversal / dispatch / allocation / weight packing, bitwise identical to
-// the streamed tape decode — and falls back to the tape path when the
-// snapshot carries no prepared weights or the shape does not compile.
+// One unit's decode. Prefers replaying a cached DecodePlan at the
+// requested precision — zero graph traversal / dispatch / allocation /
+// weight packing; fp32 plans are bitwise identical to the streamed tape
+// decode, bf16/int8 within their tier's error bound — and falls back to
+// the fp32 tape path when the snapshot carries no prepared weights or the
+// shape does not compile. *served reports the tier that actually ran, so
+// reduced-tier fallback is never silent.
 Tensor QueryBatcher::decode_unit(const ModelSnapshot& snap,
                                  const Tensor& latent, const Tensor& coords,
-                                 bool* planned) {
+                                 backend::Precision precision, bool* planned,
+                                 backend::Precision* served) {
   if (snap.plans != nullptr && snap.prepared != nullptr &&
       snap.prepared->plannable()) {
     std::int64_t n = 1, q = 0;
@@ -214,13 +221,15 @@ Tensor QueryBatcher::decode_unit(const ModelSnapshot& snap,
     }
     std::shared_ptr<const core::DecodePlan> plan =
         snap.plans->get_or_compile(snap.prepared, n, q, latent.dim(2),
-                                   latent.dim(3), latent.dim(4));
+                                   latent.dim(3), latent.dim(4), precision);
     if (plan != nullptr) {
       *planned = true;
+      *served = precision;
       return plan->execute(latent, coords);
     }
   }
   *planned = false;
+  *served = backend::Precision::kFp32;  // the tape path is always fp32
   ad::NoGradGuard no_grad;
   ad::Var lv(latent, /*requires_grad=*/false);
   return snap.model->decoder().decode(lv, coords).value();
@@ -241,13 +250,15 @@ void QueryBatcher::execute_unit(std::vector<Request>& batch,
 
   std::size_t fulfilled = 0;
   bool planned = false;
+  backend::Precision served = backend::Precision::kFp32;
   try {
     if (members.size() == 1) {
       // Single request: decode straight from/into its tensors, skipping
       // the assemble/demux copies.
       const auto t0 = std::chrono::steady_clock::now();
-      Tensor out = decode_unit(snap, first.latent, first.coords, &planned);
-      account_decode(t0, planned);
+      Tensor out = decode_unit(snap, first.latent, first.coords,
+                               first.precision, &planned, &served);
+      account_decode(t0, planned, first.precision, served);
       first.promise.set_value(std::move(out));
       return;
     }
@@ -266,8 +277,9 @@ void QueryBatcher::execute_unit(std::vector<Request>& batch,
         row += c.dim(0);
       }
       const auto t0 = std::chrono::steady_clock::now();
-      Tensor out = decode_unit(snap, first.latent, coords, &planned);
-      account_decode(t0, planned);
+      Tensor out = decode_unit(snap, first.latent, coords, first.precision,
+                               &planned, &served);
+      account_decode(t0, planned, first.precision, served);
       demux_rows(batch, members, out, &fulfilled);
       return;
     }
@@ -294,8 +306,9 @@ void QueryBatcher::execute_unit(std::vector<Request>& batch,
       ++s;
     }
     const auto t0 = std::chrono::steady_clock::now();
-    Tensor out = decode_unit(snap, latents, coords, &planned);
-    account_decode(t0, planned);
+    Tensor out = decode_unit(snap, latents, coords, first.precision,
+                             &planned, &served);
+    account_decode(t0, planned, first.precision, served);
     demux_rows(batch, members, out, &fulfilled);
   } catch (...) {
     for (std::size_t k = fulfilled; k < members.size(); ++k)
@@ -304,13 +317,19 @@ void QueryBatcher::execute_unit(std::vector<Request>& batch,
 }
 
 void QueryBatcher::account_decode(std::chrono::steady_clock::time_point t0,
-                                  bool planned) {
+                                  bool planned,
+                                  backend::Precision requested,
+                                  backend::Precision served) {
   const auto t1 = std::chrono::steady_clock::now();
   std::lock_guard<std::mutex> lk(mu_);
   if (planned)
     ++stats_.planned_decodes;
   else
     ++stats_.tape_decodes;
+  if (served == backend::Precision::kBf16) ++stats_.planned_bf16;
+  if (served == backend::Precision::kInt8) ++stats_.planned_int8;
+  if (requested != backend::Precision::kFp32 && served != requested)
+    ++stats_.precision_fallbacks;
   if (timing_capture_)
     timing_.decode_ms.push_back(
         std::chrono::duration<double, std::milli>(t1 - t0).count());

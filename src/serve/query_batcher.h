@@ -34,6 +34,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -57,6 +58,11 @@ struct ModelSnapshot {
   /// The engine's shared plan cache; null runs every decode on the tape
   /// path (standalone batcher uses in tests).
   std::shared_ptr<core::PlanCache> plans;
+  /// Default decode precision tier for requests that don't override it.
+  /// Non-fp32 tiers fall back to fp32 (visibly, via Stats::
+  /// precision_fallbacks) for shapes the quantized prepack can't cover
+  /// and for the derivative bundle.
+  backend::Precision decode_precision = backend::Precision::kFp32;
 };
 
 struct QueryBatcherConfig {
@@ -87,6 +93,12 @@ class QueryBatcher {
     std::uint64_t decode_calls = 0;   ///< decoder invocations (groups)
     std::uint64_t planned_decodes = 0;  ///< units served by plan replay
     std::uint64_t tape_decodes = 0;     ///< units on the tape fallback
+    std::uint64_t planned_bf16 = 0;     ///< planned units on the bf16 tier
+    std::uint64_t planned_int8 = 0;     ///< planned units on the int8 tier
+    /// Units that requested a reduced tier but were served fp32 (shape
+    /// unplannable at that tier, or no prepared weights). Fallback is
+    /// never silent: it always shows up here.
+    std::uint64_t precision_fallbacks = 0;
     std::uint64_t max_flush_rows = 0; ///< largest coalesced flush seen
     /// Mean coalescing factor: requests per decoder invocation.
     double requests_per_decode() const {
@@ -106,9 +118,13 @@ class QueryBatcher {
   /// Enqueue a decode of `coords` (Q, 3) against `latent`
   /// (1, C, LT, LZ, LX) under `snapshot`'s decoder. Blocks while the queue
   /// is over max_queue_rows. The future resolves to (Q, out_channels)
-  /// values, or to the exception the decode threw.
-  std::future<Tensor> submit(std::shared_ptr<const ModelSnapshot> snapshot,
-                             Tensor latent, Tensor coords);
+  /// values, or to the exception the decode threw. `precision` overrides
+  /// the snapshot's default decode tier for this request; requests at
+  /// different tiers never share a decode unit.
+  std::future<Tensor> submit(
+      std::shared_ptr<const ModelSnapshot> snapshot, Tensor latent,
+      Tensor coords,
+      std::optional<backend::Precision> precision = std::nullopt);
 
   /// Stop accepting work, serve everything still queued, join workers.
   /// Idempotent; the destructor calls it.
@@ -136,6 +152,9 @@ class QueryBatcher {
     std::shared_ptr<const ModelSnapshot> snapshot;
     Tensor latent;
     Tensor coords;
+    /// Resolved at submit (override or snapshot default) so grouping and
+    /// decode never re-consult the snapshot.
+    backend::Precision precision = backend::Precision::kFp32;
     std::promise<Tensor> promise;
     std::chrono::steady_clock::time_point enqueued;
   };
@@ -148,14 +167,21 @@ class QueryBatcher {
       const std::vector<Request>& batch);
   void execute_unit(std::vector<Request>& batch,
                     const std::vector<std::size_t>& members);
-  /// One unit's decode, routed through a cached DecodePlan replay when the
-  /// snapshot carries prepared weights and the shape compiles; tape path
-  /// otherwise. Sets *planned accordingly.
+  /// One unit's decode, routed through a cached DecodePlan replay at the
+  /// requested precision when the snapshot carries prepared weights and
+  /// the shape compiles; tape path (always fp32) otherwise. Sets *planned
+  /// and *served (the tier that actually computed the rows — fp32 when a
+  /// reduced-tier request fell back).
   static Tensor decode_unit(const ModelSnapshot& snap, const Tensor& latent,
-                            const Tensor& coords, bool* planned);
+                            const Tensor& coords,
+                            backend::Precision precision, bool* planned,
+                            backend::Precision* served);
   /// Record one finished decode unit (started at `t0`) under mu_:
-  /// planned/tape counters, plus a decode_ms sample when capture is on.
-  void account_decode(std::chrono::steady_clock::time_point t0, bool planned);
+  /// planned/tape + per-tier counters, plus a decode_ms sample when
+  /// capture is on.
+  void account_decode(std::chrono::steady_clock::time_point t0, bool planned,
+                      backend::Precision requested,
+                      backend::Precision served);
   static void demux_rows(std::vector<Request>& batch,
                          const std::vector<std::size_t>& members,
                          const Tensor& out, std::size_t* fulfilled);

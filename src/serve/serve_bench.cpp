@@ -1,6 +1,7 @@
 #include "serve/serve_bench.h"
 
 #include <algorithm>
+#include <cmath>
 #include <thread>
 
 #include "common/error.h"
@@ -63,6 +64,7 @@ ServeBenchResult run_serve_bench(InferenceEngine& engine,
 
   const LatentCache::Stats cache0 = engine.cache_stats();
   const core::PlanCache::Stats plans0 = engine.plan_stats();
+  const QueryBatcher::Stats batcher0 = engine.batcher_stats();
   // Capture per-request queue waits and per-unit decode times so the
   // latency report can split end-to-end p99 (which includes the batching
   // queue) from the decode itself.
@@ -85,7 +87,7 @@ ServeBenchResult run_serve_bench(InferenceEngine& engine,
         Stopwatch sw;
         Tensor out = engine.query_sync(
             id_base + static_cast<std::uint64_t>(pid),
-            patches[static_cast<std::size_t>(pid)], coords);
+            patches[static_cast<std::size_t>(pid)], coords, cfg.precision);
         lat.push_back(sw.seconds() * 1e3);
         MFN_CHECK(out.dim(0) == cfg.queries_per_request,
                   "serve bench: short response");
@@ -146,6 +148,33 @@ ServeBenchResult run_serve_bench(InferenceEngine& engine,
                      ? 0.0
                      : static_cast<double>(res.window_hits) /
                            static_cast<double>(lookups);
+
+  res.precision = cfg.precision;
+  res.window_bf16_units = res.batcher.planned_bf16 - batcher0.planned_bf16;
+  res.window_int8_units = res.batcher.planned_int8 - batcher0.planned_int8;
+  res.window_precision_fallbacks =
+      res.batcher.precision_fallbacks - batcher0.precision_fallbacks;
+
+  // Accuracy probe (outside the timed window): decode one request per hot
+  // patch at the bench tier and at fp32 and report the worst absolute
+  // deviation, so every reduced-precision qps line carries its error bound.
+  if (cfg.precision != backend::Precision::kFp32) {
+    double max_err = 0.0;
+    const Tensor& coords = client_coords.front();
+    for (int i = 0; i < cfg.hot_patches; ++i) {
+      const std::uint64_t pid = id_base + static_cast<std::uint64_t>(i);
+      const Tensor& patch = patches[static_cast<std::size_t>(i)];
+      Tensor lo = engine.query_sync(pid, patch, coords, cfg.precision);
+      Tensor ref = engine.query_sync(pid, patch, coords,
+                                     backend::Precision::kFp32);
+      const float* a = lo.data();
+      const float* b = ref.data();
+      for (std::int64_t j = 0; j < lo.numel(); ++j)
+        max_err = std::max(
+            max_err, static_cast<double>(std::abs(a[j] - b[j])));
+    }
+    res.max_abs_err_vs_fp32 = max_err;
+  }
   return res;
 }
 

@@ -27,6 +27,10 @@ struct ServeBenchConfig {
   /// Pre-encode every hot patch before the timed window (steady-state
   /// serving: the bench then measures a warm cache).
   bool warm_cache = true;
+  /// Decode precision tier every bench request asks for (per-request
+  /// override — the engine's own default is untouched). Non-fp32 runs also
+  /// measure max-abs-err vs an fp32 reference decode.
+  backend::Precision precision = backend::Precision::kFp32;
 };
 
 struct ServeBenchResult {
@@ -53,6 +57,15 @@ struct ServeBenchResult {
   /// Plan cache lookups inside the timed window only.
   std::uint64_t window_plan_hits = 0, window_plan_misses = 0;
   double plan_hit_rate = 0.0;
+  /// The tier requested and how the window's decode units were actually
+  /// served: bf16/int8 plan units vs fp32 fallbacks of reduced-tier
+  /// requests (fallback is visible, never silent).
+  backend::Precision precision = backend::Precision::kFp32;
+  std::uint64_t window_bf16_units = 0, window_int8_units = 0;
+  std::uint64_t window_precision_fallbacks = 0;
+  /// Max |reduced-tier value - fp32 value| over one post-window probe
+  /// request per hot patch (0 when cfg.precision is fp32).
+  double max_abs_err_vs_fp32 = 0.0;
 };
 
 /// Drive `engine` with cfg.clients closed-loop client threads and return

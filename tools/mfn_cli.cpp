@@ -14,7 +14,7 @@
 //   mfn serve-bench [--model model.ckpt] [--clients 16] [--requests 64]
 //                [--queries 256] [--patches 8] [--cache-mb 64]
 //                [--max-batch 4096] [--max-wait-us 100] [--workers 1]
-//                [--seed 9]
+//                [--seed 9] [--precision fp32|bf16|int8]
 //
 // serve-bench drives the concurrent inference engine (latent cache +
 // query batcher, src/serve/) with a closed-loop multi-client load
@@ -344,6 +344,13 @@ int cmd_serve_bench(const Args& args) {
     std::printf("serving a randomly-initialized model (no --model)\n");
   }
 
+  const std::string prec_str = args.str("precision", "fp32");
+  backend::Precision precision = backend::Precision::kFp32;
+  if (prec_str == "bf16") precision = backend::Precision::kBf16;
+  else if (prec_str == "int8") precision = backend::Precision::kInt8;
+  else MFN_CHECK(prec_str == "fp32",
+                 "--precision must be fp32, bf16 or int8, got " << prec_str);
+
   serve::InferenceEngineConfig ecfg;
   const long cache_mb = args.integer("cache-mb", 64);
   MFN_CHECK(cache_mb >= 1, "--cache-mb must be >= 1, got " << cache_mb);
@@ -351,6 +358,7 @@ int cmd_serve_bench(const Args& args) {
   ecfg.batcher.workers = static_cast<int>(args.integer("workers", 1));
   ecfg.batcher.max_batch_rows = args.integer("max-batch", 4096);
   ecfg.batcher.max_wait_us = args.integer("max-wait-us", 100);
+  ecfg.decode_precision = precision;
   serve::InferenceEngine engine(std::move(model), ecfg);
 
   serve::ServeBenchConfig bcfg;
@@ -359,15 +367,18 @@ int cmd_serve_bench(const Args& args) {
   bcfg.queries_per_request = args.integer("queries", 256);
   bcfg.hot_patches = static_cast<int>(args.integer("patches", 8));
   bcfg.seed = static_cast<std::uint64_t>(args.integer("seed", 9));
+  bcfg.precision = precision;
 
   std::printf(
       "serve-bench: %d clients x %d requests x %lld queries, %d hot "
-      "patches, cache %lld MiB, max-batch %lld rows, max-wait %lld us\n",
+      "patches, cache %lld MiB, max-batch %lld rows, max-wait %lld us, "
+      "decode precision %s\n",
       bcfg.clients, bcfg.requests_per_client,
       static_cast<long long>(bcfg.queries_per_request), bcfg.hot_patches,
       static_cast<long long>(cache_mb),
       static_cast<long long>(ecfg.batcher.max_batch_rows),
-      static_cast<long long>(ecfg.batcher.max_wait_us));
+      static_cast<long long>(ecfg.batcher.max_wait_us),
+      backend::precision_name(precision));
 
   const serve::ServeBenchResult r = serve::run_serve_bench(engine, bcfg);
   std::printf(
@@ -404,14 +415,42 @@ int cmd_serve_bench(const Args& args) {
       static_cast<unsigned long long>(r.window_plan_misses),
       static_cast<unsigned long long>(r.plans.compiles),
       static_cast<unsigned long long>(r.plans.entries));
+  // Which tier actually served the window's decode units — a reduced-tier
+  // request that fell back to fp32 shows up here, never silently.
   std::printf(
-      "{\"mfn_perf\":\"serve\",\"clients\":%d,\"queries\":%lld,"
-      "\"threads\":%d,\"qps\":%.0f,\"hit_rate\":%.3f,\"p99_ms\":%.3f,"
-      "\"queue_p99_ms\":%.3f,\"decode_p99_ms\":%.3f,"
-      "\"plan_hit_rate\":%.3f}\n",
-      bcfg.clients, static_cast<long long>(bcfg.queries_per_request),
-      ThreadPool::global().size(), r.qps, r.hit_rate, r.p99_ms,
-      r.queue_p99_ms, r.decode_p99_ms, r.plan_hit_rate);
+      "precision: requested %s, served %llu bf16 / %llu int8 plan units, "
+      "%llu fp32 fallbacks of reduced-tier requests, max-abs-err vs fp32 "
+      "%.3g\n",
+      backend::precision_name(r.precision),
+      static_cast<unsigned long long>(r.window_bf16_units),
+      static_cast<unsigned long long>(r.window_int8_units),
+      static_cast<unsigned long long>(r.window_precision_fallbacks),
+      r.max_abs_err_vs_fp32);
+  if (precision == backend::Precision::kFp32) {
+    // Field set pinned by tools/perf_diff.py baselines — the fp32 line's
+    // identity must not change.
+    std::printf(
+        "{\"mfn_perf\":\"serve\",\"clients\":%d,\"queries\":%lld,"
+        "\"threads\":%d,\"qps\":%.0f,\"hit_rate\":%.3f,\"p99_ms\":%.3f,"
+        "\"queue_p99_ms\":%.3f,\"decode_p99_ms\":%.3f,"
+        "\"plan_hit_rate\":%.3f}\n",
+        bcfg.clients, static_cast<long long>(bcfg.queries_per_request),
+        ThreadPool::global().size(), r.qps, r.hit_rate, r.p99_ms,
+        r.queue_p99_ms, r.decode_p99_ms, r.plan_hit_rate);
+  } else {
+    std::printf(
+        "{\"mfn_perf\":\"serve\",\"precision\":\"%s\",\"clients\":%d,"
+        "\"queries\":%lld,\"threads\":%d,\"qps\":%.0f,\"hit_rate\":%.3f,"
+        "\"p99_ms\":%.3f,\"queue_p99_ms\":%.3f,\"decode_p99_ms\":%.3f,"
+        "\"plan_hit_rate\":%.3f,\"max_abs_err_vs_fp32\":%.3g,"
+        "\"precision_fallbacks\":%llu}\n",
+        backend::precision_name(r.precision), bcfg.clients,
+        static_cast<long long>(bcfg.queries_per_request),
+        ThreadPool::global().size(), r.qps, r.hit_rate, r.p99_ms,
+        r.queue_p99_ms, r.decode_p99_ms, r.plan_hit_rate,
+        r.max_abs_err_vs_fp32,
+        static_cast<unsigned long long>(r.window_precision_fallbacks));
+  }
   return 0;
 }
 

@@ -36,9 +36,11 @@ RATE_METRICS = {
 # threads is identifying, not a metric: a 4-thread run must never be
 # diffed against a 1-thread baseline as if it were the same datapoint.
 # Likewise clients: the serve lines at 1/4/16 clients are three distinct
-# datapoints.
+# datapoints. And precision: the bf16/int8 decode_plan/serve/accuracy
+# lines are separate series from the fp32 lines (which omit the field, so
+# their baseline identity is unchanged).
 ID_FIELDS = ("mfn_perf", "op", "batch", "channels", "queries", "m", "n",
-             "k", "params", "threads", "clients")
+             "k", "params", "threads", "clients", "precision")
 
 
 def load(path):
