@@ -1,0 +1,84 @@
+#include "common/failpoint.h"
+
+#include <atomic>
+#include <mutex>
+#include <unordered_map>
+
+namespace mfn::failpoint {
+
+namespace {
+
+struct State {
+  Spec spec;
+  bool armed = false;
+  std::uint64_t hits = 0;   // hits while armed (drives skip/count)
+  std::uint64_t fires = 0;  // hits that actually fired
+};
+
+// Fast-path gate: poll() is on the serving hot path, so the disarmed case
+// must not take the registry mutex. Counts points currently armed.
+std::atomic<int> g_armed_points{0};
+
+std::mutex& registry_mu() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::unordered_map<std::string, State>& registry() {
+  static std::unordered_map<std::string, State> map;
+  return map;
+}
+
+}  // namespace
+
+void arm(const std::string& name, Spec spec) {
+  std::lock_guard<std::mutex> lk(registry_mu());
+  State& st = registry()[name];
+  if (!st.armed) g_armed_points.fetch_add(1, std::memory_order_relaxed);
+  st.spec = spec;
+  st.armed = true;
+  st.hits = 0;
+  st.fires = 0;
+}
+
+void disarm(const std::string& name) {
+  std::lock_guard<std::mutex> lk(registry_mu());
+  auto it = registry().find(name);
+  if (it == registry().end() || !it->second.armed) return;
+  it->second.armed = false;
+  g_armed_points.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void reset() {
+  std::lock_guard<std::mutex> lk(registry_mu());
+  for (auto& [name, st] : registry())
+    if (st.armed) g_armed_points.fetch_sub(1, std::memory_order_relaxed);
+  registry().clear();
+}
+
+std::optional<Spec> poll(const char* name) {
+  if (g_armed_points.load(std::memory_order_relaxed) == 0)
+    return std::nullopt;
+  std::lock_guard<std::mutex> lk(registry_mu());
+  auto it = registry().find(name);
+  if (it == registry().end() || !it->second.armed) return std::nullopt;
+  State& st = it->second;
+  const std::uint64_t hit = st.hits++;
+  if (hit < st.spec.skip || st.fires >= st.spec.count) return std::nullopt;
+  ++st.fires;
+  return st.spec;
+}
+
+std::uint64_t hit_count(const std::string& name) {
+  std::lock_guard<std::mutex> lk(registry_mu());
+  auto it = registry().find(name);
+  return it == registry().end() ? 0 : it->second.hits;
+}
+
+std::uint64_t fire_count(const std::string& name) {
+  std::lock_guard<std::mutex> lk(registry_mu());
+  auto it = registry().find(name);
+  return it == registry().end() ? 0 : it->second.fires;
+}
+
+}  // namespace mfn::failpoint

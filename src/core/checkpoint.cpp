@@ -1,10 +1,13 @@
 #include "core/checkpoint.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <fstream>
+#include <limits>
 
 #include "common/error.h"
+#include "common/failpoint.h"
 #include "tensor/serialize.h"
 
 namespace mfn::core {
@@ -40,6 +43,10 @@ namespace {
 CheckpointData read_header_and_model(std::ifstream& is,
                                      const std::string& path,
                                      nn::Module& model) {
+  // Fail points for the reload-hardening tests: a retryable I/O error and
+  // a mid-stream truncation, deterministic and disk-independent.
+  if (failpoint::poll("ckpt.transient_io"))
+    MFN_FAIL("injected transient I/O failure opening checkpoint " << path);
   MFN_CHECK(is.is_open(), "cannot open checkpoint " << path);
   char magic[8];
   is.read(magic, sizeof(magic));
@@ -62,8 +69,27 @@ CheckpointData read_header_and_model(std::ifstream& is,
     s.eq_loss = row[2];
     s.wall_seconds = row[3];
   }
+  if (failpoint::poll("ckpt.truncate"))
+    MFN_FAIL("injected truncation reading checkpoint " << path);
   model.load(is);
   return data;
+}
+
+// Every parameter and buffer just loaded must be finite: a NaN/Inf weight
+// loads silently and then poisons every subsequent decode, which is the
+// worst possible failure mode for a mid-traffic hot reload. The error
+// names the offending tensor so the broken checkpoint is debuggable.
+void check_finite_weights(nn::Module& model, const std::string& path) {
+  const auto scan = [&](const std::string& name, const Tensor& t) {
+    const float* p = t.data();
+    for (std::int64_t i = 0; i < t.numel(); ++i)
+      MFN_CHECK(std::isfinite(p[i]),
+                "checkpoint " << path << " contains a non-finite weight: "
+                              << name << "[" << i << "] = " << p[i]);
+  };
+  for (auto& [name, param] : model.named_parameters())
+    scan(name, param->value());
+  for (auto& [name, buf] : model.named_buffers()) scan(name, *buf);
 }
 
 }  // namespace
@@ -81,6 +107,15 @@ CheckpointData load_checkpoint_weights(const std::string& path,
                                        nn::Module& model) {
   std::ifstream is(path, std::ios::binary);
   CheckpointData data = read_header_and_model(is, path, model);
+  // Fail point: silent weight corruption (bits flipped to NaN on disk) —
+  // exercises the finite scan below end to end.
+  if (failpoint::poll("ckpt.nan_weight")) {
+    auto params = model.parameters();
+    if (!params.empty() && params.front()->numel() > 0)
+      params.front()->value().data()[0] =
+          std::numeric_limits<float>::quiet_NaN();
+  }
+  check_finite_weights(model, path);
   // Walk (and structurally validate) the Adam state without materializing
   // it: the step counter plus one m and one v tensor per parameter. This
   // is the mid-traffic hot-reload path — skipping avoids a transient 2x

@@ -30,6 +30,9 @@ CheckpointData load_checkpoint(const std::string& path, nn::Module& model,
 /// loads the model parameters/buffers from a full checkpoint and skips the
 /// optimizer records without materializing them (no transient 2x-parameter
 /// moment allocation mid-traffic). The checkpoint format is unchanged.
+/// Every loaded parameter and buffer is scanned for finiteness — a NaN/Inf
+/// weight throws mfn::Error naming the offending tensor instead of loading
+/// silently and poisoning every subsequent decode.
 CheckpointData load_checkpoint_weights(const std::string& path,
                                        nn::Module& model);
 

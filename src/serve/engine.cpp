@@ -1,7 +1,13 @@
 #include "serve/engine.h"
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
 #include "autodiff/variable.h"
 #include "common/error.h"
+#include "common/failpoint.h"
 #include "core/checkpoint.h"
 
 namespace mfn::serve {
@@ -29,6 +35,7 @@ InferenceEngine::InferenceEngine(
     std::unique_ptr<core::MeshfreeFlowNet> model,
     InferenceEngineConfig config)
     : model_config_(model ? model->config() : core::MFNConfig{}),
+      reload_config_(config.reload),
       decode_precision_(config.decode_precision),
       cache_(config.cache_bytes),
       plans_(std::make_shared<core::PlanCache>(config.plan_cache_entries)),
@@ -70,18 +77,20 @@ Tensor InferenceEngine::latent_for(
 std::future<Tensor> InferenceEngine::query(
     std::uint64_t patch_id, const Tensor& lr_patch,
     const Tensor& query_coords,
-    std::optional<backend::Precision> precision) {
+    std::optional<backend::Precision> precision,
+    std::optional<QueryBatcher::Deadline> deadline) {
   std::shared_ptr<const ModelSnapshot> snap = current_snapshot();
   Tensor latent = latent_for(snap, patch_id, lr_patch);
   return batcher_.submit(std::move(snap), std::move(latent), query_coords,
-                         precision);
+                         precision, deadline);
 }
 
 Tensor InferenceEngine::query_sync(std::uint64_t patch_id,
                                    const Tensor& lr_patch,
                                    const Tensor& query_coords,
-                                   std::optional<backend::Precision> precision) {
-  return query(patch_id, lr_patch, query_coords, precision).get();
+                                   std::optional<backend::Precision> precision,
+                                   std::optional<QueryBatcher::Deadline> deadline) {
+  return query(patch_id, lr_patch, query_coords, precision, deadline).get();
 }
 
 void InferenceEngine::prewarm(std::uint64_t patch_id,
@@ -116,11 +125,94 @@ void InferenceEngine::swap_model(
   plans_->drop_stale_versions(live);
 }
 
+void InferenceEngine::validate_candidate(core::MeshfreeFlowNet& model) const {
+  if (!reload_config_.canary) return;
+  // One end-to-end canary predict on a deterministic synthetic patch:
+  // load_checkpoint_weights already proved every weight finite; this
+  // proves the MODEL is sane — outputs finite and inside the configured
+  // magnitude bound, so a checkpoint with exploded-but-finite weights (or
+  // one written for a different normalization regime) never reaches
+  // traffic.
+  const std::int64_t in_ch = model_config_.unet.in_channels;
+  Rng rng(0xC0FFEE);
+  const Tensor patch = Tensor::randn(
+      Shape{1, in_ch, reload_config_.canary_nt, reload_config_.canary_nz,
+            reload_config_.canary_nx},
+      rng, 0.5f);
+  Tensor coords = Tensor::uninitialized(
+      Shape{reload_config_.canary_queries, 3});
+  for (std::int64_t b = 0; b < reload_config_.canary_queries; ++b) {
+    coords.data()[b * 3 + 0] = static_cast<float>(
+        rng.uniform(0.0, static_cast<double>(reload_config_.canary_nt - 1)));
+    coords.data()[b * 3 + 1] = static_cast<float>(
+        rng.uniform(0.0, static_cast<double>(reload_config_.canary_nz - 1)));
+    coords.data()[b * 3 + 2] = static_cast<float>(
+        rng.uniform(0.0, static_cast<double>(reload_config_.canary_nx - 1)));
+  }
+  // Eval mode before the canary forward: a train-mode predict would fold
+  // the canary batch into the BatchNorm running statistics and corrupt the
+  // checkpoint's buffers before they are ever served.
+  model.set_training(false);
+  ad::NoGradGuard no_grad;
+  const Tensor out = model.predict(patch, coords).value();
+  for (std::int64_t i = 0; i < out.numel(); ++i) {
+    const float v = out.data()[i];
+    MFN_CHECK(std::isfinite(v) &&
+                  std::abs(static_cast<double>(v)) <=
+                      reload_config_.canary_abs_bound,
+              "canary decode failed sanity bounds: output[" << i << "] = "
+                  << v << " (bound " << reload_config_.canary_abs_bound
+                  << ") — candidate model rejected");
+  }
+}
+
 void InferenceEngine::reload_from_checkpoint(const std::string& path) {
-  Rng rng(1);  // initialization is fully overwritten by the checkpoint
-  auto model = std::make_unique<core::MeshfreeFlowNet>(model_config_, rng);
-  core::load_checkpoint_weights(path, *model);
-  swap_model(std::move(model));
+  // Load + validate + publish with capped exponential backoff; the
+  // last-good snapshot keeps serving throughout, and stays published if
+  // every attempt fails (rollback = never publishing the candidate).
+  std::string last_error;
+  int backoff_ms = reload_config_.backoff_initial_ms;
+  for (int attempt = 1; attempt <= reload_config_.max_attempts; ++attempt) {
+    {
+      std::lock_guard<std::mutex> lk(reload_mu_);
+      ++reload_stats_.attempts;
+      if (attempt > 1) ++reload_stats_.retries;
+    }
+    try {
+      if (failpoint::poll("serve.prepare_fail"))
+        throw std::bad_alloc();  // injected allocation failure
+      Rng rng(1);  // initialization is fully overwritten by the checkpoint
+      auto model =
+          std::make_unique<core::MeshfreeFlowNet>(model_config_, rng);
+      core::load_checkpoint_weights(path, *model);
+      validate_candidate(*model);
+      swap_model(std::move(model));
+      std::lock_guard<std::mutex> lk(reload_mu_);
+      ++reload_stats_.reloads;
+      return;
+    } catch (const std::exception& e) {
+      last_error = e.what();
+      std::lock_guard<std::mutex> lk(reload_mu_);
+      reload_stats_.last_error = last_error;
+    }
+    if (attempt < reload_config_.max_attempts) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms = std::min(backoff_ms * 2, reload_config_.backoff_max_ms);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lk(reload_mu_);
+    ++reload_stats_.rollbacks;
+  }
+  MFN_FAIL("reload_from_checkpoint rolled back after "
+           << reload_config_.max_attempts << " attempts on " << path
+           << " (last-good snapshot version " << snapshot_version()
+           << " keeps serving); last error: " << last_error);
+}
+
+InferenceEngine::ReloadStats InferenceEngine::reload_stats() const {
+  std::lock_guard<std::mutex> lk(reload_mu_);
+  return reload_stats_;
 }
 
 std::uint64_t InferenceEngine::snapshot_version() const {

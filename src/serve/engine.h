@@ -39,6 +39,29 @@
 
 namespace mfn::serve {
 
+/// Hardening knobs for reload_from_checkpoint(): how hard to try before
+/// rolling back to the last-good snapshot, and what a candidate model must
+/// prove before it is published.
+struct ReloadConfig {
+  /// Load attempts (1 initial + retries) before the reload gives up.
+  int max_attempts = 3;
+  /// Capped exponential backoff between attempts:
+  /// backoff_initial_ms * 2^(attempt-1), never above backoff_max_ms.
+  int backoff_initial_ms = 10;
+  int backoff_max_ms = 1000;
+  /// Canary decode: before publishing, run one end-to-end predict on a
+  /// synthetic patch and require every output finite with
+  /// |v| <= canary_abs_bound. Catches weights that are finite but
+  /// numerically broken (exploded scales, wrong architecture mapping).
+  bool canary = true;
+  double canary_abs_bound = 1e6;
+  /// Canary patch geometry — must satisfy the encoder's pooling
+  /// divisibility for the engine's architecture (defaults fit
+  /// MFNConfig::small_default).
+  std::int64_t canary_nt = 4, canary_nz = 8, canary_nx = 8;
+  std::int64_t canary_queries = 32;
+};
+
 struct InferenceEngineConfig {
   /// Latent cache byte budget (LRU-evicted past this).
   std::size_t cache_bytes = 64u << 20;
@@ -49,6 +72,7 @@ struct InferenceEngineConfig {
   /// derivative bundle fall back to fp32 (counted in batcher_stats()).
   backend::Precision decode_precision = backend::Precision::kFp32;
   QueryBatcherConfig batcher;
+  ReloadConfig reload;
 };
 
 class InferenceEngine {
@@ -68,16 +92,21 @@ class InferenceEngine {
   /// different patch data. Thread-safe; blocks only on batcher
   /// backpressure.
   /// `precision` overrides the engine's default decode tier for this
-  /// request only.
+  /// request only. `deadline` bounds the request end to end: an expired
+  /// request fails its future with serve::DeadlineExceeded instead of
+  /// costing a decode (see QueryBatcher).
   std::future<Tensor> query(
       std::uint64_t patch_id, const Tensor& lr_patch,
       const Tensor& query_coords,
-      std::optional<backend::Precision> precision = std::nullopt);
+      std::optional<backend::Precision> precision = std::nullopt,
+      std::optional<QueryBatcher::Deadline> deadline = std::nullopt);
 
   /// Blocking convenience wrapper around query().get().
   Tensor query_sync(std::uint64_t patch_id, const Tensor& lr_patch,
                     const Tensor& query_coords,
-                    std::optional<backend::Precision> precision = std::nullopt);
+                    std::optional<backend::Precision> precision = std::nullopt,
+                    std::optional<QueryBatcher::Deadline> deadline =
+                        std::nullopt);
 
   /// Encode-and-cache without decoding (cache warming).
   void prewarm(std::uint64_t patch_id, const Tensor& lr_patch);
@@ -87,11 +116,25 @@ class InferenceEngine {
   /// old snapshot; requests submitted after the swap use the new one.
   void swap_model(std::unique_ptr<core::MeshfreeFlowNet> model);
 
-  /// Hot reload: build a fresh model with this engine's architecture, load
-  /// the checkpoint's weights into it (core::load_checkpoint_weights), and
-  /// swap_model() it in — weights update mid-traffic without blocking
-  /// readers.
+  /// Hot reload, hardened for mid-traffic use: build a fresh model with
+  /// this engine's architecture, load the checkpoint's weights into it
+  /// (core::load_checkpoint_weights — rejects non-finite weights), and
+  /// VALIDATE the candidate (canary decode against sanity bounds) before
+  /// swap_model() publishes it. Failures retry with capped exponential
+  /// backoff (config().reload); after max_attempts the engine rolls back —
+  /// the last-good snapshot keeps serving untouched, reload_stats()
+  /// records the rollback, and the error is rethrown to the caller.
+  /// In-flight and future traffic NEVER observes a broken model.
   void reload_from_checkpoint(const std::string& path);
+
+  struct ReloadStats {
+    std::uint64_t reloads = 0;    ///< successful publishes
+    std::uint64_t attempts = 0;   ///< load attempts, including retries
+    std::uint64_t retries = 0;    ///< attempts after the first, per reload
+    std::uint64_t rollbacks = 0;  ///< reloads that gave up (last-good kept)
+    std::string last_error;       ///< most recent attempt failure message
+  };
+  ReloadStats reload_stats() const;
 
   /// Version of the snapshot new requests will use (1 for the initial
   /// model, +1 per swap).
@@ -111,8 +154,14 @@ class InferenceEngine {
   std::shared_ptr<const ModelSnapshot> current_snapshot() const;
   Tensor latent_for(const std::shared_ptr<const ModelSnapshot>& snap,
                     std::uint64_t patch_id, const Tensor& lr_patch);
+  /// Throws mfn::Error unless a canary predict through `model` stays
+  /// finite and inside config().reload.canary_abs_bound.
+  void validate_candidate(core::MeshfreeFlowNet& model) const;
 
   core::MFNConfig model_config_;
+  ReloadConfig reload_config_;
+  mutable std::mutex reload_mu_;
+  ReloadStats reload_stats_;
   // Engine-level default decode tier, stamped into every snapshot.
   backend::Precision decode_precision_ = backend::Precision::kFp32;
   mutable std::mutex snapshot_mu_;

@@ -5,8 +5,31 @@
 
 #include "autodiff/variable.h"
 #include "common/error.h"
+#include "common/failpoint.h"
 
 namespace mfn::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::chrono::microseconds est_us(double row_ms, std::int64_t rows) {
+  return std::chrono::microseconds(
+      static_cast<std::int64_t>(row_ms * 1e3 * static_cast<double>(rows)));
+}
+
+/// The brownout ladder: level 0 serves what was asked, level 1 caps the
+/// tier at bf16, level 2 at int8. Reduced-tier requests are never
+/// *upgraded* — a client that asked for int8 gets int8 at every level.
+backend::Precision brownout_tier(backend::Precision requested, int level) {
+  if (level <= 0) return requested;
+  if (level == 1)
+    return requested == backend::Precision::kFp32 ? backend::Precision::kBf16
+                                                  : requested;
+  return backend::Precision::kInt8;
+}
+
+}  // namespace
 
 QueryBatcher::QueryBatcher(QueryBatcherConfig config)
     : config_(config) {
@@ -18,6 +41,14 @@ QueryBatcher::QueryBatcher(QueryBatcherConfig config)
                               << " below max_batch_rows "
                               << config_.max_batch_rows);
   MFN_CHECK(config_.max_wait_us >= 0, "max_wait_us must be >= 0");
+  if (config_.brownout.enabled) {
+    const BrownoutConfig& b = config_.brownout;
+    MFN_CHECK(b.high_rows > 0 || b.high_wait_ms > 0,
+              "brownout enabled but no high watermark set");
+    MFN_CHECK(b.low_rows <= b.high_rows && b.low_wait_ms <= b.high_wait_ms,
+              "brownout low watermarks must not exceed the high ones");
+    MFN_CHECK(b.dwell_flushes >= 1, "brownout dwell must be >= 1 flush");
+  }
   workers_.reserve(static_cast<std::size_t>(config_.workers));
   for (int i = 0; i < config_.workers; ++i)
     workers_.emplace_back([this] { worker_loop(); });
@@ -37,9 +68,16 @@ void QueryBatcher::shutdown() {
   workers_.clear();
 }
 
+void QueryBatcher::fail_expired(Request& req) {
+  req.promise.set_exception(std::make_exception_ptr(DeadlineExceeded(
+      "request deadline exceeded before decode (queued rows outlived their "
+      "budget)")));
+}
+
 std::future<Tensor> QueryBatcher::submit(
     std::shared_ptr<const ModelSnapshot> snapshot, Tensor latent,
-    Tensor coords, std::optional<backend::Precision> precision) {
+    Tensor coords, std::optional<backend::Precision> precision,
+    std::optional<Deadline> deadline) {
   MFN_CHECK(snapshot != nullptr && snapshot->model != nullptr,
             "submit requires a model snapshot");
   MFN_CHECK(latent.defined() && latent.ndim() == 5 && latent.dim(0) == 1,
@@ -52,28 +90,187 @@ std::future<Tensor> QueryBatcher::submit(
   req.snapshot = std::move(snapshot);
   req.latent = std::move(latent);
   req.coords = std::move(coords);
-  req.enqueued = std::chrono::steady_clock::now();
+  req.deadline = deadline;
+  req.enqueued = Clock::now();
   std::future<Tensor> fut = req.promise.get_future();
+
+  // Fail-fast: an already-expired request must not cost a queue slot, let
+  // alone a decode.
+  if (req.deadline && *req.deadline <= req.enqueued) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++stats_.expired_submit;
+    }
+    req.promise.set_exception(std::make_exception_ptr(DeadlineExceeded(
+        "request deadline already expired at submit()")));
+    return fut;
+  }
+
   const std::int64_t rows = req.coords.dim(0);
+  bool rejected = false;
+  bool expired_waiting = false;
+  std::vector<Request> shed;
   {
     std::unique_lock<std::mutex> lk(mu_);
-    cv_capacity_.wait(lk, [&] {
+    const auto has_room = [&] {
       return stop_ || queued_rows_ + rows <= config_.max_queue_rows ||
              queue_.empty();
-    });
-    MFN_CHECK(!stop_, "QueryBatcher is shut down");
-    queue_.push_back(std::move(req));
-    queued_rows_ += rows;
-    ++stats_.requests;
-    stats_.rows += static_cast<std::uint64_t>(rows);
+    };
+    switch (config_.admission) {
+      case AdmissionPolicy::kBlock:
+        // Backpressure toward the caller; a deadline bounds the wait.
+        if (req.deadline) {
+          if (!cv_capacity_.wait_until(lk, *req.deadline, has_room))
+            expired_waiting = true;
+        } else {
+          cv_capacity_.wait(lk, has_room);
+        }
+        break;
+      case AdmissionPolicy::kReject:
+        rejected = !has_room();
+        break;
+      case AdmissionPolicy::kShedOldest:
+        // Fail the oldest queued requests until this one fits: under
+        // overload the head of the queue has burned the most of its
+        // latency budget and is the least likely to still be useful.
+        while (!has_room()) {
+          shed.push_back(std::move(queue_.front()));
+          queue_.pop_front();
+          queued_rows_ -= shed.back().coords.dim(0);
+          ++stats_.admission_shed;
+        }
+        break;
+    }
+    if (expired_waiting) {
+      ++stats_.expired_submit;
+    } else if (rejected) {
+      ++stats_.admission_rejected;
+    } else {
+      MFN_CHECK(!stop_, "QueryBatcher is shut down");
+      queue_.push_back(std::move(req));
+      queued_rows_ += rows;
+      ++stats_.requests;
+      stats_.rows += static_cast<std::uint64_t>(rows);
+    }
+  }
+  // Promises are fulfilled outside mu_: a continuation running inline on a
+  // future must never re-enter the batcher under our lock.
+  for (Request& victim : shed)
+    victim.promise.set_exception(std::make_exception_ptr(Overloaded(
+        "request shed (oldest-first) to admit newer traffic: queue over "
+        "max_queue_rows")));
+  if (!shed.empty()) cv_capacity_.notify_all();
+  if (expired_waiting) {
+    req.promise.set_exception(std::make_exception_ptr(DeadlineExceeded(
+        "deadline expired while blocked on queue admission")));
+    return fut;
+  }
+  if (rejected) {
+    req.promise.set_exception(std::make_exception_ptr(Overloaded(
+        "request rejected: queue over max_queue_rows rows")));
+    return fut;
   }
   cv_pending_.notify_one();
   return fut;
 }
 
+void QueryBatcher::update_brownout_locked(std::int64_t depth_rows) {
+  const BrownoutConfig& b = config_.brownout;
+  if (!b.enabled) return;
+  ++flushes_since_level_change_;
+  if (flushes_since_level_change_ < b.dwell_flushes) return;
+  const bool depth_high = b.high_rows > 0 && depth_rows >= b.high_rows;
+  const bool wait_high = b.high_wait_ms > 0 && wait_ewma_ms_ >= b.high_wait_ms;
+  const bool depth_low = b.high_rows == 0 || depth_rows <= b.low_rows;
+  const bool wait_low = b.high_wait_ms == 0 || wait_ewma_ms_ <= b.low_wait_ms;
+  if ((depth_high || wait_high) && brownout_level_ < 2) {
+    ++brownout_level_;
+    ++stats_.brownout_enters;
+    flushes_since_level_change_ = 0;
+  } else if (depth_low && wait_low && brownout_level_ > 0) {
+    --brownout_level_;
+    ++stats_.brownout_exits;
+    flushes_since_level_change_ = 0;
+  }
+  stats_.brownout_level = brownout_level_;
+}
+
+std::int64_t QueryBatcher::take_batch_locked(std::vector<Request>* batch,
+                                             std::vector<Request>* expired) {
+  const auto now = Clock::now();
+  // Brownout signals are sampled before this flush drains the queue: the
+  // depth a new arrival would experience.
+  const std::int64_t depth_rows = queued_rows_;
+  std::int64_t rows = 0;
+  std::optional<Deadline> earliest;
+  double max_wait_ms = 0.0;
+  while (!queue_.empty()) {
+    Request& front = queue_.front();
+    const std::int64_t r = front.coords.dim(0);
+    // Expire requests that cannot make their deadline even decoded alone
+    // (or that are already past it) — before they cost a decode.
+    if (front.deadline &&
+        (*front.deadline <= now ||
+         (est_row_ms_ > 0 && now + est_us(est_row_ms_, r) > *front.deadline))) {
+      queued_rows_ -= r;
+      ++stats_.expired_queue;
+      expired->push_back(std::move(front));
+      queue_.pop_front();
+      continue;
+    }
+    if (!batch->empty() && rows + r > config_.max_batch_rows) break;
+    // Never form a batch the earliest deadline inside it can't survive:
+    // stop growing once the estimated decode of (rows + r) would overrun
+    // it. The leftover requests coalesce into the next flush instead.
+    if (!batch->empty() && earliest && est_row_ms_ > 0 &&
+        now + est_us(est_row_ms_, rows + r) > *earliest)
+      break;
+    if (front.deadline && (!earliest || *front.deadline < *earliest))
+      earliest = *front.deadline;
+    max_wait_ms = std::max(
+        max_wait_ms,
+        std::chrono::duration<double, std::milli>(now - front.enqueued)
+            .count());
+    rows += r;
+    batch->push_back(std::move(front));
+    queue_.pop_front();
+  }
+  queued_rows_ -= rows;
+  if (!batch->empty()) {
+    ++stats_.flushes;
+    stats_.max_flush_rows =
+        std::max(stats_.max_flush_rows, static_cast<std::uint64_t>(rows));
+    // Queue-wait EWMA over flushes (worst member per flush): the brownout
+    // latency signal.
+    wait_ewma_ms_ = wait_ewma_ms_ == 0.0
+                        ? max_wait_ms
+                        : 0.8 * wait_ewma_ms_ + 0.2 * max_wait_ms;
+    update_brownout_locked(depth_rows);
+    if (brownout_level_ > 0) {
+      for (Request& r : *batch) {
+        const backend::Precision eff =
+            brownout_tier(r.precision, brownout_level_);
+        if (eff != r.precision) {
+          r.precision = eff;
+          r.degraded = true;
+          ++stats_.degraded_requests;
+        }
+      }
+    }
+    if (timing_capture_) {
+      for (const Request& r : *batch)
+        timing_.queue_wait_ms.push_back(
+            std::chrono::duration<double, std::milli>(now - r.enqueued)
+                .count());
+    }
+  }
+  return rows;
+}
+
 void QueryBatcher::worker_loop() {
   for (;;) {
     std::vector<Request> batch;
+    std::vector<Request> expired;
     {
       std::unique_lock<std::mutex> lk(mu_);
       cv_pending_.wait(lk, [&] { return stop_ || !queue_.empty(); });
@@ -86,8 +283,7 @@ void QueryBatcher::worker_loop() {
         // oldest request's arrival is always already expired in
         // closed-loop steady state, which fragments every batch).
         const auto deadline =
-            std::chrono::steady_clock::now() +
-            std::chrono::microseconds(config_.max_wait_us);
+            Clock::now() + std::chrono::microseconds(config_.max_wait_us);
         cv_pending_.wait_until(lk, deadline, [&] {
           return stop_ || queue_.empty() ||
                  queued_rows_ >= config_.max_batch_rows;
@@ -97,30 +293,11 @@ void QueryBatcher::worker_loop() {
           continue;  // another worker drained it while we waited
         }
       }
-      // Take whole requests until the row target is met. The first request
-      // is always taken, even if it alone exceeds max_batch_rows.
-      std::int64_t rows = 0;
-      while (!queue_.empty() &&
-             (batch.empty() ||
-              rows + queue_.front().coords.dim(0) <=
-                  config_.max_batch_rows)) {
-        rows += queue_.front().coords.dim(0);
-        batch.push_back(std::move(queue_.front()));
-        queue_.pop_front();
-      }
-      queued_rows_ -= rows;
-      ++stats_.flushes;
-      stats_.max_flush_rows = std::max(stats_.max_flush_rows,
-                                       static_cast<std::uint64_t>(rows));
-      if (timing_capture_) {
-        const auto now = std::chrono::steady_clock::now();
-        for (const Request& r : batch)
-          timing_.queue_wait_ms.push_back(
-              std::chrono::duration<double, std::milli>(now - r.enqueued)
-                  .count());
-      }
+      take_batch_locked(&batch, &expired);
     }
     cv_capacity_.notify_all();
+    for (Request& req : expired) fail_expired(req);
+    if (batch.empty()) continue;  // everything taken this round expired
     // Plan first, then account, then decode: clients unblock the moment
     // their promise is set, and a stats() read right after future.get()
     // must already see this flush's decode calls.
@@ -210,6 +387,11 @@ Tensor QueryBatcher::decode_unit(const ModelSnapshot& snap,
                                  const Tensor& latent, const Tensor& coords,
                                  backend::Precision precision, bool* planned,
                                  backend::Precision* served) {
+  // Fail point for overload/deadline tests: a decode that takes `arg`
+  // milliseconds, deterministically.
+  if (auto f = failpoint::poll("serve.slow_decode"))
+    std::this_thread::sleep_for(std::chrono::microseconds(
+        static_cast<std::int64_t>(f->arg * 1e3)));
   if (snap.plans != nullptr && snap.prepared != nullptr &&
       snap.prepared->plannable()) {
     std::int64_t n = 1, q = 0;
@@ -242,6 +424,12 @@ void QueryBatcher::execute_unit(std::vector<Request>& batch,
                                 const std::vector<std::size_t>& members) {
   Request& first = batch[members.front()];
   const ModelSnapshot& snap = *first.snapshot;
+  bool degraded = false;
+  std::int64_t unit_rows = 0;
+  for (std::size_t m : members) {
+    degraded = degraded || batch[m].degraded;
+    unit_rows += batch[m].coords.dim(0);
+  }
 
   bool multi_latent = false;
   for (std::size_t m : members)
@@ -255,10 +443,11 @@ void QueryBatcher::execute_unit(std::vector<Request>& batch,
     if (members.size() == 1) {
       // Single request: decode straight from/into its tensors, skipping
       // the assemble/demux copies.
-      const auto t0 = std::chrono::steady_clock::now();
+      const auto t0 = Clock::now();
       Tensor out = decode_unit(snap, first.latent, first.coords,
                                first.precision, &planned, &served);
-      account_decode(t0, planned, first.precision, served);
+      account_decode(t0, planned, first.precision, served, degraded,
+                     unit_rows);
       first.promise.set_value(std::move(out));
       return;
     }
@@ -276,10 +465,11 @@ void QueryBatcher::execute_unit(std::vector<Request>& batch,
                     static_cast<std::size_t>(c.numel()) * sizeof(float));
         row += c.dim(0);
       }
-      const auto t0 = std::chrono::steady_clock::now();
+      const auto t0 = Clock::now();
       Tensor out = decode_unit(snap, first.latent, coords, first.precision,
                                &planned, &served);
-      account_decode(t0, planned, first.precision, served);
+      account_decode(t0, planned, first.precision, served, degraded,
+                     unit_rows);
       demux_rows(batch, members, out, &fulfilled);
       return;
     }
@@ -305,10 +495,11 @@ void QueryBatcher::execute_unit(std::vector<Request>& batch,
                   static_cast<std::size_t>(q0 * 3) * sizeof(float));
       ++s;
     }
-    const auto t0 = std::chrono::steady_clock::now();
+    const auto t0 = Clock::now();
     Tensor out = decode_unit(snap, latents, coords, first.precision,
                              &planned, &served);
-    account_decode(t0, planned, first.precision, served);
+    account_decode(t0, planned, first.precision, served, degraded,
+                   unit_rows);
     demux_rows(batch, members, out, &fulfilled);
   } catch (...) {
     for (std::size_t k = fulfilled; k < members.size(); ++k)
@@ -319,8 +510,11 @@ void QueryBatcher::execute_unit(std::vector<Request>& batch,
 void QueryBatcher::account_decode(std::chrono::steady_clock::time_point t0,
                                   bool planned,
                                   backend::Precision requested,
-                                  backend::Precision served) {
-  const auto t1 = std::chrono::steady_clock::now();
+                                  backend::Precision served, bool degraded,
+                                  std::int64_t rows) {
+  const auto t1 = Clock::now();
+  const double ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
   std::lock_guard<std::mutex> lk(mu_);
   if (planned)
     ++stats_.planned_decodes;
@@ -330,9 +524,16 @@ void QueryBatcher::account_decode(std::chrono::steady_clock::time_point t0,
   if (served == backend::Precision::kInt8) ++stats_.planned_int8;
   if (requested != backend::Precision::kFp32 && served != requested)
     ++stats_.precision_fallbacks;
-  if (timing_capture_)
-    timing_.decode_ms.push_back(
-        std::chrono::duration<double, std::milli>(t1 - t0).count());
+  if (degraded) ++stats_.degraded_units;
+  // Per-row decode cost EWMA: what the deadline estimator charges a
+  // request for. Conservative by construction — it includes the fail-point
+  // sleep when armed, so injected slowness is *seen* by the estimator.
+  if (rows > 0) {
+    const double per_row = ms / static_cast<double>(rows);
+    est_row_ms_ =
+        est_row_ms_ == 0.0 ? per_row : 0.8 * est_row_ms_ + 0.2 * per_row;
+  }
+  if (timing_capture_) timing_.decode_ms.push_back(ms);
 }
 
 void QueryBatcher::demux_rows(std::vector<Request>& batch,
@@ -353,7 +554,9 @@ void QueryBatcher::demux_rows(std::vector<Request>& batch,
 
 QueryBatcher::Stats QueryBatcher::stats() const {
   std::lock_guard<std::mutex> lk(mu_);
-  return stats_;
+  Stats out = stats_;
+  out.queue_rows = queued_rows_;
+  return out;
 }
 
 void QueryBatcher::set_timing_capture(bool on) {

@@ -1,5 +1,6 @@
 // Dynamic query batcher: coalesces continuous-query requests from many
-// client threads into single batched decoder SGEMMs.
+// client threads into single batched decoder SGEMMs — and keeps doing so
+// under overload.
 //
 // Clients submit (snapshot, latent, coords) and get a future for the
 // decoded (Q, out_channels) values. Worker threads drain a bounded queue,
@@ -9,6 +10,28 @@
 // latent storage) — the serving workload is many small query batches
 // against few hot latents — and runs one ContinuousDecoder::decode call
 // per group, demultiplexing the result rows back to per-request promises.
+//
+// Overload behavior is explicit, never emergent:
+//  - deadlines: submit() takes an optional absolute deadline. A request
+//    that is already expired fails fast with DeadlineExceeded before
+//    touching the queue; one that expires while queued (or that can no
+//    longer finish even decoded alone, by the batcher's per-row decode
+//    cost estimate) is failed before any decode runs on it, and a worker
+//    stops growing a batch once adding more rows would push the earliest
+//    deadline in the batch past its estimated completion.
+//  - admission control: when the queue is over max_queue_rows the
+//    configured AdmissionPolicy decides — Block (wait for room, the
+//    legacy behavior), Reject (fail the new request with Overloaded), or
+//    ShedOldest (fail the oldest queued requests to make room — the
+//    newest traffic is the most likely to still meet its deadline). Every
+//    policy decision is counted in Stats.
+//  - precision brownout: when queue depth or the observed queue-wait EWMA
+//    crosses its high watermark, drained requests are downgraded
+//    fp32 -> bf16 -> int8 through the prepacked-plan precision tiers (one
+//    level per dwell window, with hysteresis: recovery needs the signals
+//    below the low watermarks). Degradation is visible in
+//    Stats::degraded_units / degraded_requests and in per-response tiers,
+//    never silent.
 //
 // Correctness properties the test suite pins:
 //  - parity: coalescing never changes a request's values beyond float
@@ -38,11 +61,28 @@
 #include <thread>
 #include <vector>
 
+#include "common/error.h"
 #include "core/decode_plan.h"
 #include "core/meshfree_flownet.h"
 #include "tensor/tensor.h"
 
 namespace mfn::serve {
+
+/// A request's deadline passed before it could be decoded. Thrown through
+/// the submit() future (or directly by a Block-policy submit that timed
+/// out waiting for queue room).
+class DeadlineExceeded : public Error {
+ public:
+  explicit DeadlineExceeded(const std::string& what) : Error(what) {}
+};
+
+/// The queue was over max_queue_rows and the admission policy chose this
+/// request as the victim: a Reject-policy arrival, or a queued request
+/// shed by ShedOldest to make room for newer traffic.
+class Overloaded : public Error {
+ public:
+  explicit Overloaded(const std::string& what) : Error(what) {}
+};
 
 /// Immutable model snapshot shared between the engine and in-flight
 /// requests. The model is logically const: serving only ever runs
@@ -65,6 +105,41 @@ struct ModelSnapshot {
   backend::Precision decode_precision = backend::Precision::kFp32;
 };
 
+/// What submit() does when the queue is already over max_queue_rows.
+enum class AdmissionPolicy {
+  kBlock,      ///< wait for room (backpressure toward the caller)
+  kReject,     ///< fail the NEW request's future with Overloaded
+  kShedOldest  ///< fail the OLDEST queued requests to make room
+};
+
+inline const char* admission_policy_name(AdmissionPolicy p) {
+  switch (p) {
+    case AdmissionPolicy::kBlock: return "block";
+    case AdmissionPolicy::kReject: return "reject";
+    case AdmissionPolicy::kShedOldest: return "shed-oldest";
+  }
+  return "?";
+}
+
+/// Precision brownout: automatic load-shedding of numerical precision
+/// before load-shedding of requests. Disabled by default; a watermark of 0
+/// means that signal is unused. Level transitions happen at flush time (a
+/// fully idle batcher holds its level until traffic resumes).
+struct BrownoutConfig {
+  bool enabled = false;
+  /// Enter (one level deeper) when queued rows reach high_rows; eligible
+  /// to exit when back at or below low_rows.
+  std::int64_t high_rows = 0;
+  std::int64_t low_rows = 0;
+  /// Same watermark pair for the observed queue-wait EWMA (milliseconds a
+  /// drained request spent waiting to coalesce).
+  double high_wait_ms = 0.0;
+  double low_wait_ms = 0.0;
+  /// Minimum flushes between level changes (hysteresis dwell: one burst
+  /// cannot slam the ladder to int8 and back within a window).
+  int dwell_flushes = 4;
+};
+
 struct QueryBatcherConfig {
   /// Decode worker threads draining the queue. One worker already keeps
   /// the ThreadPool busy (decode parallelizes internally); more workers
@@ -79,9 +154,10 @@ struct QueryBatcherConfig {
   /// setting for a single synchronous client, which can never have a
   /// second request in flight to wait for.
   std::int64_t max_wait_us = 100;
-  /// submit() blocks while this many rows are already queued
-  /// (backpressure toward the clients).
+  /// Queue bound (rows) past which the admission policy kicks in.
   std::int64_t max_queue_rows = 1 << 20;
+  AdmissionPolicy admission = AdmissionPolicy::kBlock;
+  BrownoutConfig brownout;
 };
 
 class QueryBatcher {
@@ -100,6 +176,22 @@ class QueryBatcher {
     /// never silent: it always shows up here.
     std::uint64_t precision_fallbacks = 0;
     std::uint64_t max_flush_rows = 0; ///< largest coalesced flush seen
+    // -- deadline accounting ------------------------------------------
+    std::uint64_t expired_submit = 0;  ///< failed fast at submit()
+    std::uint64_t expired_queue = 0;   ///< expired after queuing, pre-decode
+    // -- admission accounting -----------------------------------------
+    std::uint64_t admission_rejected = 0;  ///< Reject-policy arrivals failed
+    std::uint64_t admission_shed = 0;      ///< ShedOldest victims failed
+    // -- brownout accounting ------------------------------------------
+    std::uint64_t degraded_requests = 0;  ///< requests served below the
+                                          ///< tier they asked for
+    std::uint64_t degraded_units = 0;  ///< decode units with >= 1 degraded
+                                       ///< member
+    std::uint64_t brownout_enters = 0;  ///< upward level steps
+    std::uint64_t brownout_exits = 0;   ///< downward level steps
+    int brownout_level = 0;  ///< current ladder level (0 fp32 / 1 bf16 /
+                             ///< 2 int8)
+    std::int64_t queue_rows = 0;  ///< queued rows at stats() time
     /// Mean coalescing factor: requests per decoder invocation.
     double requests_per_decode() const {
       return decode_calls == 0
@@ -109,6 +201,8 @@ class QueryBatcher {
     }
   };
 
+  using Deadline = std::chrono::steady_clock::time_point;
+
   explicit QueryBatcher(QueryBatcherConfig config);
   ~QueryBatcher();  ///< drains the queue, then joins the workers
 
@@ -116,15 +210,19 @@ class QueryBatcher {
   QueryBatcher& operator=(const QueryBatcher&) = delete;
 
   /// Enqueue a decode of `coords` (Q, 3) against `latent`
-  /// (1, C, LT, LZ, LX) under `snapshot`'s decoder. Blocks while the queue
-  /// is over max_queue_rows. The future resolves to (Q, out_channels)
-  /// values, or to the exception the decode threw. `precision` overrides
-  /// the snapshot's default decode tier for this request; requests at
-  /// different tiers never share a decode unit.
+  /// (1, C, LT, LZ, LX) under `snapshot`'s decoder. Queue-full behavior is
+  /// config().admission's call: Block waits (until `deadline`, if set),
+  /// Reject/ShedOldest never block. The future resolves to
+  /// (Q, out_channels) values, or to the exception the request's path
+  /// raised — DeadlineExceeded / Overloaded are the expected overload
+  /// outcomes. `precision` overrides the snapshot's default decode tier
+  /// for this request; requests at different (effective) tiers never
+  /// share a decode unit.
   std::future<Tensor> submit(
       std::shared_ptr<const ModelSnapshot> snapshot, Tensor latent,
       Tensor coords,
-      std::optional<backend::Precision> precision = std::nullopt);
+      std::optional<backend::Precision> precision = std::nullopt,
+      std::optional<Deadline> deadline = std::nullopt);
 
   /// Stop accepting work, serve everything still queued, join workers.
   /// Idempotent; the destructor calls it.
@@ -153,13 +251,26 @@ class QueryBatcher {
     Tensor latent;
     Tensor coords;
     /// Resolved at submit (override or snapshot default) so grouping and
-    /// decode never re-consult the snapshot.
+    /// decode never re-consult the snapshot. Brownout may later lower it
+    /// (see `degraded`).
     backend::Precision precision = backend::Precision::kFp32;
+    /// True when brownout lowered `precision` below what was requested.
+    bool degraded = false;
+    std::optional<Deadline> deadline;
     std::promise<Tensor> promise;
     std::chrono::steady_clock::time_point enqueued;
   };
 
   void worker_loop();
+  /// Pop requests into `*batch` under mu_: expires dead requests into
+  /// `*expired`, respects max_batch_rows and the earliest taken deadline,
+  /// applies the brownout tier, and updates the brownout/flush stats.
+  /// Returns the popped row count.
+  std::int64_t take_batch_locked(std::vector<Request>* batch,
+                                 std::vector<Request>* expired);
+  /// Advance the brownout ladder from the current signals (queue depth in
+  /// rows pre-take, queue-wait EWMA). Caller holds mu_.
+  void update_brownout_locked(std::int64_t depth_rows);
   /// Split a drained batch into units, each servable by exactly one
   /// decoder call (pure planning — no promises are touched, so the
   /// worker can account stats before clients unblock).
@@ -176,15 +287,19 @@ class QueryBatcher {
                             const Tensor& coords,
                             backend::Precision precision, bool* planned,
                             backend::Precision* served);
-  /// Record one finished decode unit (started at `t0`) under mu_:
-  /// planned/tape + per-tier counters, plus a decode_ms sample when
+  /// Record one finished decode unit of `rows` rows (started at `t0`)
+  /// under mu_: planned/tape + per-tier counters, the per-row decode cost
+  /// EWMA the deadline estimator uses, plus a decode_ms sample when
   /// capture is on.
   void account_decode(std::chrono::steady_clock::time_point t0, bool planned,
                       backend::Precision requested,
-                      backend::Precision served);
+                      backend::Precision served, bool degraded,
+                      std::int64_t rows);
   static void demux_rows(std::vector<Request>& batch,
                          const std::vector<std::size_t>& members,
                          const Tensor& out, std::size_t* fulfilled);
+  /// Fail `req` with DeadlineExceeded (never under mu_).
+  static void fail_expired(Request& req);
 
   QueryBatcherConfig config_;
   mutable std::mutex mu_;
@@ -194,6 +309,14 @@ class QueryBatcher {
   std::int64_t queued_rows_ = 0;
   bool stop_ = false;
   Stats stats_;
+  // Deadline estimator: EWMA of decode milliseconds per query row
+  // (0 until the first decode lands). Guarded by mu_.
+  double est_row_ms_ = 0.0;
+  // Brownout state (guarded by mu_): current ladder level, queue-wait
+  // EWMA, and flushes since the last level change (dwell).
+  int brownout_level_ = 0;
+  double wait_ewma_ms_ = 0.0;
+  int flushes_since_level_change_ = 0;
   bool timing_capture_ = false;
   TimingSamples timing_;
   std::vector<std::thread> workers_;

@@ -1,7 +1,11 @@
 #include "serve/serve_bench.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
 #include <thread>
 
 #include "common/error.h"
@@ -11,6 +15,8 @@
 namespace mfn::serve {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
 
 Tensor random_coords(Rng& rng, std::int64_t q, std::int64_t nt,
                      std::int64_t nz, std::int64_t nx) {
@@ -27,6 +33,38 @@ Tensor random_coords(Rng& rng, std::int64_t q, std::int64_t nt,
   return c;
 }
 
+std::optional<QueryBatcher::Deadline> deadline_from(
+    const ServeBenchConfig& cfg) {
+  if (cfg.deadline_ms <= 0) return std::nullopt;
+  return Clock::now() + std::chrono::microseconds(static_cast<std::int64_t>(
+                            cfg.deadline_ms * 1e3));
+}
+
+/// Per-request outcome tallies shared across client/harvester threads.
+struct Outcomes {
+  std::atomic<std::uint64_t> ok{0}, expired{0}, overloaded{0}, failed{0};
+};
+
+/// Resolve one response future, classifying the overload outcomes.
+/// Returns true (and the submit->response latency) only for a delivered
+/// response.
+bool harvest(std::future<Tensor>& fut, std::int64_t want_rows,
+             Outcomes& out) {
+  try {
+    Tensor t = fut.get();
+    MFN_CHECK(t.dim(0) == want_rows, "serve bench: short response");
+    out.ok.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  } catch (const DeadlineExceeded&) {
+    out.expired.fetch_add(1, std::memory_order_relaxed);
+  } catch (const Overloaded&) {
+    out.overloaded.fetch_add(1, std::memory_order_relaxed);
+  } catch (const std::exception&) {
+    out.failed.fetch_add(1, std::memory_order_relaxed);
+  }
+  return false;
+}
+
 }  // namespace
 
 ServeBenchResult run_serve_bench(InferenceEngine& engine,
@@ -35,6 +73,8 @@ ServeBenchResult run_serve_bench(InferenceEngine& engine,
   MFN_CHECK(cfg.requests_per_client >= 1, "need >= 1 request per client");
   MFN_CHECK(cfg.hot_patches >= 1, "need >= 1 hot patch");
   MFN_CHECK(cfg.queries_per_request >= 1, "need >= 1 query per request");
+  MFN_CHECK(!cfg.open_loop || cfg.arrival_rps > 0,
+            "open-loop mode needs arrival_rps > 0");
 
   const std::int64_t in_ch = engine.model_config().unet.in_channels;
   Rng rng(cfg.seed);
@@ -71,40 +111,130 @@ ServeBenchResult run_serve_bench(InferenceEngine& engine,
   engine.batcher().set_timing_capture(true);
   std::vector<std::vector<double>> latencies(
       static_cast<std::size_t>(cfg.clients));
+  Outcomes outcomes;
+  std::uint64_t issued = 0;
 
   Stopwatch wall;
-  std::vector<std::thread> clients;
-  clients.reserve(static_cast<std::size_t>(cfg.clients));
-  for (int c = 0; c < cfg.clients; ++c) {
-    clients.emplace_back([&, c] {
-      auto& lat = latencies[static_cast<std::size_t>(c)];
-      lat.reserve(static_cast<std::size_t>(cfg.requests_per_client));
-      const Tensor& coords = client_coords[static_cast<std::size_t>(c)];
-      for (int m = 0; m < cfg.requests_per_client; ++m) {
-        // Stride clients across the hot set so concurrent requests both
-        // collide on shared latents (coalescing) and span several.
-        const int pid = (c + m) % cfg.hot_patches;
-        Stopwatch sw;
-        Tensor out = engine.query_sync(
-            id_base + static_cast<std::uint64_t>(pid),
-            patches[static_cast<std::size_t>(pid)], coords, cfg.precision);
-        lat.push_back(sw.seconds() * 1e3);
-        MFN_CHECK(out.dim(0) == cfg.queries_per_request,
-                  "serve bench: short response");
+  if (!cfg.open_loop) {
+    // Closed loop: each client blocks on its response before the next
+    // request, so offered load self-limits to capacity.
+    issued = static_cast<std::uint64_t>(cfg.clients) *
+             static_cast<std::uint64_t>(cfg.requests_per_client);
+    std::vector<std::thread> clients;
+    clients.reserve(static_cast<std::size_t>(cfg.clients));
+    for (int c = 0; c < cfg.clients; ++c) {
+      clients.emplace_back([&, c] {
+        auto& lat = latencies[static_cast<std::size_t>(c)];
+        lat.reserve(static_cast<std::size_t>(cfg.requests_per_client));
+        const Tensor& coords = client_coords[static_cast<std::size_t>(c)];
+        for (int m = 0; m < cfg.requests_per_client; ++m) {
+          // Stride clients across the hot set so concurrent requests both
+          // collide on shared latents (coalescing) and span several.
+          const int pid = (c + m) % cfg.hot_patches;
+          Stopwatch sw;
+          std::future<Tensor> fut = engine.query(
+              id_base + static_cast<std::uint64_t>(pid),
+              patches[static_cast<std::size_t>(pid)], coords, cfg.precision,
+              deadline_from(cfg));
+          if (harvest(fut, cfg.queries_per_request, outcomes))
+            lat.push_back(sw.millis());
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+  } else {
+    // Open loop: a Poisson dispatcher issues at cfg.arrival_rps whether or
+    // not earlier responses have landed — arrival above capacity builds a
+    // real backlog, which is the point. Harvester threads resolve the
+    // futures FIFO (the batcher serves FIFO, so head-of-line blocking on
+    // get() is negligible).
+    const std::uint64_t total =
+        cfg.total_requests > 0
+            ? static_cast<std::uint64_t>(cfg.total_requests)
+            : static_cast<std::uint64_t>(cfg.clients) *
+                  static_cast<std::uint64_t>(cfg.requests_per_client);
+    issued = total;
+    struct Pending {
+      std::future<Tensor> fut;
+      Clock::time_point submitted;
+    };
+    std::deque<Pending> inflight;
+    std::mutex mu;
+    std::condition_variable cv;
+    bool dispatch_done = false;
+
+    std::vector<std::thread> harvesters;
+    harvesters.reserve(static_cast<std::size_t>(cfg.clients));
+    for (int c = 0; c < cfg.clients; ++c) {
+      harvesters.emplace_back([&, c] {
+        auto& lat = latencies[static_cast<std::size_t>(c)];
+        for (;;) {
+          Pending p;
+          {
+            std::unique_lock<std::mutex> lk(mu);
+            cv.wait(lk, [&] { return dispatch_done || !inflight.empty(); });
+            if (inflight.empty()) return;  // dispatch_done && drained
+            p = std::move(inflight.front());
+            inflight.pop_front();
+          }
+          if (harvest(p.fut, cfg.queries_per_request, outcomes))
+            lat.push_back(
+                std::chrono::duration<double, std::milli>(Clock::now() -
+                                                          p.submitted)
+                    .count());
+        }
+      });
+    }
+
+    Rng arrivals(cfg.seed ^ 0x9E3779B97F4A7C15ull);
+    Clock::time_point next = Clock::now();
+    for (std::uint64_t i = 0; i < total; ++i) {
+      // Exponential inter-arrival times: a Poisson process at arrival_rps.
+      const double u = std::min(arrivals.uniform(), 0.999999);
+      next += std::chrono::nanoseconds(static_cast<std::int64_t>(
+          -std::log(1.0 - u) / cfg.arrival_rps * 1e9));
+      std::this_thread::sleep_until(next);
+      const int pid = static_cast<int>(i) % cfg.hot_patches;
+      const int slot = static_cast<int>(i) % cfg.clients;
+      Pending p;
+      p.submitted = Clock::now();
+      p.fut = engine.query(
+          id_base + static_cast<std::uint64_t>(pid),
+          patches[static_cast<std::size_t>(pid)],
+          client_coords[static_cast<std::size_t>(slot)], cfg.precision,
+          deadline_from(cfg));
+      {
+        std::lock_guard<std::mutex> lk(mu);
+        inflight.push_back(std::move(p));
       }
-    });
+      cv.notify_one();
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      dispatch_done = true;
+    }
+    cv.notify_all();
+    for (auto& t : harvesters) t.join();
   }
-  for (auto& t : clients) t.join();
   const double seconds = wall.seconds();
 
   ServeBenchResult res;
   res.seconds = seconds;
-  res.requests = static_cast<std::uint64_t>(cfg.clients) *
-                 static_cast<std::uint64_t>(cfg.requests_per_client);
-  const double total_queries = static_cast<double>(res.requests) *
+  res.requests = issued;
+  res.ok_requests = outcomes.ok.load();
+  res.expired_requests = outcomes.expired.load();
+  res.overloaded_requests = outcomes.overloaded.load();
+  res.failed_requests = outcomes.failed.load();
+  res.deadline_hit_rate =
+      issued == 0 ? 0.0
+                  : static_cast<double>(res.ok_requests) /
+                        static_cast<double>(issued);
+  // Throughput counts delivered work only: shed/expired requests consumed
+  // admission decisions, not decodes.
+  const double total_queries = static_cast<double>(res.ok_requests) *
                                static_cast<double>(cfg.queries_per_request);
   res.qps = total_queries / seconds;
-  res.rps = static_cast<double>(res.requests) / seconds;
+  res.rps = static_cast<double>(res.ok_requests) / seconds;
 
   auto pct = [](std::vector<double>& v, std::size_t num, std::size_t den) {
     if (v.empty()) return 0.0;
@@ -114,7 +244,7 @@ ServeBenchResult run_serve_bench(InferenceEngine& engine,
   };
 
   std::vector<double> all;
-  all.reserve(static_cast<std::size_t>(res.requests));
+  all.reserve(static_cast<std::size_t>(res.ok_requests));
   for (auto& lat : latencies) all.insert(all.end(), lat.begin(), lat.end());
   if (!all.empty()) {
     res.p50_ms = pct(all, 1, 2);
@@ -154,6 +284,27 @@ ServeBenchResult run_serve_bench(InferenceEngine& engine,
   res.window_int8_units = res.batcher.planned_int8 - batcher0.planned_int8;
   res.window_precision_fallbacks =
       res.batcher.precision_fallbacks - batcher0.precision_fallbacks;
+
+  res.window_shed = res.batcher.admission_shed - batcher0.admission_shed;
+  res.window_rejected =
+      res.batcher.admission_rejected - batcher0.admission_rejected;
+  res.window_expired_submit =
+      res.batcher.expired_submit - batcher0.expired_submit;
+  res.window_expired_queue =
+      res.batcher.expired_queue - batcher0.expired_queue;
+  res.window_degraded_requests =
+      res.batcher.degraded_requests - batcher0.degraded_requests;
+  res.window_degraded_units =
+      res.batcher.degraded_units - batcher0.degraded_units;
+  res.window_brownout_enters =
+      res.batcher.brownout_enters - batcher0.brownout_enters;
+  res.window_brownout_exits =
+      res.batcher.brownout_exits - batcher0.brownout_exits;
+  res.brownout_hit_rate =
+      res.ok_requests == 0
+          ? 0.0
+          : static_cast<double>(res.window_degraded_requests) /
+                static_cast<double>(res.ok_requests);
 
   // Accuracy probe (outside the timed window): decode one request per hot
   // patch at the bench tier and at fp32 and report the worst absolute

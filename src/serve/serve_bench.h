@@ -1,11 +1,20 @@
-// Closed-loop multi-client load generator for the inference engine.
+// Multi-client load generator for the inference engine.
 //
-// Models the serving workload the paper's split architecture is built for:
-// N client threads issue continuous-query requests against a small hot set
-// of patches (each client waits for its response before sending the next —
-// closed loop), so the engine sees many small heterogeneous query batches
-// against few cached latents. Used by the `mfn serve-bench` CLI subcommand
-// and the bench_micro_ops `mfn_perf` serve lines.
+// Two drive modes:
+//  - closed loop (default): N client threads issue continuous-query
+//    requests against a small hot set of patches, each waiting for its
+//    response before sending the next — the engine sees many small
+//    heterogeneous query batches against few cached latents, and offered
+//    load self-limits to capacity.
+//  - open loop (cfg.open_loop): a Poisson dispatcher issues requests at
+//    cfg.arrival_rps regardless of completions, so arrival > capacity
+//    builds a real backlog. This is the overload harness: with deadlines,
+//    admission policies, and brownout configured on the engine, the bench
+//    reports how much traffic met its deadline, was shed/rejected, or was
+//    served degraded — and whether queue-wait p99 stayed bounded.
+//
+// Used by the `mfn serve-bench` CLI subcommand and the bench_micro_ops
+// `mfn_perf` serve lines.
 #pragma once
 
 #include <cstdint>
@@ -31,6 +40,16 @@ struct ServeBenchConfig {
   /// override — the engine's own default is untouched). Non-fp32 runs also
   /// measure max-abs-err vs an fp32 reference decode.
   backend::Precision precision = backend::Precision::kFp32;
+  /// Open-loop mode: Poisson arrivals at arrival_rps (must be > 0),
+  /// total_requests issued in all (0 falls back to
+  /// clients * requests_per_client); cfg.clients threads harvest the
+  /// responses. Closed-loop ignores these.
+  bool open_loop = false;
+  double arrival_rps = 0.0;
+  int total_requests = 0;
+  /// Per-request latency budget, milliseconds from submit; 0 = none.
+  /// Honored in both modes.
+  double deadline_ms = 0.0;
 };
 
 struct ServeBenchResult {
@@ -66,6 +85,22 @@ struct ServeBenchResult {
   /// Max |reduced-tier value - fp32 value| over one post-window probe
   /// request per hot patch (0 when cfg.precision is fp32).
   double max_abs_err_vs_fp32 = 0.0;
+  // -- robustness outcomes (per issued request) -----------------------
+  std::uint64_t ok_requests = 0;       ///< responses delivered in full
+  std::uint64_t expired_requests = 0;  ///< failed with DeadlineExceeded
+  std::uint64_t overloaded_requests = 0;  ///< failed with Overloaded
+                                          ///< (shed or rejected)
+  std::uint64_t failed_requests = 0;   ///< any other exception (must be 0)
+  /// ok / issued — 1.0 when every request beat its deadline (or no
+  /// deadline was set and nothing was shed).
+  double deadline_hit_rate = 0.0;
+  // -- robustness counters, timed window only -------------------------
+  std::uint64_t window_shed = 0, window_rejected = 0;
+  std::uint64_t window_expired_submit = 0, window_expired_queue = 0;
+  std::uint64_t window_degraded_requests = 0, window_degraded_units = 0;
+  std::uint64_t window_brownout_enters = 0, window_brownout_exits = 0;
+  /// Fraction of delivered responses served below their requested tier.
+  double brownout_hit_rate = 0.0;
 };
 
 /// Drive `engine` with cfg.clients closed-loop client threads and return

@@ -15,12 +15,23 @@
 //                [--queries 256] [--patches 8] [--cache-mb 64]
 //                [--max-batch 4096] [--max-wait-us 100] [--workers 1]
 //                [--seed 9] [--precision fp32|bf16|int8]
+//                [--open-loop 1 --arrival-rps 500 [--total-requests N]]
+//                [--deadline-ms 50] [--policy block|reject|shed-oldest]
+//                [--max-queue ROWS] [--brownout 1]
+//                [--brownout-high-rows R --brownout-low-rows R]
+//                [--inject point[:arg]]
 //
 // serve-bench drives the concurrent inference engine (latent cache +
-// query batcher, src/serve/) with a closed-loop multi-client load
-// generator and prints qps / latency / cache statistics plus a
-// machine-readable mfn_perf line. Without --model it serves a
-// randomly-initialized network — the serving data path is identical.
+// query batcher, src/serve/) with a multi-client load generator and
+// prints qps / latency / cache statistics plus a machine-readable
+// mfn_perf line. Without --model it serves a randomly-initialized
+// network — the serving data path is identical. The default drive is
+// closed-loop (each client waits for its response); --open-loop issues
+// Poisson arrivals at --arrival-rps regardless of completions, which is
+// the overload harness: combine with --deadline-ms, --policy
+// shed-oldest and --brownout 1 to measure robustness under arrival >
+// capacity, or --inject to arm a named fail point (see
+// src/common/failpoint.h) for fault drills.
 //
 // The network architecture is the library's bench-scale default; training
 // state (weights + Adam moments + history) round-trips through --out /
@@ -36,6 +47,7 @@
 #include "backend/simd.h"
 #include "backend/workspace.h"
 #include "common/error.h"
+#include "common/failpoint.h"
 #include "common/stopwatch.h"
 #include "core/checkpoint.h"
 #include "core/evaluation.h"
@@ -358,7 +370,47 @@ int cmd_serve_bench(const Args& args) {
   ecfg.batcher.workers = static_cast<int>(args.integer("workers", 1));
   ecfg.batcher.max_batch_rows = args.integer("max-batch", 4096);
   ecfg.batcher.max_wait_us = args.integer("max-wait-us", 100);
+  ecfg.batcher.max_queue_rows =
+      args.integer("max-queue", ecfg.batcher.max_queue_rows);
   ecfg.decode_precision = precision;
+
+  const std::string policy_str = args.str("policy", "block");
+  if (policy_str == "reject")
+    ecfg.batcher.admission = serve::AdmissionPolicy::kReject;
+  else if (policy_str == "shed-oldest")
+    ecfg.batcher.admission = serve::AdmissionPolicy::kShedOldest;
+  else
+    MFN_CHECK(policy_str == "block",
+              "--policy must be block, reject or shed-oldest, got "
+                  << policy_str);
+
+  if (args.integer("brownout", 0) != 0) {
+    ecfg.batcher.brownout.enabled = true;
+    // Default watermarks scale with the queue bound: degrade when the
+    // queue is half full, recover below a quarter.
+    ecfg.batcher.brownout.high_rows = args.integer(
+        "brownout-high-rows", ecfg.batcher.max_queue_rows / 2);
+    ecfg.batcher.brownout.low_rows = args.integer(
+        "brownout-low-rows", ecfg.batcher.max_queue_rows / 4);
+    ecfg.batcher.brownout.dwell_flushes =
+        static_cast<int>(args.integer("brownout-dwell", 4));
+  }
+
+  // --inject point[:arg] arms a named fail point (src/common/failpoint.h)
+  // for the whole run — fault drills against a live serving process.
+  const std::string inject = args.str("inject", "");
+  if (!inject.empty()) {
+    failpoint::Spec spec;
+    std::string point = inject;
+    const auto colon = inject.find(':');
+    if (colon != std::string::npos) {
+      point = inject.substr(0, colon);
+      spec.arg = std::atof(inject.c_str() + colon + 1);
+    }
+    failpoint::arm(point, spec);
+    std::printf("fail point armed: %s (arg %g)\n", point.c_str(), spec.arg);
+  }
+
   serve::InferenceEngine engine(std::move(model), ecfg);
 
   serve::ServeBenchConfig bcfg;
@@ -368,6 +420,10 @@ int cmd_serve_bench(const Args& args) {
   bcfg.hot_patches = static_cast<int>(args.integer("patches", 8));
   bcfg.seed = static_cast<std::uint64_t>(args.integer("seed", 9));
   bcfg.precision = precision;
+  bcfg.open_loop = args.integer("open-loop", 0) != 0;
+  bcfg.arrival_rps = args.num("arrival-rps", 0.0);
+  bcfg.total_requests = static_cast<int>(args.integer("total-requests", 0));
+  bcfg.deadline_ms = args.num("deadline-ms", 0.0);
 
   std::printf(
       "serve-bench: %d clients x %d requests x %lld queries, %d hot "
@@ -379,6 +435,14 @@ int cmd_serve_bench(const Args& args) {
       static_cast<long long>(ecfg.batcher.max_batch_rows),
       static_cast<long long>(ecfg.batcher.max_wait_us),
       backend::precision_name(precision));
+  if (bcfg.open_loop)
+    std::printf(
+        "open loop: Poisson arrivals at %.0f req/s, deadline %.0f ms (0 = "
+        "none), policy %s, brownout %s, max-queue %lld rows\n",
+        bcfg.arrival_rps, bcfg.deadline_ms,
+        serve::admission_policy_name(ecfg.batcher.admission),
+        ecfg.batcher.brownout.enabled ? "on" : "off",
+        static_cast<long long>(ecfg.batcher.max_queue_rows));
 
   const serve::ServeBenchResult r = serve::run_serve_bench(engine, bcfg);
   std::printf(
@@ -426,7 +490,47 @@ int cmd_serve_bench(const Args& args) {
       static_cast<unsigned long long>(r.window_int8_units),
       static_cast<unsigned long long>(r.window_precision_fallbacks),
       r.max_abs_err_vs_fp32);
-  if (precision == backend::Precision::kFp32) {
+  if (bcfg.open_loop || bcfg.deadline_ms > 0) {
+    std::printf(
+        "robustness: %llu ok / %llu expired / %llu overloaded / %llu "
+        "failed of %llu issued (deadline hit rate %.3f)\n",
+        static_cast<unsigned long long>(r.ok_requests),
+        static_cast<unsigned long long>(r.expired_requests),
+        static_cast<unsigned long long>(r.overloaded_requests),
+        static_cast<unsigned long long>(r.failed_requests),
+        static_cast<unsigned long long>(r.requests), r.deadline_hit_rate);
+    std::printf(
+        "admission/brownout: %llu shed, %llu rejected, %llu expired at "
+        "submit / %llu in queue; %llu degraded requests in %llu units "
+        "(brownout hit rate %.3f), %llu enters / %llu exits, level %d\n",
+        static_cast<unsigned long long>(r.window_shed),
+        static_cast<unsigned long long>(r.window_rejected),
+        static_cast<unsigned long long>(r.window_expired_submit),
+        static_cast<unsigned long long>(r.window_expired_queue),
+        static_cast<unsigned long long>(r.window_degraded_requests),
+        static_cast<unsigned long long>(r.window_degraded_units),
+        r.brownout_hit_rate,
+        static_cast<unsigned long long>(r.window_brownout_enters),
+        static_cast<unsigned long long>(r.window_brownout_exits),
+        r.batcher.brownout_level);
+  }
+  if (bcfg.open_loop) {
+    std::printf(
+        "{\"mfn_perf\":\"serve_overload\",\"arrival_rps\":%.0f,"
+        "\"policy\":\"%s\",\"deadline_ms\":%.0f,\"brownout\":%d,"
+        "\"qps\":%.0f,\"p99_ms\":%.3f,\"queue_p99_ms\":%.3f,"
+        "\"deadline_hit_rate\":%.3f,\"brownout_hit_rate\":%.3f,"
+        "\"shed\":%llu,\"rejected\":%llu,\"expired\":%llu,"
+        "\"degraded_units\":%llu}\n",
+        bcfg.arrival_rps,
+        serve::admission_policy_name(ecfg.batcher.admission),
+        bcfg.deadline_ms, ecfg.batcher.brownout.enabled ? 1 : 0, r.qps,
+        r.p99_ms, r.queue_p99_ms, r.deadline_hit_rate, r.brownout_hit_rate,
+        static_cast<unsigned long long>(r.window_shed),
+        static_cast<unsigned long long>(r.window_rejected),
+        static_cast<unsigned long long>(r.expired_requests),
+        static_cast<unsigned long long>(r.window_degraded_units));
+  } else if (precision == backend::Precision::kFp32) {
     // Field set pinned by tools/perf_diff.py baselines — the fp32 line's
     // identity must not change.
     std::printf(

@@ -32,6 +32,11 @@ RATE_METRICS = {
     # throughput drop — it means encodes that used to be served from the
     # latent cache are being recomputed.
     "hit_rate",
+    # Overload robustness (serve_overload lines): the fraction of issued
+    # requests that beat their deadline under arrival > capacity. A drop
+    # means the deadline/admission/brownout stack is protecting less
+    # traffic than it used to.
+    "deadline_hit_rate",
 }
 # threads is identifying, not a metric: a 4-thread run must never be
 # diffed against a 1-thread baseline as if it were the same datapoint.
@@ -40,7 +45,10 @@ RATE_METRICS = {
 # lines are separate series from the fp32 lines (which omit the field, so
 # their baseline identity is unchanged).
 ID_FIELDS = ("mfn_perf", "op", "batch", "channels", "queries", "m", "n",
-             "k", "params", "threads", "clients", "precision")
+             "k", "params", "threads", "clients", "precision",
+             # serve_overload: the baseline and hardened runs are distinct
+             # series, as are different offered loads.
+             "hardened", "arrival_rps")
 
 
 def load(path):
