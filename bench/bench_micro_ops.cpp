@@ -18,6 +18,10 @@
 #include "core/trainer.h"
 #include "data/dataset.h"
 #include "distributed/allreduce.h"
+#include "distributed/comm_model.h"
+#include "distributed/elastic.h"
+#include "distributed/tcp_channel.h"
+#include "distributed/worker.h"
 #include "fft/fft.h"
 #include "optim/adam.h"
 #include "serve/serve_bench.h"
@@ -26,12 +30,17 @@
 #include "tensor/tensor_ops.h"
 #include "threading/thread_pool.h"
 
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <thread>
+#include <vector>
 
 namespace {
 
@@ -238,6 +247,24 @@ SimdVsScalar time_simd_vs_scalar(int reps, const std::function<void()>& fn) {
   r.sec_scalar = time_best_of(reps, fn);
   mfn::simd::set_force_scalar(was_forced);
   return r;
+}
+
+// Grab a currently-free loopback port for the dist_train rendezvous (the
+// same bind(0)/getsockname trick the `mfn dist-train` launcher uses).
+int pick_free_port() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  MFN_CHECK(fd >= 0, "socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  MFN_CHECK(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0,
+            "bind() failed");
+  socklen_t len = sizeof(addr);
+  MFN_CHECK(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0,
+            "getsockname() failed");
+  ::close(fd);
+  return static_cast<int>(ntohs(addr.sin_port));
 }
 
 void emit_perf_json() {
@@ -955,6 +982,76 @@ void emit_perf_json() {
           static_cast<unsigned long long>(r.expired_requests),
           static_cast<unsigned long long>(r.window_degraded_units));
     }
+  }
+
+  // Distributed training scaling: each world size runs real TCP workers
+  // (in-process threads over loopback sockets — the exact code path `mfn
+  // dist-train` forks into processes). patches/sec is committed global
+  // batches per wall second, the paper's weak-scaling axis.
+  for (const int world : {1, 2, 4}) {
+    const int port = pick_free_port();
+    dist::DistTrainConfig base;
+    base.world = world;
+    base.port = port;
+    base.steps = 6;
+    base.batch_size = 2;
+    base.seed = 11;
+    std::vector<std::thread> peers;
+    Stopwatch sw;
+    for (int r = 1; r < world; ++r)
+      peers.emplace_back([base, r] {
+        dist::DistTrainConfig c = base;
+        c.rank = r;
+        dist::run_train_worker(c);
+      });
+    dist::DistTrainConfig c0 = base;
+    c0.min_world = world;  // time the full world, not a straggler subset
+    const dist::DistTrainResult root = dist::run_train_worker(c0);
+    const double sec = sw.seconds();
+    for (auto& t : peers) t.join();
+    const double patches = static_cast<double>(root.step_loss.size()) *
+                           world * base.batch_size;
+    std::printf(
+        "{\"mfn_perf\":\"dist_train\",\"world\":%d,\"steps\":%d,"
+        "\"threads\":%d,\"patches_per_sec\":%.1f,\"final_world\":%d}\n",
+        world, static_cast<int>(root.step_loss.size()), threads,
+        patches / sec, root.final_world);
+  }
+
+  // Model vs measured: the analytic ring_allreduce_seconds() alpha-beta
+  // model (comm_model.h, paper-scale NVLink/IB constants) against a real
+  // 2-worker TCP ring allreduce over loopback. The ratio is informational
+  // (not a gated rate metric): it quantifies how far the modeled fabric
+  // is from this host's loopback so comm_model drift is visible in CI.
+  {
+    const std::int64_t n = 1 << 20;  // 4 MiB of float32 gradients
+    dist::TcpChannel ch0(0, {}), ch1(1, {});
+    const dist::Ring ring{1,
+                          {{0, ch0.listen_port()}, {1, ch1.listen_port()}}};
+    std::vector<float> b0(static_cast<std::size_t>(n), 1.0f);
+    std::vector<float> b1(static_cast<std::size_t>(n), 3.0f);
+    const int reps = 5;
+    std::thread peer([&] {
+      dist::establish_ring(ch1, ring, 4000);
+      for (int r = 0; r < reps; ++r)
+        dist::ring_allreduce_average(ch1, ring, b1.data(), n, 4000);
+    });
+    dist::establish_ring(ch0, ring, 4000);
+    double best = 1e300;
+    for (int r = 0; r < reps; ++r) {
+      Stopwatch sw;
+      dist::ring_allreduce_average(ch0, ring, b0.data(), n, 4000);
+      best = std::min(best, sw.seconds());
+    }
+    peer.join();
+    const double model_s = dist::ring_allreduce_seconds(
+        2, static_cast<double>(n) * sizeof(float), dist::CommModelConfig{});
+    std::printf(
+        "{\"mfn_perf\":\"dist_allreduce\",\"world\":2,\"bytes\":%lld,"
+        "\"measured_ms\":%.3f,\"model_ms\":%.3f,"
+        "\"model_vs_measured\":%.3f}\n",
+        static_cast<long long>(n * sizeof(float)), best * 1e3, model_s * 1e3,
+        model_s / best);
   }
 }
 

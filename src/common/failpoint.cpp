@@ -1,8 +1,11 @@
 #include "common/failpoint.h"
 
 #include <atomic>
+#include <cstdlib>
 #include <mutex>
 #include <unordered_map>
+
+#include "common/error.h"
 
 namespace mfn::failpoint {
 
@@ -79,6 +82,88 @@ std::uint64_t fire_count(const std::string& name) {
   std::lock_guard<std::mutex> lk(registry_mu());
   auto it = registry().find(name);
   return it == registry().end() ? 0 : it->second.fires;
+}
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+std::uint64_t parse_u64(const std::string& s, const std::string& ctx) {
+  MFN_CHECK(!s.empty(), "failpoint spec: empty value for " << ctx);
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  MFN_CHECK(end == s.c_str() + s.size() && s[0] != '-',
+            "failpoint spec: bad number '" << s << "' for " << ctx);
+  return static_cast<std::uint64_t>(v);
+}
+
+double parse_f64(const std::string& s, const std::string& ctx) {
+  MFN_CHECK(!s.empty(), "failpoint spec: empty value for " << ctx);
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  MFN_CHECK(end == s.c_str() + s.size(),
+            "failpoint spec: bad number '" << s << "' for " << ctx);
+  return v;
+}
+
+}  // namespace
+
+int arm_from_string(const std::string& spec_list) {
+  int armed = 0;
+  std::size_t pos = 0;
+  while (pos <= spec_list.size()) {
+    std::size_t semi = spec_list.find(';', pos);
+    if (semi == std::string::npos) semi = spec_list.size();
+    const std::string item = trim(spec_list.substr(pos, semi - pos));
+    pos = semi + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    const std::string name =
+        trim(eq == std::string::npos ? item : item.substr(0, eq));
+    MFN_CHECK(!name.empty(),
+              "failpoint spec: empty point name in '" << item << "'");
+    Spec spec;
+    if (eq != std::string::npos) {
+      std::string fields = item.substr(eq + 1);
+      std::size_t fpos = 0;
+      while (fpos <= fields.size()) {
+        std::size_t comma = fields.find(',', fpos);
+        if (comma == std::string::npos) comma = fields.size();
+        const std::string field = trim(fields.substr(fpos, comma - fpos));
+        fpos = comma + 1;
+        if (field.empty()) continue;
+        const std::size_t colon = field.find(':');
+        MFN_CHECK(colon != std::string::npos,
+                  "failpoint spec: field '" << field << "' for " << name
+                                            << " is not KEY:VALUE");
+        const std::string key = trim(field.substr(0, colon));
+        const std::string val = trim(field.substr(colon + 1));
+        if (key == "skip")
+          spec.skip = parse_u64(val, name + ".skip");
+        else if (key == "count")
+          spec.count = parse_u64(val, name + ".count");
+        else if (key == "arg")
+          spec.arg = parse_f64(val, name + ".arg");
+        else
+          MFN_FAIL("failpoint spec: unknown field '" << key << "' for "
+                                                     << name);
+      }
+    }
+    arm(name, spec);
+    armed++;
+  }
+  return armed;
+}
+
+int arm_from_env() {
+  const char* env = std::getenv("MFN_FAILPOINTS");
+  if (env == nullptr || *env == '\0') return 0;
+  return arm_from_string(env);
 }
 
 }  // namespace mfn::failpoint

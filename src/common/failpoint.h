@@ -29,11 +29,21 @@
 //   // first two loads fail, the third succeeds
 //
 // Points currently wired in (each site documents its `arg` meaning):
-//   ckpt.transient_io   checkpoint open/read throws (retryable I/O error)
-//   ckpt.truncate       checkpoint read throws mid-stream (truncation)
-//   ckpt.nan_weight     first loaded parameter is poisoned to NaN
-//   serve.slow_decode   decode unit sleeps `arg` milliseconds first
-//   serve.prepare_fail  snapshot preparation throws (allocation failure)
+//   ckpt.transient_io     checkpoint open/read throws (retryable I/O error)
+//   ckpt.truncate         checkpoint read throws mid-stream (truncation)
+//   ckpt.nan_weight       first loaded parameter is poisoned to NaN
+//   ckpt.crash_mid_write  save_checkpoint dies after the .tmp prefix,
+//                         before the atomic rename (torn-publish test)
+//   serve.slow_decode     decode unit sleeps `arg` milliseconds first
+//   serve.prepare_fail    snapshot preparation throws (allocation failure)
+//   dist.conn_refused     a TCP dial attempt fails as if ECONNREFUSED
+//   dist.recv_timeout     a recv deadline expires immediately
+//   dist.worker_crash     training worker _Exit(42)s mid-step
+//   dist.slow_worker      training worker sleeps `arg` ms before its
+//                         heartbeat (drives excision + rejoin)
+//
+// Subprocesses are armed through the MFN_FAILPOINTS environment variable
+// (see arm_from_env below).
 #pragma once
 
 #include <cstdint>
@@ -71,6 +81,22 @@ std::optional<Spec> poll(const char* name);
 /// armed since the last reset()).
 std::uint64_t hit_count(const std::string& name);
 std::uint64_t fire_count(const std::string& name);
+
+/// Arm points from a spec string, the startup-time path for fault
+/// injection into spawned subprocesses (the distributed training tests
+/// arm workers this way, no code changes needed):
+///
+///   "dist.recv_timeout=skip:3,count:2;dist.slow_worker=arg:500"
+///
+/// Points are ';'-separated; each is NAME or NAME=FIELD:VALUE[,...] with
+/// fields skip, count, arg. Returns the number of points armed; throws
+/// mfn::Error on a malformed spec (unknown field, bad number, empty
+/// name).
+int arm_from_string(const std::string& spec_list);
+
+/// arm_from_string(getenv("MFN_FAILPOINTS")); returns 0 when the variable
+/// is unset or empty. Called once at mfn CLI startup.
+int arm_from_env();
 
 /// RAII arm/disarm for tests.
 class ScopedFail {

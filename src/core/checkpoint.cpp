@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <limits>
 
@@ -19,21 +20,36 @@ constexpr char kMagic[8] = {'M', 'F', 'N', 'C', 'K', 'P', 'T', '1'};
 void save_checkpoint(const std::string& path, nn::Module& model,
                      const optim::Adam& optimizer,
                      const CheckpointData& data) {
-  std::ofstream os(path, std::ios::binary);
-  MFN_CHECK(os.is_open(), "cannot open checkpoint " << path);
-  os.write(kMagic, sizeof(kMagic));
-  const std::int32_t epoch = data.epoch;
-  os.write(reinterpret_cast<const char*>(&epoch), sizeof(epoch));
-  const auto n = static_cast<std::uint32_t>(data.history.size());
-  os.write(reinterpret_cast<const char*>(&n), sizeof(n));
-  for (const auto& s : data.history) {
-    const double row[4] = {s.total_loss, s.pred_loss, s.eq_loss,
-                           s.wall_seconds};
-    os.write(reinterpret_cast<const char*>(row), sizeof(row));
+  // Atomic publication: write a .tmp sibling, then rename() into place.
+  // A reader (the serving hot-reload path, polling while the trainer
+  // runs) opens either the complete old file or the complete new one —
+  // never a torn, mid-write checkpoint. A trainer killed mid-write
+  // leaves only a stale .tmp behind; the published path is untouched.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary);
+    MFN_CHECK(os.is_open(), "cannot open checkpoint " << tmp);
+    os.write(kMagic, sizeof(kMagic));
+    const std::int32_t epoch = data.epoch;
+    os.write(reinterpret_cast<const char*>(&epoch), sizeof(epoch));
+    const auto n = static_cast<std::uint32_t>(data.history.size());
+    os.write(reinterpret_cast<const char*>(&n), sizeof(n));
+    for (const auto& s : data.history) {
+      const double row[4] = {s.total_loss, s.pred_loss, s.eq_loss,
+                             s.wall_seconds};
+      os.write(reinterpret_cast<const char*>(row), sizeof(row));
+    }
+    model.save(os);
+    // The kill-mid-write fail point: the trainer dies after the tmp file
+    // holds a plausible-looking prefix but before the rename. The test
+    // asserts the published path still loads the previous checkpoint.
+    if (failpoint::poll("ckpt.crash_mid_write"))
+      MFN_FAIL("injected crash mid checkpoint write " << tmp);
+    optimizer.save_state(os);
+    MFN_CHECK(os.good(), "checkpoint write failed: " << tmp);
   }
-  model.save(os);
-  optimizer.save_state(os);
-  MFN_CHECK(os.good(), "checkpoint write failed: " << path);
+  MFN_CHECK(std::rename(tmp.c_str(), path.c_str()) == 0,
+            "cannot publish checkpoint " << tmp << " -> " << path);
 }
 
 namespace {

@@ -1,0 +1,64 @@
+// Elastic ring formation + allreduce over the TCP channel.
+//
+// A Ring is the membership view at one epoch: the sorted live ranks and
+// their advertised listen ports. The coordinator (rank 0) owns the view;
+// workers receive it in a kGo message and call establish_ring() followed
+// by ring_allreduce_average().
+//
+// Determinism contract (pinned by test_tcp_channel's shrink test): the
+// averaged result depends only on (sorted live ranks, count, the data on
+// each live rank). Chunk partition is [i*count/W, (i+1)*count/W) by ring
+// position (= index in the sorted rank list), summation happens in ring
+// order, and the 1/W scale is applied once after the sum — so a world
+// that shrank from {0,1,2} to {0,2} produces bitwise the same floats as a
+// fresh 2-rank run with the same per-rank data.
+//
+// Failure contract: any peer death or deadline inside establish_ring /
+// ring_allreduce_average throws ChannelError and leaves `data`
+// unspecified. Callers must run the allreduce on a scratch copy and only
+// commit after the coordinator confirms every rank finished (worker.cpp's
+// deferred-commit protocol), so a retry at a smaller world starts from
+// the preserved local gradients.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "distributed/tcp_channel.h"
+
+namespace mfn::dist {
+
+struct Member {
+  std::int32_t rank = -1;
+  std::int32_t port = 0;  ///< the member's advertised listen port
+};
+
+struct Ring {
+  std::uint32_t epoch = 0;
+  std::vector<Member> members;  ///< sorted by rank, coordinator first
+
+  int world() const { return static_cast<int>(members.size()); }
+};
+
+/// Index of `rank` in the sorted member list; -1 if not a member.
+int ring_position(const Ring& ring, int rank);
+
+/// Serialize / parse a Ring as a kGo-style payload body.
+void write_ring(PayloadWriter& w, const Ring& ring);
+Ring read_ring(PayloadReader& r);
+
+/// Form the neighbor links for `ring`: dial my successor's listener,
+/// accept from my predecessor, both tagged with ring.epoch. Existing ring
+/// links (from an older epoch) are dropped first. No-op for world == 1.
+/// Throws ChannelError if a neighbor cannot be reached in time.
+void establish_ring(TcpChannel& channel, const Ring& ring, int timeout_ms);
+
+/// In-place ring allreduce-average of data[0..count) across the ring:
+/// reduce-scatter then allgather (2*(W-1) rounds), each round a
+/// full-duplex neighbor exchange of one chunk; finally every element is
+/// scaled by 1/W. World 1 degenerates to the pure scale (a no-op sum).
+/// Throws ChannelError on any neighbor failure; `data` is then garbage.
+void ring_allreduce_average(TcpChannel& channel, const Ring& ring,
+                            float* data, std::int64_t count, int timeout_ms);
+
+}  // namespace mfn::dist

@@ -1,0 +1,536 @@
+#include "distributed/worker.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "common/error.h"
+#include "common/failpoint.h"
+#include "core/checkpoint.h"
+#include "core/trainer.h"
+#include "data/synthetic.h"
+#include "distributed/elastic.h"
+#include "distributed/tcp_channel.h"
+
+namespace mfn::dist {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+      .count();
+}
+
+std::int64_t total_param_elems(const std::vector<ad::Var*>& params) {
+  std::int64_t n = 0;
+  for (auto* p : params) n += p->value().numel();
+  return n;
+}
+
+void flatten_grads(const std::vector<ad::Var*>& params,
+                   std::vector<float>& out) {
+  std::size_t off = 0;
+  for (auto* p : params) {
+    const Tensor& g = p->mutable_grad();
+    std::copy(g.data(), g.data() + g.numel(), out.data() + off);
+    off += static_cast<std::size_t>(g.numel());
+  }
+  MFN_CHECK(off == out.size(), "gradient flatten size mismatch");
+}
+
+void scatter_grads(const std::vector<float>& in,
+                   const std::vector<ad::Var*>& params) {
+  std::size_t off = 0;
+  for (auto* p : params) {
+    Tensor& g = p->mutable_grad();
+    std::copy(in.data() + off, in.data() + off + g.numel(), g.data());
+    off += static_cast<std::size_t>(g.numel());
+  }
+}
+
+/// One process of the distributed training job. Rank 0 runs
+/// run_coordinator() (it is also a compute worker); everyone else runs
+/// run_follower().
+class TrainNode {
+ public:
+  explicit TrainNode(const DistTrainConfig& cfg)
+      : cfg_(cfg),
+        model_rng_(cfg.seed),
+        model_(dist_tiny_model_config(), model_rng_),
+        opt_(model_.parameters(), cfg.adam),
+        data_rng_(cfg.seed * 0x9E3779B97F4A7C15ull +
+                  static_cast<std::uint64_t>(cfg.rank) * 2654435761ull + 1) {
+    model_.set_training(true);
+    data::SyntheticConfig scfg;
+    scfg.seed = cfg.seed + 7;
+    pair_ = data::make_sr_pair(data::generate_synthetic_waves(scfg), 2, 2);
+    data::PatchSamplerConfig pcfg;
+    pcfg.queries_per_patch = 128;
+    sampler_.emplace(pair_, pcfg);
+
+    TcpChannelConfig ccfg;
+    ccfg.host = cfg.host;
+    ccfg.listen_port = cfg.rank == 0 ? cfg.port : 0;
+    ccfg.io_timeout_ms = cfg.io_timeout_ms;
+    channel_.emplace(cfg.rank, ccfg);
+
+    const std::int64_t n = total_param_elems(model_.parameters());
+    local_flat_.resize(static_cast<std::size_t>(n));
+    scratch_.resize(static_cast<std::size_t>(n));
+  }
+
+  DistTrainResult run() {
+    if (cfg_.rank == 0)
+      run_coordinator();
+    else
+      run_follower();
+    return result_;
+  }
+
+ private:
+  // ------------------------------------------------------------- common --
+  /// Forward/backward one local batch; leaves the flat gradients in
+  /// local_flat_ and returns the loss. Hosts the mid-training failpoints.
+  double compute_local_step() {
+    data::BatchedSample batch =
+        sampler_->sample_batch(cfg_.batch_size, data_rng_);
+    opt_.zero_grad();
+    core::StepLoss step = core::batched_step_loss(model_, batch,
+                                                  eq_config_, cfg_.gamma);
+    ad::backward(step.loss);
+    flatten_grads(model_.parameters(), local_flat_);
+    if (failpoint::poll("dist.worker_crash"))
+      std::_Exit(42);  // hard mid-training death, no cleanup
+    if (auto f = failpoint::poll("dist.slow_worker"))
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(static_cast<int>(f->arg)));
+    return step.loss.value().item();
+  }
+
+  /// Apply the deferred update: the averaged gradients in scratch_ become
+  /// this step's Adam update on every replica identically.
+  void commit_pending() {
+    MFN_CHECK(have_scratch_, "commit with no completed allreduce");
+    scatter_grads(scratch_, model_.parameters());
+    opt_.step();
+    have_scratch_ = false;
+  }
+
+  Ring make_ring(const std::set<int>& live) const {
+    Ring ring;
+    ring.epoch = epoch_;
+    for (int r : live) {
+      const int port = r == cfg_.rank ? channel_->listen_port()
+                       : r == 0       ? cfg_.port
+                                      : channel_->peer_listen_port(r);
+      ring.members.push_back(
+          {r, static_cast<std::int32_t>(port)});
+    }
+    return ring;
+  }
+
+  /// Run the elastic allreduce for `ring` on a fresh scratch copy of the
+  /// local gradients. Returns false on any transport failure.
+  bool try_allreduce(const Ring& ring) {
+    scratch_ = local_flat_;
+    try {
+      establish_ring(*channel_, ring, cfg_.io_timeout_ms);
+      ring_allreduce_average(*channel_, ring, scratch_.data(),
+                             static_cast<std::int64_t>(scratch_.size()),
+                             cfg_.io_timeout_ms);
+      return true;
+    } catch (const ChannelError&) {
+      return false;
+    }
+  }
+
+  // -------------------------------------------------------- coordinator --
+  void excise(std::set<int>& live, int rank, Clock::time_point t0) {
+    channel_->drop(rank, Purpose::kControl);
+    channel_->drop(rank, Purpose::kRingOut);
+    channel_->drop(rank, Purpose::kRingIn);
+    live.erase(rank);
+    epoch_++;
+    result_.excised_ranks.push_back(rank);
+    result_.detect_ms.push_back(ms_since(t0));
+  }
+
+  /// Send the full model + optimizer state so `rank` can join the next
+  /// step. Returns false (without admitting) if the send fails.
+  bool send_sync(int rank, int next_step) {
+    std::ostringstream model_bytes, opt_bytes;
+    model_.save(model_bytes);
+    opt_.save_state(opt_bytes);
+    Message m;
+    m.type = MsgType::kSync;
+    m.epoch = epoch_;
+    PayloadWriter w;
+    w.u64(static_cast<std::uint64_t>(next_step));
+    const std::string mb = model_bytes.str(), ob = opt_bytes.str();
+    w.u64(mb.size());
+    w.bytes(mb.data(), mb.size());
+    w.u64(ob.size());
+    w.bytes(ob.data(), ob.size());
+    m.payload = w.take();
+    try {
+      channel_->send(rank, Purpose::kControl, m);
+      return true;
+    } catch (const ChannelError&) {
+      return false;
+    }
+  }
+
+  void admit_joiners(std::set<int>& live, int next_step) {
+    for (int rank : channel_->poll_accept(0)) {
+      if (rank <= 0) continue;
+      if (send_sync(rank, next_step)) {
+        live.insert(rank);
+        result_.joins++;
+      }
+    }
+  }
+
+  /// Broadcast `m` to every live worker; a failed send excises the peer.
+  /// Returns true when the broadcast reached everyone (membership
+  /// unchanged).
+  bool broadcast(std::set<int>& live, const Message& m) {
+    const auto t0 = Clock::now();
+    bool clean = true;
+    for (int rank : std::vector<int>(live.begin(), live.end())) {
+      if (rank == 0) continue;
+      try {
+        channel_->send(rank, Purpose::kControl, m);
+      } catch (const ChannelError&) {
+        excise(live, rank, t0);
+        clean = false;
+      }
+    }
+    return clean;
+  }
+
+  Message make_plan(int step, bool commit, bool stop) const {
+    Message m;
+    m.type = MsgType::kPlan;
+    m.epoch = epoch_;
+    PayloadWriter w;
+    w.u64(static_cast<std::uint64_t>(step));
+    w.u8(commit ? 1 : 0);
+    w.u8(stop ? 1 : 0);
+    m.payload = w.take();
+    return m;
+  }
+
+  /// Collect one message of `want` type from every live worker within the
+  /// heartbeat deadline; non-reporters and broken peers are excised.
+  /// `on_msg` sees each report (including kAbort when want == kDone).
+  void collect(std::set<int>& live, MsgType want, int deadline_ms,
+               const std::function<void(int, const Message&)>& on_msg) {
+    const auto t0 = Clock::now();
+    std::set<int> waiting;
+    for (int r : live)
+      if (r != 0) waiting.insert(r);
+    while (!waiting.empty()) {
+      const int left =
+          deadline_ms - static_cast<int>(ms_since(t0));
+      if (left <= 0) break;
+      int failed = -1;
+      std::optional<std::pair<int, Message>> got;
+      try {
+        got = channel_->recv_any(
+            std::vector<int>(waiting.begin(), waiting.end()), left,
+            &failed);
+      } catch (const ChannelError&) {
+        if (failed >= 0) {
+          excise(live, failed, t0);
+          waiting.erase(failed);
+        }
+        continue;
+      }
+      if (!got) break;  // deadline
+      const int rank = got->first;
+      const Message& m = got->second;
+      if (m.type == want ||
+          (want == MsgType::kDone && m.type == MsgType::kAbort)) {
+        on_msg(rank, m);
+        waiting.erase(rank);
+      }
+      // Anything else (stale kAlive, a late report from a previous
+      // phase) is dropped; the sender stays in the waiting set.
+    }
+    // Whoever never reported is dead or too slow: excise.
+    for (int rank : std::vector<int>(waiting.begin(), waiting.end()))
+      excise(live, rank, t0);
+  }
+
+  void publish_checkpoint(int step) {
+    if (cfg_.checkpoint_path.empty()) return;
+    core::CheckpointData data;
+    data.epoch = step;
+    core::save_checkpoint(cfg_.checkpoint_path, model_, opt_, data);
+    result_.checkpoints_published++;
+  }
+
+  void write_status(int steps_done) {
+    if (cfg_.status_path.empty()) return;
+    std::ofstream os(cfg_.status_path + ".tmp");
+    auto list = [&os](const auto& v) {
+      os << "[";
+      for (std::size_t i = 0; i < v.size(); ++i)
+        os << (i ? "," : "") << v[i];
+      os << "]";
+    };
+    os << "{\"steps\":" << steps_done
+       << ",\"final_world\":" << result_.final_world
+       << ",\"epoch\":" << result_.final_epoch << ",\"joins\":"
+       << result_.joins << ",\"retries\":" << result_.retries
+       << ",\"checkpoints\":" << result_.checkpoints_published
+       << ",\"excised\":";
+    list(result_.excised_ranks);
+    os << ",\"detect_ms\":";
+    list(result_.detect_ms);
+    os << ",\"losses\":";
+    list(result_.step_loss);
+    os << "}\n";
+    os.close();
+    std::rename((cfg_.status_path + ".tmp").c_str(),
+                cfg_.status_path.c_str());
+  }
+
+  void run_coordinator() {
+    std::set<int> live{0};
+    // Initial assembly: wait for the expected world (minus us), then
+    // start with whoever made it.
+    const auto t0 = Clock::now();
+    while (static_cast<int>(live.size()) < cfg_.world &&
+           ms_since(t0) < cfg_.join_timeout_ms) {
+      admit_joiners(live, 0);
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    MFN_CHECK(static_cast<int>(live.size()) >= cfg_.min_world,
+              "only " << live.size() << " of " << cfg_.min_world
+                      << " required ranks joined");
+
+    for (int s = 0; s < cfg_.steps; ++s) {
+      admit_joiners(live, s);
+      broadcast(live, make_plan(s, have_scratch_, false));
+      if (have_scratch_) {
+        commit_pending();
+        if (cfg_.checkpoint_every > 0 && s % cfg_.checkpoint_every == 0)
+          publish_checkpoint(s);
+      }
+
+      double loss_sum = compute_local_step();
+      int loss_n = 1;
+      collect(live, MsgType::kReady, cfg_.heartbeat_timeout_ms,
+              [&](int, const Message& m) {
+                PayloadReader r(m.payload);
+                r.u64();  // step
+                loss_sum += r.f64();
+                loss_n++;
+              });
+
+      // Allreduce, retrying at a smaller world after any failure.
+      for (;;) {
+        MFN_CHECK(static_cast<int>(live.size()) >= cfg_.min_world,
+                  "live world shrank below min_world at step " << s);
+        const Ring ring = make_ring(live);
+        Message go;
+        go.type = MsgType::kGo;
+        go.epoch = epoch_;
+        PayloadWriter w;
+        write_ring(w, ring);
+        go.payload = w.take();
+        if (!broadcast(live, go)) {
+          result_.retries++;
+          continue;  // membership changed mid-broadcast: new ring
+        }
+        const bool ok = try_allreduce(ring);
+        bool abort = !ok;
+        const std::size_t before = result_.excised_ranks.size();
+        collect(live, MsgType::kDone,
+                cfg_.heartbeat_timeout_ms + cfg_.io_timeout_ms,
+                [&](int, const Message& m) {
+                  if (m.type == MsgType::kAbort) abort = true;
+                });
+        const bool excised = result_.excised_ranks.size() != before;
+        if (ok && !abort && !excised) break;
+        result_.retries++;
+        if (!excised) epoch_++;  // transport hiccup: force a fresh ring
+      }
+      have_scratch_ = true;
+      result_.step_loss.push_back(loss_sum / loss_n);
+    }
+
+    broadcast(live, make_plan(cfg_.steps, true, true));
+    commit_pending();
+    publish_checkpoint(cfg_.steps);
+    result_.final_world = static_cast<int>(live.size());
+    result_.final_epoch = epoch_;
+    write_status(cfg_.steps);
+  }
+
+  // ------------------------------------------------------------- worker --
+  void load_sync(const Message& m) {
+    PayloadReader r(m.payload);
+    r.u64();  // next step (informational)
+    std::string model_bytes(r.u64(), '\0');
+    r.bytes(model_bytes.data(), model_bytes.size());
+    std::string opt_bytes(r.u64(), '\0');
+    r.bytes(opt_bytes.data(), opt_bytes.size());
+    std::istringstream ms(model_bytes), os(opt_bytes);
+    model_.load(ms);
+    opt_.load_state(os);
+    have_scratch_ = false;
+  }
+
+  /// Re-dial rank 0 after an excision (or a lost coordinator). Returns
+  /// false when rank 0 is gone — the normal end-of-job signal for a
+  /// worker that was excised near the finish.
+  bool rejoin() {
+    channel_->drop(0, Purpose::kControl);
+    channel_->drop_ring();
+    if (!cfg_.rejoin) return false;
+    try {
+      channel_->dial(0, cfg_.port, Purpose::kControl, epoch_);
+      result_.rejoins++;
+      return true;
+    } catch (const ChannelError&) {
+      return false;
+    }
+  }
+
+  void run_follower() {
+    channel_->dial(0, cfg_.port, Purpose::kControl, 0);
+    int idle_strikes = 0;
+    for (;;) {
+      std::optional<Message> m;
+      try {
+        m = channel_->recv(0, Purpose::kControl, cfg_.join_timeout_ms);
+      } catch (const ChannelError&) {
+        if (!rejoin()) return;
+        continue;
+      }
+      if (!m) {
+        // Coordinator silent for a whole join window: assume it is gone
+        // after a couple of strikes (it may legitimately be mid-compute).
+        if (++idle_strikes >= 3) return;
+        continue;
+      }
+      idle_strikes = 0;
+      switch (m->type) {
+        case MsgType::kSync:
+          load_sync(*m);
+          break;
+        case MsgType::kPlan: {
+          PayloadReader r(m->payload);
+          r.u64();  // step
+          const bool commit = r.u8() != 0;
+          const bool stop = r.u8() != 0;
+          if (commit && have_scratch_) commit_pending();
+          if (stop) return;
+          const double loss = compute_local_step();
+          Message ready;
+          ready.type = MsgType::kReady;
+          ready.epoch = m->epoch;
+          PayloadWriter w;
+          w.u64(0);
+          w.f64(loss);
+          ready.payload = w.take();
+          try {
+            channel_->send(0, Purpose::kControl, ready);
+          } catch (const ChannelError&) {
+            if (!rejoin()) return;
+          }
+          result_.step_loss.push_back(loss);
+          break;
+        }
+        case MsgType::kGo: {
+          PayloadReader r(m->payload);
+          const Ring ring = read_ring(r);
+          epoch_ = ring.epoch;
+          if (ring_position(ring, cfg_.rank) < 0) break;  // not a member
+          const bool ok = try_allreduce(ring);
+          have_scratch_ = ok;
+          Message outcome;
+          outcome.type = ok ? MsgType::kDone : MsgType::kAbort;
+          outcome.epoch = ring.epoch;
+          PayloadWriter w;
+          w.u64(0);
+          outcome.payload = w.take();
+          try {
+            channel_->send(0, Purpose::kControl, outcome);
+          } catch (const ChannelError&) {
+            if (!rejoin()) return;
+          }
+          result_.final_world = ring.world();
+          result_.final_epoch = ring.epoch;
+          break;
+        }
+        case MsgType::kProbe: {
+          Message alive;
+          alive.type = MsgType::kAlive;
+          alive.epoch = m->epoch;
+          try {
+            channel_->send(0, Purpose::kControl, alive);
+          } catch (const ChannelError&) {
+            if (!rejoin()) return;
+          }
+          break;
+        }
+        default:
+          break;  // stale ring traffic etc.: ignore
+      }
+    }
+  }
+
+  DistTrainConfig cfg_;
+  Rng model_rng_;
+  core::MeshfreeFlowNet model_;
+  optim::Adam opt_;
+  Rng data_rng_;
+  data::SRPair pair_;
+  std::optional<data::PatchSampler> sampler_;
+  core::EquationLossConfig eq_config_;
+  std::optional<TcpChannel> channel_;
+
+  std::vector<float> local_flat_;  ///< this step's local flat gradients
+  std::vector<float> scratch_;     ///< allreduce workspace / pending avg
+  bool have_scratch_ = false;      ///< scratch_ holds a committable average
+  std::uint32_t epoch_ = 1;        ///< membership epoch (bumps on excision)
+
+  DistTrainResult result_;
+};
+
+}  // namespace
+
+core::MFNConfig dist_tiny_model_config() {
+  core::MFNConfig cfg = core::MFNConfig::small_default();
+  cfg.unet.base_filters = 4;
+  cfg.unet.out_channels = 8;
+  cfg.unet.max_filters = 16;
+  cfg.unet.pools = {{1, 2, 2}};
+  cfg.decoder.latent_channels = 8;
+  cfg.decoder.hidden = {16};
+  return cfg;
+}
+
+DistTrainResult run_train_worker(const DistTrainConfig& config) {
+  MFN_CHECK(config.rank >= 0, "rank must be >= 0");
+  MFN_CHECK(config.port > 0, "a rendezvous port is required");
+  MFN_CHECK(config.steps >= 1, "steps must be >= 1");
+  TrainNode node(config);
+  DistTrainResult result = node.run();
+  if (config.rank == 0)
+    MFN_CHECK(result.final_world >= config.min_world,
+              "job finished below min_world");
+  return result;
+}
+
+}  // namespace mfn::dist

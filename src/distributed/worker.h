@@ -1,0 +1,125 @@
+// Fault-tolerant multi-process data-parallel training over TCP.
+//
+// run_train_worker() is the per-process entry point (`mfn train-worker`
+// wraps it): rank 0 is the coordinator *and* a compute worker, everyone
+// else dials rank 0's control port. Each step runs a synchronous
+// coordinator-driven protocol:
+//
+//   kPlan   rank0 -> all     step number + commit/stop flags. The commit
+//                            flag applies the PREVIOUS step's averaged
+//                            gradients — updates are deferred until the
+//                            coordinator has seen every rank finish the
+//                            allreduce, so a mid-allreduce failure can be
+//                            retried from preserved local gradients
+//                            without any replica diverging.
+//   kReady  all -> rank0     per-step heartbeat carrying the local loss.
+//                            A rank that misses the heartbeat deadline
+//                            (crashed, hung, partitioned) is excised: the
+//                            membership epoch bumps and the survivors
+//                            re-form a smaller ring.
+//   kGo     rank0 -> all     the ring spec (epoch + sorted live members
+//                            with ports); everyone establishes neighbor
+//                            links and runs the elastic ring allreduce on
+//                            a scratch copy of the flat gradients.
+//   kDone / kAbort           allreduce outcome. Any abort or death causes
+//                            excision of the dead, an epoch bump, and a
+//                            retry of the allreduce at the smaller world
+//                            (gradients re-normalized by the live world
+//                            size via the allreduce's 1/W averaging).
+//
+// Elasticity: a worker that connects at any step boundary (late start or
+// a previously-excised worker re-dialing) is admitted with a kSync
+// carrying the full model + Adam state from rank 0, and joins the next
+// plan. Rank 0's death is fatal to the job by design.
+//
+// The loop never touches wall-clock state beyond timeouts; all failure
+// modes are injectable through failpoints (common/failpoint.h):
+//   dist.worker_crash   _Exit(42) right before the kReady heartbeat
+//   dist.slow_worker    sleep `arg` ms before the heartbeat (excision +
+//                       rejoin path)
+//   dist.conn_refused / dist.recv_timeout  (tcp_channel.h)
+//
+// Rank 0 periodically publishes an atomic checkpoint (core/checkpoint:
+// tmp + rename) that a co-running serve::InferenceEngine can hot-swap
+// mid-traffic, plus an end-of-run status JSON the multi-process tests
+// parse.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/meshfree_flownet.h"
+#include "optim/adam.h"
+
+namespace mfn::dist {
+
+struct DistTrainConfig {
+  int rank = 0;
+  /// Expected initial world. Rank 0 waits up to join_timeout_ms for
+  /// world-1 workers, then starts with whoever showed up (>= min_world).
+  int world = 1;
+  std::string host = "127.0.0.1";
+  /// Rank 0's control/rendezvous port (every other rank listens on an
+  /// ephemeral port advertised through its Hello).
+  int port = 0;
+
+  /// Committed optimization steps to run.
+  int steps = 16;
+  /// Patches per worker per step (global batch = live_world * batch_size).
+  int batch_size = 2;
+  double gamma = 0.0;
+  optim::AdamConfig adam{.lr = 2e-3};
+  std::uint64_t seed = 0;
+
+  /// Coordinator's per-phase collect deadline: a rank that has not
+  /// reported within this window is declared dead/slow and excised.
+  int heartbeat_timeout_ms = 3000;
+  /// Point-to-point send/recv deadline (also the ring allreduce stall
+  /// bound — a dead neighbor surfaces as a ChannelError within this).
+  int io_timeout_ms = 4000;
+  /// Rank 0's wait for the initial world to assemble.
+  int join_timeout_ms = 8000;
+
+  /// Rank 0 publishes an atomic checkpoint here every checkpoint_every
+  /// committed steps and once at the end (empty = off).
+  std::string checkpoint_path;
+  int checkpoint_every = 5;
+  /// Rank 0 writes an end-of-run status JSON here (empty = off).
+  std::string status_path;
+  /// Excised workers re-dial rank 0 and rejoin via kSync.
+  bool rejoin = true;
+  /// Abort (throw) if the live world falls below this.
+  int min_world = 1;
+};
+
+struct DistTrainResult {
+  /// Rank 0: mean live-rank loss per committed step. Workers: local loss
+  /// per computed step.
+  std::vector<double> step_loss;
+  int final_world = 1;
+  std::uint32_t final_epoch = 0;
+  /// Ranks excised by the coordinator (rank 0 only).
+  std::vector<int> excised_ranks;
+  /// Measured detection latency (ms) for each excision, heartbeat-phase
+  /// collect start -> excision decision. Bounded by heartbeat_timeout_ms
+  /// plus one io timeout by construction.
+  std::vector<double> detect_ms;
+  int joins = 0;       ///< kSync admissions performed (rank 0)
+  int rejoins = 0;     ///< times this worker re-dialed after excision
+  int retries = 0;     ///< allreduce retries after an abort/death
+  int checkpoints_published = 0;
+};
+
+/// Run one training process. Blocks until the job finishes (or, for a
+/// worker, until rank 0 goes away). Throws mfn::Error on unrecoverable
+/// failures (e.g. rank 0 unreachable at start, live world < min_world).
+DistTrainResult run_train_worker(const DistTrainConfig& config);
+
+/// The small architecture every rank instantiates (identical seed ->
+/// identical weights; joiners are overwritten by kSync anyway). Patch
+/// shape (4, 8, 8) — compatible with serve::InferenceEngine's default
+/// reload canary, so published checkpoints hot-swap cleanly.
+core::MFNConfig dist_tiny_model_config();
+
+}  // namespace mfn::dist

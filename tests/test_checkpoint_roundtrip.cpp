@@ -11,6 +11,7 @@
 
 #include "autodiff/variable.h"
 #include "common/error.h"
+#include "common/failpoint.h"
 #include "core/checkpoint.h"
 #include "core/meshfree_flownet.h"
 #include "optim/adam.h"
@@ -211,6 +212,50 @@ TEST(CheckpointRoundtrip, MissingFileFailsLoudly) {
   EXPECT_THROW(
       core::load_checkpoint(temp_path("no_such_ckpt.bin"), model, opt),
       mfn::Error);
+}
+
+TEST(CheckpointRoundtrip, CrashMidWriteLeavesPublishedCheckpointIntact) {
+  // Atomic publication (.tmp + rename): a writer killed mid-write must
+  // leave the published path byte-for-byte untouched — the serving
+  // hot-reload path polls this file while the trainer overwrites it.
+  Tensor want;
+  const std::string path = write_reference_checkpoint("ckpt_atomic.bin",
+                                                      &want);
+  const std::vector<char> before = read_file(path);
+
+  // A different model state, so a torn publish would be detectable.
+  Rng rng(23);
+  core::MeshfreeFlowNet other(test_config(), rng);
+  optim::Adam opt(other.parameters());
+  {
+    failpoint::ScopedFail crash("ckpt.crash_mid_write");
+    EXPECT_THROW(core::save_checkpoint(path, other, opt, {}), mfn::Error);
+  }
+  EXPECT_EQ(failpoint::fire_count("ckpt.crash_mid_write"), 1u);
+  failpoint::reset();
+
+  // The interrupted write left only a stale .tmp sibling behind; the
+  // published checkpoint still holds the previous bytes and loads.
+  EXPECT_TRUE(std::ifstream(path + ".tmp").is_open());
+  EXPECT_EQ(read_file(path), before);
+  core::MeshfreeFlowNet loaded(test_config(), rng);
+  optim::Adam lopt(loaded.parameters());
+  core::load_checkpoint(path, loaded, lopt);
+  const Tensor got = eval_predict(loaded);
+  ASSERT_EQ(got.numel(), want.numel());
+  for (std::int64_t i = 0; i < got.numel(); ++i)
+    ASSERT_EQ(got.data()[i], want.data()[i]) << "prediction element " << i;
+
+  // A clean retry publishes the new state and consumes the .tmp.
+  core::save_checkpoint(path, other, opt, {});
+  EXPECT_FALSE(std::ifstream(path + ".tmp").is_open());
+  EXPECT_NE(read_file(path), before);
+  core::MeshfreeFlowNet reloaded(test_config(), rng);
+  optim::Adam ropt(reloaded.parameters());
+  core::load_checkpoint(path, reloaded, ropt);
+
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
 }
 
 }  // namespace

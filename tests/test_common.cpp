@@ -1,10 +1,13 @@
-// Unit tests for common/: error macros, RNG determinism and distributions.
+// Unit tests for common/: error macros, RNG determinism and
+// distributions, and the MFN_FAILPOINTS spec parser.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <set>
 
 #include "common/error.h"
+#include "common/failpoint.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
 
@@ -100,6 +103,92 @@ TEST(Stopwatch, MeasuresElapsed) {
   EXPECT_GE(sw.seconds(), 0.0);
   sw.reset();
   EXPECT_LT(sw.seconds(), 1.0);
+}
+
+// ------------------------------------------- MFN_FAILPOINTS spec parser
+
+/// These tests arm global fail points; never leak one into the next test.
+class FailpointSpec : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    failpoint::reset();
+    unsetenv("MFN_FAILPOINTS");
+  }
+};
+
+TEST_F(FailpointSpec, BareNameArmsWithDefaults) {
+  EXPECT_EQ(failpoint::arm_from_string("a.point"), 1);
+  auto f = failpoint::poll("a.point");
+  ASSERT_TRUE(f.has_value());  // fires on every hit by default
+  EXPECT_EQ(f->skip, 0u);
+  EXPECT_DOUBLE_EQ(f->arg, 0.0);
+}
+
+TEST_F(FailpointSpec, FullSpecParsesEveryField) {
+  EXPECT_EQ(
+      failpoint::arm_from_string("a.point=skip:2,count:1,arg:37.5"), 1);
+  EXPECT_FALSE(failpoint::poll("a.point").has_value());
+  EXPECT_FALSE(failpoint::poll("a.point").has_value());
+  auto f = failpoint::poll("a.point");
+  ASSERT_TRUE(f.has_value());
+  EXPECT_DOUBLE_EQ(f->arg, 37.5);
+  EXPECT_FALSE(failpoint::poll("a.point").has_value());  // count spent
+}
+
+TEST_F(FailpointSpec, MultiplePointsAndWhitespaceTolerated) {
+  EXPECT_EQ(failpoint::arm_from_string(
+                " a.one ; b.two = arg : 250 ;; c.three=count:0 "),
+            3);
+  EXPECT_TRUE(failpoint::poll("a.one").has_value());
+  auto b = failpoint::poll("b.two");
+  ASSERT_TRUE(b.has_value());
+  EXPECT_DOUBLE_EQ(b->arg, 250.0);
+  EXPECT_FALSE(failpoint::poll("c.three").has_value());  // count 0
+}
+
+TEST_F(FailpointSpec, EmptyStringArmsNothing) {
+  EXPECT_EQ(failpoint::arm_from_string(""), 0);
+  EXPECT_EQ(failpoint::arm_from_string("  ;  ; "), 0);
+}
+
+TEST_F(FailpointSpec, MalformedSpecsThrow) {
+  EXPECT_THROW(failpoint::arm_from_string("=skip:1"), Error);
+  EXPECT_THROW(failpoint::arm_from_string("p=skip"), Error);
+  EXPECT_THROW(failpoint::arm_from_string("p=skip:abc"), Error);
+  EXPECT_THROW(failpoint::arm_from_string("p=skip:-1"), Error);
+  EXPECT_THROW(failpoint::arm_from_string("p=skip:"), Error);
+  EXPECT_THROW(failpoint::arm_from_string("p=bogus:1"), Error);
+  EXPECT_THROW(failpoint::arm_from_string("p=arg:1.5z"), Error);
+  // A malformed later item must not silently drop the error.
+  EXPECT_THROW(failpoint::arm_from_string("ok.point;p=wat:1"), Error);
+}
+
+TEST_F(FailpointSpec, ScientificArgAccepted) {
+  EXPECT_EQ(failpoint::arm_from_string("p=arg:1.5e2"), 1);
+  auto f = failpoint::poll("p");
+  ASSERT_TRUE(f.has_value());
+  EXPECT_DOUBLE_EQ(f->arg, 150.0);
+}
+
+TEST_F(FailpointSpec, ArmFromEnvReadsMfnFailpoints) {
+  unsetenv("MFN_FAILPOINTS");
+  EXPECT_EQ(failpoint::arm_from_env(), 0);
+  setenv("MFN_FAILPOINTS", "", 1);
+  EXPECT_EQ(failpoint::arm_from_env(), 0);
+  setenv("MFN_FAILPOINTS", "e.one=arg:9;e.two", 1);
+  EXPECT_EQ(failpoint::arm_from_env(), 2);
+  auto f = failpoint::poll("e.one");
+  ASSERT_TRUE(f.has_value());
+  EXPECT_DOUBLE_EQ(f->arg, 9.0);
+  EXPECT_TRUE(failpoint::poll("e.two").has_value());
+}
+
+TEST_F(FailpointSpec, RearmingReplacesSpecAndResetsCounters) {
+  failpoint::arm_from_string("p=count:1");
+  EXPECT_TRUE(failpoint::poll("p").has_value());
+  EXPECT_FALSE(failpoint::poll("p").has_value());
+  failpoint::arm_from_string("p=count:1");  // re-arm: counter resets
+  EXPECT_TRUE(failpoint::poll("p").has_value());
 }
 
 }  // namespace

@@ -11,6 +11,14 @@
 //                [--batch 8] [--queries 384] [--ra 1e6] [--pr 1]
 //   mfn superres --data data.grid --model model.ckpt --out pred.grid
 //                [--dt 4] [--ds 4] [--nt N] [--nz N] [--nx N]
+//   mfn train-worker [--rank R] [--world W] [--addr 127.0.0.1] --port P
+//                [--steps 16] [--batch 2] [--lr 2e-3] [--seed 0]
+//                [--heartbeat-ms 3000] [--io-ms 4000] [--join-ms 8000]
+//                [--ckpt out.ckpt] [--ckpt-every 5] [--status status.json]
+//                [--rejoin 1] [--min-world 1]
+//   mfn dist-train --world 3 [--steps 16] [--port 0] [... train-worker
+//                flags ...] [--inject-rank R --inject "SPEC"]
+//                [--delay-rank R --delay-ms M]
 //   mfn serve-bench [--model model.ckpt] [--clients 16] [--requests 64]
 //                [--queries 256] [--patches 8] [--cache-mb 64]
 //                [--max-batch 4096] [--max-wait-us 100] [--workers 1]
@@ -33,16 +41,35 @@
 // capacity, or --inject to arm a named fail point (see
 // src/common/failpoint.h) for fault drills.
 //
+// train-worker runs one rank of the fault-tolerant multi-process
+// distributed trainer (src/distributed/worker.h): rank 0 is the
+// coordinator and rendezvous point, everyone else dials --addr:--port.
+// Flags default from MFN_DIST_RANK / MFN_DIST_WORLD / MFN_DIST_ADDR /
+// MFN_DIST_PORT so a launcher can configure ranks through the
+// environment. dist-train is the single-machine launcher: it forks one
+// train-worker subprocess per rank on a free port and reaps them;
+// --inject-rank/--inject arms MFN_FAILPOINTS in exactly one rank for
+// fault drills (e.g. --inject "dist.worker_crash=skip:3,count:1").
+//
 // The network architecture is the library's bench-scale default; training
 // state (weights + Adam moments + history) round-trips through --out /
 // --resume checkpoints. Any command accepts `--verbose 1` to print the
 // backend memory report (caching-allocator hit rates, workspace arena
-// high-water marks) after it finishes.
+// high-water marks) after it finishes. MFN_FAILPOINTS is parsed at
+// startup for every command (failpoint::arm_from_env), so spawned
+// subprocesses can be fault-injected without code changes.
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "backend/simd.h"
 #include "backend/workspace.h"
@@ -55,6 +82,7 @@
 #include "core/meshfree_flownet.h"
 #include "core/trainer.h"
 #include "data/dataset.h"
+#include "distributed/worker.h"
 #include "metrics/comparison.h"
 #include "serve/serve_bench.h"
 #include "threading/thread_pool.h"
@@ -558,9 +586,161 @@ int cmd_serve_bench(const Args& args) {
   return 0;
 }
 
+long env_long(const char* name, long dflt) {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0' ? std::atol(v) : dflt;
+}
+
+std::string env_str(const char* name, const std::string& dflt) {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0' ? std::string(v) : dflt;
+}
+
+dist::DistTrainConfig worker_config_from(const Args& args) {
+  dist::DistTrainConfig cfg;
+  cfg.rank = static_cast<int>(args.integer("rank",
+                                           env_long("MFN_DIST_RANK", 0)));
+  cfg.world = static_cast<int>(
+      args.integer("world", env_long("MFN_DIST_WORLD", 1)));
+  cfg.host = args.str("addr", env_str("MFN_DIST_ADDR", "127.0.0.1"));
+  cfg.port = static_cast<int>(args.integer("port",
+                                           env_long("MFN_DIST_PORT", 0)));
+  cfg.steps = static_cast<int>(args.integer("steps", 16));
+  cfg.batch_size = static_cast<int>(args.integer("batch", 2));
+  cfg.adam.lr = args.num("lr", 2e-3);
+  cfg.seed = static_cast<std::uint64_t>(args.integer("seed", 0));
+  cfg.heartbeat_timeout_ms =
+      static_cast<int>(args.integer("heartbeat-ms", 3000));
+  cfg.io_timeout_ms = static_cast<int>(args.integer("io-ms", 4000));
+  cfg.join_timeout_ms = static_cast<int>(args.integer("join-ms", 8000));
+  cfg.checkpoint_path = args.str("ckpt", "");
+  cfg.checkpoint_every = static_cast<int>(args.integer("ckpt-every", 5));
+  cfg.status_path = args.str("status", "");
+  cfg.rejoin = args.integer("rejoin", 1) != 0;
+  cfg.min_world = static_cast<int>(args.integer("min-world", 1));
+  return cfg;
+}
+
+int cmd_train_worker(const Args& args) {
+  const dist::DistTrainConfig cfg = worker_config_from(args);
+  std::printf("train-worker: rank %d of %d, rendezvous %s:%d, %d steps\n",
+              cfg.rank, cfg.world, cfg.host.c_str(), cfg.port, cfg.steps);
+  const dist::DistTrainResult r = dist::run_train_worker(cfg);
+  std::printf(
+      "rank %d done: %zu steps, final world %d, epoch %u, %zu excised, "
+      "%d joins, %d rejoins, %d retries, %d checkpoints\n",
+      cfg.rank, r.step_loss.size(), r.final_world, r.final_epoch,
+      r.excised_ranks.size(), r.joins, r.rejoins, r.retries,
+      r.checkpoints_published);
+  if (!r.step_loss.empty())
+    std::printf("rank %d loss: first %.4f last %.4f\n", cfg.rank,
+                r.step_loss.front(), r.step_loss.back());
+  return 0;
+}
+
+/// Bind port 0 on loopback to let the kernel pick a free port. The tiny
+/// close-to-reuse race is acceptable for a single-machine launcher.
+int pick_free_port() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  MFN_CHECK(fd >= 0, "socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  MFN_CHECK(::bind(fd, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)) == 0,
+            "bind failed picking a free port");
+  socklen_t len = sizeof(addr);
+  MFN_CHECK(getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0,
+            "getsockname failed");
+  ::close(fd);
+  return static_cast<int>(ntohs(addr.sin_port));
+}
+
+int cmd_dist_train(const Args& args, const char* self) {
+  const int world = static_cast<int>(args.integer("world", 2));
+  MFN_CHECK(world >= 1, "--world must be >= 1");
+  int port = static_cast<int>(args.integer("port", 0));
+  if (port == 0) port = pick_free_port();
+  const int inject_rank = static_cast<int>(args.integer("inject-rank", -1));
+  const std::string inject = args.str("inject", "");
+  const int delay_rank = static_cast<int>(args.integer("delay-rank", -1));
+  const int delay_ms = static_cast<int>(args.integer("delay-ms", 0));
+
+  // Pass-through flags every rank gets verbatim.
+  const std::pair<const char*, std::string> forwarded[] = {
+      {"steps", args.str("steps", "16")},
+      {"batch", args.str("batch", "2")},
+      {"lr", args.str("lr", "2e-3")},
+      {"seed", args.str("seed", "0")},
+      {"heartbeat-ms", args.str("heartbeat-ms", "3000")},
+      {"io-ms", args.str("io-ms", "4000")},
+      {"join-ms", args.str("join-ms", "8000")},
+      {"ckpt-every", args.str("ckpt-every", "5")},
+      {"rejoin", args.str("rejoin", "1")},
+      {"min-world", args.str("min-world", "1")},
+  };
+
+  std::printf("dist-train: launching %d ranks on 127.0.0.1:%d\n", world,
+              port);
+  std::vector<pid_t> pids;
+  for (int rank = 0; rank < world; ++rank) {
+    const pid_t pid = ::fork();
+    MFN_CHECK(pid >= 0, "fork failed: " << std::strerror(errno));
+    if (pid == 0) {
+      if (rank == delay_rank && delay_ms > 0) ::usleep(delay_ms * 1000);
+      if (rank == inject_rank && !inject.empty())
+        ::setenv("MFN_FAILPOINTS", inject.c_str(), 1);
+      std::vector<std::string> argv_s = {self, "train-worker",
+                                         "--rank", std::to_string(rank),
+                                         "--world", std::to_string(world),
+                                         "--port", std::to_string(port)};
+      for (const auto& [flag, value] : forwarded) {
+        argv_s.push_back(std::string("--") + flag);
+        argv_s.push_back(value);
+      }
+      // Only rank 0 publishes checkpoints / status.
+      if (rank == 0) {
+        const std::string ckpt = args.str("ckpt", "");
+        const std::string status = args.str("status", "");
+        if (!ckpt.empty()) { argv_s.push_back("--ckpt"); argv_s.push_back(ckpt); }
+        if (!status.empty()) { argv_s.push_back("--status"); argv_s.push_back(status); }
+      }
+      std::vector<char*> argv_c;
+      for (auto& s : argv_s) argv_c.push_back(s.data());
+      argv_c.push_back(nullptr);
+      ::execvp(self, argv_c.data());
+      std::fprintf(stderr, "execvp %s failed: %s\n", self,
+                   std::strerror(errno));
+      std::_Exit(127);
+    }
+    pids.push_back(pid);
+  }
+
+  int failures = 0;
+  for (int rank = 0; rank < world; ++rank) {
+    int status = 0;
+    ::waitpid(pids[static_cast<std::size_t>(rank)], &status, 0);
+    const int code = WIFEXITED(status) ? WEXITSTATUS(status) : 128;
+    const bool injected = rank == inject_rank;
+    std::printf("dist-train: rank %d exited %d%s\n", rank, code,
+                injected ? " (fault-injected)" : "");
+    // An injected rank is allowed to die however the fail point decides;
+    // everyone else must finish cleanly for the job to count.
+    if (code != 0 && !injected) failures++;
+  }
+  if (failures > 0) {
+    std::fprintf(stderr, "dist-train: %d uninjected rank(s) failed\n",
+                 failures);
+    return 1;
+  }
+  std::printf("dist-train: job complete\n");
+  return 0;
+}
+
 int usage() {
   std::fprintf(stderr,
-               "usage: mfn <simulate|info|train|eval|superres|serve-bench> "
+               "usage: mfn <simulate|info|train|eval|superres|serve-bench"
+               "|train-worker|dist-train> "
                "[--flag value]... [--verbose 1]\n(see the header of "
                "tools/mfn_cli.cpp)\n"
                "simd: %s tier, vector width %d "
@@ -579,6 +759,13 @@ int main(int argc, char** argv) {
   std::printf("mfn: simd tier %s (vector width %d)\n", simd::active_tier(),
               simd::kWidth);
   try {
+    // Startup-time fault injection for spawned subprocesses: the
+    // distributed tests arm a crashing/slow worker purely through its
+    // environment.
+    const int armed = failpoint::arm_from_env();
+    if (armed > 0)
+      std::printf("mfn: %d fail point(s) armed from MFN_FAILPOINTS\n",
+                  armed);
     Args args(argc, argv, 2);
     const bool verbose = args.integer("verbose", 0) != 0;
     int rc = 2;
@@ -588,6 +775,8 @@ int main(int argc, char** argv) {
     else if (cmd == "eval") rc = cmd_eval(args);
     else if (cmd == "superres") rc = cmd_superres(args);
     else if (cmd == "serve-bench") rc = cmd_serve_bench(args);
+    else if (cmd == "train-worker") rc = cmd_train_worker(args);
+    else if (cmd == "dist-train") rc = cmd_dist_train(args, argv[0]);
     else return usage();
     if (verbose) print_backend_stats();
     return rc;

@@ -48,7 +48,11 @@ ID_FIELDS = ("mfn_perf", "op", "batch", "channels", "queries", "m", "n",
              "k", "params", "threads", "clients", "precision",
              # serve_overload: the baseline and hardened runs are distinct
              # series, as are different offered loads.
-             "hardened", "arrival_rps")
+             "hardened", "arrival_rps",
+             # dist_train: each world size (1/2/4 workers) is its own
+             # scaling datapoint; a 4-worker patches/sec must never be
+             # compared against the single-worker baseline.
+             "world")
 
 
 def load(path):
