@@ -22,7 +22,11 @@ namespace {
 using Clock = std::chrono::steady_clock;
 
 constexpr std::uint32_t kFrameMagic = 0x4D464E64;  // "MFNd"
-constexpr std::uint64_t kMaxPayload = 1ull << 32;  // sanity bound
+// Largest legitimate frame is a model+optimizer kSync or a gradient
+// chunk — tens of MB at the outside. Keep the bound far below the 4 GiB a
+// garbage header could otherwise demand from payload.resize() before the
+// desync is noticed.
+constexpr std::uint64_t kMaxPayload = 256ull << 20;  // sanity bound
 
 struct FrameHeader {
   std::uint32_t magic;
@@ -57,15 +61,24 @@ sockaddr_in make_addr(const std::string& host, int port) {
   return addr;
 }
 
-/// poll() one fd for `events`; returns revents (0 on timeout).
+/// poll() one fd for `events`; returns revents (0 on timeout). A signal
+/// (EINTR) re-polls with the remaining deadline rather than reporting a
+/// timeout the caller would treat as deadline expiry.
 short poll_fd(int fd, short events, int timeout_ms) {
-  pollfd pfd{fd, events, 0};
-  const int rc = ::poll(&pfd, 1, timeout_ms);
-  if (rc < 0) {
-    if (errno == EINTR) return 0;
-    throw ChannelError("poll failed: " + std::string(std::strerror(errno)));
+  const auto deadline = deadline_from(timeout_ms);
+  for (;;) {
+    pollfd pfd{fd, events, 0};
+    const int rc = ::poll(&pfd, 1, remaining_ms(deadline));
+    if (rc < 0) {
+      if (errno == EINTR) {
+        if (remaining_ms(deadline) == 0) return 0;
+        continue;
+      }
+      throw ChannelError("poll failed: " +
+                         std::string(std::strerror(errno)));
+    }
+    return rc == 0 ? short{0} : pfd.revents;
   }
-  return rc == 0 ? short{0} : pfd.revents;
 }
 
 std::string serialize_frame(const Message& m) {

@@ -70,6 +70,7 @@ enum class MsgType : std::uint32_t {
   kProbe = 8,      ///< coordinator -> worker: liveness probe
   kAlive = 9,      ///< worker -> coordinator: probe answer
   kRingChunk = 10, ///< neighbor -> neighbor: allreduce payload chunk
+  kDigest = 11,    ///< worker -> coordinator: final state digest (on stop)
 };
 
 struct Message {

@@ -123,6 +123,32 @@ class TrainNode {
     have_scratch_ = false;
   }
 
+  /// FNV-1a over the parameter values + serialized optimizer state — the
+  /// replicated state. After every commit these must be bitwise identical
+  /// on all replicas (the ring allreduce is deterministic and kSync ships
+  /// exact bytes), so at job end every rank's digest must equal rank 0's
+  /// — the invariant the late-join and rejoin paths are most likely to
+  /// break. Module buffers (batch-norm running stats) are deliberately
+  /// excluded: they track each rank's *local* batches and are not part of
+  /// the synchronous-update contract.
+  std::uint64_t state_digest() {
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](const char* p, std::size_t n) {
+      for (std::size_t i = 0; i < n; ++i) {
+        h ^= static_cast<unsigned char>(p[i]);
+        h *= 1099511628211ull;
+      }
+    };
+    for (ad::Var* p : model_.parameters())
+      mix(reinterpret_cast<const char*>(p->value().data()),
+          static_cast<std::size_t>(p->value().numel()) * sizeof(float));
+    std::ostringstream opt_bytes;
+    opt_.save_state(opt_bytes);
+    const std::string s = opt_bytes.str();
+    mix(s.data(), s.size());
+    return h;
+  }
+
   Ring make_ring(const std::set<int>& live) const {
     Ring ring;
     ring.epoch = epoch_;
@@ -291,6 +317,7 @@ class TrainNode {
        << ",\"epoch\":" << result_.final_epoch << ",\"joins\":"
        << result_.joins << ",\"retries\":" << result_.retries
        << ",\"checkpoints\":" << result_.checkpoints_published
+       << ",\"digest_mismatch\":" << result_.digest_mismatches
        << ",\"excised\":";
     list(result_.excised_ranks);
     os << ",\"detect_ms\":";
@@ -318,13 +345,19 @@ class TrainNode {
                       << " required ranks joined");
 
     for (int s = 0; s < cfg_.steps; ++s) {
-      admit_joiners(live, s);
-      broadcast(live, make_plan(s, have_scratch_, false));
-      if (have_scratch_) {
+      // Commit step s-1's deferred update BEFORE admitting joiners, so
+      // the kSync snapshot already contains it. load_sync clears the
+      // joiner's have_scratch_, making it skip this plan's commit flag —
+      // which is only correct if the synced state is post-commit; syncing
+      // first would leave every joiner one Adam update behind forever.
+      const bool commit = have_scratch_;
+      if (commit) {
         commit_pending();
         if (cfg_.checkpoint_every > 0 && s % cfg_.checkpoint_every == 0)
           publish_checkpoint(s);
       }
+      admit_joiners(live, s);
+      broadcast(live, make_plan(s, commit, false));
 
       double loss_sum = compute_local_step();
       int loss_n = 1;
@@ -371,6 +404,15 @@ class TrainNode {
     broadcast(live, make_plan(cfg_.steps, true, true));
     commit_pending();
     publish_checkpoint(cfg_.steps);
+    // Replica-consistency audit: every worker reports its final state
+    // digest with the stop acknowledgement; any divergence from rank 0's
+    // is a protocol bug and surfaces in the status JSON for the tests.
+    const std::uint64_t digest = state_digest();
+    collect(live, MsgType::kDigest, cfg_.heartbeat_timeout_ms,
+            [&](int, const Message& m) {
+              PayloadReader r(m.payload);
+              if (r.u64() != digest) result_.digest_mismatches++;
+            });
     result_.final_world = static_cast<int>(live.size());
     result_.final_epoch = epoch_;
     write_status(cfg_.steps);
@@ -434,7 +476,20 @@ class TrainNode {
           const bool commit = r.u8() != 0;
           const bool stop = r.u8() != 0;
           if (commit && have_scratch_) commit_pending();
-          if (stop) return;
+          if (stop) {
+            Message d;
+            d.type = MsgType::kDigest;
+            d.epoch = m->epoch;
+            PayloadWriter w;
+            w.u64(state_digest());
+            d.payload = w.take();
+            try {
+              channel_->send(0, Purpose::kControl, d);
+            } catch (const ChannelError&) {
+              // Job is over either way; the coordinator counts us absent.
+            }
+            return;
+          }
           const double loss = compute_local_step();
           Message ready;
           ready.type = MsgType::kReady;

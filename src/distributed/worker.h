@@ -30,7 +30,16 @@
 // Elasticity: a worker that connects at any step boundary (late start or
 // a previously-excised worker re-dialing) is admitted with a kSync
 // carrying the full model + Adam state from rank 0, and joins the next
-// plan. Rank 0's death is fatal to the job by design.
+// plan. The coordinator applies its own pending commit BEFORE taking the
+// kSync snapshot (joiners skip the plan's commit flag, so the snapshot
+// must already be post-commit or the joiner diverges by one update).
+// Rank 0's death is fatal to the job by design.
+//
+// On the stop plan every worker answers with a kDigest of its final
+// parameter values + optimizer state (batch-norm running stats are
+// per-rank local and excluded); rank 0 compares them against its own and
+// reports mismatches in the status JSON — the replica-consistency
+// invariant is checked, not assumed.
 //
 // The loop never touches wall-clock state beyond timeouts; all failure
 // modes are injectable through failpoints (common/failpoint.h):
@@ -109,6 +118,11 @@ struct DistTrainResult {
   int rejoins = 0;     ///< times this worker re-dialed after excision
   int retries = 0;     ///< allreduce retries after an abort/death
   int checkpoints_published = 0;
+  /// Rank 0: workers whose end-of-job state digest (parameters + Adam
+  /// state) differed from rank 0's. Must be 0 — any nonzero value means
+  /// the synchronous-replica invariant broke somewhere (e.g. a joiner
+  /// synced against pre-commit state).
+  int digest_mismatches = 0;
 };
 
 /// Run one training process. Blocks until the job finishes (or, for a

@@ -133,6 +133,7 @@ TEST(DistTrain, TwoProcessSmokeConvergesAndPublishes) {
 
   const std::string json = slurp(status);
   EXPECT_EQ(num_field(json, "final_world"), 2);
+  EXPECT_EQ(num_field(json, "digest_mismatch"), 0);
   const std::vector<double> losses = vec_field(json, "losses");
   ASSERT_EQ(losses.size(), 6u);
   EXPECT_LT(losses.back(), losses.front());
@@ -251,6 +252,8 @@ TEST(DistTrain, CrashedWorkerExcisedSurvivorsConvergeWhileServing) {
 
   const std::string json = slurp(status);
   EXPECT_EQ(num_field(json, "final_world"), 2);
+  // The surviving replica must end bitwise identical to rank 0.
+  EXPECT_EQ(num_field(json, "digest_mismatch"), 0);
   const std::vector<double> excised = vec_field(json, "excised");
   ASSERT_EQ(excised.size(), 1u);
   EXPECT_EQ(excised[0], 2);
@@ -291,8 +294,12 @@ TEST(DistTrain, SlowWorkerExcisedThenRejoinsElastically) {
   EXPECT_GE(detect[0], 250.0);  // not excised before the deadline
   EXPECT_LT(detect[0], 300.0 + 4000.0 + 1000.0);
   // The excised worker made it back in: membership returned to 3 and the
-  // coordinator performed a third kSync admission.
+  // coordinator performed a third kSync admission. The rejoiner must end
+  // bitwise identical to the replicas that never left — the kSync
+  // snapshot has to be post-commit (regression: joiners synced against
+  // pre-commit state ran one Adam update behind forever).
   EXPECT_EQ(num_field(json, "final_world"), 3);
+  EXPECT_EQ(num_field(json, "digest_mismatch"), 0);
   EXPECT_GE(num_field(json, "joins"), 3);
   EXPECT_GE(num_field(json, "epoch"), 2);
   ASSERT_EQ(vec_field(json, "losses").size(), 120u);
@@ -317,6 +324,7 @@ TEST(DistTrain, PartitionedWorkerExcisedAtHeartbeatDeadline) {
   ASSERT_EQ(excised.size(), 1u);
   EXPECT_EQ(excised[0], 1);
   EXPECT_EQ(num_field(json, "final_world"), 2);
+  EXPECT_EQ(num_field(json, "digest_mismatch"), 0);
   const std::vector<double> losses = vec_field(json, "losses");
   ASSERT_EQ(losses.size(), 30u);
   EXPECT_LT(mean_of(losses, losses.size() - 5, 5), mean_of(losses, 0, 5));
@@ -340,6 +348,9 @@ TEST(DistTrain, LateJoinerAdmittedMidTraining) {
 
   const std::string json = slurp(status);
   EXPECT_EQ(num_field(json, "final_world"), 3);
+  // The latecomer joined mid-job at a step with a pending commit; its
+  // final state must still match rank 0's bitwise.
+  EXPECT_EQ(num_field(json, "digest_mismatch"), 0);
   EXPECT_EQ(vec_field(json, "excised").size(), 0u);
   EXPECT_GE(num_field(json, "joins"), 2);
   ASSERT_EQ(vec_field(json, "losses").size(), 120u);

@@ -719,8 +719,13 @@ int cmd_dist_train(const Args& args, const char* self) {
   int failures = 0;
   for (int rank = 0; rank < world; ++rank) {
     int status = 0;
-    ::waitpid(pids[static_cast<std::size_t>(rank)], &status, 0);
-    const int code = WIFEXITED(status) ? WEXITSTATUS(status) : 128;
+    pid_t reaped;
+    do {
+      reaped = ::waitpid(pids[static_cast<std::size_t>(rank)], &status, 0);
+    } while (reaped < 0 && errno == EINTR);
+    // An unreaped rank must count as failed, not as a clean exit 0.
+    const int code = reaped >= 0 && WIFEXITED(status) ? WEXITSTATUS(status)
+                                                      : 128;
     const bool injected = rank == inject_rank;
     std::printf("dist-train: rank %d exited %d%s\n", rank, code,
                 injected ? " (fault-injected)" : "");
