@@ -12,66 +12,110 @@
 
 namespace mfn::serve {
 
-namespace {
-std::shared_ptr<const ModelSnapshot> make_snapshot(
-    std::unique_ptr<core::MeshfreeFlowNet> model, std::uint64_t version,
-    std::shared_ptr<core::PlanCache> plans,
-    backend::Precision decode_precision) {
-  MFN_CHECK(model != nullptr, "engine snapshot requires a model");
-  auto snap = std::make_shared<ModelSnapshot>();
-  // prepare() freezes the model for serving (eval mode + folded conv->BN
-  // affines) and clones + prepacks the decoder weights (all precision
-  // tiers) the plan path replays against.
-  snap->prepared = core::PreparedSnapshot::prepare(*model, version);
-  snap->model = std::move(model);
-  snap->version = version;
-  snap->plans = std::move(plans);
-  snap->decode_precision = decode_precision;
-  return snap;
-}
-}  // namespace
-
 InferenceEngine::InferenceEngine(
     std::unique_ptr<core::MeshfreeFlowNet> model,
     InferenceEngineConfig config)
-    : model_config_(model ? model->config() : core::MFNConfig{}),
-      reload_config_(config.reload),
-      decode_precision_(config.decode_precision),
-      cache_(config.cache_bytes),
-      plans_(std::make_shared<core::PlanCache>(config.plan_cache_entries)),
+    : registry_(config.cache_bytes, config.plan_cache_entries),
       batcher_(config.batcher) {
-  snapshot_ = make_snapshot(std::move(model), next_version_++, plans_,
-                            decode_precision_);
+  TenantConfig t0;
+  t0.name = "default";
+  t0.decode_precision = config.decode_precision;
+  t0.reload = config.reload;
+  registry_.add(kDefaultTenant, std::move(model), std::move(t0));
 }
 
 InferenceEngine::~InferenceEngine() {
-  // Explicit for clarity: the batcher drains before snapshot_/cache_ die.
+  // Explicit for clarity: the batcher drains before the registry (and with
+  // it every tenant's snapshot and cache) dies.
   batcher_.shutdown();
 }
 
-std::shared_ptr<const ModelSnapshot> InferenceEngine::current_snapshot()
-    const {
-  std::lock_guard<std::mutex> lk(snapshot_mu_);
-  return snapshot_;
+void InferenceEngine::add_tenant(
+    TenantId tenant, std::unique_ptr<core::MeshfreeFlowNet> model,
+    TenantConfig config) {
+  const double weight = config.weight;
+  registry_.add(tenant, std::move(model), std::move(config));
+  batcher_.set_tenant_weight(tenant, weight);
+}
+
+bool InferenceEngine::has_tenant(TenantId tenant) const {
+  return registry_.find(tenant) != nullptr;
+}
+
+std::vector<TenantId> InferenceEngine::tenants() const {
+  return registry_.ids();
 }
 
 Tensor InferenceEngine::latent_for(
+    ModelRegistry::Tenant& t,
     const std::shared_ptr<const ModelSnapshot>& snap, std::uint64_t patch_id,
     const Tensor& lr_patch) {
   const LatentKey key{snap->version, patch_id};
-  if (auto hit = cache_.get(key)) return *hit;
+  if (auto hit = t.cache.get(key)) return *hit;
   MFN_CHECK(lr_patch.defined() && lr_patch.ndim() == 5 &&
                 lr_patch.dim(0) == 1,
             "lr_patch must be (1, C, lt, lz, lx), got "
                 << (lr_patch.defined() ? lr_patch.shape().str()
                                        : std::string("<undefined>")));
-  // Encode outside the cache lock. Concurrent misses on one key may
-  // duplicate the encode; the puts are idempotent (identical values from
-  // identical weights), so the race costs work, never correctness.
-  ad::NoGradGuard no_grad;
-  Tensor latent = snap->model->encode(lr_patch).value();
-  cache_.put(key, latent);
-  return latent;
+  // Single-flight: concurrent misses on one key elect a leader; followers
+  // wait on its shared_future instead of duplicating the Context
+  // Generation Network forward (the post-hot-swap stampede otherwise pays
+  // N encodes for one hot patch). The encode itself never runs under
+  // encode_mu — only the election does.
+  std::promise<Tensor> mine;
+  std::shared_future<Tensor> flight;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lk(t.encode_mu);
+    auto it = t.inflight.find(key);
+    if (it != t.inflight.end()) {
+      flight = it->second;
+      ++t.encode.dedup_encodes;
+    } else {
+      leader = true;
+      ++t.encode.encodes;
+      flight = mine.get_future().share();
+      t.inflight.emplace(key, flight);
+    }
+  }
+  if (!leader) return flight.get();  // rethrows the leader's failure
+  try {
+    // Fail point for stampede tests: an encode that takes `arg`
+    // milliseconds, deterministically.
+    if (auto f = failpoint::poll("serve.slow_encode"))
+      std::this_thread::sleep_for(std::chrono::microseconds(
+          static_cast<std::int64_t>(f->arg * 1e3)));
+    ad::NoGradGuard no_grad;
+    Tensor latent = snap->model->encode(lr_patch).value();
+    // Publish to the cache before retiring the flight entry so a miss
+    // arriving between the two finds one or the other, never a gap.
+    t.cache.put(key, latent);
+    mine.set_value(latent);
+    {
+      std::lock_guard<std::mutex> lk(t.encode_mu);
+      t.inflight.erase(key);
+    }
+    return latent;
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lk(t.encode_mu);
+      t.inflight.erase(key);
+    }
+    mine.set_exception(std::current_exception());
+    throw;
+  }
+}
+
+std::future<Tensor> InferenceEngine::query(
+    TenantId tenant, std::uint64_t patch_id, const Tensor& lr_patch,
+    const Tensor& query_coords,
+    std::optional<backend::Precision> precision,
+    std::optional<QueryBatcher::Deadline> deadline) {
+  std::shared_ptr<ModelRegistry::Tenant> t = registry_.require(tenant);
+  std::shared_ptr<const ModelSnapshot> snap = t->current();
+  Tensor latent = latent_for(*t, snap, patch_id, lr_patch);
+  return batcher_.submit(std::move(snap), std::move(latent), query_coords,
+                         precision, deadline, tenant);
 }
 
 std::future<Tensor> InferenceEngine::query(
@@ -79,75 +123,70 @@ std::future<Tensor> InferenceEngine::query(
     const Tensor& query_coords,
     std::optional<backend::Precision> precision,
     std::optional<QueryBatcher::Deadline> deadline) {
-  std::shared_ptr<const ModelSnapshot> snap = current_snapshot();
-  Tensor latent = latent_for(snap, patch_id, lr_patch);
-  return batcher_.submit(std::move(snap), std::move(latent), query_coords,
-                         precision, deadline);
+  return query(kDefaultTenant, patch_id, lr_patch, query_coords, precision,
+               deadline);
 }
 
-Tensor InferenceEngine::query_sync(std::uint64_t patch_id,
-                                   const Tensor& lr_patch,
-                                   const Tensor& query_coords,
-                                   std::optional<backend::Precision> precision,
-                                   std::optional<QueryBatcher::Deadline> deadline) {
-  return query(patch_id, lr_patch, query_coords, precision, deadline).get();
+Tensor InferenceEngine::query_sync(
+    TenantId tenant, std::uint64_t patch_id, const Tensor& lr_patch,
+    const Tensor& query_coords, std::optional<backend::Precision> precision,
+    std::optional<QueryBatcher::Deadline> deadline) {
+  return query(tenant, patch_id, lr_patch, query_coords, precision, deadline)
+      .get();
+}
+
+Tensor InferenceEngine::query_sync(
+    std::uint64_t patch_id, const Tensor& lr_patch,
+    const Tensor& query_coords, std::optional<backend::Precision> precision,
+    std::optional<QueryBatcher::Deadline> deadline) {
+  return query_sync(kDefaultTenant, patch_id, lr_patch, query_coords,
+                    precision, deadline);
+}
+
+void InferenceEngine::prewarm(TenantId tenant, std::uint64_t patch_id,
+                              const Tensor& lr_patch) {
+  std::shared_ptr<ModelRegistry::Tenant> t = registry_.require(tenant);
+  std::shared_ptr<const ModelSnapshot> snap = t->current();
+  (void)latent_for(*t, snap, patch_id, lr_patch);
 }
 
 void InferenceEngine::prewarm(std::uint64_t patch_id,
                               const Tensor& lr_patch) {
-  std::shared_ptr<const ModelSnapshot> snap = current_snapshot();
-  (void)latent_for(snap, patch_id, lr_patch);
+  prewarm(kDefaultTenant, patch_id, lr_patch);
+}
+
+void InferenceEngine::swap_model(
+    TenantId tenant, std::unique_ptr<core::MeshfreeFlowNet> model) {
+  ModelRegistry::publish(*registry_.require(tenant), std::move(model));
 }
 
 void InferenceEngine::swap_model(
     std::unique_ptr<core::MeshfreeFlowNet> model) {
-  std::uint64_t live;
-  {
-    std::lock_guard<std::mutex> lk(snapshot_mu_);
-    live = next_version_++;
-  }
-  // Build the snapshot (eval-mode walk over the module tree) outside the
-  // lock: readers must only ever block for the pointer copy below.
-  std::shared_ptr<const ModelSnapshot> snap =
-      make_snapshot(std::move(model), live, plans_, decode_precision_);
-  {
-    std::lock_guard<std::mutex> lk(snapshot_mu_);
-    // Concurrent swaps may finish construction out of order; only a newer
-    // version may replace the published snapshot.
-    if (live > snapshot_->version) snapshot_ = std::move(snap);
-  }
-  // Latents keyed to retired snapshots can never be requested again (keys
-  // carry the version); reclaim their bytes for the new snapshot's grids.
-  cache_.drop_stale_versions(live);
-  // Same discipline for compiled plans: the version is part of the plan
-  // key, so superseded-version plans are dead weight — drop them eagerly
-  // and raise the insert floor so a racing compile cannot resurrect one.
-  plans_->drop_stale_versions(live);
+  swap_model(kDefaultTenant, std::move(model));
 }
 
-void InferenceEngine::validate_candidate(core::MeshfreeFlowNet& model) const {
-  if (!reload_config_.canary) return;
+void InferenceEngine::validate_candidate(const ModelRegistry::Tenant& t,
+                                         core::MeshfreeFlowNet& model) {
+  const ReloadConfig& rc = t.config.reload;
+  if (!rc.canary) return;
   // One end-to-end canary predict on a deterministic synthetic patch:
   // load_checkpoint_weights already proved every weight finite; this
   // proves the MODEL is sane — outputs finite and inside the configured
   // magnitude bound, so a checkpoint with exploded-but-finite weights (or
   // one written for a different normalization regime) never reaches
   // traffic.
-  const std::int64_t in_ch = model_config_.unet.in_channels;
+  const std::int64_t in_ch = t.model_config.unet.in_channels;
   Rng rng(0xC0FFEE);
   const Tensor patch = Tensor::randn(
-      Shape{1, in_ch, reload_config_.canary_nt, reload_config_.canary_nz,
-            reload_config_.canary_nx},
-      rng, 0.5f);
-  Tensor coords = Tensor::uninitialized(
-      Shape{reload_config_.canary_queries, 3});
-  for (std::int64_t b = 0; b < reload_config_.canary_queries; ++b) {
+      Shape{1, in_ch, rc.canary_nt, rc.canary_nz, rc.canary_nx}, rng, 0.5f);
+  Tensor coords = Tensor::uninitialized(Shape{rc.canary_queries, 3});
+  for (std::int64_t b = 0; b < rc.canary_queries; ++b) {
     coords.data()[b * 3 + 0] = static_cast<float>(
-        rng.uniform(0.0, static_cast<double>(reload_config_.canary_nt - 1)));
+        rng.uniform(0.0, static_cast<double>(rc.canary_nt - 1)));
     coords.data()[b * 3 + 1] = static_cast<float>(
-        rng.uniform(0.0, static_cast<double>(reload_config_.canary_nz - 1)));
+        rng.uniform(0.0, static_cast<double>(rc.canary_nz - 1)));
     coords.data()[b * 3 + 2] = static_cast<float>(
-        rng.uniform(0.0, static_cast<double>(reload_config_.canary_nx - 1)));
+        rng.uniform(0.0, static_cast<double>(rc.canary_nx - 1)));
   }
   // Eval mode before the canary forward: a train-mode predict would fold
   // the canary batch into the BatchNorm running statistics and corrupt the
@@ -157,22 +196,24 @@ void InferenceEngine::validate_candidate(core::MeshfreeFlowNet& model) const {
   const Tensor out = model.predict(patch, coords).value();
   for (std::int64_t i = 0; i < out.numel(); ++i) {
     const float v = out.data()[i];
-    MFN_CHECK(std::isfinite(v) &&
-                  std::abs(static_cast<double>(v)) <=
-                      reload_config_.canary_abs_bound,
+    MFN_CHECK(std::isfinite(v) && std::abs(static_cast<double>(v)) <=
+                                      rc.canary_abs_bound,
               "canary decode failed sanity bounds: output[" << i << "] = "
-                  << v << " (bound " << reload_config_.canary_abs_bound
+                  << v << " (bound " << rc.canary_abs_bound
                   << ") — candidate model rejected");
   }
 }
 
-void InferenceEngine::reload_from_checkpoint(const std::string& path) {
+void InferenceEngine::reload_from_checkpoint(TenantId tenant,
+                                             const std::string& path) {
+  std::shared_ptr<ModelRegistry::Tenant> t = registry_.require(tenant);
+  const ReloadConfig& rc = t->config.reload;
   // Load + validate + publish with capped exponential backoff; the
   // last-good snapshot keeps serving throughout, and stays published if
   // every attempt fails (rollback = never publishing the candidate).
   std::string last_error;
-  int backoff_ms = reload_config_.backoff_initial_ms;
-  for (int attempt = 1; attempt <= reload_config_.max_attempts; ++attempt) {
+  int backoff_ms = rc.backoff_initial_ms;
+  for (int attempt = 1; attempt <= rc.max_attempts; ++attempt) {
     {
       std::lock_guard<std::mutex> lk(reload_mu_);
       ++reload_stats_.attempts;
@@ -183,10 +224,10 @@ void InferenceEngine::reload_from_checkpoint(const std::string& path) {
         throw std::bad_alloc();  // injected allocation failure
       Rng rng(1);  // initialization is fully overwritten by the checkpoint
       auto model =
-          std::make_unique<core::MeshfreeFlowNet>(model_config_, rng);
+          std::make_unique<core::MeshfreeFlowNet>(t->model_config, rng);
       core::load_checkpoint_weights(path, *model);
-      validate_candidate(*model);
-      swap_model(std::move(model));
+      validate_candidate(*t, *model);
+      ModelRegistry::publish(*t, std::move(model));
       std::lock_guard<std::mutex> lk(reload_mu_);
       ++reload_stats_.reloads;
       return;
@@ -195,9 +236,9 @@ void InferenceEngine::reload_from_checkpoint(const std::string& path) {
       std::lock_guard<std::mutex> lk(reload_mu_);
       reload_stats_.last_error = last_error;
     }
-    if (attempt < reload_config_.max_attempts) {
+    if (attempt < rc.max_attempts) {
       std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
-      backoff_ms = std::min(backoff_ms * 2, reload_config_.backoff_max_ms);
+      backoff_ms = std::min(backoff_ms * 2, rc.backoff_max_ms);
     }
   }
   {
@@ -205,9 +246,14 @@ void InferenceEngine::reload_from_checkpoint(const std::string& path) {
     ++reload_stats_.rollbacks;
   }
   MFN_FAIL("reload_from_checkpoint rolled back after "
-           << reload_config_.max_attempts << " attempts on " << path
-           << " (last-good snapshot version " << snapshot_version()
-           << " keeps serving); last error: " << last_error);
+           << rc.max_attempts << " attempts on " << path
+           << " (last-good snapshot version " << t->version()
+           << " keeps serving for tenant " << tenant
+           << "); last error: " << last_error);
+}
+
+void InferenceEngine::reload_from_checkpoint(const std::string& path) {
+  reload_from_checkpoint(kDefaultTenant, path);
 }
 
 InferenceEngine::ReloadStats InferenceEngine::reload_stats() const {
@@ -215,9 +261,53 @@ InferenceEngine::ReloadStats InferenceEngine::reload_stats() const {
   return reload_stats_;
 }
 
+std::uint64_t InferenceEngine::snapshot_version(TenantId tenant) const {
+  return registry_.require(tenant)->version();
+}
+
 std::uint64_t InferenceEngine::snapshot_version() const {
-  std::lock_guard<std::mutex> lk(snapshot_mu_);
-  return snapshot_->version;
+  return snapshot_version(kDefaultTenant);
+}
+
+const core::MFNConfig& InferenceEngine::model_config(
+    TenantId tenant) const {
+  return registry_.require(tenant)->model_config;
+}
+
+const core::MFNConfig& InferenceEngine::model_config() const {
+  return model_config(kDefaultTenant);
+}
+
+LatentCache::Stats InferenceEngine::cache_stats(TenantId tenant) const {
+  return registry_.require(tenant)->cache.stats();
+}
+
+LatentCache::Stats InferenceEngine::cache_stats() const {
+  return cache_stats(kDefaultTenant);
+}
+
+EncodeStats InferenceEngine::encode_stats(TenantId tenant) const {
+  return registry_.require(tenant)->encode_stats();
+}
+
+EncodeStats InferenceEngine::encode_stats() const {
+  return encode_stats(kDefaultTenant);
+}
+
+core::PlanCache::Stats InferenceEngine::plan_stats(TenantId tenant) const {
+  return registry_.require(tenant)->plans->stats();
+}
+
+core::PlanCache::Stats InferenceEngine::plan_stats() const {
+  return plan_stats(kDefaultTenant);
+}
+
+LatentCache& InferenceEngine::cache(TenantId tenant) {
+  return registry_.require(tenant)->cache;
+}
+
+core::PlanCache& InferenceEngine::plans(TenantId tenant) {
+  return *registry_.require(tenant)->plans;
 }
 
 }  // namespace mfn::serve

@@ -1,25 +1,34 @@
 // Thread-safe inference engine: immutable model snapshots with hot swap,
-// a latent-grid LRU cache, and a dynamic query batcher.
+// per-tenant latent-grid LRU caches, and a fair-share dynamic query
+// batcher.
 //
 // The serving pipeline exploits the paper's split architecture end to end:
 //
-//   client threads ──▶ InferenceEngine::query(patch_id, lr_patch, coords)
-//                        │
-//                        ├─ snapshot: one shared_ptr read; the request is
-//                        │  pinned to that model for BOTH encode and
-//                        │  decode (hot swaps never produce mixed
-//                        │  responses)
-//                        ├─ LatentCache: (version, patch_id) -> latent
-//                        │  grid; misses run the Context Generation
-//                        │  Network once, hits skip it entirely
+//   client threads ──▶ InferenceEngine::query(tenant, patch_id, lr_patch,
+//                        │                    coords)
+//                        ├─ ModelRegistry: tenant id -> snapshot chain,
+//                        │  caches, decode tier, reload policy. One
+//                        │  shared_ptr read pins the request to that
+//                        │  snapshot for BOTH encode and decode (hot swaps
+//                        │  never produce mixed responses)
+//                        ├─ per-tenant LatentCache: (version, patch_id) ->
+//                        │  latent grid; misses run the Context Generation
+//                        │  Network once — racing misses on one key are
+//                        │  single-flighted, so N clients after a hot swap
+//                        │  pay 1 encode, not N
 //                        └─ QueryBatcher: coalesces the decode with other
-//                           clients' queries into one batched SGEMM
+//                           clients' queries into one batched SGEMM,
+//                           draining per-tenant sub-queues fair-share
 //                           ──▶ std::future<Tensor> (Q, out_channels)
 //
+// Single-model callers never mention tenants: the construction model is
+// tenant 0 and every legacy signature forwards to it.
+//
 // Hot swap: swap_model()/reload_from_checkpoint() publish a new immutable
-// snapshot under a mutex; in-flight requests keep the old snapshot alive
-// through their shared_ptr and drain against it. Readers never block on a
-// swap beyond the pointer-copy critical section.
+// snapshot on the tenant's chain; in-flight requests keep the old snapshot
+// alive through their shared_ptr and drain against it. Readers never block
+// on a swap beyond the pointer-copy critical section, and a swap
+// invalidates exactly the swapping tenant's caches.
 //
 // All forwards run eval-mode + NoGradGuard, which is read-only on model
 // state (batch-norm uses running statistics, no tape is recorded), so any
@@ -32,53 +41,38 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/meshfree_flownet.h"
 #include "serve/latent_cache.h"
+#include "serve/model_registry.h"
 #include "serve/query_batcher.h"
 
 namespace mfn::serve {
 
-/// Hardening knobs for reload_from_checkpoint(): how hard to try before
-/// rolling back to the last-good snapshot, and what a candidate model must
-/// prove before it is published.
-struct ReloadConfig {
-  /// Load attempts (1 initial + retries) before the reload gives up.
-  int max_attempts = 3;
-  /// Capped exponential backoff between attempts:
-  /// backoff_initial_ms * 2^(attempt-1), never above backoff_max_ms.
-  int backoff_initial_ms = 10;
-  int backoff_max_ms = 1000;
-  /// Canary decode: before publishing, run one end-to-end predict on a
-  /// synthetic patch and require every output finite with
-  /// |v| <= canary_abs_bound. Catches weights that are finite but
-  /// numerically broken (exploded scales, wrong architecture mapping).
-  bool canary = true;
-  double canary_abs_bound = 1e6;
-  /// Canary patch geometry — must satisfy the encoder's pooling
-  /// divisibility for the engine's architecture (defaults fit
-  /// MFNConfig::small_default).
-  std::int64_t canary_nt = 4, canary_nz = 8, canary_nx = 8;
-  std::int64_t canary_queries = 32;
-};
-
 struct InferenceEngineConfig {
-  /// Latent cache byte budget (LRU-evicted past this).
+  /// Shared latent-cache byte pool, carved into per-tenant budgets (see
+  /// ModelRegistry: explicit TenantConfig::cache_bytes first, weighted
+  /// shares of the remainder for the rest).
   std::size_t cache_bytes = 64u << 20;
-  /// Compiled decode-plan LRU capacity (shape-keyed; see core::PlanCache).
+  /// Compiled decode-plan LRU capacity per tenant (shape-keyed; see
+  /// core::PlanCache).
   std::size_t plan_cache_entries = 64;
-  /// Default decode precision tier for every snapshot this engine
-  /// publishes. Requests may override per call; unplannable shapes and the
-  /// derivative bundle fall back to fp32 (counted in batcher_stats()).
+  /// Default decode precision tier for tenant 0 (the construction model).
+  /// Further tenants set theirs via TenantConfig. Requests may override
+  /// per call; unplannable shapes and the derivative bundle fall back to
+  /// fp32 (counted in batcher_stats()).
   backend::Precision decode_precision = backend::Precision::kFp32;
   QueryBatcherConfig batcher;
+  /// Reload policy for tenant 0; further tenants set theirs via
+  /// TenantConfig.
   ReloadConfig reload;
 };
 
 class InferenceEngine {
  public:
-  /// Takes ownership of the model (switched to eval mode) as snapshot
-  /// version 1.
+  /// Takes ownership of the model (switched to eval mode), registered as
+  /// tenant 0, snapshot version 1.
   InferenceEngine(std::unique_ptr<core::MeshfreeFlowNet> model,
                   InferenceEngineConfig config = {});
   ~InferenceEngine();
@@ -86,22 +80,47 @@ class InferenceEngine {
   InferenceEngine(const InferenceEngine&) = delete;
   InferenceEngine& operator=(const InferenceEngine&) = delete;
 
-  /// Asynchronous continuous query: values of `coords` (Q, 3) inside the
-  /// patch `lr_patch` (1, C, lt, lz, lx). `patch_id` identifies the patch
-  /// content for latent caching — callers must not reuse an id for
-  /// different patch data. Thread-safe; blocks only on batcher
-  /// backpressure.
-  /// `precision` overrides the engine's default decode tier for this
-  /// request only. `deadline` bounds the request end to end: an expired
-  /// request fails its future with serve::DeadlineExceeded instead of
-  /// costing a decode (see QueryBatcher).
+  // ---- tenants ------------------------------------------------------
+
+  /// Register a further model under `tenant` (rejects duplicates and
+  /// tenant ids already in use, including 0). Cache budgets re-carve and
+  /// the batcher learns the tenant's fair-share weight. Safe mid-traffic.
+  void add_tenant(TenantId tenant,
+                  std::unique_ptr<core::MeshfreeFlowNet> model,
+                  TenantConfig config = {});
+  bool has_tenant(TenantId tenant) const;
+  std::vector<TenantId> tenants() const;
+
+  // ---- queries ------------------------------------------------------
+
+  /// Asynchronous continuous query against `tenant`'s current snapshot:
+  /// values of `coords` (Q, 3) inside the patch `lr_patch`
+  /// (1, C, lt, lz, lx). `patch_id` identifies the patch content for
+  /// latent caching — callers must not reuse an id for different patch
+  /// data within a tenant. Thread-safe; blocks only on batcher
+  /// backpressure. `precision` overrides the tenant's default decode tier
+  /// for this request only. `deadline` bounds the request end to end: an
+  /// expired request fails its future with serve::DeadlineExceeded instead
+  /// of costing a decode (see QueryBatcher).
+  std::future<Tensor> query(
+      TenantId tenant, std::uint64_t patch_id, const Tensor& lr_patch,
+      const Tensor& query_coords,
+      std::optional<backend::Precision> precision = std::nullopt,
+      std::optional<QueryBatcher::Deadline> deadline = std::nullopt);
+
+  /// Tenant-0 convenience (the single-model API).
   std::future<Tensor> query(
       std::uint64_t patch_id, const Tensor& lr_patch,
       const Tensor& query_coords,
       std::optional<backend::Precision> precision = std::nullopt,
       std::optional<QueryBatcher::Deadline> deadline = std::nullopt);
 
-  /// Blocking convenience wrapper around query().get().
+  /// Blocking convenience wrappers around query().get().
+  Tensor query_sync(TenantId tenant, std::uint64_t patch_id,
+                    const Tensor& lr_patch, const Tensor& query_coords,
+                    std::optional<backend::Precision> precision = std::nullopt,
+                    std::optional<QueryBatcher::Deadline> deadline =
+                        std::nullopt);
   Tensor query_sync(std::uint64_t patch_id, const Tensor& lr_patch,
                     const Tensor& query_coords,
                     std::optional<backend::Precision> precision = std::nullopt,
@@ -109,22 +128,31 @@ class InferenceEngine {
                         std::nullopt);
 
   /// Encode-and-cache without decoding (cache warming).
+  void prewarm(TenantId tenant, std::uint64_t patch_id,
+               const Tensor& lr_patch);
   void prewarm(std::uint64_t patch_id, const Tensor& lr_patch);
 
-  /// Publish `model` (switched to eval mode) as a new snapshot; stale
-  /// cached latents are dropped eagerly. Traffic in flight finishes on the
-  /// old snapshot; requests submitted after the swap use the new one.
+  // ---- snapshot lifecycle -------------------------------------------
+
+  /// Publish `model` (switched to eval mode) as a new snapshot on the
+  /// tenant's chain; that tenant's stale cached latents and plans are
+  /// dropped eagerly, every other tenant is untouched. Traffic in flight
+  /// finishes on the old snapshot; requests submitted after the swap use
+  /// the new one.
+  void swap_model(TenantId tenant,
+                  std::unique_ptr<core::MeshfreeFlowNet> model);
   void swap_model(std::unique_ptr<core::MeshfreeFlowNet> model);
 
   /// Hot reload, hardened for mid-traffic use: build a fresh model with
-  /// this engine's architecture, load the checkpoint's weights into it
+  /// the tenant's architecture, load the checkpoint's weights into it
   /// (core::load_checkpoint_weights — rejects non-finite weights), and
   /// VALIDATE the candidate (canary decode against sanity bounds) before
   /// swap_model() publishes it. Failures retry with capped exponential
-  /// backoff (config().reload); after max_attempts the engine rolls back —
-  /// the last-good snapshot keeps serving untouched, reload_stats()
-  /// records the rollback, and the error is rethrown to the caller.
-  /// In-flight and future traffic NEVER observes a broken model.
+  /// backoff (the tenant's ReloadConfig); after max_attempts the engine
+  /// rolls back — the last-good snapshot keeps serving untouched,
+  /// reload_stats() records the rollback, and the error is rethrown to the
+  /// caller. In-flight and future traffic NEVER observes a broken model.
+  void reload_from_checkpoint(TenantId tenant, const std::string& path);
   void reload_from_checkpoint(const std::string& path);
 
   struct ReloadStats {
@@ -134,45 +162,48 @@ class InferenceEngine {
     std::uint64_t rollbacks = 0;  ///< reloads that gave up (last-good kept)
     std::string last_error;       ///< most recent attempt failure message
   };
+  /// Engine-wide (summed over tenants).
   ReloadStats reload_stats() const;
 
-  /// Version of the snapshot new requests will use (1 for the initial
-  /// model, +1 per swap).
+  /// Version of the snapshot new requests of `tenant` will use (1 for the
+  /// registration model, +1 per swap). Chains are per tenant.
+  std::uint64_t snapshot_version(TenantId tenant) const;
   std::uint64_t snapshot_version() const;
 
-  /// The architecture every snapshot of this engine shares.
-  const core::MFNConfig& model_config() const { return model_config_; }
+  /// The architecture every snapshot of `tenant` shares.
+  const core::MFNConfig& model_config(TenantId tenant) const;
+  const core::MFNConfig& model_config() const;
 
-  LatentCache::Stats cache_stats() const { return cache_.stats(); }
+  // ---- introspection ------------------------------------------------
+
+  LatentCache::Stats cache_stats(TenantId tenant) const;
+  LatentCache::Stats cache_stats() const;
+  EncodeStats encode_stats(TenantId tenant) const;
+  EncodeStats encode_stats() const;
+  core::PlanCache::Stats plan_stats(TenantId tenant) const;
+  core::PlanCache::Stats plan_stats() const;
   QueryBatcher::Stats batcher_stats() const { return batcher_.stats(); }
-  core::PlanCache::Stats plan_stats() const { return plans_->stats(); }
-  LatentCache& cache() { return cache_; }
+
+  LatentCache& cache(TenantId tenant = kDefaultTenant);
   QueryBatcher& batcher() { return batcher_; }
-  core::PlanCache& plans() { return *plans_; }
+  core::PlanCache& plans(TenantId tenant = kDefaultTenant);
+  const ModelRegistry& registry() const { return registry_; }
 
  private:
-  std::shared_ptr<const ModelSnapshot> current_snapshot() const;
-  Tensor latent_for(const std::shared_ptr<const ModelSnapshot>& snap,
+  /// Cache lookup with single-flight encode on miss (see ModelRegistry).
+  Tensor latent_for(ModelRegistry::Tenant& t,
+                    const std::shared_ptr<const ModelSnapshot>& snap,
                     std::uint64_t patch_id, const Tensor& lr_patch);
   /// Throws mfn::Error unless a canary predict through `model` stays
-  /// finite and inside config().reload.canary_abs_bound.
-  void validate_candidate(core::MeshfreeFlowNet& model) const;
+  /// finite and inside the tenant's canary_abs_bound.
+  static void validate_candidate(const ModelRegistry::Tenant& t,
+                                 core::MeshfreeFlowNet& model);
 
-  core::MFNConfig model_config_;
-  ReloadConfig reload_config_;
   mutable std::mutex reload_mu_;
   ReloadStats reload_stats_;
-  // Engine-level default decode tier, stamped into every snapshot.
-  backend::Precision decode_precision_ = backend::Precision::kFp32;
-  mutable std::mutex snapshot_mu_;
-  std::shared_ptr<const ModelSnapshot> snapshot_;
-  std::uint64_t next_version_ = 1;
-  LatentCache cache_;
-  // Shared by every snapshot (snapshots hold a shared_ptr so plan replay
-  // stays safe however long a retired snapshot lingers in flight).
-  std::shared_ptr<core::PlanCache> plans_;
+  ModelRegistry registry_;
   // Last member: destroyed (and therefore drained) first, while the
-  // snapshot and cache it references are still alive.
+  // snapshots and caches it references are still alive.
   QueryBatcher batcher_;
 };
 

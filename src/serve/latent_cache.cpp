@@ -85,6 +85,13 @@ void LatentCache::clear() {
   bytes_in_use_ = 0;
 }
 
+void LatentCache::set_byte_budget(std::size_t byte_budget) {
+  MFN_CHECK(byte_budget > 0, "latent cache byte budget must be positive");
+  std::lock_guard<std::mutex> lk(mu_);
+  byte_budget_ = byte_budget;
+  evict_over_budget_locked();
+}
+
 LatentCache::Stats LatentCache::stats() const {
   std::lock_guard<std::mutex> lk(mu_);
   Stats s;

@@ -94,6 +94,10 @@ class LatentCache {
   /// Drop everything (counters retained).
   void clear();
 
+  /// Re-size the byte budget (multi-tenant pool re-carving when tenants are
+  /// added); shrinking evicts LRU entries until the new budget holds.
+  void set_byte_budget(std::size_t byte_budget);
+
   Stats stats() const;
 
  private:

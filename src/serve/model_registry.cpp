@@ -1,0 +1,137 @@
+#include "serve/model_registry.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace mfn::serve {
+
+namespace {
+
+// Floor for an auto-carved tenant budget: the pool may be overcommitted by
+// explicit budgets, but a LatentCache must keep a positive budget (and one
+// hot latent is always worth caching — see evict_over_budget_locked).
+constexpr std::size_t kMinTenantCacheBytes = 64u << 10;
+
+std::shared_ptr<const ModelSnapshot> make_snapshot(
+    std::unique_ptr<core::MeshfreeFlowNet> model, std::uint64_t version,
+    std::shared_ptr<core::PlanCache> plans,
+    backend::Precision decode_precision) {
+  MFN_CHECK(model != nullptr, "snapshot requires a model");
+  auto snap = std::make_shared<ModelSnapshot>();
+  // prepare() freezes the model for serving (eval mode + folded conv->BN
+  // affines) and clones + prepacks the decoder weights (all precision
+  // tiers) the plan path replays against.
+  snap->prepared = core::PreparedSnapshot::prepare(*model, version);
+  snap->model = std::move(model);
+  snap->version = version;
+  snap->plans = std::move(plans);
+  snap->decode_precision = decode_precision;
+  return snap;
+}
+
+}  // namespace
+
+ModelRegistry::ModelRegistry(std::size_t pool_bytes,
+                             std::size_t plan_cache_entries)
+    : pool_bytes_(pool_bytes), plan_cache_entries_(plan_cache_entries) {
+  MFN_CHECK(pool_bytes_ > 0, "latent cache pool must be positive");
+}
+
+std::shared_ptr<ModelRegistry::Tenant> ModelRegistry::add(
+    TenantId id, std::unique_ptr<core::MeshfreeFlowNet> model,
+    TenantConfig config) {
+  MFN_CHECK(model != nullptr, "tenant registration requires a model");
+  MFN_CHECK(config.weight > 0.0, "tenant weight must be positive, got "
+                                     << config.weight);
+  if (config.name.empty()) config.name = "tenant-" + std::to_string(id);
+  core::MFNConfig arch = model->config();
+  auto tenant = std::make_shared<Tenant>(
+      id, std::move(config), std::move(arch),
+      /*initial_cache_bytes=*/pool_bytes_, plan_cache_entries_);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    MFN_CHECK(tenants_.count(id) == 0,
+              "tenant " << id << " is already registered");
+    tenants_[id] = tenant;
+    rebalance_budgets_locked();
+  }
+  publish(*tenant, std::move(model));
+  return tenant;
+}
+
+std::shared_ptr<ModelRegistry::Tenant> ModelRegistry::find(
+    TenantId id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = tenants_.find(id);
+  return it == tenants_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<ModelRegistry::Tenant> ModelRegistry::require(
+    TenantId id) const {
+  std::shared_ptr<Tenant> t = find(id);
+  MFN_CHECK(t != nullptr, "unknown tenant " << id);
+  return t;
+}
+
+std::vector<TenantId> ModelRegistry::ids() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<TenantId> out;
+  out.reserve(tenants_.size());
+  for (const auto& [id, t] : tenants_) out.push_back(id);
+  return out;
+}
+
+void ModelRegistry::publish(Tenant& t,
+                            std::unique_ptr<core::MeshfreeFlowNet> model) {
+  std::uint64_t live;
+  {
+    std::lock_guard<std::mutex> lk(t.mu);
+    live = t.next_version++;
+  }
+  // Build the snapshot (eval-mode walk over the module tree) outside the
+  // lock: readers must only ever block for the pointer copy below.
+  std::shared_ptr<const ModelSnapshot> snap = make_snapshot(
+      std::move(model), live, t.plans, t.config.decode_precision);
+  {
+    std::lock_guard<std::mutex> lk(t.mu);
+    // Concurrent swaps may finish construction out of order; only a newer
+    // version may replace the published snapshot.
+    if (t.snapshot == nullptr || live > t.snapshot->version)
+      t.snapshot = std::move(snap);
+  }
+  // Latents keyed to retired snapshots can never be requested again (keys
+  // carry the version); reclaim their bytes for the new snapshot's grids.
+  // Per-tenant caches make this surgical: no other tenant's working set is
+  // touched.
+  t.cache.drop_stale_versions(live);
+  // Same discipline for compiled plans: the version is part of the plan
+  // key, so superseded-version plans are dead weight — drop them eagerly
+  // and raise the insert floor so a racing compile cannot resurrect one.
+  t.plans->drop_stale_versions(live);
+}
+
+void ModelRegistry::rebalance_budgets_locked() {
+  // Carve the shared pool: tenants with an explicit cache_bytes keep it;
+  // the rest split the remainder weighted by their fair-share weight.
+  // Shrinking a budget evicts that tenant's LRU tail immediately.
+  std::size_t explicit_total = 0;
+  double auto_weight = 0.0;
+  for (const auto& [id, t] : tenants_) {
+    if (t->config.cache_bytes > 0)
+      explicit_total += t->config.cache_bytes;
+    else
+      auto_weight += t->config.weight;
+  }
+  const std::size_t remaining =
+      pool_bytes_ > explicit_total ? pool_bytes_ - explicit_total : 0;
+  for (const auto& [id, t] : tenants_) {
+    std::size_t budget = t->config.cache_bytes;
+    if (budget == 0)
+      budget = static_cast<std::size_t>(static_cast<double>(remaining) *
+                                        (t->config.weight / auto_weight));
+    t->cache.set_byte_budget(std::max(budget, kMinTenantCacheBytes));
+  }
+}
+
+}  // namespace mfn::serve

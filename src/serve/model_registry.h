@@ -1,0 +1,178 @@
+// Multi-tenant model registry: tenant id -> (snapshot chain, caches,
+// decode precision, reload policy).
+//
+// Production serving is many models, not one: per-Rayleigh-regime
+// checkpoints, sparse-observation reconstruction, physics-loss-trained
+// variants — each a *tenant* with its own traffic pattern and its own
+// checkpoint lifecycle. The registry gives every tenant a fully private
+// serving state:
+//
+//  - its own snapshot chain (versions 1, 2, ... per tenant). Versions are
+//    deliberately NOT global: LatentCache and PlanCache enforce a
+//    monotonic version floor on insert (drop_stale_versions), so a shared
+//    version counter would let tenant A's hot swap permanently blackhole
+//    tenant B's cache inserts. Per-tenant chains + per-tenant caches make
+//    a swap invalidate exactly the swapping tenant's state.
+//  - its own LatentCache, with a byte budget carved from the engine's
+//    shared pool: tenants that set an explicit cache_bytes keep it, the
+//    rest split the remainder weighted by their fair-share weight. A hot
+//    tenant churning distinct patches evicts only its own latents — cache
+//    isolation is structural, not probabilistic.
+//  - its own PlanCache (compiled decode plans are version-keyed the same
+//    way) and decode precision tier.
+//  - single-flight encode state: concurrent misses on one
+//    (version, patch_id) key run ONE Context Generation Network forward;
+//    followers wait on the leader's shared_future (the post-hot-swap
+//    stampede otherwise pays N encodes for one hot patch).
+//
+// The registry is add-only: tenants may be registered while traffic is in
+// flight (budgets re-carve, existing entries evict down if shrunk), but
+// never removed — in-flight requests hold tenant state by shared_ptr and
+// an id never becomes dangling.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/meshfree_flownet.h"
+#include "serve/latent_cache.h"
+#include "serve/query_batcher.h"
+
+namespace mfn::serve {
+
+/// Hardening knobs for reload_from_checkpoint(): how hard to try before
+/// rolling back to the last-good snapshot, and what a candidate model must
+/// prove before it is published.
+struct ReloadConfig {
+  /// Load attempts (1 initial + retries) before the reload gives up.
+  int max_attempts = 3;
+  /// Capped exponential backoff between attempts:
+  /// backoff_initial_ms * 2^(attempt-1), never above backoff_max_ms.
+  int backoff_initial_ms = 10;
+  int backoff_max_ms = 1000;
+  /// Canary decode: before publishing, run one end-to-end predict on a
+  /// synthetic patch and require every output finite with
+  /// |v| <= canary_abs_bound. Catches weights that are finite but
+  /// numerically broken (exploded scales, wrong architecture mapping).
+  bool canary = true;
+  double canary_abs_bound = 1e6;
+  /// Canary patch geometry — must satisfy the encoder's pooling
+  /// divisibility for the tenant's architecture (defaults fit
+  /// MFNConfig::small_default).
+  std::int64_t canary_nt = 4, canary_nz = 8, canary_nx = 8;
+  std::int64_t canary_queries = 32;
+};
+
+/// Per-tenant policy, fixed at registration.
+struct TenantConfig {
+  /// Human-readable label for stats and bench output; defaults to
+  /// "tenant-<id>".
+  std::string name;
+  /// Default decode precision tier stamped into every snapshot this tenant
+  /// publishes.
+  backend::Precision decode_precision = backend::Precision::kFp32;
+  /// Fair-share weight: scales both the batcher's DRR quantum and this
+  /// tenant's slice of the auto-carved cache pool.
+  double weight = 1.0;
+  /// Explicit latent-cache byte budget; 0 takes a weighted share of the
+  /// engine pool left over after all explicit budgets.
+  std::size_t cache_bytes = 0;
+  ReloadConfig reload;
+};
+
+/// Counters for the single-flight encode path (per tenant).
+struct EncodeStats {
+  std::uint64_t encodes = 0;  ///< Context Generation Network forwards run
+  /// Cache misses that found an identical encode already in flight and
+  /// waited for its result instead of duplicating the forward.
+  std::uint64_t dedup_encodes = 0;
+};
+
+class ModelRegistry {
+ public:
+  /// One tenant's complete serving state. Stable address for the lifetime
+  /// of the registry (held by shared_ptr; tenants are never removed).
+  struct Tenant {
+    Tenant(TenantId id_, TenantConfig config_, core::MFNConfig arch,
+           std::size_t initial_cache_bytes, std::size_t plan_cache_entries)
+        : id(id_),
+          config(std::move(config_)),
+          model_config(std::move(arch)),
+          cache(initial_cache_bytes),
+          plans(std::make_shared<core::PlanCache>(plan_cache_entries)) {}
+
+    const TenantId id;
+    const TenantConfig config;
+    const core::MFNConfig model_config;  ///< architecture of every snapshot
+    LatentCache cache;
+    const std::shared_ptr<core::PlanCache> plans;
+
+    /// The snapshot new requests for this tenant will use.
+    std::shared_ptr<const ModelSnapshot> current() const {
+      std::lock_guard<std::mutex> lk(mu);
+      return snapshot;
+    }
+    std::uint64_t version() const {
+      std::lock_guard<std::mutex> lk(mu);
+      return snapshot->version;
+    }
+    EncodeStats encode_stats() const {
+      std::lock_guard<std::mutex> lk(encode_mu);
+      return encode;
+    }
+
+    // Snapshot chain (guarded by mu).
+    mutable std::mutex mu;
+    std::shared_ptr<const ModelSnapshot> snapshot;
+    std::uint64_t next_version = 1;
+
+    // Single-flight encode dedup (guarded by encode_mu): key -> the
+    // in-flight leader's future. The leader never encodes under this lock.
+    mutable std::mutex encode_mu;
+    std::unordered_map<LatentKey, std::shared_future<Tensor>, LatentKeyHash>
+        inflight;
+    EncodeStats encode;
+  };
+
+  /// `pool_bytes` is the shared latent-cache pool carved across tenants;
+  /// `plan_cache_entries` sizes each tenant's private PlanCache.
+  ModelRegistry(std::size_t pool_bytes, std::size_t plan_cache_entries);
+
+  /// Register `model` under `id` (rejects duplicates) and publish it as
+  /// the tenant's snapshot version 1. Re-carves the auto-share cache
+  /// budgets of all tenants.
+  std::shared_ptr<Tenant> add(TenantId id,
+                              std::unique_ptr<core::MeshfreeFlowNet> model,
+                              TenantConfig config = {});
+
+  /// Lookup; null when the tenant was never registered.
+  std::shared_ptr<Tenant> find(TenantId id) const;
+  /// Lookup that throws mfn::Error on an unknown tenant.
+  std::shared_ptr<Tenant> require(TenantId id) const;
+
+  std::vector<TenantId> ids() const;
+  std::size_t pool_bytes() const { return pool_bytes_; }
+
+  /// Publish `model` as `t`'s next snapshot version (hot swap): stale
+  /// latents and plans of that tenant — and only that tenant — are dropped
+  /// eagerly. In-flight requests keep the old snapshot alive through their
+  /// shared_ptr.
+  static void publish(Tenant& t,
+                      std::unique_ptr<core::MeshfreeFlowNet> model);
+
+ private:
+  void rebalance_budgets_locked();
+
+  mutable std::mutex mu_;
+  const std::size_t pool_bytes_;
+  const std::size_t plan_cache_entries_;
+  std::map<TenantId, std::shared_ptr<Tenant>> tenants_;
+};
+
+}  // namespace mfn::serve

@@ -41,10 +41,20 @@ QueryBatcher::QueryBatcher(QueryBatcherConfig config)
                               << " below max_batch_rows "
                               << config_.max_batch_rows);
   MFN_CHECK(config_.max_wait_us >= 0, "max_wait_us must be >= 0");
+  MFN_CHECK(config_.fair_quantum_rows >= 1,
+            "fair_quantum_rows must be >= 1, got "
+                << config_.fair_quantum_rows);
   if (config_.brownout.enabled) {
-    const BrownoutConfig& b = config_.brownout;
+    BrownoutConfig& b = config_.brownout;
     MFN_CHECK(b.high_rows > 0 || b.high_wait_ms > 0,
               "brownout enabled but no high watermark set");
+    // A high watermark whose low mate was left at 0 gets a usable default
+    // instead of a latch: the queue-wait EWMA decays toward the idle wait
+    // but never back to exactly 0, so "exit when ewma <= 0" would pin the
+    // ladder at a degraded tier after the first burst, forever.
+    if (b.high_rows > 0 && b.low_rows <= 0) b.low_rows = b.high_rows / 2;
+    if (b.high_wait_ms > 0 && b.low_wait_ms <= 0)
+      b.low_wait_ms = b.high_wait_ms / 2;
     MFN_CHECK(b.low_rows <= b.high_rows && b.low_wait_ms <= b.high_wait_ms,
               "brownout low watermarks must not exceed the high ones");
     MFN_CHECK(b.dwell_flushes >= 1, "brownout dwell must be >= 1 flush");
@@ -77,7 +87,7 @@ void QueryBatcher::fail_expired(Request& req) {
 std::future<Tensor> QueryBatcher::submit(
     std::shared_ptr<const ModelSnapshot> snapshot, Tensor latent,
     Tensor coords, std::optional<backend::Precision> precision,
-    std::optional<Deadline> deadline) {
+    std::optional<Deadline> deadline, TenantId tenant) {
   MFN_CHECK(snapshot != nullptr && snapshot->model != nullptr,
             "submit requires a model snapshot");
   MFN_CHECK(latent.defined() && latent.ndim() == 5 && latent.dim(0) == 1,
@@ -90,6 +100,7 @@ std::future<Tensor> QueryBatcher::submit(
   req.snapshot = std::move(snapshot);
   req.latent = std::move(latent);
   req.coords = std::move(coords);
+  req.tenant = tenant;
   req.deadline = deadline;
   req.enqueued = Clock::now();
   std::future<Tensor> fut = req.promise.get_future();
@@ -100,6 +111,7 @@ std::future<Tensor> QueryBatcher::submit(
     {
       std::lock_guard<std::mutex> lk(mu_);
       ++stats_.expired_submit;
+      ++queues_[tenant].counters.expired_submit;
     }
     req.promise.set_exception(std::make_exception_ptr(DeadlineExceeded(
         "request deadline already expired at submit()")));
@@ -114,7 +126,7 @@ std::future<Tensor> QueryBatcher::submit(
     std::unique_lock<std::mutex> lk(mu_);
     const auto has_room = [&] {
       return stop_ || queued_rows_ + rows <= config_.max_queue_rows ||
-             queue_.empty();
+             queued_rows_ == 0;
     };
     switch (config_.admission) {
       case AdmissionPolicy::kBlock:
@@ -130,27 +142,48 @@ std::future<Tensor> QueryBatcher::submit(
         rejected = !has_room();
         break;
       case AdmissionPolicy::kShedOldest:
-        // Fail the oldest queued requests until this one fits: under
-        // overload the head of the queue has burned the most of its
-        // latency budget and is the least likely to still be useful.
+        // Fail the oldest queued requests of the tenant hogging the most
+        // queued rows until this one fits: under overload the hog's queue
+        // head has burned the most latency budget AND taking the victim
+        // there keeps one hot tenant's flood from forcing other tenants'
+        // requests out. With a single tenant this is exactly oldest-first.
         while (!has_room()) {
-          shed.push_back(std::move(queue_.front()));
-          queue_.pop_front();
-          queued_rows_ -= shed.back().coords.dim(0);
+          SubQueue* hog = nullptr;
+          for (auto& [id, sq] : queues_)
+            if (!sq.q.empty() && (hog == nullptr || sq.rows > hog->rows))
+              hog = &sq;
+          if (hog == nullptr) break;  // nothing sheddable; admit below
+          Request victim = std::move(hog->q.front());
+          hog->q.pop_front();
+          const std::int64_t vr = victim.coords.dim(0);
+          hog->rows -= vr;
+          queued_rows_ -= vr;
           ++stats_.admission_shed;
+          ++hog->counters.shed;
+          shed.push_back(std::move(victim));
         }
         break;
     }
     if (expired_waiting) {
       ++stats_.expired_submit;
+      ++queues_[tenant].counters.expired_submit;
     } else if (rejected) {
       ++stats_.admission_rejected;
+      ++queues_[tenant].counters.rejected;
     } else {
       MFN_CHECK(!stop_, "QueryBatcher is shut down");
-      queue_.push_back(std::move(req));
+      SubQueue& sq = queues_[tenant];
+      sq.q.push_back(std::move(req));
+      sq.rows += rows;
+      if (!sq.active) {
+        sq.active = true;
+        rr_.push_back(tenant);
+      }
       queued_rows_ += rows;
       ++stats_.requests;
       stats_.rows += static_cast<std::uint64_t>(rows);
+      ++sq.counters.requests;
+      sq.counters.rows += static_cast<std::uint64_t>(rows);
     }
   }
   // Promises are fulfilled outside mu_: a continuation running inline on a
@@ -204,38 +237,74 @@ std::int64_t QueryBatcher::take_batch_locked(std::vector<Request>* batch,
   std::int64_t rows = 0;
   std::optional<Deadline> earliest;
   double max_wait_ms = 0.0;
-  while (!queue_.empty()) {
-    Request& front = queue_.front();
-    const std::int64_t r = front.coords.dim(0);
-    // Expire requests that cannot make their deadline even decoded alone
-    // (or that are already past it) — before they cost a decode.
-    if (front.deadline &&
-        (*front.deadline <= now ||
-         (est_row_ms_ > 0 && now + est_us(est_row_ms_, r) > *front.deadline))) {
+  // Surplus-round-robin across per-tenant sub-queues: each turn recharges
+  // the tenant's row credit (quantum * weight), service spends it — the
+  // last request of a turn may overdraw into negative credit, which
+  // carries as debt into the tenant's next turn — and the tenant rotates
+  // to the tail of the ring afterwards. An empty batch always admits the
+  // head request regardless of credit (work conservation: credit debt must
+  // never idle the decoder), so with one tenant this is the plain FIFO
+  // drain. A tenant whose sub-queue empties leaves the ring with its
+  // credit reset: fairness protects queued traffic, it does not bank idle
+  // time.
+  bool stop_batch = false;
+  while (!rr_.empty() && !stop_batch) {
+    const TenantId tid = rr_.front();
+    rr_.pop_front();
+    SubQueue& sq = queues_[tid];
+    sq.deficit += static_cast<std::int64_t>(
+        static_cast<double>(config_.fair_quantum_rows) * sq.weight);
+    while (!sq.q.empty()) {
+      Request& front = sq.q.front();
+      const std::int64_t r = front.coords.dim(0);
+      // Expire requests that cannot make their deadline even decoded alone
+      // (or that are already past it) — before they cost a decode.
+      if (front.deadline &&
+          (*front.deadline <= now ||
+           (est_row_ms_ > 0 &&
+            now + est_us(est_row_ms_, r) > *front.deadline))) {
+        sq.rows -= r;
+        queued_rows_ -= r;
+        ++stats_.expired_queue;
+        ++sq.counters.expired_queue;
+        expired->push_back(std::move(front));
+        sq.q.pop_front();
+        continue;
+      }
+      if (!batch->empty() && rows + r > config_.max_batch_rows) {
+        stop_batch = true;
+        break;
+      }
+      // Never form a batch the earliest deadline inside it can't survive:
+      // stop growing once the estimated decode of (rows + r) would overrun
+      // it. The leftover requests coalesce into the next flush instead.
+      if (!batch->empty() && earliest && est_row_ms_ > 0 &&
+          now + est_us(est_row_ms_, rows + r) > *earliest) {
+        stop_batch = true;
+        break;
+      }
+      if (sq.deficit <= 0 && !batch->empty()) break;  // credit spent: next
+      if (front.deadline && (!earliest || *front.deadline < *earliest))
+        earliest = *front.deadline;
+      max_wait_ms = std::max(
+          max_wait_ms,
+          std::chrono::duration<double, std::milli>(now - front.enqueued)
+              .count());
+      rows += r;
+      sq.deficit -= r;
+      sq.rows -= r;
       queued_rows_ -= r;
-      ++stats_.expired_queue;
-      expired->push_back(std::move(front));
-      queue_.pop_front();
-      continue;
+      sq.counters.drained_rows += static_cast<std::uint64_t>(r);
+      batch->push_back(std::move(front));
+      sq.q.pop_front();
     }
-    if (!batch->empty() && rows + r > config_.max_batch_rows) break;
-    // Never form a batch the earliest deadline inside it can't survive:
-    // stop growing once the estimated decode of (rows + r) would overrun
-    // it. The leftover requests coalesce into the next flush instead.
-    if (!batch->empty() && earliest && est_row_ms_ > 0 &&
-        now + est_us(est_row_ms_, rows + r) > *earliest)
-      break;
-    if (front.deadline && (!earliest || *front.deadline < *earliest))
-      earliest = *front.deadline;
-    max_wait_ms = std::max(
-        max_wait_ms,
-        std::chrono::duration<double, std::milli>(now - front.enqueued)
-            .count());
-    rows += r;
-    batch->push_back(std::move(front));
-    queue_.pop_front();
+    if (sq.q.empty()) {
+      sq.active = false;
+      sq.deficit = 0;
+    } else {
+      rr_.push_back(tid);
+    }
   }
-  queued_rows_ -= rows;
   if (!batch->empty()) {
     ++stats_.flushes;
     stats_.max_flush_rows =
@@ -254,6 +323,7 @@ std::int64_t QueryBatcher::take_batch_locked(std::vector<Request>* batch,
           r.precision = eff;
           r.degraded = true;
           ++stats_.degraded_requests;
+          ++queues_[r.tenant].counters.degraded_requests;
         }
       }
     }
@@ -273,8 +343,8 @@ void QueryBatcher::worker_loop() {
     std::vector<Request> expired;
     {
       std::unique_lock<std::mutex> lk(mu_);
-      cv_pending_.wait(lk, [&] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      cv_pending_.wait(lk, [&] { return stop_ || queued_rows_ > 0; });
+      if (queued_rows_ == 0) return;  // stop_ set and nothing left to drain
       if (!stop_ && config_.max_wait_us > 0 &&
           queued_rows_ < config_.max_batch_rows) {
         // Sub-max batch: hold the batching window open from *now* so
@@ -285,10 +355,10 @@ void QueryBatcher::worker_loop() {
         const auto deadline =
             Clock::now() + std::chrono::microseconds(config_.max_wait_us);
         cv_pending_.wait_until(lk, deadline, [&] {
-          return stop_ || queue_.empty() ||
+          return stop_ || queued_rows_ == 0 ||
                  queued_rows_ >= config_.max_batch_rows;
         });
-        if (queue_.empty()) {
+        if (queued_rows_ == 0) {
           if (stop_) return;
           continue;  // another worker drained it while we waited
         }
@@ -556,7 +626,19 @@ QueryBatcher::Stats QueryBatcher::stats() const {
   std::lock_guard<std::mutex> lk(mu_);
   Stats out = stats_;
   out.queue_rows = queued_rows_;
+  for (const auto& [id, sq] : queues_) {
+    Stats::TenantCounters c = sq.counters;
+    c.queue_rows = sq.rows;
+    out.per_tenant[id] = c;
+  }
   return out;
+}
+
+void QueryBatcher::set_tenant_weight(TenantId tenant, double weight) {
+  MFN_CHECK(weight > 0.0,
+            "tenant fair-share weight must be positive, got " << weight);
+  std::lock_guard<std::mutex> lk(mu_);
+  queues_[tenant].weight = weight;
 }
 
 void QueryBatcher::set_timing_capture(bool on) {

@@ -32,6 +32,16 @@
 //    below the low watermarks). Degradation is visible in
 //    Stats::degraded_units / degraded_requests and in per-response tiers,
 //    never silent.
+//  - fair share across tenants: requests queue into per-tenant sub-queues
+//    and a flush drains them surplus-round-robin — each tenant's turn
+//    recharges a row credit of fair_quantum_rows * weight, service spends
+//    it (a request may overdraw; the debt carries), and the tenant rotates
+//    to the tail of the active ring after its turn. A hot tenant at 10x
+//    offered load fills its own sub-queue but cannot starve a cold
+//    tenant's flushes, and ShedOldest sheds from the tenant hogging the
+//    most queued rows rather than from whoever happens to be oldest
+//    globally. With a single tenant all of this degenerates to the plain
+//    FIFO drain.
 //
 // Correctness properties the test suite pins:
 //  - parity: coalescing never changes a request's values beyond float
@@ -55,6 +65,7 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -67,6 +78,12 @@
 #include "tensor/tensor.h"
 
 namespace mfn::serve {
+
+/// Stable tenant identity shared by the batcher's fair-share sub-queues
+/// and the engine's ModelRegistry. Single-model callers never mention it:
+/// everything defaults to tenant 0.
+using TenantId = std::uint32_t;
+inline constexpr TenantId kDefaultTenant = 0;
 
 /// A request's deadline passed before it could be decoded. Thrown through
 /// the submit() future (or directly by a Block-policy submit that timed
@@ -132,7 +149,11 @@ struct BrownoutConfig {
   std::int64_t high_rows = 0;
   std::int64_t low_rows = 0;
   /// Same watermark pair for the observed queue-wait EWMA (milliseconds a
-  /// drained request spent waiting to coalesce).
+  /// drained request spent waiting to coalesce). A configured high
+  /// watermark whose low mate is left at 0 is defaulted to high/2 at
+  /// construction: the wait EWMA decays toward the idle queue wait but
+  /// never returns to exactly 0, so a low_wait_ms of 0 would make exit
+  /// unreachable and latch the ladder at a degraded tier forever.
   double high_wait_ms = 0.0;
   double low_wait_ms = 0.0;
   /// Minimum flushes between level changes (hysteresis dwell: one burst
@@ -158,6 +179,12 @@ struct QueryBatcherConfig {
   std::int64_t max_queue_rows = 1 << 20;
   AdmissionPolicy admission = AdmissionPolicy::kBlock;
   BrownoutConfig brownout;
+  /// Fair-share drain: row credit a tenant's sub-queue recharges each time
+  /// its round-robin turn comes up, scaled by the tenant's weight. Smaller
+  /// values interleave tenants within one flush; larger values trade
+  /// fairness granularity for fewer sub-queue switches. Irrelevant with a
+  /// single tenant.
+  std::int64_t fair_quantum_rows = 1024;
 };
 
 class QueryBatcher {
@@ -192,6 +219,21 @@ class QueryBatcher {
     int brownout_level = 0;  ///< current ladder level (0 fp32 / 1 bf16 /
                              ///< 2 int8)
     std::int64_t queue_rows = 0;  ///< queued rows at stats() time
+    /// Per-tenant slice of the global counters above (fair-share
+    /// accounting: who submitted, who was shed, who got degraded). Keyed
+    /// by every tenant the batcher has ever seen.
+    struct TenantCounters {
+      std::uint64_t requests = 0;        ///< submitted requests
+      std::uint64_t rows = 0;            ///< submitted query rows
+      std::uint64_t drained_rows = 0;    ///< rows handed to decode units
+      std::uint64_t expired_submit = 0;  ///< failed fast at submit()
+      std::uint64_t expired_queue = 0;   ///< expired after queuing
+      std::uint64_t rejected = 0;        ///< Reject-policy arrivals failed
+      std::uint64_t shed = 0;            ///< ShedOldest victims failed
+      std::uint64_t degraded_requests = 0;  ///< brownout downgrades
+      std::int64_t queue_rows = 0;  ///< queued rows at stats() time
+    };
+    std::map<TenantId, TenantCounters> per_tenant;
     /// Mean coalescing factor: requests per decoder invocation.
     double requests_per_decode() const {
       return decode_calls == 0
@@ -217,12 +259,19 @@ class QueryBatcher {
   /// raised — DeadlineExceeded / Overloaded are the expected overload
   /// outcomes. `precision` overrides the snapshot's default decode tier
   /// for this request; requests at different (effective) tiers never
-  /// share a decode unit.
+  /// share a decode unit. `tenant` routes the request into its fair-share
+  /// sub-queue (single-model callers leave it at the default tenant 0).
   std::future<Tensor> submit(
       std::shared_ptr<const ModelSnapshot> snapshot, Tensor latent,
       Tensor coords,
       std::optional<backend::Precision> precision = std::nullopt,
-      std::optional<Deadline> deadline = std::nullopt);
+      std::optional<Deadline> deadline = std::nullopt,
+      TenantId tenant = kDefaultTenant);
+
+  /// Set a tenant's fair-share weight (its DRR turn recharges
+  /// fair_quantum_rows * weight). Implicitly 1.0 for any tenant never
+  /// mentioned here; safe to call while traffic is in flight.
+  void set_tenant_weight(TenantId tenant, double weight);
 
   /// Stop accepting work, serve everything still queued, join workers.
   /// Idempotent; the destructor calls it.
@@ -256,16 +305,30 @@ class QueryBatcher {
     backend::Precision precision = backend::Precision::kFp32;
     /// True when brownout lowered `precision` below what was requested.
     bool degraded = false;
+    TenantId tenant = kDefaultTenant;
     std::optional<Deadline> deadline;
     std::promise<Tensor> promise;
     std::chrono::steady_clock::time_point enqueued;
   };
 
+  /// One tenant's FIFO sub-queue plus its fair-share state. Sub-queues are
+  /// created on first submit (or set_tenant_weight) and never destroyed —
+  /// counters must outlive idle periods.
+  struct SubQueue {
+    std::deque<Request> q;
+    std::int64_t rows = 0;     ///< queued rows in q
+    std::int64_t deficit = 0;  ///< DRR row credit (may overdraw negative)
+    double weight = 1.0;
+    bool active = false;  ///< true iff present in rr_
+    Stats::TenantCounters counters;
+  };
+
   void worker_loop();
-  /// Pop requests into `*batch` under mu_: expires dead requests into
-  /// `*expired`, respects max_batch_rows and the earliest taken deadline,
-  /// applies the brownout tier, and updates the brownout/flush stats.
-  /// Returns the popped row count.
+  /// Pop requests into `*batch` under mu_: drains per-tenant sub-queues in
+  /// surplus-round-robin order, expires dead requests into `*expired`,
+  /// respects max_batch_rows and the earliest taken deadline, applies the
+  /// brownout tier, and updates the brownout/flush stats. Returns the
+  /// popped row count.
   std::int64_t take_batch_locked(std::vector<Request>* batch,
                                  std::vector<Request>* expired);
   /// Advance the brownout ladder from the current signals (queue depth in
@@ -305,7 +368,11 @@ class QueryBatcher {
   mutable std::mutex mu_;
   std::condition_variable cv_pending_;   // workers wait for work/flush
   std::condition_variable cv_capacity_;  // submitters wait for room
-  std::deque<Request> queue_;
+  // Per-tenant sub-queues (std::map: deterministic iteration for shed
+  // victim selection and stats) plus the round-robin ring of tenants with
+  // queued work. queued_rows_ is the global total across sub-queues.
+  std::map<TenantId, SubQueue> queues_;
+  std::deque<TenantId> rr_;
   std::int64_t queued_rows_ = 0;
   bool stop_ = false;
   Stats stats_;

@@ -42,7 +42,8 @@ std::optional<QueryBatcher::Deadline> deadline_from(
 
 /// Per-request outcome tallies shared across client/harvester threads.
 struct Outcomes {
-  std::atomic<std::uint64_t> ok{0}, expired{0}, overloaded{0}, failed{0};
+  std::atomic<std::uint64_t> issued{0}, ok{0}, expired{0}, overloaded{0},
+      failed{0};
 };
 
 /// Resolve one response future, classifying the overload outcomes.
@@ -65,6 +66,28 @@ bool harvest(std::future<Tensor>& fut, std::int64_t want_rows,
   return false;
 }
 
+/// Zipf CDF over tenants 0..n-1: P(k) ∝ 1 / (k + 1)^s. Tenant 0 is the
+/// head of the popularity curve.
+std::vector<double> zipf_cdf(int n, double s) {
+  std::vector<double> cdf(static_cast<std::size_t>(n));
+  double total = 0.0;
+  for (int k = 0; k < n; ++k)
+    total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+  double cum = 0.0;
+  for (int k = 0; k < n; ++k) {
+    cum += 1.0 / std::pow(static_cast<double>(k + 1), s) / total;
+    cdf[static_cast<std::size_t>(k)] = cum;
+  }
+  cdf.back() = 1.0;  // guard against accumulated rounding
+  return cdf;
+}
+
+int pick_tenant(const std::vector<double>& cdf, double u) {
+  for (std::size_t k = 0; k < cdf.size(); ++k)
+    if (u <= cdf[k]) return static_cast<int>(k);
+  return static_cast<int>(cdf.size()) - 1;
+}
+
 }  // namespace
 
 ServeBenchResult run_serve_bench(InferenceEngine& engine,
@@ -75,19 +98,33 @@ ServeBenchResult run_serve_bench(InferenceEngine& engine,
   MFN_CHECK(cfg.queries_per_request >= 1, "need >= 1 query per request");
   MFN_CHECK(!cfg.open_loop || cfg.arrival_rps > 0,
             "open-loop mode needs arrival_rps > 0");
+  MFN_CHECK(cfg.tenants >= 1, "need >= 1 tenant");
+  MFN_CHECK(cfg.zipf_s >= 0, "zipf exponent must be >= 0");
+  const int T = cfg.tenants;
+  for (int t = 0; t < T; ++t)
+    MFN_CHECK(engine.has_tenant(static_cast<TenantId>(t)),
+              "serve bench drives tenants 0.." << (T - 1) << " but tenant "
+                                               << t << " is not registered");
 
-  const std::int64_t in_ch = engine.model_config().unet.in_channels;
   Rng rng(cfg.seed);
 
-  // The hot latent working set. Ids are namespaced by snapshot version so
-  // back-to-back runs on one engine key the same content identically.
-  const std::uint64_t id_base = engine.snapshot_version() << 32;
-  std::vector<Tensor> patches;
-  patches.reserve(static_cast<std::size_t>(cfg.hot_patches));
-  for (int i = 0; i < cfg.hot_patches; ++i)
-    patches.push_back(Tensor::randn(
-        Shape{1, in_ch, cfg.patch_nt, cfg.patch_nz, cfg.patch_nx}, rng,
-        0.5f));
+  // Per-tenant hot latent working sets. Ids are namespaced by the tenant's
+  // snapshot version so back-to-back runs on one engine key the same
+  // content identically.
+  std::vector<std::uint64_t> id_base(static_cast<std::size_t>(T));
+  std::vector<std::vector<Tensor>> patches(static_cast<std::size_t>(T));
+  for (int t = 0; t < T; ++t) {
+    const TenantId tid = static_cast<TenantId>(t);
+    id_base[static_cast<std::size_t>(t)] = engine.snapshot_version(tid)
+                                           << 32;
+    const std::int64_t in_ch = engine.model_config(tid).unet.in_channels;
+    auto& set = patches[static_cast<std::size_t>(t)];
+    set.reserve(static_cast<std::size_t>(cfg.hot_patches));
+    for (int i = 0; i < cfg.hot_patches; ++i)
+      set.push_back(Tensor::randn(
+          Shape{1, in_ch, cfg.patch_nt, cfg.patch_nz, cfg.patch_nx}, rng,
+          0.5f));
+  }
 
   // Per-client query coordinates, pre-generated outside the timed loop.
   std::vector<Tensor> client_coords;
@@ -97,47 +134,70 @@ ServeBenchResult run_serve_bench(InferenceEngine& engine,
                                           cfg.patch_nt, cfg.patch_nz,
                                           cfg.patch_nx));
 
-  if (cfg.warm_cache)
-    for (int i = 0; i < cfg.hot_patches; ++i)
-      engine.prewarm(id_base + static_cast<std::uint64_t>(i),
-                     patches[static_cast<std::size_t>(i)]);
+  const std::vector<double> cdf = zipf_cdf(T, cfg.zipf_s);
 
-  const LatentCache::Stats cache0 = engine.cache_stats();
+  if (cfg.warm_cache)
+    for (int t = 0; t < T; ++t)
+      for (int i = 0; i < cfg.hot_patches; ++i)
+        engine.prewarm(static_cast<TenantId>(t),
+                       id_base[static_cast<std::size_t>(t)] +
+                           static_cast<std::uint64_t>(i),
+                       patches[static_cast<std::size_t>(t)]
+                              [static_cast<std::size_t>(i)]);
+
+  // Window baselines: aggregate and per-tenant.
+  std::vector<LatentCache::Stats> cache0(static_cast<std::size_t>(T));
+  std::vector<EncodeStats> enc0(static_cast<std::size_t>(T));
+  for (int t = 0; t < T; ++t) {
+    cache0[static_cast<std::size_t>(t)] =
+        engine.cache_stats(static_cast<TenantId>(t));
+    enc0[static_cast<std::size_t>(t)] =
+        engine.encode_stats(static_cast<TenantId>(t));
+  }
   const core::PlanCache::Stats plans0 = engine.plan_stats();
   const QueryBatcher::Stats batcher0 = engine.batcher_stats();
   // Capture per-request queue waits and per-unit decode times so the
   // latency report can split end-to-end p99 (which includes the batching
   // queue) from the decode itself.
   engine.batcher().set_timing_capture(true);
-  std::vector<std::vector<double>> latencies(
-      static_cast<std::size_t>(cfg.clients));
-  Outcomes outcomes;
-  std::uint64_t issued = 0;
+  // latencies[c][t]: delivered end-to-end millis, per client per tenant.
+  std::vector<std::vector<std::vector<double>>> latencies(
+      static_cast<std::size_t>(cfg.clients),
+      std::vector<std::vector<double>>(static_cast<std::size_t>(T)));
+  std::vector<Outcomes> outcomes(static_cast<std::size_t>(T));
 
   Stopwatch wall;
   if (!cfg.open_loop) {
     // Closed loop: each client blocks on its response before the next
     // request, so offered load self-limits to capacity.
-    issued = static_cast<std::uint64_t>(cfg.clients) *
-             static_cast<std::uint64_t>(cfg.requests_per_client);
     std::vector<std::thread> clients;
     clients.reserve(static_cast<std::size_t>(cfg.clients));
     for (int c = 0; c < cfg.clients; ++c) {
       clients.emplace_back([&, c] {
         auto& lat = latencies[static_cast<std::size_t>(c)];
-        lat.reserve(static_cast<std::size_t>(cfg.requests_per_client));
         const Tensor& coords = client_coords[static_cast<std::size_t>(c)];
+        // Per-client tenant sampler: deterministic across runs, distinct
+        // across clients.
+        Rng trng(cfg.seed ^ (0x5EEDB0B5ull + 77ull *
+                                                 static_cast<std::uint64_t>(
+                                                     c)));
         for (int m = 0; m < cfg.requests_per_client; ++m) {
+          const int t = T == 1 ? 0 : pick_tenant(cdf, trng.uniform());
           // Stride clients across the hot set so concurrent requests both
           // collide on shared latents (coalescing) and span several.
           const int pid = (c + m) % cfg.hot_patches;
+          Outcomes& out = outcomes[static_cast<std::size_t>(t)];
+          out.issued.fetch_add(1, std::memory_order_relaxed);
           Stopwatch sw;
           std::future<Tensor> fut = engine.query(
-              id_base + static_cast<std::uint64_t>(pid),
-              patches[static_cast<std::size_t>(pid)], coords, cfg.precision,
-              deadline_from(cfg));
-          if (harvest(fut, cfg.queries_per_request, outcomes))
-            lat.push_back(sw.millis());
+              static_cast<TenantId>(t),
+              id_base[static_cast<std::size_t>(t)] +
+                  static_cast<std::uint64_t>(pid),
+              patches[static_cast<std::size_t>(t)]
+                     [static_cast<std::size_t>(pid)],
+              coords, cfg.precision, deadline_from(cfg));
+          if (harvest(fut, cfg.queries_per_request, out))
+            lat[static_cast<std::size_t>(t)].push_back(sw.millis());
         }
       });
     }
@@ -153,9 +213,9 @@ ServeBenchResult run_serve_bench(InferenceEngine& engine,
             ? static_cast<std::uint64_t>(cfg.total_requests)
             : static_cast<std::uint64_t>(cfg.clients) *
                   static_cast<std::uint64_t>(cfg.requests_per_client);
-    issued = total;
     struct Pending {
       std::future<Tensor> fut;
+      int tenant = 0;
       Clock::time_point submitted;
     };
     std::deque<Pending> inflight;
@@ -177,8 +237,9 @@ ServeBenchResult run_serve_bench(InferenceEngine& engine,
             p = std::move(inflight.front());
             inflight.pop_front();
           }
-          if (harvest(p.fut, cfg.queries_per_request, outcomes))
-            lat.push_back(
+          if (harvest(p.fut, cfg.queries_per_request,
+                      outcomes[static_cast<std::size_t>(p.tenant)]))
+            lat[static_cast<std::size_t>(p.tenant)].push_back(
                 std::chrono::duration<double, std::milli>(Clock::now() -
                                                           p.submitted)
                     .count());
@@ -194,13 +255,19 @@ ServeBenchResult run_serve_bench(InferenceEngine& engine,
       next += std::chrono::nanoseconds(static_cast<std::int64_t>(
           -std::log(1.0 - u) / cfg.arrival_rps * 1e9));
       std::this_thread::sleep_until(next);
+      const int t = T == 1 ? 0 : pick_tenant(cdf, arrivals.uniform());
       const int pid = static_cast<int>(i) % cfg.hot_patches;
       const int slot = static_cast<int>(i) % cfg.clients;
+      outcomes[static_cast<std::size_t>(t)].issued.fetch_add(
+          1, std::memory_order_relaxed);
       Pending p;
+      p.tenant = t;
       p.submitted = Clock::now();
       p.fut = engine.query(
-          id_base + static_cast<std::uint64_t>(pid),
-          patches[static_cast<std::size_t>(pid)],
+          static_cast<TenantId>(t),
+          id_base[static_cast<std::size_t>(t)] +
+              static_cast<std::uint64_t>(pid),
+          patches[static_cast<std::size_t>(t)][static_cast<std::size_t>(pid)],
           client_coords[static_cast<std::size_t>(slot)], cfg.precision,
           deadline_from(cfg));
       {
@@ -220,11 +287,15 @@ ServeBenchResult run_serve_bench(InferenceEngine& engine,
 
   ServeBenchResult res;
   res.seconds = seconds;
+  std::uint64_t issued = 0;
+  for (const Outcomes& o : outcomes) {
+    issued += o.issued.load();
+    res.ok_requests += o.ok.load();
+    res.expired_requests += o.expired.load();
+    res.overloaded_requests += o.overloaded.load();
+    res.failed_requests += o.failed.load();
+  }
   res.requests = issued;
-  res.ok_requests = outcomes.ok.load();
-  res.expired_requests = outcomes.expired.load();
-  res.overloaded_requests = outcomes.overloaded.load();
-  res.failed_requests = outcomes.failed.load();
   res.deadline_hit_rate =
       issued == 0 ? 0.0
                   : static_cast<double>(res.ok_requests) /
@@ -245,7 +316,9 @@ ServeBenchResult run_serve_bench(InferenceEngine& engine,
 
   std::vector<double> all;
   all.reserve(static_cast<std::size_t>(res.ok_requests));
-  for (auto& lat : latencies) all.insert(all.end(), lat.begin(), lat.end());
+  for (auto& lat : latencies)
+    for (auto& per_tenant : lat)
+      all.insert(all.end(), per_tenant.begin(), per_tenant.end());
   if (!all.empty()) {
     res.p50_ms = pct(all, 1, 2);
     res.p99_ms = pct(all, 99, 100);
@@ -260,7 +333,6 @@ ServeBenchResult run_serve_bench(InferenceEngine& engine,
   res.decode_p50_ms = pct(timing.decode_ms, 1, 2);
   res.decode_p99_ms = pct(timing.decode_ms, 99, 100);
 
-  res.cache = engine.cache_stats();
   res.batcher = engine.batcher_stats();
   res.plans = engine.plan_stats();
   res.window_plan_hits = res.plans.hits - plans0.hits;
@@ -271,8 +343,66 @@ ServeBenchResult run_serve_bench(InferenceEngine& engine,
                           ? 0.0
                           : static_cast<double>(res.window_plan_hits) /
                                 static_cast<double>(plan_lookups);
-  res.window_hits = res.cache.hits - cache0.hits;
-  res.window_misses = res.cache.misses - cache0.misses;
+
+  // Per-tenant slices, then aggregate cache counters as their sum (the
+  // caches themselves are per tenant).
+  res.tenants.resize(static_cast<std::size_t>(T));
+  for (int t = 0; t < T; ++t) {
+    const std::size_t k = static_cast<std::size_t>(t);
+    const TenantId tid = static_cast<TenantId>(t);
+    TenantBenchResult& tr = res.tenants[k];
+    tr.tenant = tid;
+    tr.issued = outcomes[k].issued.load();
+    tr.ok = outcomes[k].ok.load();
+    tr.expired = outcomes[k].expired.load();
+    tr.overloaded = outcomes[k].overloaded.load();
+    tr.share = issued == 0 ? 0.0
+                           : static_cast<double>(tr.issued) /
+                                 static_cast<double>(issued);
+    tr.qps = static_cast<double>(tr.ok) *
+             static_cast<double>(cfg.queries_per_request) / seconds;
+    tr.rps = static_cast<double>(tr.ok) / seconds;
+    std::vector<double> tl;
+    tl.reserve(static_cast<std::size_t>(tr.ok));
+    for (auto& lat : latencies)
+      tl.insert(tl.end(), lat[k].begin(), lat[k].end());
+    tr.p50_ms = pct(tl, 1, 2);
+    tr.p99_ms = pct(tl, 99, 100);
+
+    const LatentCache::Stats cs = engine.cache_stats(tid);
+    tr.window_hits = cs.hits - cache0[k].hits;
+    tr.window_misses = cs.misses - cache0[k].misses;
+    tr.window_evictions = cs.evictions - cache0[k].evictions;
+    const std::uint64_t lookups = tr.window_hits + tr.window_misses;
+    tr.hit_rate = lookups == 0
+                      ? 0.0
+                      : static_cast<double>(tr.window_hits) /
+                            static_cast<double>(lookups);
+    const EncodeStats es = engine.encode_stats(tid);
+    tr.encodes = es.encodes - enc0[k].encodes;
+    tr.dedup_encodes = es.dedup_encodes - enc0[k].dedup_encodes;
+    auto pt = res.batcher.per_tenant.find(tid);
+    if (pt != res.batcher.per_tenant.end()) {
+      const auto& now_c = pt->second;
+      QueryBatcher::Stats::TenantCounters was_c;
+      auto pt0 = batcher0.per_tenant.find(tid);
+      if (pt0 != batcher0.per_tenant.end()) was_c = pt0->second;
+      tr.shed = now_c.shed - was_c.shed;
+      tr.rejected = now_c.rejected - was_c.rejected;
+      tr.degraded = now_c.degraded_requests - was_c.degraded_requests;
+    }
+
+    // Aggregate cache view: sum of the driven tenants' caches.
+    res.cache.hits += cs.hits;
+    res.cache.misses += cs.misses;
+    res.cache.evictions += cs.evictions;
+    res.cache.invalidations += cs.invalidations;
+    res.cache.entries += cs.entries;
+    res.cache.bytes_in_use += cs.bytes_in_use;
+    res.cache.byte_budget += cs.byte_budget;
+    res.window_hits += tr.window_hits;
+    res.window_misses += tr.window_misses;
+  }
   const std::uint64_t lookups = res.window_hits + res.window_misses;
   res.hit_rate = lookups == 0
                      ? 0.0
@@ -307,14 +437,16 @@ ServeBenchResult run_serve_bench(InferenceEngine& engine,
                 static_cast<double>(res.ok_requests);
 
   // Accuracy probe (outside the timed window): decode one request per hot
-  // patch at the bench tier and at fp32 and report the worst absolute
-  // deviation, so every reduced-precision qps line carries its error bound.
+  // patch of tenant 0 at the bench tier and at fp32 and report the worst
+  // absolute deviation, so every reduced-precision qps line carries its
+  // error bound.
   if (cfg.precision != backend::Precision::kFp32) {
     double max_err = 0.0;
     const Tensor& coords = client_coords.front();
     for (int i = 0; i < cfg.hot_patches; ++i) {
-      const std::uint64_t pid = id_base + static_cast<std::uint64_t>(i);
-      const Tensor& patch = patches[static_cast<std::size_t>(i)];
+      const std::uint64_t pid =
+          id_base.front() + static_cast<std::uint64_t>(i);
+      const Tensor& patch = patches.front()[static_cast<std::size_t>(i)];
       Tensor lo = engine.query_sync(pid, patch, coords, cfg.precision);
       Tensor ref = engine.query_sync(pid, patch, coords,
                                      backend::Precision::kFp32);

@@ -50,6 +50,34 @@ struct ServeBenchConfig {
   /// Per-request latency budget, milliseconds from submit; 0 = none.
   /// Honored in both modes.
   double deadline_ms = 0.0;
+  /// Multi-tenant traffic: requests spread across tenants 0..tenants-1
+  /// (every id must already be registered on the engine, each with its own
+  /// hot set of hot_patches patches) with Zipf(zipf_s) popularity skew —
+  /// tenant 0 is the hottest. 1 keeps the single-tenant behavior exactly.
+  int tenants = 1;
+  /// Zipf exponent: P(tenant k) ∝ 1 / (k + 1)^zipf_s. 0 is uniform;
+  /// ~1.1 gives the classic heavy head (tenant 0 at several times the
+  /// coldest tenant's rate).
+  double zipf_s = 1.0;
+};
+
+/// Per-tenant slice of a multi-tenant bench run (window counters only).
+struct TenantBenchResult {
+  TenantId tenant = 0;
+  std::uint64_t issued = 0;
+  std::uint64_t ok = 0, expired = 0, overloaded = 0;
+  double share = 0.0;  ///< issued / total issued
+  double qps = 0.0;    ///< delivered query points per second
+  double rps = 0.0;    ///< delivered requests per second
+  double p50_ms = 0.0, p99_ms = 0.0;  ///< end-to-end, delivered only
+  /// This tenant's latent-cache window hit rate (per-tenant caches make
+  /// this exact, not apportioned).
+  double hit_rate = 0.0;
+  std::uint64_t window_hits = 0, window_misses = 0, window_evictions = 0;
+  /// Batcher per-tenant window counters.
+  std::uint64_t shed = 0, rejected = 0, degraded = 0;
+  /// Single-flight encode window counters.
+  std::uint64_t encodes = 0, dedup_encodes = 0;
 };
 
 struct ServeBenchResult {
@@ -101,6 +129,9 @@ struct ServeBenchResult {
   std::uint64_t window_brownout_enters = 0, window_brownout_exits = 0;
   /// Fraction of delivered responses served below their requested tier.
   double brownout_hit_rate = 0.0;
+  /// One entry per driven tenant (size cfg.tenants; a single-tenant run
+  /// still reports its one entry). Aggregate fields above sum over these.
+  std::vector<TenantBenchResult> tenants;
 };
 
 /// Drive `engine` with cfg.clients closed-loop client threads and return

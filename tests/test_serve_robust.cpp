@@ -318,6 +318,93 @@ TEST_F(ServeRobust, BrownoutDegradesUnderBacklogAndRecoversWithHysteresis) {
   EXPECT_LT(max_abs_diff(engine.query_sync(1, patch, coords), want), 2e-5);
 }
 
+// Regression: a brownout configured with ONLY the latency watermark
+// (high_wait_ms set, low_wait_ms left at its 0 default) used to latch —
+// exit required wait_ewma <= 0, and the EWMA never returns to exactly
+// zero after the first burst, so the engine served degraded tiers
+// forever. The constructor now defaults a missing low watermark to
+// high/2; this test drives a burst in and then requires the ladder to
+// step all the way back down on idle traffic.
+TEST_F(ServeRobust, BrownoutWaitOnlyConfigExitsAfterBurst) {
+  serve::InferenceEngineConfig ecfg;
+  ecfg.batcher.workers = 1;
+  ecfg.batcher.max_wait_us = 0;
+  ecfg.batcher.max_batch_rows = 32;  // one request per flush
+  ecfg.batcher.brownout.enabled = true;
+  ecfg.batcher.brownout.high_wait_ms = 4.0;  // latency watermark ONLY
+  ecfg.batcher.brownout.dwell_flushes = 1;
+  serve::InferenceEngine engine(std::move(make_model(25)), ecfg);
+  Rng rng(26);
+  const Tensor patch = make_patch(rng);
+  const Tensor coords = make_coords(rng, 32);
+  engine.prewarm(1, patch);
+
+  // Burst: the worker sleeps 15 ms per decode while 12 requests pile up,
+  // so per-flush queue waits climb well past high_wait_ms.
+  {
+    failpoint::ScopedFail slow("serve.slow_decode", sleep_ms(15.0));
+    std::vector<std::future<Tensor>> futs;
+    for (int i = 0; i < 12; ++i)
+      futs.push_back(engine.query(1, patch, coords));
+    for (auto& f : futs) ASSERT_NO_THROW(f.get());
+  }
+  const auto mid = engine.batcher_stats();
+  ASSERT_GE(mid.brownout_enters, 1u) << "burst never tripped the brownout";
+
+  // Idle recovery: sequential requests wait ~0 in the queue, decaying the
+  // EWMA geometrically. Pre-fix this loop leaves brownout_level pinned.
+  for (int i = 0; i < 48; ++i)
+    ASSERT_NO_THROW((void)engine.query_sync(1, patch, coords));
+  const auto bs = engine.batcher_stats();
+  EXPECT_EQ(bs.brownout_level, 0)
+      << "wait-signal-only brownout latched at a degraded tier";
+  EXPECT_GE(bs.brownout_exits, 1u);
+  EXPECT_EQ(bs.brownout_enters, bs.brownout_exits);
+}
+
+// ------------------------------------------------- single-flight encodes
+
+TEST_F(ServeRobust, RacingMissesRunOneEncode) {
+  serve::InferenceEngine engine(make_model(27));
+  Rng rng(28);
+  const Tensor patch = make_patch(rng);
+  const Tensor coords = make_coords(rng, 32);
+
+  // Pin the leader inside its encode long enough for followers to arrive.
+  failpoint::ScopedFail slow("serve.slow_encode", sleep_ms(250.0));
+  Tensor leader_out;
+  std::thread leader(
+      [&] { leader_out = engine.query_sync(7, patch, coords); });
+  const auto limit = Clock::now() + std::chrono::seconds(10);
+  while (failpoint::fire_count("serve.slow_encode") < 1) {
+    ASSERT_LT(Clock::now(), limit) << "leader never reached the encode";
+    std::this_thread::yield();
+  }
+
+  constexpr int kFollowers = 4;
+  std::vector<Tensor> outs(kFollowers);
+  std::vector<std::thread> followers;
+  for (int c = 0; c < kFollowers; ++c)
+    followers.emplace_back(
+        [&, c] { outs[c] = engine.query_sync(7, patch, coords); });
+  for (auto& t : followers) t.join();
+  leader.join();
+
+  // One Context Generation Network forward total; every racer was either
+  // the leader or deduplicated onto its flight.
+  const auto es = engine.encode_stats();
+  EXPECT_EQ(es.encodes, 1u);
+  EXPECT_EQ(es.dedup_encodes, static_cast<std::uint64_t>(kFollowers));
+  // Cache accounting stays exact: one get() per request, all misses (the
+  // followers raced the leader, none re-reads the cache afterwards).
+  const auto cs = engine.cache_stats();
+  EXPECT_EQ(cs.misses, static_cast<std::uint64_t>(kFollowers) + 1);
+  EXPECT_EQ(cs.hits, 0u);
+  // Everyone got the same latent, so responses are bitwise identical.
+  for (const Tensor& out : outs)
+    EXPECT_EQ(max_abs_diff(out, leader_out), 0.0);
+}
+
 // ------------------------------------------------- checkpoint load guards
 
 TEST_F(ServeRobust, LoadCheckpointWeightsRejectsNonFiniteNamingTheTensor) {

@@ -27,7 +27,7 @@
 //                [--deadline-ms 50] [--policy block|reject|shed-oldest]
 //                [--max-queue ROWS] [--brownout 1]
 //                [--brownout-high-rows R --brownout-low-rows R]
-//                [--inject point[:arg]]
+//                [--inject point[:arg]] [--tenants N] [--zipf 1.1]
 //
 // serve-bench drives the concurrent inference engine (latent cache +
 // query batcher, src/serve/) with a multi-client load generator and
@@ -39,7 +39,9 @@
 // the overload harness: combine with --deadline-ms, --policy
 // shed-oldest and --brownout 1 to measure robustness under arrival >
 // capacity, or --inject to arm a named fail point (see
-// src/common/failpoint.h) for fault drills.
+// src/common/failpoint.h) for fault drills. --tenants N serves N models
+// behind one engine with Zipf(--zipf)-skewed traffic (tenant 0 hottest)
+// and reports per-tenant qps / hit-rate / p99 / shed counters.
 //
 // train-worker runs one rank of the fault-tolerant multi-process
 // distributed trainer (src/distributed/worker.h): rank 0 is the
@@ -441,6 +443,22 @@ int cmd_serve_bench(const Args& args) {
 
   serve::InferenceEngine engine(std::move(model), ecfg);
 
+  // --tenants N serves N models (tenant 0 is the --model checkpoint or the
+  // random default; tenants 1..N-1 are fresh random models of the same
+  // architecture) with --zipf-skewed traffic: tenant 0 is the hot one.
+  const int tenants = static_cast<int>(args.integer("tenants", 1));
+  MFN_CHECK(tenants >= 1, "--tenants must be >= 1, got " << tenants);
+  for (int t = 1; t < tenants; ++t) {
+    Rng trng(static_cast<std::uint64_t>(args.integer("seed", 9)) +
+             1000ull * static_cast<std::uint64_t>(t));
+    serve::TenantConfig tcfg;
+    tcfg.decode_precision = precision;
+    engine.add_tenant(static_cast<serve::TenantId>(t),
+                      std::make_unique<core::MeshfreeFlowNet>(
+                          cli_model_config(), trng),
+                      tcfg);
+  }
+
   serve::ServeBenchConfig bcfg;
   bcfg.clients = static_cast<int>(args.integer("clients", 16));
   bcfg.requests_per_client = static_cast<int>(args.integer("requests", 64));
@@ -452,6 +470,8 @@ int cmd_serve_bench(const Args& args) {
   bcfg.arrival_rps = args.num("arrival-rps", 0.0);
   bcfg.total_requests = static_cast<int>(args.integer("total-requests", 0));
   bcfg.deadline_ms = args.num("deadline-ms", 0.0);
+  bcfg.tenants = tenants;
+  bcfg.zipf_s = args.num("zipf", 1.0);
 
   std::printf(
       "serve-bench: %d clients x %d requests x %lld queries, %d hot "
@@ -471,6 +491,9 @@ int cmd_serve_bench(const Args& args) {
         serve::admission_policy_name(ecfg.batcher.admission),
         ecfg.batcher.brownout.enabled ? "on" : "off",
         static_cast<long long>(ecfg.batcher.max_queue_rows));
+  if (bcfg.tenants > 1)
+    std::printf("tenants: %d models, Zipf(%.2f) traffic (tenant 0 hottest)\n",
+                bcfg.tenants, bcfg.zipf_s);
 
   const serve::ServeBenchResult r = serve::run_serve_bench(engine, bcfg);
   std::printf(
@@ -518,6 +541,20 @@ int cmd_serve_bench(const Args& args) {
       static_cast<unsigned long long>(r.window_int8_units),
       static_cast<unsigned long long>(r.window_precision_fallbacks),
       r.max_abs_err_vs_fp32);
+  if (bcfg.tenants > 1) {
+    for (const serve::TenantBenchResult& t : r.tenants)
+      std::printf(
+          "tenant %u: share %.2f, qps %.0f, rps %.1f, p50 %.3f ms, p99 "
+          "%.3f ms, hit-rate %.3f, %llu evictions, %llu shed, %llu "
+          "rejected, %llu degraded, %llu dedup-encodes\n",
+          static_cast<unsigned>(t.tenant), t.share, t.qps, t.rps, t.p50_ms,
+          t.p99_ms, t.hit_rate,
+          static_cast<unsigned long long>(t.window_evictions),
+          static_cast<unsigned long long>(t.shed),
+          static_cast<unsigned long long>(t.rejected),
+          static_cast<unsigned long long>(t.degraded),
+          static_cast<unsigned long long>(t.dedup_encodes));
+  }
   if (bcfg.open_loop || bcfg.deadline_ms > 0) {
     std::printf(
         "robustness: %llu ok / %llu expired / %llu overloaded / %llu "
@@ -542,7 +579,33 @@ int cmd_serve_bench(const Args& args) {
         static_cast<unsigned long long>(r.window_brownout_exits),
         r.batcher.brownout_level);
   }
-  if (bcfg.open_loop) {
+  if (bcfg.tenants > 1) {
+    // Multi-tenant runs report serve_tenants lines (one per tenant, keyed
+    // by "tenant", plus the aggregate) instead of the single-tenant serve
+    // line, whose pinned identity they would otherwise pollute.
+    for (const serve::TenantBenchResult& t : r.tenants)
+      std::printf(
+          "{\"mfn_perf\":\"serve_tenants\",\"tenants\":%d,\"zipf\":%.2f,"
+          "\"clients\":%d,\"queries\":%lld,\"threads\":%d,\"tenant\":%u,"
+          "\"share\":%.3f,\"qps\":%.0f,\"hit_rate\":%.3f,\"p50_ms\":%.3f,"
+          "\"p99_ms\":%.3f,\"shed\":%llu,\"rejected\":%llu,"
+          "\"degraded\":%llu,\"dedup_encodes\":%llu}\n",
+          bcfg.tenants, bcfg.zipf_s, bcfg.clients,
+          static_cast<long long>(bcfg.queries_per_request),
+          ThreadPool::global().size(), static_cast<unsigned>(t.tenant),
+          t.share, t.qps, t.hit_rate, t.p50_ms, t.p99_ms,
+          static_cast<unsigned long long>(t.shed),
+          static_cast<unsigned long long>(t.rejected),
+          static_cast<unsigned long long>(t.degraded),
+          static_cast<unsigned long long>(t.dedup_encodes));
+    std::printf(
+        "{\"mfn_perf\":\"serve_tenants\",\"tenants\":%d,\"zipf\":%.2f,"
+        "\"clients\":%d,\"queries\":%lld,\"threads\":%d,\"qps\":%.0f,"
+        "\"hit_rate\":%.3f,\"p99_ms\":%.3f}\n",
+        bcfg.tenants, bcfg.zipf_s, bcfg.clients,
+        static_cast<long long>(bcfg.queries_per_request),
+        ThreadPool::global().size(), r.qps, r.hit_rate, r.p99_ms);
+  } else if (bcfg.open_loop) {
     std::printf(
         "{\"mfn_perf\":\"serve_overload\",\"arrival_rps\":%.0f,"
         "\"policy\":\"%s\",\"deadline_ms\":%.0f,\"brownout\":%d,"

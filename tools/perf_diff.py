@@ -52,7 +52,13 @@ ID_FIELDS = ("mfn_perf", "op", "batch", "channels", "queries", "m", "n",
              # dist_train: each world size (1/2/4 workers) is its own
              # scaling datapoint; a 4-worker patches/sec must never be
              # compared against the single-worker baseline.
-             "world")
+             "world",
+             # serve_tenants: the per-tenant slices of a multi-tenant run
+             # are distinct series (the aggregate line omits "tenant"), as
+             # are different tenant counts and traffic skews. All three are
+             # absent on pre-existing lines, so baseline identity there is
+             # unchanged.
+             "tenant", "tenants", "zipf")
 
 
 def load(path):
